@@ -1,0 +1,98 @@
+// Ablation — queue discipline at the bottleneck. The paper's correlated
+// loss assumption is the drop-tail signature; RED (its reference [4])
+// was designed to break exactly that correlation. Run the same dumbbell
+// with both disciplines and compare loss patterns, the TD/TO mix, and
+// fairness — drop-tail should produce burstier losses and more timeouts.
+//
+// Usage: ablation_red_vs_droptail [duration_seconds]   (default 900)
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "exp/table_format.hpp"
+#include "sim/shared_bottleneck.hpp"
+#include "stats/fairness.hpp"
+#include "trace/trace_recorder.hpp"
+#include "trace/trace_summary.hpp"
+
+namespace {
+
+pftk::sim::SharedBottleneckConfig dumbbell(const pftk::sim::QueueSpec& queue) {
+  pftk::sim::SharedBottleneckConfig cfg;
+  cfg.rate_pps = 160.0;
+  cfg.queue = queue;
+  cfg.bottleneck_delay = 0.02;
+  cfg.seed = 4242;
+  for (std::size_t i = 0; i < 4; ++i) {
+    pftk::sim::FlowEndpointConfig f;
+    f.sender.advertised_window = 64.0;
+    f.sender.min_rto = 1.0;
+    f.return_delay = 0.04;
+    cfg.flows.push_back(f);
+  }
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pftk;
+  const double duration = argc > 1 ? std::atof(argv[1]) : 900.0;
+
+  sim::RedPolicy::Config red;
+  red.min_threshold = 5.0;
+  red.max_threshold = 20.0;
+  red.max_drop_prob = 0.1;
+  red.ewma_weight = 0.02;
+  red.hard_capacity = 30;
+
+  struct Variant {
+    const char* name;
+    sim::QueueSpec queue;
+  };
+  const Variant variants[] = {
+      {"drop-tail (30 pkts)", sim::DropTailSpec{30}},
+      {"RED (5/20, pmax 0.1)", sim::RedSpec{red}},
+  };
+
+  std::cout << "Ablation: bottleneck queue discipline, 4 flows @ 160 pkts/s, "
+            << duration << " s\n\n";
+  exp::TextTable t({"discipline", "drops", "goodput", "TD", "TO seqs", "TO frac",
+                    "Jain index", "mean RTT"});
+  for (const Variant& v : variants) {
+    sim::SharedBottleneckConfig cfg = dumbbell(v.queue);
+    sim::SharedBottleneck net(cfg);
+    std::vector<trace::TraceRecorder> recorders(cfg.flows.size());
+    for (std::size_t i = 0; i < cfg.flows.size(); ++i) {
+      net.set_observer(i, &recorders[i]);
+    }
+    const auto summaries = net.run_for(duration);
+
+    double goodput = 0.0;
+    std::vector<double> rates;
+    std::uint64_t td = 0;
+    std::uint64_t to = 0;
+    double rtt_sum = 0.0;
+    for (std::size_t i = 0; i < summaries.size(); ++i) {
+      goodput += summaries[i].throughput;
+      rates.push_back(summaries[i].throughput);
+      const auto row = trace::summarize_trace(recorders[i].events(), 3);
+      td += row.td_events;
+      to += row.loss_indications - row.td_events;
+      rtt_sum += row.avg_rtt;
+    }
+    const double to_frac =
+        td + to > 0 ? static_cast<double>(to) / static_cast<double>(td + to) : 0.0;
+    t.add_row({v.name, exp::fmt_u(net.bottleneck_stats().dropped_queue),
+               exp::fmt(goodput, 1), exp::fmt_u(td), exp::fmt_u(to), exp::fmt(to_frac, 2),
+               exp::fmt(stats::jain_fairness_index(rates), 3),
+               exp::fmt(rtt_sum / static_cast<double>(summaries.size()), 3)});
+  }
+  t.print(std::cout);
+  std::cout << "\n(RED keeps the average queue — and thus the RTT — much shorter and\n"
+               "spreads drops evenly across flows (higher Jain index). It signals\n"
+               "earlier, so it drops more packets in total and holds windows smaller,\n"
+               "which shifts some indications toward timeouts; drop-tail's rarer\n"
+               "overflow bursts are what the paper's correlated loss model mimics)\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Extension — the "fair share" the paper's introduction motivates:
+// N TCP flows through one bottleneck, with losses generated purely by the
+// shared drop-tail queue. Reports per-flow rates, Jain's fairness index,
+// and the full model's per-flow prediction from each flow's own measured
+// parameters (the TCP-friendly computation an RFC-5348-style endpoint
+// would perform).
+//
+// Usage: ext_fairness [duration_seconds]   (default 900)
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/model_registry.hpp"
+#include "exp/table_format.hpp"
+#include "sim/shared_bottleneck.hpp"
+#include "stats/fairness.hpp"
+#include "trace/trace_recorder.hpp"
+#include "trace/trace_summary.hpp"
+
+namespace {
+
+pftk::sim::SharedBottleneckConfig dumbbell(std::size_t flows) {
+  pftk::sim::SharedBottleneckConfig cfg;
+  cfg.rate_pps = 160.0;
+  cfg.queue = pftk::sim::DropTailSpec{30};
+  cfg.bottleneck_delay = 0.02;
+  cfg.seed = 1998;
+  for (std::size_t i = 0; i < flows; ++i) {
+    pftk::sim::FlowEndpointConfig f;
+    f.sender.advertised_window = 64.0;
+    f.sender.min_rto = 1.0;
+    f.access_delay = 0.01;
+    f.exit_delay = 0.02;
+    f.return_delay = 0.04;
+    cfg.flows.push_back(f);
+  }
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pftk;
+  const double duration = argc > 1 ? std::atof(argv[1]) : 900.0;
+
+  for (const std::size_t flows : {2UL, 4UL, 8UL}) {
+    sim::SharedBottleneckConfig cfg = dumbbell(flows);
+    sim::SharedBottleneck net(cfg);
+    std::vector<trace::TraceRecorder> recorders(flows);
+    for (std::size_t i = 0; i < flows; ++i) {
+      net.set_observer(i, &recorders[i]);
+    }
+    const auto summaries = net.run_for(duration);
+
+    std::cout << flows << " flows through a 160 pkts/s drop-tail bottleneck, "
+              << duration << " s\n\n";
+    exp::TextTable t({"flow", "rate (pkts/s)", "p measured", "RTT", "model (pkts/s)",
+                      "model/measured"});
+    std::vector<double> rates;
+    double total = 0.0;
+    for (std::size_t i = 0; i < flows; ++i) {
+      const auto row = trace::summarize_trace(recorders[i].events(), 3);
+      model::ModelParams params;
+      params.p = row.observed_p > 0.0 ? row.observed_p : 1e-6;
+      params.rtt = row.avg_rtt > 0.0 ? row.avg_rtt : 0.14;
+      params.t0 = row.avg_timeout > 0.0 ? row.avg_timeout : 1.0;
+      params.b = 2;
+      params.wm = 64.0;
+      const double predicted = model::evaluate_model(model::ModelKind::kFull, params);
+      t.add_row({std::to_string(i), exp::fmt(summaries[i].send_rate, 2),
+                 exp::fmt(row.observed_p, 4), exp::fmt(row.avg_rtt, 3),
+                 exp::fmt(predicted, 2),
+                 exp::fmt(predicted / summaries[i].send_rate, 2)});
+      rates.push_back(summaries[i].throughput);
+      total += summaries[i].throughput;
+    }
+    t.print(std::cout);
+    std::cout << "aggregate goodput " << exp::fmt(total, 1) << " pkts/s ("
+              << exp::fmt(100.0 * total / 160.0, 1) << "% of the bottleneck), "
+              << "Jain fairness index " << exp::fmt(stats::jain_fairness_index(rates), 3)
+              << "\ncongestion drops at the queue: " << net.bottleneck_stats().dropped_queue
+              << "\n\n";
+  }
+  std::cout << "(a TCP-friendly non-TCP flow computing eq (33) from the same\n"
+               "measured p/RTT would claim one fair share of this link)\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Extension — measuring the model's central abstraction. Section II
+// models TCP in "rounds": a window sent back-to-back, one RTT per round,
+// duration independent of window size. This bench reconstructs rounds
+// from simulated traces and reports how well the abstraction holds on
+// ordinary paths — and how it collapses on the Fig.-11 modem path.
+//
+// Usage: ext_round_structure [duration_seconds]   (default 1200)
+#include <cstdlib>
+#include <iostream>
+
+#include "exp/path_profile.hpp"
+#include "exp/table_format.hpp"
+#include "trace/round_analyzer.hpp"
+#include "trace/trace_recorder.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pftk;
+  const double duration = argc > 1 ? std::atof(argv[1]) : 1200.0;
+
+  std::cout << "Extension: round-structure check of the Section-II abstraction, "
+            << duration << " s per path\n\n";
+
+  exp::TextTable t({"path", "rounds", "mean size (pkts)", "duration/RTT",
+                    "send-span frac", "corr(size, duration)"});
+
+  auto report = [&](const std::string& label, const sim::ConnectionConfig& cfg) {
+    sim::Connection conn(cfg);
+    trace::TraceRecorder rec;
+    conn.set_observer(&rec);
+    conn.run_for(duration);
+    const trace::RoundAnalysis a = trace::analyze_rounds(rec.events());
+    t.add_row({label, exp::fmt_u(a.durations.count()), exp::fmt(a.sizes.mean(), 2),
+               exp::fmt(a.duration_over_rtt, 2), exp::fmt(a.span_fraction.mean(), 2),
+               exp::fmt(a.size_vs_duration.correlation(), 3)});
+  };
+
+  for (const char* key : {"manic->spiff", "void->ganef", "babel->tove", "pif->manic"}) {
+    const std::string label(key);
+    const auto sep = label.find("->");
+    const exp::PathProfile profile =
+        exp::profile_by_label(label.substr(0, sep), label.substr(sep + 2));
+    report(label, exp::make_connection_config(profile, 77));
+  }
+  report("modem (Fig. 11)", exp::make_modem_connection_config(exp::modem_profile(), 77));
+
+  t.print(std::cout);
+  std::cout
+      << "\n(ordinary paths: duration ~ 1 RTT and size uncorrelated with duration —\n"
+         "exactly the Section-II model. The send-span column is an honest caveat:\n"
+         "ack clocking spreads a large window across much of its round rather than\n"
+         "back-to-back, a real-TCP behaviour the model idealizes away — see the\n"
+         "Section-II remark that packets-within-an-RTT is what the model needs.\n"
+         "The modem path shows the true violation: bigger rounds take\n"
+         "proportionally longer, the queue *is* the RTT, and eq (6) fails)\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Extension — TFRC (RFC 5348), the paper's most consequential descendant:
+// a rate-based flow that sets its speed with eq (33). On identical lossy
+// paths, run a real TCP flow and a TFRC flow and compare (a) long-run
+// rates — the TCP-friendliness ratio — and (b) smoothness, TFRC's reason
+// to exist (coefficient of variation of per-interval rate).
+//
+// Usage: ext_tfrc [duration_seconds]   (default 1200)
+#include <cstdlib>
+#include <iostream>
+
+#include "exp/table_format.hpp"
+#include "sim/connection.hpp"
+#include "stats/running_stats.hpp"
+#include "tfrc/tfrc_connection.hpp"
+#include "trace/interval_analyzer.hpp"
+#include "trace/trace_recorder.hpp"
+
+namespace {
+
+/// Coefficient of variation of a flow's per-2-second send rate.
+double rate_cov(const std::vector<pftk::trace::IntervalObservation>& intervals) {
+  pftk::stats::RunningStats s;
+  for (const auto& obs : intervals) {
+    s.add(static_cast<double>(obs.packets_sent) / obs.length);
+  }
+  return s.mean() > 0.0 ? s.stddev() / s.mean() : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pftk;
+  const double duration = argc > 1 ? std::atof(argv[1]) : 1200.0;
+
+  std::cout << "Extension: TCP vs TFRC on identical paths (RTT 0.2 s, Bernoulli loss), "
+            << duration << " s per run\n\n";
+
+  exp::TextTable t({"loss p", "TCP rate", "TCP rate CoV", "TFRC rate", "TFRC rate CoV",
+                    "TFRC/TCP", "TFRC loss est"});
+  for (const double p : {0.005, 0.01, 0.02, 0.05, 0.1}) {
+    // --- the reference TCP flow ---
+    sim::ConnectionConfig tcp_cfg;
+    tcp_cfg.sender.advertised_window = 64.0;
+    tcp_cfg.sender.min_rto = 1.0;
+    tcp_cfg.forward_link.propagation_delay = 0.1;
+    tcp_cfg.reverse_link.propagation_delay = 0.1;
+    tcp_cfg.forward_loss = sim::BernoulliLossSpec{p};
+    tcp_cfg.seed = 2001;
+    sim::Connection tcp(tcp_cfg);
+    trace::TraceRecorder rec;
+    tcp.set_observer(&rec);
+    const auto tcp_run = tcp.run_for(duration);
+    const auto tcp_intervals = trace::analyze_intervals(rec.events(), duration, 2.0, 3);
+
+    // --- the TFRC flow on the same path ---
+    tfrc::TfrcConnectionConfig tfrc_cfg;
+    tfrc_cfg.forward_link.propagation_delay = 0.1;
+    tfrc_cfg.reverse_link.propagation_delay = 0.1;
+    tfrc_cfg.forward_loss = sim::BernoulliLossSpec{p};
+    tfrc_cfg.sender.max_rate_pps = 2000.0;
+    // Match the reference TCP's delayed-ACK factor; with the RFC default
+    // b = 1 TFRC would run exactly sqrt(2) ~ 1.4x above a delayed-ACK TCP.
+    tfrc_cfg.sender.b = 2;
+    tfrc_cfg.seed = 2001;
+    tfrc::TfrcConnection tfrc(tfrc_cfg);
+    const auto tfrc_run = tfrc.run_for(duration);
+
+    t.add_row({exp::fmt(p, 3), exp::fmt(tcp_run.send_rate, 2),
+               exp::fmt(rate_cov(tcp_intervals), 2), exp::fmt(tfrc_run.send_rate, 2),
+               exp::fmt(tfrc_run.rate_coefficient_of_variation, 2),
+               exp::fmt(tfrc_run.send_rate / tcp_run.send_rate, 2),
+               exp::fmt(tfrc_run.loss_event_rate, 4)});
+  }
+  t.print(std::cout);
+  std::cout << "\n(TFRC/TCP near 1 = TCP-friendly: equation-based control claims the\n"
+               "fair share while its rate CoV sits at roughly half of TCP's sawtooth\n"
+               "— the smoothness that motivated TFRC. At very high loss TFRC turns\n"
+               "conservative (loss-event saturation plus no-feedback halvings), the\n"
+               "safe failure direction.)\n";
+  return 0;
+}

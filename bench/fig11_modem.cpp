@@ -1,0 +1,81 @@
+// Fig. 11 — the modem path (slow dedicated-buffer bottleneck): the
+// RTT/window correlation study of Section IV and the per-interval model
+// comparison showing every model overestimating once the queue couples
+// RTT to the window.
+//
+// Usage: fig11_modem [duration_seconds]   (default 3600)
+#include <cstdlib>
+#include <iostream>
+
+#include "core/model_registry.hpp"
+#include "exp/model_comparison.hpp"
+#include "exp/path_profile.hpp"
+#include "exp/table_format.hpp"
+#include "trace/interval_analyzer.hpp"
+#include "trace/trace_recorder.hpp"
+#include "trace/trace_summary.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pftk::exp;
+  const double duration = argc > 1 ? std::atof(argv[1]) : 3600.0;
+
+  const PathProfile profile = modem_profile();
+  pftk::sim::Connection conn(make_modem_connection_config(profile, 1998));
+  pftk::trace::TraceRecorder rec;
+  conn.set_observer(&rec);
+  const auto run = conn.run_for(duration);
+  const auto summary = pftk::trace::summarize_trace(rec.events(), 3);
+  const auto intervals =
+      pftk::trace::analyze_intervals(rec.events(), duration, 100.0, 3);
+
+  std::cout << "Fig. 11 analogue: " << profile.label() << "  Wm="
+            << fmt(profile.advertised_window, 0)
+            << "  (28.8 kb/s bottleneck, dedicated drop-tail buffer)\n\n"
+            << "measured:  RTT=" << fmt(summary.avg_rtt, 3)
+            << "s  T0=" << fmt(summary.avg_timeout, 3) << "s  p=" << fmt(summary.observed_p, 4)
+            << "  send rate=" << fmt(run.send_rate, 2) << " pkts/s\n"
+            << "RTT-vs-window correlation = " << fmt(summary.rtt_window_correlation, 3)
+            << "   (paper: up to 0.97; ordinary paths stay within [-0.1, 0.1])\n\n";
+
+  pftk::model::ModelParams base;
+  base.p = summary.observed_p;
+  base.rtt = summary.avg_rtt;
+  base.t0 = summary.avg_timeout > 0.0 ? summary.avg_timeout : profile.min_rto;
+  base.b = 2;
+  base.wm = profile.advertised_window;
+
+  TextTable t({"interval", "p observed", "N observed", "N full", "N approx", "N TD-only"});
+  std::size_t idx = 0;
+  for (const auto& obs : intervals) {
+    if (obs.packets_sent == 0) {
+      ++idx;
+      continue;
+    }
+    pftk::model::ModelParams mp = base;
+    mp.p = obs.observed_p;
+    const double full =
+        pftk::model::evaluate_model(pftk::model::ModelKind::kFull, mp) * obs.length;
+    const double approx =
+        pftk::model::evaluate_model(pftk::model::ModelKind::kApproximate, mp) * obs.length;
+    std::string td = "-";
+    if (obs.observed_p > 0.0) {
+      td = fmt(pftk::model::evaluate_model(pftk::model::ModelKind::kTdOnly, mp) *
+                   obs.length,
+               0);
+    }
+    if (idx % 3 == 0) {  // sample rows for readability
+      t.add_row({std::to_string(idx), fmt(obs.observed_p, 4), fmt_u(obs.packets_sent),
+                 fmt(full, 0), fmt(approx, 0), td});
+    }
+    ++idx;
+  }
+  t.print(std::cout);
+
+  const ModelErrorRow err = score_hour_trace(profile.label(), base, intervals, 100.0);
+  std::cout << "\naverage error on the modem path:  proposed (full) = "
+            << fmt(err.avg_error[0], 3) << "   proposed (approx) = "
+            << fmt(err.avg_error[1], 3) << "   TD only = " << fmt(err.avg_error[2], 3)
+            << "\n(paper: all models fail here — the window-independent-RTT assumption "
+               "breaks)\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Fig. 7 — for six hour-long traces, the per-100-s observations
+// (frequency of loss indications vs. packets sent, with the TD/T0/T1/T2+
+// interval classification) against the "proposed (full)" and "TD only"
+// model curves evaluated at the same loss frequencies.
+//
+// Usage: fig7_hour_scatter [duration_seconds]   (default 3600)
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/model_registry.hpp"
+#include "exp/hour_trace_experiment.hpp"
+#include "exp/table_format.hpp"
+
+namespace {
+
+struct Panel {
+  const char* sender;
+  const char* receiver;
+};
+
+// The paper's six panels (a)-(f).
+constexpr Panel kPanels[] = {
+    {"manic", "baskerville"}, {"pif", "imagine"}, {"pif", "manic"},
+    {"void", "alps"},         {"void", "tove"},   {"babel", "alps"},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pftk::exp;
+  using pftk::model::ModelKind;
+  const double duration = argc > 1 ? std::atof(argv[1]) : 3600.0;
+
+  for (const Panel& panel : kPanels) {
+    const PathProfile profile = profile_by_label(panel.sender, panel.receiver);
+    HourTraceOptions opt;
+    opt.duration = duration;
+    opt.seed = 1998;
+    const HourTraceResult r = run_hour_trace(profile, opt);
+
+    std::cout << "Fig. 7 panel: " << profile.label() << "  RTT=" << fmt(r.trace_params.rtt, 3)
+              << " T0=" << fmt(r.trace_params.t0, 3) << " Wm="
+              << fmt(profile.advertised_window, 0) << "  (" << r.intervals.size()
+              << " x " << opt.interval_length << "s intervals)\n\n";
+
+    TextTable t({"interval", "p observed", "N observed", "type", "N full", "N TD-only"});
+    std::size_t idx = 0;
+    for (const auto& obs : r.intervals) {
+      if (obs.packets_sent == 0) {
+        ++idx;
+        continue;
+      }
+      pftk::model::ModelParams mp = r.trace_params;
+      mp.p = obs.observed_p;
+      const double n_full =
+          pftk::model::evaluate_model(ModelKind::kFull, mp) * obs.length;
+      std::string n_td = "-";
+      if (obs.observed_p > 0.0) {
+        n_td = fmt(pftk::model::evaluate_model(ModelKind::kTdOnly, mp) * obs.length, 0);
+      }
+      t.add_row({std::to_string(idx), fmt(obs.observed_p, 4), fmt_u(obs.packets_sent),
+                 std::string(pftk::trace::interval_category_name(obs.category)),
+                 fmt(n_full, 0), n_td});
+      ++idx;
+    }
+    t.print(std::cout);
+
+    // Model curves over the observed p range (the lines of Fig. 7).
+    double p_max = 0.0;
+    for (const auto& obs : r.intervals) {
+      p_max = std::max(p_max, obs.observed_p);
+    }
+    p_max = std::max(p_max, 0.02);
+    std::cout << "\nmodel curves (packets per 100 s):\n";
+    TextTable curves({"p", "proposed (full)", "proposed (approx)", "TD only"});
+    for (double p = p_max / 12.0; p <= p_max * 1.0001; p += p_max / 12.0) {
+      pftk::model::ModelParams mp = r.trace_params;
+      mp.p = p;
+      curves.add_row(
+          {fmt(p, 4), fmt(pftk::model::evaluate_model(ModelKind::kFull, mp) * 100.0, 0),
+           fmt(pftk::model::evaluate_model(ModelKind::kApproximate, mp) * 100.0, 0),
+           fmt(pftk::model::evaluate_model(ModelKind::kTdOnly, mp) * 100.0, 0)});
+    }
+    curves.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// google-benchmark micro-benchmarks: evaluation cost of each closed-form
+// model, the numerical Markov solver, and the event-driven simulator
+// (packets simulated per wall-clock second).
+#include <benchmark/benchmark.h>
+
+#include "core/approx_model.hpp"
+#include "core/full_model.hpp"
+#include "core/markov_model.hpp"
+#include "core/td_only_model.hpp"
+#include "core/throughput_model.hpp"
+#include "exp/path_profile.hpp"
+#include "sim/connection.hpp"
+
+namespace {
+
+pftk::model::ModelParams params(double p) {
+  pftk::model::ModelParams mp;
+  mp.p = p;
+  mp.rtt = 0.2;
+  mp.t0 = 2.0;
+  mp.b = 2;
+  mp.wm = 32.0;
+  return mp;
+}
+
+void BM_FullModel(benchmark::State& state) {
+  const auto mp = params(0.02);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pftk::model::full_model_send_rate(mp));
+  }
+}
+BENCHMARK(BM_FullModel);
+
+void BM_ApproxModel(benchmark::State& state) {
+  const auto mp = params(0.02);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pftk::model::approx_model_send_rate(mp));
+  }
+}
+BENCHMARK(BM_ApproxModel);
+
+void BM_TdOnlyModel(benchmark::State& state) {
+  const auto mp = params(0.02);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pftk::model::td_only_send_rate(mp));
+  }
+}
+BENCHMARK(BM_TdOnlyModel);
+
+void BM_ThroughputModel(benchmark::State& state) {
+  const auto mp = params(0.02);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pftk::model::throughput_model_rate(mp));
+  }
+}
+BENCHMARK(BM_ThroughputModel);
+
+void BM_MarkovSolve(benchmark::State& state) {
+  const auto mp = params(1.0 / static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pftk::model::markov_model_send_rate(mp));
+  }
+}
+BENCHMARK(BM_MarkovSolve)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_SimulateConnection(benchmark::State& state) {
+  // Simulated packets per second of wall-clock time on a lossy path.
+  const auto profile = pftk::exp::profile_by_label("manic", "ganef");
+  std::uint64_t packets = 0;
+  for (auto _ : state) {
+    pftk::sim::Connection conn(
+        pftk::exp::make_connection_config(profile, static_cast<std::uint64_t>(state.iterations())));
+    const auto summary = conn.run_for(static_cast<double>(state.range(0)));
+    packets += summary.packets_sent;
+    benchmark::DoNotOptimize(summary.packets_sent);
+  }
+  state.counters["sim_pkts/s"] =
+      benchmark::Counter(static_cast<double>(packets), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateConnection)->Arg(10)->Arg(100)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Competing flows — the multi-flow API in one page: three TCP flows with
+// different RTTs share a drop-tail bottleneck; we watch who gets what,
+// check the classic 1/RTT bias, and ask the full model to explain each
+// flow's share from its own measured parameters.
+//
+//   $ ./competing_flows [duration_s]
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/model_registry.hpp"
+#include "exp/table_format.hpp"
+#include "sim/shared_bottleneck.hpp"
+#include "stats/fairness.hpp"
+#include "trace/trace_recorder.hpp"
+#include "trace/trace_summary.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pftk;
+  const double duration = argc > 1 ? std::atof(argv[1]) : 600.0;
+
+  sim::SharedBottleneckConfig cfg;
+  cfg.rate_pps = 120.0;
+  cfg.queue = sim::DropTailSpec{12};
+  cfg.bottleneck_delay = 0.02;
+  cfg.seed = 5;
+  // Three flows: short, medium, and long return paths.
+  for (const double return_delay : {0.01, 0.12, 0.35}) {
+    sim::FlowEndpointConfig f;
+    f.sender.advertised_window = 64.0;
+    f.sender.min_rto = 1.0;
+    f.access_delay = 0.01;
+    f.exit_delay = 0.02;
+    f.return_delay = return_delay;
+    cfg.flows.push_back(f);
+  }
+
+  sim::SharedBottleneck net(cfg);
+  std::vector<trace::TraceRecorder> recorders(cfg.flows.size());
+  for (std::size_t i = 0; i < cfg.flows.size(); ++i) {
+    net.set_observer(i, &recorders[i]);
+  }
+  const auto summaries = net.run_for(duration);
+
+  std::cout << "three flows, one 120 pkts/s drop-tail bottleneck, " << duration
+            << " s\n\n";
+  exp::TextTable t({"flow", "RTT (s)", "goodput (pkts/s)", "p measured",
+                    "model (pkts/s)", "model/measured"});
+  std::vector<double> rates;
+  for (std::size_t i = 0; i < summaries.size(); ++i) {
+    const auto row = trace::summarize_trace(recorders[i].events(), 3);
+    model::ModelParams params;
+    params.p = row.observed_p > 0.0 ? row.observed_p : 1e-6;
+    params.rtt = row.avg_rtt;
+    params.t0 = row.avg_timeout > 0.0 ? row.avg_timeout : 1.0;
+    params.b = 2;
+    params.wm = 64.0;
+    const double predicted = model::evaluate_model(model::ModelKind::kFull, params);
+    t.add_row({std::to_string(i), exp::fmt(row.avg_rtt, 3),
+               exp::fmt(summaries[i].throughput, 2), exp::fmt(row.observed_p, 4),
+               exp::fmt(predicted, 2),
+               exp::fmt(predicted / summaries[i].send_rate, 2)});
+    rates.push_back(summaries[i].throughput);
+  }
+  t.print(std::cout);
+  std::cout << "\nJain fairness index " << exp::fmt(stats::jain_fairness_index(rates), 3)
+            << " — TCP's well-known bias: the short-RTT flow wins, and the model\n"
+            << "explains each flow's share from its own (p, RTT, T0) alone.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Model explorer: sweeps showing where each regime of eq (32) lives —
+// the window-limited plateau, the TD-dominated sqrt(p) slope, and the
+// timeout-dominated collapse — and how RTT, T0 and Wm move the
+// boundaries. A compact tour of the model surface for new users.
+#include <iostream>
+
+#include "core/full_model.hpp"
+#include "core/model_terms.hpp"
+#include "exp/table_format.hpp"
+
+int main() {
+  using namespace pftk::exp;
+  using namespace pftk::model;
+
+  std::cout << "1. Loss sweep at RTT=0.2s, T0=2s, Wm=32: the three regimes\n\n";
+  {
+    TextTable t({"p", "B(p) pkts/s", "regime", "E[W]", "Qhat"});
+    for (const double p : {0.00001, 0.0001, 0.0005, 0.002, 0.008, 0.03, 0.1, 0.3}) {
+      ModelParams mp;
+      mp.p = p;
+      mp.rtt = 0.2;
+      mp.t0 = 2.0;
+      mp.wm = 32.0;
+      const FullModelBreakdown bd = full_model_breakdown(mp);
+      const char* regime = bd.window_limited            ? "window-limited"
+                           : bd.q_hat < 0.5             ? "TD-dominated"
+                                                        : "timeout-dominated";
+      t.add_row({fmt(p, 5), fmt(bd.send_rate, 2), regime, fmt(bd.expected_window, 1),
+                 fmt(bd.q_hat, 2)});
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n2. Where does the receiver window stop mattering?\n"
+            << "   (E[Wu] = Wm boundary: p* such that the regimes switch)\n\n";
+  {
+    TextTable t({"Wm", "boundary p*", "plateau rate Wm/RTT"});
+    for (const double wm : {6.0, 8.0, 12.0, 16.0, 33.0, 48.0}) {
+      // Invert eq (13) numerically by bisection on p.
+      double lo = 1e-8;
+      double hi = 0.999;
+      for (int i = 0; i < 80; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        (expected_unconstrained_window(mid, 2) > wm ? lo : hi) = mid;
+      }
+      ModelParams mp;
+      mp.rtt = 0.2;
+      t.add_row({fmt(wm, 0), fmt(0.5 * (lo + hi), 5), fmt(wm / 0.2, 1)});
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n3. Timeout share of the cycle time vs T0 (p=0.03, RTT=0.2, Wm=32)\n\n";
+  {
+    TextTable t({"T0 (s)", "B(p) pkts/s", "fraction of time in timeout"});
+    for (const double t0 : {0.3, 0.7, 1.5, 3.0, 7.0}) {
+      ModelParams mp;
+      mp.p = 0.03;
+      mp.rtt = 0.2;
+      mp.t0 = t0;
+      mp.wm = 32.0;
+      const FullModelBreakdown bd = full_model_breakdown(mp);
+      const double timeout_share =
+          bd.q_hat * t0 * backoff_polynomial(mp.p) / (1.0 - mp.p) / bd.denominator_seconds;
+      t.add_row({fmt(t0, 1), fmt(bd.send_rate, 2), fmt(timeout_share, 3)});
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n4. Sensitivity to the delayed-ACK factor b (p=0.01, RTT=0.2, Wm huge)\n\n";
+  {
+    TextTable t({"b", "B(p) pkts/s", "E[W]"});
+    for (const int b : {1, 2, 4}) {
+      ModelParams mp;
+      mp.p = 0.01;
+      mp.rtt = 0.2;
+      mp.t0 = 2.0;
+      mp.b = b;
+      mp.wm = ModelParams::unlimited_window;
+      t.add_row({std::to_string(b), fmt(full_model_send_rate(mp), 2),
+                 fmt(expected_unconstrained_window(mp.p, b), 1)});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

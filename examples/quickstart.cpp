@@ -1,0 +1,49 @@
+// Quickstart: evaluate every PFTK model at one operating point.
+//
+//   $ ./quickstart [p] [rtt_s] [t0_s] [wm_packets]
+//
+// With no arguments it uses p = 2%, RTT = 200 ms, T0 = 2 s, Wm = 32 —
+// a typical 1998 transcontinental path.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/approx_model.hpp"
+#include "core/full_model.hpp"
+#include "core/markov_model.hpp"
+#include "core/model_registry.hpp"
+#include "core/td_only_model.hpp"
+#include "core/throughput_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pftk::model;
+
+  ModelParams params;
+  params.p = argc > 1 ? std::atof(argv[1]) : 0.02;
+  params.rtt = argc > 2 ? std::atof(argv[2]) : 0.2;
+  params.t0 = argc > 3 ? std::atof(argv[3]) : 2.0;
+  params.wm = argc > 4 ? std::atof(argv[4]) : 32.0;
+  params.b = 2;  // delayed ACKs
+  params.validate();
+
+  std::cout << "PFTK steady-state TCP models @ " << params.describe() << "\n\n";
+
+  const FullModelBreakdown breakdown = full_model_breakdown(params);
+  std::cout << "proposed (full), eq (32):    " << breakdown.send_rate << " pkts/s"
+            << (breakdown.window_limited ? "  [window-limited regime]\n" : "\n")
+            << "  E[W] = " << breakdown.expected_window
+            << " packets, Qhat(E[W]) = " << breakdown.q_hat
+            << ", E[X] = " << breakdown.expected_rounds << " rounds/TDP\n";
+
+  std::cout << "proposed (approx), eq (33):  " << approx_model_send_rate(params)
+            << " pkts/s   <- the \"PFTK formula\" used by TFRC\n";
+  std::cout << "TD only (Mathis), eq (20):   " << td_only_asymptotic_send_rate(params)
+            << " pkts/s   <- no timeouts, no window cap\n";
+  std::cout << "throughput T(p), eq (37):    " << throughput_model_rate(params)
+            << " pkts/s delivered (" << 100.0 * delivered_fraction(params)
+            << "% of sent)\n";
+  if (params.p > 0.0) {
+    std::cout << "numerical Markov model:      " << markov_model_send_rate(params)
+              << " pkts/s   <- window-distribution cross-check (Fig. 12)\n";
+  }
+  return 0;
+}

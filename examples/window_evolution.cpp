@@ -1,0 +1,126 @@
+// Window-evolution sample paths — the pictures behind Figs. 1, 3 and 5:
+// congestion-avoidance sawtooth under TD losses, timeout valleys with
+// exponential backoff, and the flat-top pattern when the receiver window
+// Wm binds. Prints an ASCII strip chart of cwnd over time with loss
+// indications marked.
+//
+//   $ ./window_evolution [scenario]   scenario in {td, timeout, capped}
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/connection.hpp"
+#include "trace/trace_recorder.hpp"
+
+namespace {
+
+struct Sample {
+  double t;
+  double cwnd;
+  char marker;  // ' ', 'D' (TD), 'O' (timeout)
+};
+
+void plot(const std::vector<Sample>& samples, double wm) {
+  const int height = 16;
+  double max_w = wm;
+  for (const Sample& s : samples) {
+    max_w = std::max(max_w, s.cwnd);
+  }
+  for (int row = height; row >= 1; --row) {
+    const double level = max_w * row / height;
+    std::cout << (row == height ? "cwnd" : "    ") << " |";
+    for (const Sample& s : samples) {
+      std::cout << (s.cwnd >= level ? '#' : ' ');
+    }
+    std::cout << "\n";
+  }
+  std::cout << "     +" << std::string(samples.size(), '-') << "> time\n      ";
+  for (const Sample& s : samples) {
+    std::cout << s.marker;
+  }
+  std::cout << "\n      (D = triple-duplicate indication, O = timeout)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pftk;
+  const std::string scenario = argc > 1 ? argv[1] : "all";
+
+  struct Case {
+    std::string name;
+    std::string figure;
+    sim::ConnectionConfig config;
+    double duration;
+  };
+  std::vector<Case> cases;
+
+  {
+    // Fig. 1: TD-dominated sawtooth (single-packet drops, ample window).
+    sim::ConnectionConfig cfg;
+    cfg.sender.advertised_window = 64.0;
+    cfg.forward_link.propagation_delay = 0.1;
+    cfg.reverse_link.propagation_delay = 0.1;
+    cfg.forward_loss = sim::BernoulliLossSpec{0.004};
+    cfg.sender.min_rto = 1.0;
+    cfg.seed = 11;
+    cases.push_back({"td", "Fig. 1: triple-duplicate sawtooth", cfg, 120.0});
+  }
+  {
+    // Fig. 3: timeouts with exponential backoff (loss episodes).
+    sim::ConnectionConfig cfg;
+    cfg.sender.advertised_window = 16.0;
+    cfg.forward_link.propagation_delay = 0.1;
+    cfg.reverse_link.propagation_delay = 0.1;
+    cfg.forward_loss = sim::MixedBurstLossSpec{0.01, 0.0, 1.2, 0.3};
+    cfg.sender.min_rto = 1.5;
+    cfg.seed = 7;
+    cases.push_back({"timeout", "Fig. 3: timeout valleys", cfg, 180.0});
+  }
+  {
+    // Fig. 5: growth capped by the receiver's advertised window.
+    sim::ConnectionConfig cfg;
+    cfg.sender.advertised_window = 10.0;
+    cfg.forward_link.propagation_delay = 0.1;
+    cfg.reverse_link.propagation_delay = 0.1;
+    cfg.forward_loss = sim::BernoulliLossSpec{0.002};
+    cfg.sender.min_rto = 1.0;
+    cfg.seed = 3;
+    cases.push_back({"capped", "Fig. 5: receiver-window-limited flat tops", cfg, 120.0});
+  }
+
+  for (const Case& c : cases) {
+    if (scenario != "all" && scenario != c.name) {
+      continue;
+    }
+    sim::Connection conn(c.config);
+    trace::TraceRecorder rec;
+    conn.set_observer(&rec);
+    conn.run_for(c.duration);
+
+    // Downsample cwnd to ~100 columns; overlay loss markers.
+    const int columns = 100;
+    std::vector<Sample> samples(columns);
+    const double step = c.duration / columns;
+    for (int i = 0; i < columns; ++i) {
+      samples[static_cast<std::size_t>(i)] = {step * i, 0.0, ' '};
+    }
+    for (const auto& e : rec.events()) {
+      const auto col = std::min<std::size_t>(
+          static_cast<std::size_t>(e.t / step), static_cast<std::size_t>(columns - 1));
+      if (e.type == trace::TraceEventType::kSegmentSent) {
+        samples[col].cwnd = std::min(e.cwnd, c.config.sender.advertised_window);
+      } else if (e.type == trace::TraceEventType::kFastRetransmit) {
+        samples[col].marker = 'D';
+      } else if (e.type == trace::TraceEventType::kTimeout) {
+        samples[col].marker = 'O';
+      }
+    }
+    std::cout << "\n" << c.figure << " (" << c.duration << " s, Wm="
+              << c.config.sender.advertised_window << ")\n\n";
+    plot(samples, c.config.sender.advertised_window);
+  }
+  return 0;
+}

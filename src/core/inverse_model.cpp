@@ -1,0 +1,70 @@
+#include "core/inverse_model.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/full_model.hpp"
+
+namespace pftk::model {
+
+namespace {
+
+void require_target(double target_rate) {
+  if (!(target_rate > 0.0)) {
+    throw std::invalid_argument("inverse model: target_rate must be positive");
+  }
+}
+
+}  // namespace
+
+double max_loss_for_rate(const ModelParams& params, double target_rate) {
+  ModelParams probe = params;
+  probe.p = 0.0;
+  probe.validate();
+  require_target(target_rate);
+
+  // B(p) is monotone non-increasing in p; the ceiling is B(0) = Wm/RTT.
+  if (full_model_send_rate(probe) < target_rate) {
+    return 0.0;
+  }
+  double lo = 1e-12;  // rate >= target here (practically the ceiling)
+  double hi = 0.999;  // rate < target here for any sane target
+  probe.p = hi;
+  if (full_model_send_rate(probe) >= target_rate) {
+    return hi;  // even near-certain loss sustains the target
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    probe.p = mid;
+    (full_model_send_rate(probe) >= target_rate ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+double required_window_for_rate(const ModelParams& params, double target_rate) {
+  ModelParams probe = params;
+  probe.wm = 1.0;
+  probe.validate();
+  require_target(target_rate);
+
+  // B is monotone non-decreasing in Wm and saturates at the unconstrained
+  // (loss-limited) rate.
+  probe.wm = ModelParams::unlimited_window;
+  if (full_model_send_rate(probe) < target_rate) {
+    return std::numeric_limits<double>::infinity();
+  }
+  probe.wm = 1.0;
+  if (full_model_send_rate(probe) >= target_rate) {
+    return 1.0;
+  }
+  double lo = 1.0;                              // rate < target
+  double hi = ModelParams::unlimited_window;    // rate >= target
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    probe.wm = mid;
+    (full_model_send_rate(probe) >= target_rate ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+}  // namespace pftk::model

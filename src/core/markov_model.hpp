@@ -1,0 +1,67 @@
+// Numerical Markov-chain model of the TCP Reno window process.
+//
+// Section IV (Fig. 12) compares the closed-form model against a more
+// detailed stochastic model [13] solved numerically. This module rebuilds
+// that cross-check: instead of the i.i.d./independence approximations used
+// to obtain eq (32), we track the *distribution* of the congestion window
+// across TD periods exactly, under the paper's round-based loss process:
+//
+//  * state: the window size at the start of a TD period,
+//  * within a TDP the window grows by 1 every b rounds (capped at Wm),
+//  * each round of size s suffers a first loss with prob 1 - (1-p)^s,
+//  * a loss indication at end-window W' is a timeout with the exact
+//    probability Qhat(W') of eq (24); a triple-duplicate halves W', and a
+//    timeout restarts at window 1 in *slow start* toward threshold W'/2
+//    (the behaviour the closed form approximates away; disable via
+//    MarkovModelOptions::model_slow_start to recover the plain chain),
+//  * timeout sequences add E[R] = 1/(1-p) transmissions and
+//    E[Z^TO] = T0 f(p)/(1-p) seconds, as in Section II-B.
+//
+// The stationary distribution is found by power iteration and the send
+// rate follows from the renewal-reward ratio of expected packets to
+// expected duration per TDP cycle.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/tcp_model_params.hpp"
+
+namespace pftk::model {
+
+/// Tuning knobs for the numerical solver.
+struct MarkovModelOptions {
+  /// Largest window state tracked when wm is effectively unlimited;
+  /// ignored when wm is small enough to bound the chain naturally.
+  int max_window_states = 256;
+  /// Power-iteration convergence threshold on the L1 distance.
+  double tolerance = 1e-13;
+  /// Iteration cap; the solver throws if it is exceeded.
+  std::size_t max_iterations = 200000;
+  /// Model the post-timeout slow start explicitly (doubles the state
+  /// space: CA-start and SS-start modes). Disable to reproduce the pure
+  /// eq-(7)/(10) chain that matches the closed form's assumptions.
+  bool model_slow_start = true;
+};
+
+/// Solver output.
+struct MarkovModelResult {
+  double send_rate = 0.0;             ///< packets per second
+  std::size_t iterations = 0;         ///< power iterations used
+  std::vector<double> stationary;     ///< pi over starting-window states (index = w0 - 1)
+  double expected_start_window = 0.0; ///< E[w0] under pi
+  double timeout_fraction = 0.0;      ///< fraction of loss indications that are TOs
+};
+
+/// Solves the window Markov chain and returns the steady-state send rate.
+/// @throws std::invalid_argument if params are invalid or p == 0 (the
+///         chain is degenerate without losses — use Wm/RTT directly).
+/// @throws std::runtime_error if power iteration fails to converge.
+[[nodiscard]] MarkovModelResult markov_model_solve(const ModelParams& params,
+                                                   const MarkovModelOptions& options = {});
+
+/// Convenience wrapper returning just the send rate.
+[[nodiscard]] double markov_model_send_rate(const ModelParams& params,
+                                            const MarkovModelOptions& options = {});
+
+}  // namespace pftk::model

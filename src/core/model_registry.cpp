@@ -1,0 +1,35 @@
+#include "core/model_registry.hpp"
+
+#include <stdexcept>
+
+#include "core/approx_model.hpp"
+#include "core/full_model.hpp"
+#include "core/td_only_model.hpp"
+
+namespace pftk::model {
+
+std::string_view model_name(ModelKind kind) noexcept {
+  switch (kind) {
+    case ModelKind::kFull:
+      return "proposed (full)";
+    case ModelKind::kApproximate:
+      return "proposed (approx)";
+    case ModelKind::kTdOnly:
+      return "TD only";
+  }
+  return "unknown";
+}
+
+double evaluate_model(ModelKind kind, const ModelParams& params) {
+  switch (kind) {
+    case ModelKind::kFull:
+      return full_model_send_rate(params);
+    case ModelKind::kApproximate:
+      return approx_model_send_rate(params);
+    case ModelKind::kTdOnly:
+      return td_only_asymptotic_send_rate(params);
+  }
+  throw std::invalid_argument("evaluate_model: unknown ModelKind");
+}
+
+}  // namespace pftk::model

@@ -1,0 +1,31 @@
+// A uniform handle over the paper's three send-rate models so the
+// experiment harness and benches can iterate over them generically
+// ("full", "approximate", "TD only" — the three lines of Figs 7-10).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "core/tcp_model_params.hpp"
+
+namespace pftk::model {
+
+/// The model variants compared in Section III.
+enum class ModelKind {
+  kFull,        ///< eq (32)
+  kApproximate, ///< eq (33)
+  kTdOnly,      ///< eq (20) asymptote of [8]/[9], no window cap
+};
+
+/// All kinds, in the order the paper's figures list them.
+inline constexpr std::array<ModelKind, 3> all_model_kinds{
+    ModelKind::kFull, ModelKind::kApproximate, ModelKind::kTdOnly};
+
+/// Display name used in bench output ("proposed (full)", etc.).
+[[nodiscard]] std::string_view model_name(ModelKind kind) noexcept;
+
+/// Evaluates the chosen model's send rate in packets/second.
+/// @throws std::invalid_argument if params are invalid.
+[[nodiscard]] double evaluate_model(ModelKind kind, const ModelParams& params);
+
+}  // namespace pftk::model

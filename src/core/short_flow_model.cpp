@@ -1,0 +1,79 @@
+#include "core/short_flow_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/full_model.hpp"
+#include "core/model_terms.hpp"
+
+namespace pftk::model {
+
+ShortFlowBreakdown short_flow_breakdown(std::uint64_t d, const ModelParams& params,
+                                        const ShortFlowOptions& options) {
+  params.validate();
+  if (d == 0) {
+    throw std::invalid_argument("short_flow_breakdown: d must be >= 1 packet");
+  }
+  if (!(options.initial_cwnd >= 1.0)) {
+    throw std::invalid_argument("short_flow_breakdown: initial_cwnd must be >= 1");
+  }
+
+  ShortFlowBreakdown out;
+  const double p = params.p;
+  const double dd = static_cast<double>(d);
+  const double w1 = options.initial_cwnd;
+  const double gamma = 1.0 + 1.0 / static_cast<double>(params.b);
+
+  // Phase 1 — slow start until the first loss or the end of the data.
+  // E[min(first-loss index, d)] = (1 - (1-p)^d) / p.
+  const double dss = p > 0.0 ? std::min(dd, (1.0 - std::pow(1.0 - p, dd)) / p) : dd;
+  out.expected_slow_start_packets = dss;
+
+  // Window after sending dss packets exponentially from w1, capped by Wm.
+  const double w_uncapped = w1 + dss * (gamma - 1.0);
+  const double w_ss = std::min(w_uncapped, params.wm);
+  out.expected_slow_start_window = w_ss;
+
+  double rounds = 0.0;
+  if (w_uncapped <= params.wm) {
+    rounds = std::log(dss * (gamma - 1.0) / w1 + 1.0) / std::log(gamma);
+  } else {
+    // Exponential rounds to reach Wm, then linear draining at Wm/round.
+    const double d_exponential = (params.wm - w1) / (gamma - 1.0);
+    const double n_exponential = std::log(params.wm / w1) / std::log(gamma);
+    const double d_linear = std::max(0.0, dss - d_exponential);
+    rounds = n_exponential + d_linear / params.wm;
+  }
+  out.slow_start_seconds = params.rtt * std::max(1.0, rounds);
+
+  // Phase 2 — expected cost of the first loss event, if any.
+  out.loss_probability = p > 0.0 ? 1.0 - std::pow(1.0 - p, dd) : 0.0;
+  if (out.loss_probability > 0.0) {
+    const double qh = q_hat_exact(p, std::max(1.0, w_ss));
+    const double to_cost = expected_timeout_sequence_duration(p, params.t0);
+    out.loss_recovery_seconds =
+        out.loss_probability * (qh * to_cost + (1.0 - qh) * params.rtt);
+  }
+
+  // Phase 3 — the remainder travels at the steady-state rate of eq (32).
+  const double d_remaining = std::max(0.0, dd - dss);
+  if (d_remaining > 0.0) {
+    const double rate = full_model_send_rate(params);
+    out.steady_state_seconds = d_remaining / rate;
+  }
+
+  if (options.include_handshake) {
+    out.handshake_seconds = params.rtt;
+  }
+  out.total_seconds = out.handshake_seconds + out.slow_start_seconds +
+                      out.loss_recovery_seconds + out.steady_state_seconds;
+  return out;
+}
+
+double expected_transfer_latency(std::uint64_t d, const ModelParams& params,
+                                 const ShortFlowOptions& options) {
+  return short_flow_breakdown(d, params, options).total_seconds;
+}
+
+}  // namespace pftk::model

@@ -1,0 +1,54 @@
+// Short-flow transfer-latency model — the Cardwell-style extension the
+// paper cites as [2] ("Modeling the performance of short TCP
+// connections"): the steady-state model B(p) only describes saturated
+// flows, but most transfers are short and dominated by slow start. This
+// module predicts the expected time to deliver `d` packets on a path with
+// the usual PFTK parameters, combining:
+//
+//   1. initial slow start (window growth by factor gamma = 1 + 1/b per
+//      round) until the first loss or until the data runs out, with the
+//      receiver window capping the exponential phase,
+//   2. the expected cost of the first loss event — a timeout sequence
+//      with probability Qhat(w_ss), a fast-retransmit RTT otherwise,
+//   3. the remainder of the transfer at the steady-state rate B(p) of
+//      eq (32).
+//
+// For p = 0 this reduces to the classic log_gamma(d) slow-start latency;
+// for d -> infinity the per-packet time converges to 1/B(p).
+#pragma once
+
+#include <cstdint>
+
+#include "core/tcp_model_params.hpp"
+
+namespace pftk::model {
+
+/// Extra knobs of the short-flow model.
+struct ShortFlowOptions {
+  double initial_cwnd = 1.0;       ///< packets (RFC 2001-era senders: 1)
+  bool include_handshake = false;  ///< add one RTT for SYN/SYN-ACK
+};
+
+/// Per-phase breakdown of the latency prediction.
+struct ShortFlowBreakdown {
+  double expected_slow_start_packets = 0.0;  ///< E[d_ss], capped at d
+  double expected_slow_start_window = 0.0;   ///< window when slow start ends
+  double slow_start_seconds = 0.0;           ///< phase-1 time
+  double loss_probability = 0.0;             ///< P[any loss] = 1-(1-p)^d
+  double loss_recovery_seconds = 0.0;        ///< expected phase-2 cost
+  double steady_state_seconds = 0.0;         ///< phase-3 time for the rest
+  double handshake_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// Expected latency (seconds) to deliver `d` packets.
+/// @throws std::invalid_argument if params are invalid or d == 0.
+[[nodiscard]] double expected_transfer_latency(std::uint64_t d, const ModelParams& params,
+                                               const ShortFlowOptions& options = {});
+
+/// As expected_transfer_latency, returning every phase.
+[[nodiscard]] ShortFlowBreakdown short_flow_breakdown(std::uint64_t d,
+                                                      const ModelParams& params,
+                                                      const ShortFlowOptions& options = {});
+
+}  // namespace pftk::model

@@ -1,0 +1,43 @@
+#include "core/tcp_model_params.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace pftk::model {
+
+bool ModelParams::valid() const noexcept {
+  return std::isfinite(p) && p >= 0.0 && p < 1.0 && std::isfinite(rtt) && rtt > 0.0 &&
+         std::isfinite(t0) && t0 > 0.0 && b >= 1 && std::isfinite(wm) && wm >= 1.0;
+}
+
+void ModelParams::validate() const {
+  if (!(std::isfinite(p) && p >= 0.0 && p < 1.0)) {
+    throw std::invalid_argument("ModelParams: p must be in [0, 1)");
+  }
+  if (!(std::isfinite(rtt) && rtt > 0.0)) {
+    throw std::invalid_argument("ModelParams: rtt must be positive");
+  }
+  if (!(std::isfinite(t0) && t0 > 0.0)) {
+    throw std::invalid_argument("ModelParams: t0 must be positive");
+  }
+  if (b < 1) {
+    throw std::invalid_argument("ModelParams: b must be >= 1");
+  }
+  if (!(std::isfinite(wm) && wm >= 1.0)) {
+    throw std::invalid_argument("ModelParams: wm must be >= 1");
+  }
+}
+
+std::string ModelParams::describe() const {
+  std::ostringstream os;
+  os << "p=" << p << " RTT=" << rtt << "s T0=" << t0 << "s b=" << b;
+  if (wm >= unlimited_window) {
+    os << " Wm=unlimited";
+  } else {
+    os << " Wm=" << wm;
+  }
+  return os.str();
+}
+
+}  // namespace pftk::model

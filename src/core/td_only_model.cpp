@@ -1,0 +1,30 @@
+#include "core/td_only_model.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/model_terms.hpp"
+
+namespace pftk::model {
+
+double td_only_send_rate(const ModelParams& params) {
+  params.validate();
+  if (params.p == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double ew = expected_unconstrained_window(params.p, params.b);
+  const double ex = expected_rounds_unconstrained(params.p, params.b);
+  const double packets_per_tdp = (1.0 - params.p) / params.p + ew;
+  const double tdp_duration = params.rtt * (ex + 1.0);
+  return packets_per_tdp / tdp_duration;
+}
+
+double td_only_asymptotic_send_rate(const ModelParams& params) {
+  params.validate();
+  if (params.p == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::sqrt(3.0 / (2.0 * static_cast<double>(params.b) * params.p)) / params.rtt;
+}
+
+}  // namespace pftk::model

@@ -1,0 +1,25 @@
+// The "TD only" model of Section II-A: loss indications are exclusively
+// triple-duplicate ACKs and the receiver window never binds. This is the
+// model of Mathis et al. [9] / Mahdavi-Floyd [8] that the paper compares
+// against in every figure, with the delayed-ACK factor b retained.
+//
+//   exact  (eq 19):  B(p) = ((1-p)/p + E[W]) / (RTT * (E[X] + 1))
+//   asymptote (eq 20): B(p) = (1/RTT) * sqrt(3/(2 b p))
+#pragma once
+
+#include "core/tcp_model_params.hpp"
+
+namespace pftk::model {
+
+/// Send rate (packets/s) from the exact TD-only expression (eq 19).
+/// For p == 0 the TD-only model is unbounded; returns +infinity.
+/// @throws std::invalid_argument if params are invalid.
+[[nodiscard]] double td_only_send_rate(const ModelParams& params);
+
+/// Send rate (packets/s) from the square-root asymptote (eq 20); this is
+/// the curve labeled "TD only" in the paper's figures. For p == 0 returns
+/// +infinity (the TD-only model does not account for window limitation).
+/// @throws std::invalid_argument if params are invalid.
+[[nodiscard]] double td_only_asymptotic_send_rate(const ModelParams& params);
+
+}  // namespace pftk::model

@@ -1,0 +1,46 @@
+#include "core/throughput_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/full_model.hpp"
+#include "core/model_terms.hpp"
+
+namespace pftk::model {
+
+double throughput_model_rate(const ModelParams& params) {
+  params.validate();
+  if (params.p == 0.0) {
+    return params.wm / params.rtt;
+  }
+  const double p = params.p;
+  const double b = static_cast<double>(params.b);
+  const double g = backoff_polynomial(p);
+  const double ewu = expected_unconstrained_window(p, params.b);
+
+  double ew = 0.0;
+  double ex = 0.0;
+  if (ewu < params.wm) {
+    ew = ewu;
+    ex = b / 2.0 * ewu;  // eq (11)
+  } else {
+    ew = params.wm;
+    ex = b / 8.0 * params.wm + (1.0 - p) / (p * params.wm) + 1.0;  // Section II-C
+  }
+  const double qh = q_hat_exact(p, ew);
+  // E[Y'] + Q*E[R'] with E[Y'] = 1/p + E[W]/2 - 1 and E[R'] = 1 (eq 35/36).
+  const double numerator = (1.0 - p) / p + ew / 2.0 + qh;
+  const double denominator = params.rtt * (ex + 1.0) + qh * g * params.t0 / (1.0 - p);
+  return numerator / denominator;
+}
+
+double delivered_fraction(const ModelParams& params) {
+  params.validate();
+  const double b_rate = full_model_send_rate(params);
+  if (b_rate <= 0.0) {
+    return 1.0;
+  }
+  return std::min(1.0, throughput_model_rate(params) / b_rate);
+}
+
+}  // namespace pftk::model

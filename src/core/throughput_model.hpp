@@ -1,0 +1,28 @@
+// Section V: throughput T(p) of a bulk-transfer TCP flow — the rate at
+// which data is *received*, as opposed to the send rate B(p) which counts
+// every (re)transmission. Eqs (34)-(38).
+//
+// Differences from the send-rate numerator:
+//  * in a TD period only E[Y'] = 1/p + E[W]/2 - 1 packets reach the
+//    receiver (the last round's beta packets and the lost tail do not),
+//  * in a timeout sequence exactly one packet gets through (E[R'] = 1).
+//
+// The paper states eq (37) for b = 2 (delayed ACKs); this implementation
+// generalizes to any b >= 1 and reduces to eq (37) at b = 2.
+#pragma once
+
+#include "core/tcp_model_params.hpp"
+
+namespace pftk::model {
+
+/// Throughput (packets/s delivered) from the generalized eq (37).
+/// For p == 0 returns the window-limited ceiling Wm / RTT.
+/// @throws std::invalid_argument if params are invalid.
+[[nodiscard]] double throughput_model_rate(const ModelParams& params);
+
+/// Goodput ratio T(p) / B(p) in (0, 1]: fraction of sent packets that
+/// are delivered according to the two Section-V/II models.
+/// @throws std::invalid_argument if params are invalid.
+[[nodiscard]] double delivered_fraction(const ModelParams& params);
+
+}  // namespace pftk::model

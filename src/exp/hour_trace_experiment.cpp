@@ -1,0 +1,46 @@
+#include "exp/hour_trace_experiment.hpp"
+
+#include <stdexcept>
+
+#include "trace/trace_recorder.hpp"
+
+namespace pftk::exp {
+
+HourTraceResult run_hour_trace(const PathProfile& profile,
+                               const HourTraceOptions& options) {
+  if (!(options.duration > 0.0) || !(options.interval_length > 0.0)) {
+    throw std::invalid_argument("run_hour_trace: durations must be positive");
+  }
+
+  sim::Connection connection(make_connection_config(profile, options.seed));
+  trace::TraceRecorder recorder;
+  // A busy hour produces a few hundred thousand events.
+  recorder.reserve(static_cast<std::size_t>(options.duration * 100.0));
+  connection.set_observer(&recorder);
+  const sim::ConnectionSummary run = connection.run_for(options.duration);
+
+  HourTraceResult result;
+  result.profile = profile;
+  result.duration = run.duration;
+  result.measured_send_rate = run.send_rate;
+
+  const int threshold = profile.dupack_threshold();
+  result.summary = trace::summarize_trace(recorder.events(), threshold);
+  result.summary.sender = profile.sender;
+  result.summary.receiver = profile.receiver;
+  result.intervals = trace::analyze_intervals(recorder.events(), options.duration,
+                                              options.interval_length, threshold);
+
+  // Trace-level model inputs, as in the paper: p from the whole trace,
+  // RTT and T0 averaged over the trace, Wm and b known from the setup.
+  result.trace_params.p = result.summary.observed_p;
+  result.trace_params.rtt =
+      result.summary.avg_rtt > 0.0 ? result.summary.avg_rtt : profile.nominal_rtt();
+  result.trace_params.t0 =
+      result.summary.avg_timeout > 0.0 ? result.summary.avg_timeout : profile.min_rto;
+  result.trace_params.b = 2;  // receivers use standard delayed ACKs
+  result.trace_params.wm = profile.advertised_window;
+  return result;
+}
+
+}  // namespace pftk::exp

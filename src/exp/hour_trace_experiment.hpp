@@ -1,0 +1,42 @@
+// The 1-hour trace experiment of Section III (first measurement set).
+//
+// For one path profile: run a saturated TCP connection for an hour of
+// simulated time, record the sender-side trace, and post-process it
+// exactly as the paper does — a Table-II summary row, the 100-s interval
+// observations behind Fig. 7, and the trace-level model parameters
+// (average RTT, average T0, Wm, b) that the models are evaluated with.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tcp_model_params.hpp"
+#include "exp/path_profile.hpp"
+#include "trace/interval_analyzer.hpp"
+#include "trace/trace_summary.hpp"
+
+namespace pftk::exp {
+
+/// Everything the Section-III analysis derives from one 1-h trace.
+struct HourTraceResult {
+  PathProfile profile;
+  trace::TraceSummary summary;                        ///< Table-II row
+  std::vector<trace::IntervalObservation> intervals;  ///< 100-s points (Fig. 7)
+  model::ModelParams trace_params;  ///< p/RTT/T0 averaged over the whole trace
+  double measured_send_rate = 0.0;  ///< packets per second over the run
+  double duration = 0.0;            ///< seconds simulated
+};
+
+/// Experiment knobs.
+struct HourTraceOptions {
+  double duration = 3600.0;         ///< 1 hour, as in the paper
+  double interval_length = 100.0;   ///< Fig. 7 observation interval
+  std::uint64_t seed = 1998;
+};
+
+/// Runs the experiment for one profile.
+/// @throws std::invalid_argument on invalid options or profile.
+[[nodiscard]] HourTraceResult run_hour_trace(const PathProfile& profile,
+                                             const HourTraceOptions& options = {});
+
+}  // namespace pftk::exp

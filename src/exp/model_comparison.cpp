@@ -1,0 +1,78 @@
+#include "exp/model_comparison.hpp"
+
+#include <cmath>
+
+#include "stats/error_metrics.hpp"
+
+namespace pftk::exp {
+
+namespace {
+
+/// Predicted packets for one observation; NaN when the model is undefined
+/// there (TD-only at p == 0).
+double predict_packets(model::ModelKind kind, model::ModelParams params, double p,
+                       double seconds) {
+  params.p = p;
+  if (kind == model::ModelKind::kTdOnly && p == 0.0) {
+    return std::nan("");
+  }
+  return model::evaluate_model(kind, params) * seconds;
+}
+
+}  // namespace
+
+ModelErrorRow score_hour_trace(const std::string& label, const model::ModelParams& base,
+                               std::span<const trace::IntervalObservation> intervals,
+                               double interval_length) {
+  ModelErrorRow row;
+  row.label = label;
+  std::array<stats::AverageErrorMetric, 3> metrics;
+
+  for (const trace::IntervalObservation& obs : intervals) {
+    if (obs.packets_sent == 0) {
+      continue;
+    }
+    ++row.observations;
+    for (std::size_t m = 0; m < model::all_model_kinds.size(); ++m) {
+      const double predicted = predict_packets(model::all_model_kinds[m], base,
+                                               obs.observed_p, interval_length);
+      if (std::isnan(predicted)) {
+        continue;
+      }
+      metrics[m].add(predicted, static_cast<double>(obs.packets_sent));
+    }
+  }
+  for (std::size_t m = 0; m < metrics.size(); ++m) {
+    row.avg_error[m] = metrics[m].value();
+  }
+  return row;
+}
+
+ModelErrorRow score_short_traces(const std::string& label,
+                                 std::span<const ShortTraceRecord> records,
+                                 double duration) {
+  ModelErrorRow row;
+  row.label = label;
+  std::array<stats::AverageErrorMetric, 3> metrics;
+
+  for (const ShortTraceRecord& rec : records) {
+    if (rec.packets_sent == 0) {
+      continue;
+    }
+    ++row.observations;
+    for (std::size_t m = 0; m < model::all_model_kinds.size(); ++m) {
+      const double predicted =
+          predict_packets(model::all_model_kinds[m], rec.params, rec.params.p, duration);
+      if (std::isnan(predicted)) {
+        continue;
+      }
+      metrics[m].add(predicted, static_cast<double>(rec.packets_sent));
+    }
+  }
+  for (std::size_t m = 0; m < metrics.size(); ++m) {
+    row.avg_error[m] = metrics[m].value();
+  }
+  return row;
+}
+
+}  // namespace pftk::exp

@@ -1,0 +1,47 @@
+// The Section-III model-accuracy comparison (Figs. 9 and 10).
+//
+// For every observation (a 100-s interval of an hour trace, or one 100-s
+// connection) the number of packets predicted by each model is
+//
+//     N_predicted = B(p_observed) * interval_length
+//
+// and the per-trace score is  mean(|N_predicted - N_observed| /
+// N_observed). Intervals with no packets are skipped; intervals with no
+// loss indications are evaluated at the window-limited ceiling for the
+// capped models and skipped for TD-only (which diverges as p -> 0).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/model_registry.hpp"
+#include "core/tcp_model_params.hpp"
+#include "exp/short_trace_experiment.hpp"
+#include "trace/interval_analyzer.hpp"
+
+namespace pftk::exp {
+
+/// Average errors for one trace, indexed like model::all_model_kinds.
+struct ModelErrorRow {
+  std::string label;                 ///< "sender -> receiver"
+  std::array<double, 3> avg_error{}; ///< full, approximate, TD-only
+  std::size_t observations = 0;      ///< intervals/traces that contributed
+};
+
+/// Scores the three models against the 100-s intervals of an hour trace
+/// (Fig. 9). `base` supplies the trace-wide RTT, T0, Wm and b; p is taken
+/// per interval, as in the paper.
+[[nodiscard]] ModelErrorRow score_hour_trace(
+    const std::string& label, const model::ModelParams& base,
+    std::span<const trace::IntervalObservation> intervals, double interval_length);
+
+/// Scores the three models against a series of 100-s connections
+/// (Fig. 10); every trace carries its own measured RTT/T0/p.
+[[nodiscard]] ModelErrorRow score_short_traces(
+    const std::string& label, std::span<const ShortTraceRecord> records,
+    double duration);
+
+}  // namespace pftk::exp

@@ -1,0 +1,124 @@
+#include "exp/path_profile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pftk::exp {
+
+std::string PathProfile::label() const { return sender + " -> " + receiver; }
+
+int PathProfile::dupack_threshold() const noexcept {
+  return flavor == OsFlavor::kLinux ? 2 : 3;
+}
+
+int PathProfile::max_backoff_exponent() const noexcept {
+  return flavor == OsFlavor::kIrix ? 5 : 6;
+}
+
+sim::ConnectionConfig make_connection_config(const PathProfile& profile,
+                                             std::uint64_t seed) {
+  sim::ConnectionConfig cfg;
+  cfg.seed = seed;
+
+  cfg.sender.advertised_window = profile.advertised_window;
+  cfg.sender.dupack_threshold = profile.dupack_threshold();
+  cfg.sender.max_backoff_exponent = profile.max_backoff_exponent();
+  cfg.sender.min_rto = profile.min_rto;
+  cfg.sender.timer_tick = profile.timer_tick;
+  cfg.sender.initial_rto = std::max(3.0, profile.min_rto);
+
+  cfg.receiver.ack_every = 2;  // delayed ACKs: the model's b = 2
+  cfg.receiver.delayed_ack_timeout = 0.2;
+
+  cfg.forward_link.propagation_delay = profile.one_way_delay;
+  cfg.forward_link.jitter = profile.jitter;
+  cfg.reverse_link.propagation_delay = profile.one_way_delay;
+  cfg.reverse_link.jitter = profile.jitter / 2.0;
+
+  if (profile.episode_mean_s > 0.0) {
+    cfg.forward_loss = sim::MixedBurstLossSpec{
+        profile.loss_p, profile.single_loss_fraction, profile.episode_mean_s,
+        kEpisodeFloorRttMultiple * profile.nominal_rtt()};
+  } else {
+    cfg.forward_loss = sim::BernoulliLossSpec{profile.loss_p};
+  }
+  return cfg;
+}
+
+std::vector<PathProfile> table2_profiles() {
+  // Columns: sender, receiver, flavor, one_way_delay, jitter, loss_p,
+  // single_loss_fraction, episode_mean_s, Wm, min_rto (the Table-II
+  // "Time Out" analogue), timer tick. Each row is calibrated toward the
+  // corresponding Table-II row: loss_p toward its p, single_loss_fraction
+  // toward its TD share, episode_mean_s toward its T1/T0 backoff ratio
+  // (mean ~ (min_rto - floor) / ln(T0_count/T1_count)); the Fig.-7 pairs
+  // use the paper's stated Wm values.
+  return {
+      {"manic", "alps", OsFlavor::kIrix, 0.100, 0.02, 0.0120, 0.029, 1.010, 16.0, 2.50, 0.5},
+      {"manic", "baskerville", OsFlavor::kIrix, 0.118, 0.02, 0.0101, 0.470, 0.700, 6.0, 2.50, 0.5},
+      {"manic", "ganef", OsFlavor::kIrix, 0.110, 0.02, 0.0126, 0.410, 0.710, 16.0, 2.40, 0.5},
+      {"manic", "mafalda", OsFlavor::kIrix, 0.113, 0.02, 0.0070, 0.004, 0.550, 12.0, 2.10, 0.5},
+      {"manic", "maria", OsFlavor::kIrix, 0.087, 0.02, 0.0083, 0.002, 0.770, 12.0, 2.40, 0.5},
+      {"manic", "spiff", OsFlavor::kIrix, 0.102, 0.02, 0.0058, 0.067, 0.680, 24.0, 2.30, 0.5},
+      {"manic", "sutton", OsFlavor::kIrix, 0.099, 0.02, 0.0216, 0.670, 0.840, 24.0, 2.50, 0.5},
+      {"manic", "tove", OsFlavor::kIrix, 0.134, 0.03, 0.0426, 0.004, 2.000, 8.0, 3.60, 0.5},
+      {"void", "alps", OsFlavor::kLinux, 0.078, 0.01, 0.0199, 0.009, 0.240, 48.0, 0.50, 0.1},
+      {"void", "baskerville", OsFlavor::kLinux, 0.238, 0.02, 0.0234, 0.440, 0.280, 16.0, 1.10, 0.1},
+      {"void", "ganef", OsFlavor::kLinux, 0.124, 0.01, 0.0156, 0.410, 0.150, 24.0, 0.60, 0.1},
+      {"void", "maria", OsFlavor::kLinux, 0.073, 0.01, 0.0142, 0.022, 0.110, 32.0, 0.40, 0.1},
+      {"void", "spiff", OsFlavor::kLinux, 0.205, 0.02, 0.0062, 0.120, 0.115, 24.0, 0.75, 0.1},
+      {"void", "sutton", OsFlavor::kLinux, 0.103, 0.01, 0.0223, 0.490, 0.200, 32.0, 0.60, 0.1},
+      {"void", "tove", OsFlavor::kLinux, 0.134, 0.01, 0.1409, 0.007, 1.370, 8.0, 1.35, 0.1},
+      {"babel", "alps", OsFlavor::kReno, 0.095, 0.01, 0.1559, 0.000, 0.770, 12.0, 1.35, 0.1},
+      {"babel", "baskerville", OsFlavor::kReno, 0.124, 0.01, 0.0260, 0.120, 0.045, 16.0, 0.43, 0.1},
+      {"babel", "ganef", OsFlavor::kReno, 0.098, 0.01, 0.0210, 0.210, 0.020, 24.0, 0.31, 0.1},
+      {"babel", "spiff", OsFlavor::kReno, 0.163, 0.01, 0.0155, 0.000, 0.290, 16.0, 0.95, 0.1},
+      {"babel", "sutton", OsFlavor::kReno, 0.103, 0.01, 0.0280, 0.330, 0.190, 24.0, 0.70, 0.1},
+      {"babel", "tove", OsFlavor::kReno, 0.095, 0.01, 0.0145, 0.001, 0.120, 24.0, 0.52, 0.1},
+      {"pif", "alps", OsFlavor::kReno, 0.082, 0.01, 0.0096, 0.000, 4.300, 16.0, 7.30, 0.5},
+      {"pif", "imagine", OsFlavor::kReno, 0.112, 0.01, 0.0305, 0.012, 0.250, 8.0, 0.70, 0.1},
+      {"pif", "manic", OsFlavor::kReno, 0.126, 0.01, 0.0495, 0.037, 0.930, 33.0, 1.45, 0.5},
+  };
+}
+
+PathProfile profile_by_label(const std::string& sender, const std::string& receiver) {
+  for (const PathProfile& profile : table2_profiles()) {
+    if (profile.sender == sender && profile.receiver == receiver) {
+      return profile;
+    }
+  }
+  throw std::invalid_argument("profile_by_label: unknown pair " + sender + " -> " +
+                              receiver);
+}
+
+PathProfile modem_profile() {
+  PathProfile p;
+  p.sender = "manic";
+  p.receiver = "p5-modem";
+  p.flavor = OsFlavor::kReno;
+  p.one_way_delay = 0.15;
+  p.jitter = 0.01;
+  p.loss_p = 0.0;  // all losses come from the dedicated buffer overflowing
+  p.episode_mean_s = 0.0;  // losses come only from the queue
+  p.advertised_window = 22.0;  // Fig. 11: Wm = 22
+  p.min_rto = 1.0;
+  p.timer_tick = 0.5;
+  return p;
+}
+
+sim::ConnectionConfig make_modem_connection_config(const PathProfile& profile,
+                                                   std::uint64_t seed) {
+  sim::ConnectionConfig cfg = make_connection_config(profile, seed);
+  // 28.8 kbit/s at 576-byte segments is ~6.25 packets/s; the ISP-side
+  // buffer is dedicated to this connection and deep but smaller than the
+  // advertised window, so the queue both inflates the RTT in proportion
+  // to the window (the effect that breaks the models in Fig. 11) and
+  // periodically overflows, producing correlated drop-tail losses. A thin
+  // Bernoulli component stands in for modem line noise.
+  cfg.forward_loss = sim::BernoulliLossSpec{0.008};
+  cfg.forward_link.rate_pps = 6.25;
+  cfg.forward_queue = sim::DropTailSpec{12};
+  return cfg;
+}
+
+}  // namespace pftk::exp

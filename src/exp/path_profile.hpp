@@ -1,0 +1,93 @@
+// Synthetic path catalogue standing in for Table I / Table II host pairs.
+//
+// The paper measured 24 sender/receiver pairs across the US and Europe
+// during 1997-98. We cannot replay that Internet, so each pair becomes a
+// *path profile*: a parameter bundle (delays, loss process, receiver
+// window, timer behaviour, OS quirks) chosen so the simulated traces span
+// the same ranges Table II reports — RTTs of 0.15-0.48 s, single-timeout
+// durations of 0.3-7.3 s, loss-indication rates of ~1-10%, and windows of
+// 6-48 packets. Host names are kept for readability; the OS flavor drives
+// the documented stack quirks (Linux: TD after 2 dup-ACKs; Irix: backoff
+// capped at 2^5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/connection.hpp"
+
+namespace pftk::exp {
+
+/// Stack flavor of the sending host (Section IV quirks).
+enum class OsFlavor {
+  kReno,   ///< standard 3-dup-ACK Reno, backoff cap 2^6
+  kLinux,  ///< TD indications after only 2 duplicate ACKs
+  kIrix,   ///< exponential backoff limited to 2^5
+};
+
+/// One synthetic sender/receiver pair.
+struct PathProfile {
+  std::string sender;
+  std::string receiver;
+  OsFlavor flavor = OsFlavor::kReno;
+
+  double one_way_delay = 0.1;   ///< seconds, each direction
+  double jitter = 0.02;         ///< max extra per-packet delay, seconds
+  double loss_p = 0.01;         ///< fresh-loss probability per offered packet
+  /// Fraction of fresh losses that drop a single packet (resolved by fast
+  /// retransmit -> the TD column); the rest open a loss episode of
+  /// exponentially distributed length that drops everything it covers.
+  /// This knob sets each row's TD share.
+  double single_loss_fraction = 0.3;
+  /// Mean loss-episode duration in seconds; 0 selects pure Bernoulli
+  /// losses. Episodes shorter than the RTO yield single timeouts (T0);
+  /// the exponential tail that outlives the backed-off RTO produces the
+  /// geometric T1/T2/... columns of Table II.
+  double episode_mean_s = 0.5;
+  double advertised_window = 32.0;  ///< Wm, packets
+  double min_rto = 2.0;         ///< RTO floor; dominates the observed T0
+  double timer_tick = 0.5;      ///< coarse timer granularity
+
+  /// Label like "manic -> alps".
+  [[nodiscard]] std::string label() const;
+
+  /// Dup-ACK threshold implied by the flavor (2 for Linux, else 3).
+  [[nodiscard]] int dupack_threshold() const noexcept;
+
+  /// Backoff exponent cap implied by the flavor (5 for Irix, else 6).
+  [[nodiscard]] int max_backoff_exponent() const noexcept;
+
+  /// Nominal RTT (propagation only; queueing/jitter add to the average).
+  [[nodiscard]] double nominal_rtt() const noexcept { return 2.0 * one_way_delay; }
+};
+
+/// Every loss episode lasts at least this many RTTs: a congestion outage
+/// always covers (at least) the flight in transit, so episodes resolve as
+/// timeouts and only single-packet drops produce TD indications.
+inline constexpr double kEpisodeFloorRttMultiple = 1.2;
+
+/// Builds a full ConnectionConfig for this profile and seed.
+[[nodiscard]] sim::ConnectionConfig make_connection_config(const PathProfile& profile,
+                                                           std::uint64_t seed);
+
+/// The 24 Table-II analogue profiles, in the paper's row order
+/// (manic -> ..., void -> ..., babel -> ..., pif -> ...).
+[[nodiscard]] std::vector<PathProfile> table2_profiles();
+
+/// Looks up a profile by "sender->receiver" label.
+/// @throws std::invalid_argument if no such profile exists.
+[[nodiscard]] PathProfile profile_by_label(const std::string& sender,
+                                           const std::string& receiver);
+
+/// The Fig.-11 modem path: a slow bottleneck (~12 pkt/s, i.e. 28.8 kb/s at
+/// ~300-byte segments) with a deep dedicated drop-tail buffer. Losses come
+/// from queue overflow only, so the RTT is strongly window-correlated and
+/// every model overestimates.
+[[nodiscard]] PathProfile modem_profile();
+
+/// Connection config for the modem path (rate-limited + drop-tail queue).
+[[nodiscard]] sim::ConnectionConfig make_modem_connection_config(
+    const PathProfile& profile, std::uint64_t seed);
+
+}  // namespace pftk::exp

@@ -1,0 +1,48 @@
+#include "exp/short_trace_experiment.hpp"
+
+#include <stdexcept>
+
+#include "trace/trace_recorder.hpp"
+#include "trace/trace_summary.hpp"
+
+namespace pftk::exp {
+
+std::vector<ShortTraceRecord> run_short_traces(const PathProfile& profile,
+                                               const ShortTraceOptions& options) {
+  if (options.connections < 1 || !(options.duration > 0.0)) {
+    throw std::invalid_argument("run_short_traces: invalid options");
+  }
+
+  std::vector<ShortTraceRecord> records;
+  records.reserve(static_cast<std::size_t>(options.connections));
+
+  for (int i = 0; i < options.connections; ++i) {
+    const std::uint64_t seed = options.seed + static_cast<std::uint64_t>(i) * 7919;
+    sim::Connection connection(make_connection_config(profile, seed));
+    trace::TraceRecorder recorder;
+    connection.set_observer(&recorder);
+    const sim::ConnectionSummary run = connection.run_for(options.duration);
+
+    const trace::TraceSummary summary =
+        trace::summarize_trace(recorder.events(), profile.dupack_threshold());
+
+    ShortTraceRecord rec;
+    rec.index = i;
+    rec.packets_sent = run.packets_sent;
+    rec.had_loss = summary.loss_indications > 0;
+    rec.params.p = summary.observed_p;
+    rec.params.rtt = summary.avg_rtt > 0.0 ? summary.avg_rtt : profile.nominal_rtt();
+    rec.params.t0 = summary.avg_timeout > 0.0 ? summary.avg_timeout : profile.min_rto;
+    rec.params.b = 2;
+    rec.params.wm = profile.advertised_window;
+
+    for (std::size_t m = 0; m < model::all_model_kinds.size(); ++m) {
+      const double rate = model::evaluate_model(model::all_model_kinds[m], rec.params);
+      rec.predicted[m] = rate * options.duration;
+    }
+    records.push_back(rec);
+  }
+  return records;
+}
+
+}  // namespace pftk::exp

@@ -1,0 +1,43 @@
+// The 100 x 100-second serial-connection experiment of Section III
+// (second measurement set, Figs. 8 and 10).
+//
+// For one path profile: establish 100 serially-initiated connections,
+// each lasting 100 s (the paper inserts a 50-s gap; with independent
+// per-connection seeds the gap is implicit). For each trace we measure
+// the send rate, loss rate, RTT and T0, then evaluate each model with
+// *that trace's own* parameters — exactly the paper's procedure.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/model_registry.hpp"
+#include "core/tcp_model_params.hpp"
+#include "exp/path_profile.hpp"
+
+namespace pftk::exp {
+
+/// One 100-s connection's measurement and model predictions.
+struct ShortTraceRecord {
+  int index = 0;                     ///< trace number (x-axis of Fig. 8)
+  std::uint64_t packets_sent = 0;    ///< measured (y-axis of Fig. 8)
+  model::ModelParams params;         ///< p / RTT / T0 measured on this trace
+  /// predicted packet counts, indexed like model::all_model_kinds
+  std::array<double, 3> predicted{};
+  bool had_loss = false;             ///< p > 0 on this trace
+};
+
+/// Experiment knobs.
+struct ShortTraceOptions {
+  int connections = 100;
+  double duration = 100.0;
+  std::uint64_t seed = 424242;
+};
+
+/// Runs the full series for one profile.
+/// @throws std::invalid_argument on invalid options.
+[[nodiscard]] std::vector<ShortTraceRecord> run_short_traces(
+    const PathProfile& profile, const ShortTraceOptions& options = {});
+
+}  // namespace pftk::exp

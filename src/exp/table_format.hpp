@@ -1,0 +1,41 @@
+// Fixed-width table emission for the bench report binaries.
+//
+// Every bench prints paper-style rows; this tiny formatter keeps their
+// output aligned and consistent without dragging in a dependency.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pftk::exp {
+
+/// Column-aligned plain-text table.
+class TextTable {
+ public:
+  /// Sets the header row (also fixes the column count).
+  /// @throws std::invalid_argument if headers is empty.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; short rows are padded with empty cells.
+  /// @throws std::invalid_argument if the row has more cells than headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with single-space-padded columns and a dashed header rule.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double -> string ("%.3f" style, locale-independent).
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+
+/// Integer -> string convenience.
+[[nodiscard]] std::string fmt_u(unsigned long long value);
+
+}  // namespace pftk::exp

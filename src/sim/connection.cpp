@@ -1,0 +1,91 @@
+#include "sim/connection.hpp"
+
+namespace pftk::sim {
+
+std::unique_ptr<LossModel> make_loss_model(const LossSpec& spec) {
+  return std::visit(
+      [](const auto& s) -> std::unique_ptr<LossModel> {
+        using S = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<S, NoLossSpec>) {
+          return nullptr;
+        } else if constexpr (std::is_same_v<S, BernoulliLossSpec>) {
+          return std::make_unique<BernoulliLoss>(s.p);
+        } else if constexpr (std::is_same_v<S, BurstLossSpec>) {
+          return std::make_unique<BurstLoss>(s.p, s.duration);
+        } else if constexpr (std::is_same_v<S, MixedBurstLossSpec>) {
+          return std::make_unique<MixedBurstLoss>(s.p, s.single_fraction, s.episode_mean,
+                                                  s.episode_min);
+        } else {
+          return std::make_unique<GilbertElliottLoss>(s.p_good_to_bad, s.p_bad_to_good,
+                                                      s.loss_in_bad);
+        }
+      },
+      spec);
+}
+
+std::unique_ptr<QueuePolicy> make_queue_policy(const QueueSpec& spec) {
+  return std::visit(
+      [](const auto& s) -> std::unique_ptr<QueuePolicy> {
+        using S = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<S, NoQueueSpec>) {
+          return nullptr;
+        } else if constexpr (std::is_same_v<S, DropTailSpec>) {
+          return std::make_unique<DropTailPolicy>(s.capacity);
+        } else {
+          return std::make_unique<RedPolicy>(s.config);
+        }
+      },
+      spec);
+}
+
+Connection::Connection(const ConnectionConfig& config) {
+  sender_ = std::make_unique<TcpRenoSender>(queue_, config.sender);
+  receiver_ = std::make_unique<TcpReceiver>(queue_, config.receiver);
+
+  // Independent randomness streams per component, all derived from the
+  // master seed so a run is a pure function of its config.
+  forward_ = std::make_unique<Link<Segment>>(queue_, config.forward_link,
+                                             Rng::derive(config.seed, 1),
+                                             make_loss_model(config.forward_loss),
+                                             make_queue_policy(config.forward_queue));
+  reverse_ = std::make_unique<Link<Ack>>(queue_, config.reverse_link,
+                                         Rng::derive(config.seed, 2),
+                                         make_loss_model(config.reverse_loss), nullptr);
+
+  sender_->set_send_segment([this](const Segment& segment) { forward_->send(segment); });
+  forward_->set_deliver(
+      [this](const Segment& segment, Time at) { receiver_->on_segment(segment, at); });
+  receiver_->set_send_ack([this](const Ack& ack) { reverse_->send(ack); });
+  reverse_->set_deliver([this](const Ack& ack, Time at) { sender_->on_ack(ack, at); });
+}
+
+void Connection::set_observer(SenderObserver* observer) noexcept {
+  sender_->set_observer(observer);
+}
+
+ConnectionSummary Connection::run_for(Duration duration) {
+  const Time start = queue_.now();
+  const std::uint64_t sent_before = sender_->stats().transmissions;
+  const std::uint64_t delivered_before = receiver_->next_expected();
+
+  if (!started_) {
+    started_ = true;
+    sender_->start();
+  }
+  queue_.run_until(start + duration);
+
+  ConnectionSummary summary;
+  summary.duration = queue_.now() - start;
+  summary.packets_sent = sender_->stats().transmissions - sent_before;
+  summary.packets_delivered = receiver_->next_expected() - delivered_before;
+  summary.retransmissions = sender_->stats().retransmissions;
+  summary.fast_retransmits = sender_->stats().fast_retransmits;
+  summary.timeouts = sender_->stats().timeouts;
+  if (summary.duration > 0.0) {
+    summary.send_rate = static_cast<double>(summary.packets_sent) / summary.duration;
+    summary.throughput = static_cast<double>(summary.packets_delivered) / summary.duration;
+  }
+  return summary;
+}
+
+}  // namespace pftk::sim

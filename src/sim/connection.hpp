@@ -1,0 +1,118 @@
+// A complete simulated TCP connection: saturated Reno sender, forward
+// data path, receiver, and reverse ACK path, driven by one event queue.
+//
+// This is the reproduction's stand-in for the paper's Internet host
+// pairs: each experiment instantiates a Connection from a path profile
+// (delays, loss process, queueing) and runs it for 1 hour or 100 s.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+
+#include "sim/event_queue.hpp"
+#include "sim/link.hpp"
+#include "sim/loss_model.hpp"
+#include "sim/queue_policy.hpp"
+#include "sim/rng.hpp"
+#include "sim/tcp_receiver.hpp"
+#include "sim/tcp_reno_sender.hpp"
+
+namespace pftk::sim {
+
+/// Declarative loss-process choice, so path profiles are plain data.
+struct NoLossSpec {};
+struct BernoulliLossSpec {
+  double p = 0.01;
+};
+struct BurstLossSpec {
+  double p = 0.01;            ///< fresh-episode probability per packet
+  Duration duration = 0.1;    ///< seconds each loss episode lasts
+};
+struct MixedBurstLossSpec {
+  double p = 0.01;               ///< fresh-loss probability per packet
+  double single_fraction = 0.3;  ///< fraction of losses that are single drops
+  Duration episode_mean = 0.5;   ///< mean of the exponential excess length
+  Duration episode_min = 0.0;    ///< floor added to every episode
+};
+struct GilbertElliottLossSpec {
+  double p_good_to_bad = 0.005;
+  double p_bad_to_good = 0.5;
+  double loss_in_bad = 1.0;
+};
+using LossSpec = std::variant<NoLossSpec, BernoulliLossSpec, BurstLossSpec,
+                              MixedBurstLossSpec, GilbertElliottLossSpec>;
+
+/// Builds a concrete loss model from a spec (nullptr for NoLossSpec).
+[[nodiscard]] std::unique_ptr<LossModel> make_loss_model(const LossSpec& spec);
+
+/// Declarative queue-policy choice for rate-limited links.
+struct NoQueueSpec {};
+struct DropTailSpec {
+  std::size_t capacity = 20;
+};
+struct RedSpec {
+  RedPolicy::Config config;
+};
+using QueueSpec = std::variant<NoQueueSpec, DropTailSpec, RedSpec>;
+
+/// Builds a concrete queue policy from a spec (nullptr for NoQueueSpec).
+[[nodiscard]] std::unique_ptr<QueuePolicy> make_queue_policy(const QueueSpec& spec);
+
+/// Everything needed to instantiate one connection.
+struct ConnectionConfig {
+  TcpRenoSenderConfig sender;
+  TcpReceiverConfig receiver;
+  LinkConfig forward_link;   ///< data direction
+  LinkConfig reverse_link;   ///< ACK direction
+  LossSpec forward_loss = NoLossSpec{};
+  LossSpec reverse_loss = NoLossSpec{};  ///< ACK loss
+  QueueSpec forward_queue = NoQueueSpec{};
+  std::uint64_t seed = 1;
+};
+
+/// End-of-run roll-up.
+struct ConnectionSummary {
+  double duration = 0.0;               ///< seconds simulated
+  std::uint64_t packets_sent = 0;      ///< transmissions incl. retransmissions
+  std::uint64_t packets_delivered = 0; ///< receiver's in-order cumulative point
+  std::uint64_t retransmissions = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t timeouts = 0;
+  double send_rate = 0.0;        ///< packets_sent / duration
+  double throughput = 0.0;       ///< packets_delivered / duration
+};
+
+/// Owns and wires a sender/receiver pair over lossy links.
+class Connection {
+ public:
+  /// @throws std::invalid_argument on invalid sub-configs.
+  explicit Connection(const ConnectionConfig& config);
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Attaches a sender observer (e.g. a trace recorder). Must be called
+  /// before run_for(); may be nullptr.
+  void set_observer(SenderObserver* observer) noexcept;
+
+  /// Runs the connection for `duration` seconds of simulated time and
+  /// returns the roll-up. May be called repeatedly to extend the run.
+  ConnectionSummary run_for(Duration duration);
+
+  [[nodiscard]] const TcpRenoSender& sender() const noexcept { return *sender_; }
+  [[nodiscard]] const TcpReceiver& receiver() const noexcept { return *receiver_; }
+  [[nodiscard]] const Link<Segment>& forward_link() const noexcept { return *forward_; }
+  [[nodiscard]] const Link<Ack>& reverse_link() const noexcept { return *reverse_; }
+  [[nodiscard]] EventQueue& event_queue() noexcept { return queue_; }
+
+ private:
+  EventQueue queue_;
+  std::unique_ptr<TcpRenoSender> sender_;
+  std::unique_ptr<TcpReceiver> receiver_;
+  std::unique_ptr<Link<Segment>> forward_;
+  std::unique_ptr<Link<Ack>> reverse_;
+  bool started_ = false;
+};
+
+}  // namespace pftk::sim

@@ -1,0 +1,77 @@
+#include "sim/cross_traffic.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pftk::sim {
+
+void CrossTrafficConfig::validate() const {
+  if (!(rate_pps > 0.0)) {
+    throw std::invalid_argument("CrossTrafficConfig: rate_pps must be positive");
+  }
+  if (!(on_mean_s > 0.0)) {
+    throw std::invalid_argument("CrossTrafficConfig: on_mean_s must be positive");
+  }
+  if (off_mean_s < 0.0) {
+    throw std::invalid_argument("CrossTrafficConfig: off_mean_s must be >= 0");
+  }
+}
+
+CrossTrafficSource::CrossTrafficSource(EventQueue& queue, const CrossTrafficConfig& config,
+                                       Rng rng, EmitFn emit)
+    : queue_(queue), config_(config), rng_(std::move(rng)), emit_(std::move(emit)) {
+  config_.validate();
+  if (!emit_) {
+    throw std::invalid_argument("CrossTrafficSource: emit callback required");
+  }
+}
+
+void CrossTrafficSource::start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  on_ = true;
+  schedule_next_packet();
+  if (config_.off_mean_s > 0.0) {
+    schedule_phase_flip();
+  }
+}
+
+void CrossTrafficSource::stop() {
+  running_ = false;
+  if (packet_pending_) {
+    queue_.cancel(packet_event_);
+    packet_pending_ = false;
+  }
+}
+
+void CrossTrafficSource::schedule_next_packet() {
+  const Duration mean_gap = 1.0 / config_.rate_pps;
+  const Duration gap = config_.poisson ? rng_.exponential(mean_gap) : mean_gap;
+  packet_pending_ = true;
+  packet_event_ = queue_.schedule_in(gap, [this] {
+    packet_pending_ = false;
+    if (!running_) {
+      return;
+    }
+    if (on_) {
+      ++emitted_;
+      emit_();
+    }
+    schedule_next_packet();
+  });
+}
+
+void CrossTrafficSource::schedule_phase_flip() {
+  const Duration mean = on_ ? config_.on_mean_s : config_.off_mean_s;
+  queue_.schedule_in(rng_.exponential(mean), [this] {
+    if (!running_) {
+      return;
+    }
+    on_ = !on_;
+    schedule_phase_flip();
+  });
+}
+
+}  // namespace pftk::sim

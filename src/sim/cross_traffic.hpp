@@ -1,0 +1,70 @@
+// Background (cross) traffic sources.
+//
+// The paper's Internet paths lost packets because *other* traffic filled
+// router queues. This module provides that mechanism: unresponsive
+// background sources that inject load into a shared bottleneck, either as
+// a Poisson stream or as an on-off burst process (the classic model of
+// web-mice aggregates). With cross traffic, a single TCP flow experiences
+// mechanistically generated, bursty, drop-tail losses — an alternative to
+// the synthetic MixedBurstLoss workload that produces Table-II-like
+// traces from first principles.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/sim_time.hpp"
+
+namespace pftk::sim {
+
+/// Shape of one background source.
+struct CrossTrafficConfig {
+  double rate_pps = 50.0;  ///< packet rate while transmitting (> 0)
+  bool poisson = true;     ///< exponential vs deterministic spacing
+  /// On-off modulation: mean on/off period lengths in seconds. Zero
+  /// `off_mean_s` disables modulation (the source is always on).
+  double on_mean_s = 1.0;
+  double off_mean_s = 0.0;
+  void validate() const;
+};
+
+/// Emits background packets into a callback until stopped.
+class CrossTrafficSource {
+ public:
+  using EmitFn = std::function<void()>;
+
+  /// @param queue event queue driving the simulation (must outlive this)
+  /// @throws std::invalid_argument on a bad config.
+  CrossTrafficSource(EventQueue& queue, const CrossTrafficConfig& config, Rng rng,
+                     EmitFn emit);
+
+  /// Starts emitting (idempotent).
+  void start();
+
+  /// Stops emitting (pending arrivals are cancelled).
+  void stop();
+
+  /// Packets emitted so far.
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+
+  /// True while within an ON period (always true when unmodulated).
+  [[nodiscard]] bool transmitting() const noexcept { return on_; }
+
+ private:
+  void schedule_next_packet();
+  void schedule_phase_flip();
+
+  EventQueue& queue_;
+  CrossTrafficConfig config_;
+  Rng rng_;
+  EmitFn emit_;
+  bool running_ = false;
+  bool on_ = true;
+  std::uint64_t emitted_ = 0;
+  EventId packet_event_ = 0;
+  bool packet_pending_ = false;
+};
+
+}  // namespace pftk::sim

@@ -1,0 +1,75 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pftk::sim {
+
+EventId EventQueue::schedule_at(Time at, std::function<void()> action) {
+  if (at < now_) {
+    throw std::invalid_argument("EventQueue::schedule_at: time in the past");
+  }
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id});
+  actions_.emplace(id, std::move(action));
+  return id;
+}
+
+EventId EventQueue::schedule_in(Duration delay, std::function<void()> action) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("EventQueue::schedule_in: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+void EventQueue::cancel(EventId id) noexcept { actions_.erase(id); }
+
+bool EventQueue::pop_next(Entry& out) {
+  // Skip heap entries whose action was cancelled.
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    if (actions_.find(top.id) == actions_.end()) {
+      heap_.pop();
+      continue;
+    }
+    out = top;
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::run_until(Time end_time) {
+  Entry entry{};
+  while (pop_next(entry)) {
+    if (entry.at > end_time) {
+      break;
+    }
+    heap_.pop();
+    auto it = actions_.find(entry.id);
+    auto action = std::move(it->second);
+    actions_.erase(it);
+    now_ = entry.at;
+    ++executed_;
+    action();
+  }
+  if (now_ < end_time) {
+    now_ = end_time;
+  }
+}
+
+void EventQueue::run_all() {
+  Entry entry{};
+  while (pop_next(entry)) {
+    heap_.pop();
+    auto it = actions_.find(entry.id);
+    auto action = std::move(it->second);
+    actions_.erase(it);
+    now_ = entry.at;
+    ++executed_;
+    action();
+  }
+}
+
+std::size_t EventQueue::pending() const noexcept { return actions_.size(); }
+
+}  // namespace pftk::sim

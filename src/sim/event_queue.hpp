@@ -1,0 +1,74 @@
+// Discrete-event scheduler.
+//
+// A minimal, deterministic event queue: events at equal timestamps fire
+// in scheduling order (FIFO tie-break via a monotone sequence number), so
+// a given seed always reproduces the same run byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/sim_time.hpp"
+
+namespace pftk::sim {
+
+/// Opaque handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+/// Time-ordered event queue driving a simulation run.
+class EventQueue {
+ public:
+  /// Schedules `action` to run at absolute time `at` (>= now()).
+  /// @throws std::invalid_argument if `at` precedes the current time.
+  EventId schedule_at(Time at, std::function<void()> action);
+
+  /// Schedules `action` to run after `delay` (>= 0) seconds.
+  EventId schedule_in(Duration delay, std::function<void()> action);
+
+  /// Cancels a pending event; cancelling an already-fired or unknown id
+  /// is a harmless no-op (timers are routinely cancelled late).
+  void cancel(EventId id) noexcept;
+
+  /// Runs events until the queue empties or the next event is after
+  /// `end_time`; the clock finishes at exactly `end_time`.
+  void run_until(Time end_time);
+
+  /// Runs every pending event (use only when the event graph terminates).
+  void run_all();
+
+  /// Current simulation clock.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Number of pending (uncancelled) events.
+  [[nodiscard]] std::size_t pending() const noexcept;
+
+  /// Total events executed so far.
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    Time at;
+    EventId id;
+    // Ordered as a min-heap on (at, id): id grows monotonically, giving
+    // FIFO order among same-time events.
+    bool operator>(const Entry& other) const noexcept {
+      if (at != other.at) {
+        return at > other.at;
+      }
+      return id > other.id;
+    }
+  };
+
+  bool pop_next(Entry& out);
+
+  Time now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, std::function<void()>> actions_;
+};
+
+}  // namespace pftk::sim

@@ -1,0 +1,154 @@
+// One-way network path segment.
+//
+// A Link carries payloads (data Segments one way, Acks the other) and
+// models, in order of application:
+//   1. a stochastic loss process (LossModel) at ingress,
+//   2. an optional bandwidth limit with a FIFO queue and an admission
+//      policy (drop-tail / RED) — this is what makes the Fig.-11 modem
+//      scenario's RTT grow with the window,
+//   3. fixed propagation delay plus optional uniform jitter,
+// and delivers in FIFO order (delivery times are monotone), since TCP
+// dup-ACK counting is meaningful only on mostly-in-order paths.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/event_queue.hpp"
+#include "sim/loss_model.hpp"
+#include "sim/queue_policy.hpp"
+#include "sim/rng.hpp"
+#include "sim/sim_time.hpp"
+
+namespace pftk::sim {
+
+/// Link configuration; defaults give a clean, infinitely fast path.
+struct LinkConfig {
+  Duration propagation_delay = 0.05;  ///< seconds, one way (>= 0)
+  Duration jitter = 0.0;              ///< max extra uniform delay per packet (>= 0)
+  double rate_pps = 0.0;              ///< serialization rate; 0 = unlimited
+  void validate() const {
+    if (propagation_delay < 0.0 || jitter < 0.0 || rate_pps < 0.0) {
+      throw std::invalid_argument("LinkConfig: negative delay/jitter/rate");
+    }
+  }
+};
+
+/// Counters exposed by every link.
+struct LinkStats {
+  std::uint64_t offered = 0;        ///< packets handed to send()
+  std::uint64_t dropped_loss = 0;   ///< dropped by the loss model
+  std::uint64_t dropped_queue = 0;  ///< rejected by the queue policy
+  std::uint64_t delivered = 0;      ///< handed to the delivery callback
+};
+
+/// A unidirectional link carrying payloads of type T.
+template <typename T>
+class Link {
+ public:
+  using DeliverFn = std::function<void(const T&, Time)>;
+
+  /// @param queue    event queue driving the simulation (must outlive the link)
+  /// @param config   delays and rate
+  /// @param rng      stream for loss/jitter/AQM randomness
+  /// @param loss     optional ingress loss process (may be nullptr)
+  /// @param policy   optional queue admission policy; required if
+  ///                 config.rate_pps > 0 (defaults to a deep drop-tail)
+  Link(EventQueue& queue, const LinkConfig& config, Rng rng,
+       std::unique_ptr<LossModel> loss = nullptr,
+       std::unique_ptr<QueuePolicy> policy = nullptr)
+      : queue_(queue),
+        config_(config),
+        rng_(std::move(rng)),
+        loss_(std::move(loss)),
+        policy_(std::move(policy)) {
+    config_.validate();
+    if (config_.rate_pps > 0.0 && !policy_) {
+      policy_ = std::make_unique<DropTailPolicy>(1000);
+    }
+  }
+
+  /// Sets the delivery callback (must be set before the first send()).
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Offers one payload to the link at the current simulation time.
+  /// @throws std::logic_error if no delivery callback is set.
+  void send(const T& item) {
+    if (!deliver_) {
+      throw std::logic_error("Link::send: no delivery callback set");
+    }
+    ++stats_.offered;
+    const Time now = queue_.now();
+
+    if (loss_ && loss_->should_drop(now, rng_)) {
+      ++stats_.dropped_loss;
+      return;
+    }
+
+    Time ready = now;
+    if (config_.rate_pps > 0.0) {
+      // Queue occupancy = packets already scheduled but not yet serialized.
+      const double backlog_seconds = busy_until_ > now ? busy_until_ - now : 0.0;
+      const auto qlen = static_cast<std::size_t>(backlog_seconds * config_.rate_pps + 0.5);
+      if (policy_ && !policy_->admit(qlen, rng_)) {
+        ++stats_.dropped_queue;
+        return;
+      }
+      const Duration service = 1.0 / config_.rate_pps;
+      busy_until_ = (busy_until_ > now ? busy_until_ : now) + service;
+      ready = busy_until_;
+    }
+
+    Time arrival = ready + config_.propagation_delay;
+    if (config_.jitter > 0.0) {
+      arrival += rng_.uniform(0.0, config_.jitter);
+    }
+    // FIFO clamp: jitter never reorders deliveries.
+    if (arrival < last_delivery_) {
+      arrival = last_delivery_;
+    }
+    last_delivery_ = arrival;
+
+    queue_.schedule_at(arrival, [this, item, arrival] {
+      ++stats_.delivered;
+      deliver_(item, arrival);
+    });
+  }
+
+  /// Current number of packets in the serialization backlog.
+  [[nodiscard]] std::size_t backlog() const noexcept {
+    if (config_.rate_pps <= 0.0 || busy_until_ <= queue_.now()) {
+      return 0;
+    }
+    return static_cast<std::size_t>((busy_until_ - queue_.now()) * config_.rate_pps + 0.5);
+  }
+
+  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+
+  /// Resets loss-model/AQM state and counters (not pending deliveries).
+  void reset_processes() {
+    if (loss_) {
+      loss_->reset();
+    }
+    if (policy_) {
+      policy_->reset();
+    }
+    stats_ = LinkStats{};
+  }
+
+ private:
+  EventQueue& queue_;
+  LinkConfig config_;
+  Rng rng_;
+  std::unique_ptr<LossModel> loss_;
+  std::unique_ptr<QueuePolicy> policy_;
+  DeliverFn deliver_;
+  Time busy_until_ = 0.0;
+  Time last_delivery_ = 0.0;
+  LinkStats stats_;
+};
+
+}  // namespace pftk::sim

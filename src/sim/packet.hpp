@@ -1,0 +1,29 @@
+// Wire units exchanged between the TCP sender and receiver.
+//
+// The simulator is packet-granular: a Segment carries one model "packet"
+// identified by its sequence number; an Ack carries the receiver's
+// cumulative acknowledgment (the next sequence number it expects), which
+// is all Reno's dup-ACK machinery needs.
+#pragma once
+
+#include "sim/sim_time.hpp"
+
+namespace pftk::sim {
+
+/// A data segment in flight from sender to receiver.
+struct Segment {
+  SeqNo seq = 0;                ///< packet number, 0-based
+  bool retransmission = false;  ///< true if this is not the first transmission
+  Time sent_at = 0.0;           ///< sender clock at transmission
+};
+
+/// A (cumulative) acknowledgment in flight from receiver to sender.
+struct Ack {
+  SeqNo cumulative = 0;  ///< next sequence number expected by the receiver
+  Time sent_at = 0.0;    ///< receiver clock at transmission
+  /// Sequence number of the segment whose arrival triggered this ACK
+  /// (used only for tracing/diagnostics).
+  SeqNo triggered_by = 0;
+};
+
+}  // namespace pftk::sim

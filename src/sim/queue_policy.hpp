@@ -1,0 +1,71 @@
+// Queue admission policies for rate-limited links.
+//
+// A bandwidth-limited Link keeps a FIFO of packets awaiting serialization;
+// the QueuePolicy decides whether an arriving packet is admitted. DropTail
+// reproduces the 1990s router behaviour the paper's correlated-loss
+// assumption mimics; RED (ref [4] of the paper) is provided as an ablation
+// substrate.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/rng.hpp"
+
+namespace pftk::sim {
+
+/// Admission decision for one arriving packet.
+class QueuePolicy {
+ public:
+  virtual ~QueuePolicy() = default;
+
+  /// Returns true to enqueue the arriving packet given `queue_len` packets
+  /// already waiting (excluding the one in transmission).
+  [[nodiscard]] virtual bool admit(std::size_t queue_len, Rng& rng) = 0;
+
+  /// Clears smoothed state for a fresh run.
+  virtual void reset() {}
+};
+
+/// Classic drop-tail: admit while the queue holds fewer than `capacity`.
+class DropTailPolicy final : public QueuePolicy {
+ public:
+  /// @throws std::invalid_argument if capacity == 0.
+  explicit DropTailPolicy(std::size_t capacity);
+
+  [[nodiscard]] bool admit(std::size_t queue_len, Rng& rng) override;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+};
+
+/// Random Early Detection (Floyd & Jacobson). Drops probabilistically
+/// between min_th and max_th on the EWMA queue length, always above
+/// max_th, never below min_th; `hard_capacity` still bounds the queue.
+class RedPolicy final : public QueuePolicy {
+ public:
+  struct Config {
+    double min_threshold = 5.0;   ///< packets
+    double max_threshold = 15.0;  ///< packets
+    double max_drop_prob = 0.1;   ///< p at max_threshold
+    double ewma_weight = 0.002;   ///< queue-average weight w_q
+    std::size_t hard_capacity = 100;
+  };
+
+  /// @throws std::invalid_argument on inconsistent thresholds/capacity.
+  explicit RedPolicy(const Config& config);
+
+  [[nodiscard]] bool admit(std::size_t queue_len, Rng& rng) override;
+  void reset() override;
+
+  /// Current EWMA of the queue length (exposed for tests).
+  [[nodiscard]] double average_queue() const noexcept { return avg_; }
+
+ private:
+  Config cfg_;
+  double avg_ = 0.0;
+  int since_last_drop_ = -1;  ///< packets since last drop (for uniformization)
+};
+
+}  // namespace pftk::sim

@@ -1,0 +1,61 @@
+#include "sim/rng.hpp"
+
+#include <stdexcept>
+
+namespace pftk::sim {
+
+namespace {
+
+/// splitmix64 finalizer; decorrelates consecutive seed/stream values.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng Rng::derive(std::uint64_t seed, std::uint64_t stream) {
+  return Rng(mix(mix(seed) ^ mix(stream * 0xda942042e4dd58b5ULL + 1)));
+}
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  if (hi < lo) {
+    throw std::invalid_argument("Rng::uniform: hi < lo");
+  }
+  if (hi == lo) {
+    return lo;
+  }
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return uniform() < p;
+}
+
+double Rng::exponential(double mean) {
+  if (!(mean > 0.0)) {
+    throw std::invalid_argument("Rng::exponential: mean must be positive");
+  }
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  if (hi < lo) {
+    throw std::invalid_argument("Rng::uniform_int: hi < lo");
+  }
+  return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+}
+
+}  // namespace pftk::sim

@@ -1,0 +1,44 @@
+// Observation hooks on the TCP sender.
+//
+// The trace module attaches an observer to record the same event stream
+// the paper obtained from tcpdump at the sender: transmissions (with a
+// retransmission flag), ACK arrivals, loss-recovery actions, and RTT
+// samples paired with the in-flight count (for the Section-IV
+// window/RTT-correlation study).
+#pragma once
+
+#include <cstddef>
+
+#include "sim/sim_time.hpp"
+
+namespace pftk::sim {
+
+/// Passive observer of sender-side protocol events. All hooks default to
+/// no-ops so observers implement only what they need.
+class SenderObserver {
+ public:
+  virtual ~SenderObserver() = default;
+
+  /// A data segment left the sender (new or retransmitted).
+  virtual void on_segment_sent(Time /*t*/, SeqNo /*seq*/, bool /*retransmission*/,
+                               std::size_t /*in_flight*/, double /*cwnd*/) {}
+
+  /// An ACK arrived. `duplicate` marks dup-ACKs (same cumulative point,
+  /// outstanding data).
+  virtual void on_ack_received(Time /*t*/, SeqNo /*cumulative*/, bool /*duplicate*/) {}
+
+  /// Fast retransmit triggered by the dup-ACK threshold.
+  virtual void on_fast_retransmit(Time /*t*/, SeqNo /*seq*/) {}
+
+  /// Retransmission timer fired. `consecutive` is 1 for the first timeout
+  /// of a sequence, 2 for the first backoff, etc.; `rto_used` is the
+  /// delay that just expired.
+  virtual void on_timeout(Time /*t*/, SeqNo /*seq*/, int /*consecutive*/,
+                          Duration /*rto_used*/) {}
+
+  /// A Karn-valid RTT sample was taken; `in_flight` is the number of
+  /// outstanding packets when the timed segment was sent.
+  virtual void on_rtt_sample(Time /*t*/, Duration /*sample*/, std::size_t /*in_flight*/) {}
+};
+
+}  // namespace pftk::sim

@@ -1,0 +1,150 @@
+#include "sim/shared_bottleneck.hpp"
+
+#include <stdexcept>
+
+namespace pftk::sim {
+
+void SharedBottleneckConfig::validate() const {
+  if (!(rate_pps > 0.0)) {
+    throw std::invalid_argument("SharedBottleneckConfig: rate_pps must be positive");
+  }
+  if (bottleneck_delay < 0.0) {
+    throw std::invalid_argument("SharedBottleneckConfig: negative bottleneck_delay");
+  }
+  if (flows.empty()) {
+    throw std::invalid_argument("SharedBottleneckConfig: need at least one flow");
+  }
+  for (const FlowEndpointConfig& f : flows) {
+    if (f.access_delay < 0.0 || f.exit_delay < 0.0 || f.return_delay < 0.0) {
+      throw std::invalid_argument("SharedBottleneckConfig: negative flow delay");
+    }
+  }
+}
+
+SharedBottleneck::SharedBottleneck(const SharedBottleneckConfig& config)
+    : config_(config) {
+  config_.validate();
+
+  LinkConfig bottleneck_link;
+  bottleneck_link.propagation_delay = config_.bottleneck_delay;
+  bottleneck_link.rate_pps = config_.rate_pps;
+  bottleneck_ = std::make_unique<Link<TaggedSegment>>(
+      queue_, bottleneck_link, Rng::derive(config_.seed, 1000), nullptr,
+      make_queue_policy(config_.queue));
+
+  const std::size_t n = config_.flows.size();
+  senders_.reserve(n);
+  receivers_.reserve(n);
+  ack_links_.reserve(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const FlowEndpointConfig& flow = config_.flows[i];
+    senders_.push_back(std::make_unique<TcpRenoSender>(queue_, flow.sender));
+    receivers_.push_back(std::make_unique<TcpReceiver>(queue_, flow.receiver));
+
+    LinkConfig ack_link;
+    ack_link.propagation_delay = flow.return_delay;
+    ack_links_.push_back(std::make_unique<Link<Ack>>(
+        queue_, ack_link, Rng::derive(config_.seed, 2000 + i), nullptr, nullptr));
+
+    TcpRenoSender* sender = senders_.back().get();
+    TcpReceiver* receiver = receivers_.back().get();
+    Link<Ack>* ack_link_ptr = ack_links_.back().get();
+
+    // Data path: sender -> (access delay) -> shared queue -> demux.
+    sender->set_send_segment([this, i, flow](const Segment& segment) {
+      queue_.schedule_in(flow.access_delay, [this, i, segment] {
+        bottleneck_->send(TaggedSegment{i, segment});
+      });
+    });
+    // ACK path: receiver -> dedicated return link -> its sender.
+    receiver->set_send_ack([ack_link_ptr](const Ack& ack) { ack_link_ptr->send(ack); });
+    ack_links_.back()->set_deliver(
+        [sender](const Ack& ack, Time at) { sender->on_ack(ack, at); });
+  }
+
+  // Background sources share the queue; their packets are sunk at exit.
+  for (std::size_t k = 0; k < config_.cross_traffic.size(); ++k) {
+    background_.push_back(std::make_unique<CrossTrafficSource>(
+        queue_, config_.cross_traffic[k], Rng::derive(config_.seed, 3000 + k), [this] {
+          TaggedSegment filler;
+          filler.flow = kBackgroundFlow;
+          bottleneck_->send(filler);
+        }));
+  }
+
+  // Bottleneck exit: per-flow tail delay, then the right receiver.
+  bottleneck_->set_deliver([this](const TaggedSegment& tagged, Time /*at*/) {
+    if (tagged.flow == kBackgroundFlow) {
+      return;  // background load is sunk here
+    }
+    const FlowEndpointConfig& flow = config_.flows[tagged.flow];
+    TcpReceiver* receiver = receivers_[tagged.flow].get();
+    const Segment segment = tagged.segment;
+    queue_.schedule_in(flow.exit_delay, [receiver, segment, this] {
+      receiver->on_segment(segment, queue_.now());
+    });
+  });
+}
+
+void SharedBottleneck::set_observer(std::size_t flow, SenderObserver* observer) {
+  senders_.at(flow)->set_observer(observer);
+}
+
+std::vector<FlowSummary> SharedBottleneck::run_for(Duration duration) {
+  const Time start = queue_.now();
+  std::vector<std::uint64_t> sent_before(senders_.size());
+  std::vector<std::uint64_t> delivered_before(senders_.size());
+  for (std::size_t i = 0; i < senders_.size(); ++i) {
+    sent_before[i] = senders_[i]->stats().transmissions;
+    delivered_before[i] = receivers_[i]->next_expected();
+  }
+  if (!started_) {
+    started_ = true;
+    for (auto& sender : senders_) {
+      sender->start();
+    }
+    for (auto& source : background_) {
+      source->start();
+    }
+  }
+  queue_.run_until(start + duration);
+
+  std::vector<FlowSummary> out(senders_.size());
+  const double elapsed = queue_.now() - start;
+  for (std::size_t i = 0; i < senders_.size(); ++i) {
+    FlowSummary& s = out[i];
+    s.flow = i;
+    s.packets_sent = senders_[i]->stats().transmissions - sent_before[i];
+    s.packets_delivered = receivers_[i]->next_expected() - delivered_before[i];
+    s.timeouts = senders_[i]->stats().timeouts;
+    s.fast_retransmits = senders_[i]->stats().fast_retransmits;
+    if (elapsed > 0.0) {
+      s.send_rate = static_cast<double>(s.packets_sent) / elapsed;
+      s.throughput = static_cast<double>(s.packets_delivered) / elapsed;
+    }
+  }
+  return out;
+}
+
+const TcpRenoSender& SharedBottleneck::sender(std::size_t flow) const {
+  return *senders_.at(flow);
+}
+
+const TcpReceiver& SharedBottleneck::receiver(std::size_t flow) const {
+  return *receivers_.at(flow);
+}
+
+const LinkStats& SharedBottleneck::bottleneck_stats() const noexcept {
+  return bottleneck_->stats();
+}
+
+std::uint64_t SharedBottleneck::cross_traffic_emitted() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& source : background_) {
+    total += source->emitted();
+  }
+  return total;
+}
+
+}  // namespace pftk::sim

@@ -1,0 +1,103 @@
+// Several TCP flows sharing one bottleneck link.
+//
+// The paper's motivation is the "fair share" of a conformant TCP flow;
+// this fixture lets N Reno senders compete through a single rate-limited,
+// drop-tail (or RED) queue — the dumbbell every congestion-control study
+// uses. Each flow has its own access and return delays, so RTT-unfairness
+// experiments are possible too. Losses arise *only* from queue overflow:
+// the congestion is real, not injected.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/connection.hpp"
+#include "sim/cross_traffic.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/link.hpp"
+#include "sim/tcp_receiver.hpp"
+#include "sim/tcp_reno_sender.hpp"
+
+namespace pftk::sim {
+
+/// A data segment tagged with its flow for the shared link.
+struct TaggedSegment {
+  std::size_t flow = 0;
+  Segment segment;
+};
+
+/// Per-flow endpoint parameters.
+struct FlowEndpointConfig {
+  TcpRenoSenderConfig sender;
+  TcpReceiverConfig receiver;
+  Duration access_delay = 0.01;  ///< sender -> bottleneck entrance, one way
+  Duration exit_delay = 0.02;    ///< bottleneck exit -> receiver, one way
+  Duration return_delay = 0.05;  ///< receiver -> sender ACK path, one way
+};
+
+/// The dumbbell.
+struct SharedBottleneckConfig {
+  double rate_pps = 100.0;              ///< bottleneck service rate (> 0)
+  Duration bottleneck_delay = 0.01;     ///< propagation across the bottleneck
+  QueueSpec queue = DropTailSpec{25};   ///< shared queue discipline
+  std::vector<FlowEndpointConfig> flows;
+  /// Unresponsive background sources competing for the same queue; their
+  /// packets are sunk at the bottleneck exit.
+  std::vector<CrossTrafficConfig> cross_traffic;
+  std::uint64_t seed = 1;
+  void validate() const;
+};
+
+/// Per-flow roll-up of one run_for() window.
+struct FlowSummary {
+  std::size_t flow = 0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t fast_retransmits = 0;
+  double send_rate = 0.0;
+  double throughput = 0.0;
+};
+
+/// Owns N senders/receivers wired through one shared queue.
+class SharedBottleneck {
+ public:
+  /// @throws std::invalid_argument on an invalid config or zero flows.
+  explicit SharedBottleneck(const SharedBottleneckConfig& config);
+
+  SharedBottleneck(const SharedBottleneck&) = delete;
+  SharedBottleneck& operator=(const SharedBottleneck&) = delete;
+
+  /// Attaches a sender-side observer to one flow (before run_for()).
+  /// @throws std::out_of_range for an unknown flow index.
+  void set_observer(std::size_t flow, SenderObserver* observer);
+
+  /// Runs all flows for `duration` seconds; returns one summary per flow.
+  std::vector<FlowSummary> run_for(Duration duration);
+
+  [[nodiscard]] std::size_t flow_count() const noexcept { return senders_.size(); }
+  /// @throws std::out_of_range for an unknown flow index.
+  [[nodiscard]] const TcpRenoSender& sender(std::size_t flow) const;
+  [[nodiscard]] const TcpReceiver& receiver(std::size_t flow) const;
+  /// Stats of the shared bottleneck link (drops = congestion losses).
+  [[nodiscard]] const LinkStats& bottleneck_stats() const noexcept;
+
+  /// Background packets emitted so far (all sources combined).
+  [[nodiscard]] std::uint64_t cross_traffic_emitted() const noexcept;
+
+ private:
+  /// Flow tag marking background packets (sunk at the exit).
+  static constexpr std::size_t kBackgroundFlow = static_cast<std::size_t>(-1);
+
+  EventQueue queue_;
+  SharedBottleneckConfig config_;
+  std::unique_ptr<Link<TaggedSegment>> bottleneck_;
+  std::vector<std::unique_ptr<TcpRenoSender>> senders_;
+  std::vector<std::unique_ptr<TcpReceiver>> receivers_;
+  std::vector<std::unique_ptr<Link<Ack>>> ack_links_;
+  std::vector<std::unique_ptr<CrossTrafficSource>> background_;
+  bool started_ = false;
+};
+
+}  // namespace pftk::sim

@@ -1,0 +1,21 @@
+// Simulation time conventions.
+//
+// The simulator measures time in seconds as double; packet sequence
+// numbers count whole segments (the paper's models are packet-based, so
+// one segment == one "packet" of the model).
+#pragma once
+
+#include <cstdint>
+
+namespace pftk::sim {
+
+/// Absolute simulation time in seconds since the start of the run.
+using Time = double;
+
+/// Relative duration in seconds.
+using Duration = double;
+
+/// Segment sequence number (counts packets, not bytes).
+using SeqNo = std::uint64_t;
+
+}  // namespace pftk::sim

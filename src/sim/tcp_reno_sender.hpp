@@ -1,0 +1,181 @@
+// TCP Reno sender (saturated / "infinite source").
+//
+// Implements the congestion control the paper models plus the pieces the
+// model deliberately omits but real 1998 stacks had (the paper validates
+// against such stacks, so we keep them): slow start, fast recovery window
+// inflation, and Jacobson/Karn RTO estimation with coarse timer ticks.
+//
+// Mechanisms:
+//  * slow start:        cwnd += 1 per ACK while cwnd < ssthresh
+//  * congestion avoid.: cwnd += 1/cwnd per ACK (so +1/b per round with
+//                       delayed ACKs, the model's linear growth)
+//  * fast retransmit:   after `dupack_threshold` dup-ACKs (3 standard,
+//                       2 for the Linux flavor of Table I)
+//  * fast recovery:     cwnd = ssthresh + 3, inflate per dup-ACK, deflate
+//                       to ssthresh on the next new ACK (classic Reno)
+//  * timeout:           cwnd = 1, exponential backoff doubling the RTO up
+//                       to 2^max_backoff_exponent (64*T0; Irix caps at 32)
+//  * Karn's algorithm:  RTT sampled only from never-retransmitted
+//                       segments; backoff cleared on new data ACKed
+//  * receiver window:   effective window = min(cwnd, advertised_window)
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/packet.hpp"
+#include "sim/sender_observer.hpp"
+#include "sim/sim_time.hpp"
+
+namespace pftk::sim {
+
+/// Loss-recovery flavor of the sender. The paper models Reno; Tahoe is
+/// what SunOS-derived stacks of Table I actually ran (Section IV), and
+/// NewReno's partial-ACK handling is the "fast recovery" refinement the
+/// paper lists as future work.
+enum class RecoveryStyle {
+  kReno,     ///< classic: exit fast recovery on the first new ACK
+  kNewReno,  ///< stay in recovery across partial ACKs, retransmit each hole
+  kTahoe,    ///< no fast recovery: dup-ACK loss behaves like a timeout
+             ///< (window to 1, slow start), but without the RTO wait
+};
+
+/// Sender tuning. Defaults model a standard 4.4BSD-style Reno stack.
+struct TcpRenoSenderConfig {
+  double initial_cwnd = 1.0;          ///< packets
+  double initial_ssthresh = 1e9;      ///< effectively unbounded
+  double advertised_window = 48.0;    ///< receiver window Wm, packets
+  int dupack_threshold = 3;           ///< dup-ACKs triggering fast rtx
+  int max_backoff_exponent = 6;       ///< RTO multiplier cap 2^k (64*T0)
+  Duration initial_rto = 3.0;         ///< before the first RTT sample
+  Duration min_rto = 1.0;             ///< RTO floor, seconds
+  Duration max_rto = 240.0;           ///< RTO ceiling before backoff cap
+  Duration timer_tick = 0.5;          ///< coarse-timer granularity; 0 = exact
+  RecoveryStyle recovery = RecoveryStyle::kReno;
+  /// Stop after successfully delivering this many packets; 0 = saturated
+  /// sender (the paper's "infinite source").
+  SeqNo total_packets = 0;
+  void validate() const;
+};
+
+/// Counters exposed by the sender.
+struct TcpRenoSenderStats {
+  std::uint64_t transmissions = 0;     ///< every segment sent (the model's "send rate")
+  std::uint64_t new_segments = 0;      ///< first transmissions only
+  std::uint64_t retransmissions = 0;   ///< fast + timeout retransmissions
+  std::uint64_t fast_retransmits = 0;  ///< TD loss indications acted upon
+  std::uint64_t timeouts = 0;          ///< individual timer expirations
+  std::uint64_t acks_received = 0;
+  std::uint64_t dup_acks_received = 0;
+};
+
+/// Saturated TCP Reno sender: always has data, sends whenever the window
+/// allows, forever.
+class TcpRenoSender {
+ public:
+  using SendSegmentFn = std::function<void(const Segment&)>;
+
+  /// @param queue event queue driving the simulation (must outlive this)
+  /// @throws std::invalid_argument if config is invalid.
+  TcpRenoSender(EventQueue& queue, const TcpRenoSenderConfig& config);
+
+  /// Sets the segment transmission callback (must be set before start()).
+  void set_send_segment(SendSegmentFn fn) { send_segment_ = std::move(fn); }
+
+  /// Attaches a passive observer (may be nullptr to detach).
+  void set_observer(SenderObserver* observer) noexcept { observer_ = observer; }
+
+  /// Opens the flood gates: transmits the initial window and arms timers.
+  /// @throws std::logic_error if no transmission callback is set.
+  void start();
+
+  /// Handles one arriving cumulative ACK.
+  void on_ack(const Ack& ack, Time now);
+
+  // Introspection (used by tests and the trace/experiment layers).
+  [[nodiscard]] double cwnd() const noexcept { return cwnd_; }
+  [[nodiscard]] double ssthresh() const noexcept { return ssthresh_; }
+  [[nodiscard]] SeqNo next_seq() const noexcept { return next_seq_; }
+  [[nodiscard]] SeqNo snd_una() const noexcept { return snd_una_; }
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return static_cast<std::size_t>(next_seq_ - snd_una_);
+  }
+  [[nodiscard]] bool in_fast_recovery() const noexcept { return in_fast_recovery_; }
+
+  /// True once every packet of a finite transfer is acknowledged.
+  [[nodiscard]] bool complete() const noexcept {
+    return config_.total_packets > 0 && snd_una_ >= config_.total_packets;
+  }
+  /// Simulation time at which complete() first became true (0 if not yet).
+  [[nodiscard]] Time completion_time() const noexcept { return completion_time_; }
+  [[nodiscard]] int consecutive_timeouts() const noexcept { return consecutive_timeouts_; }
+  [[nodiscard]] Duration current_rto() const noexcept { return rto_; }
+  [[nodiscard]] Duration smoothed_rtt() const noexcept { return srtt_; }
+  [[nodiscard]] const TcpRenoSenderStats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Bookkeeping for one outstanding segment (Karn validity + timing).
+  struct FlightRecord {
+    Time first_sent = 0.0;
+    std::size_t in_flight_at_send = 0;
+    bool retransmitted = false;
+  };
+
+  void transmit(SeqNo seq, bool retransmission);
+  void try_send_new();
+  void enter_fast_retransmit();
+  void handle_timeout();
+  void restart_rtx_timer();
+  void stop_rtx_timer();
+  void take_rtt_sample(const Ack& ack, Time now);
+  void update_rto(Duration sample);
+  [[nodiscard]] Duration backed_off_rto() const;
+  [[nodiscard]] double effective_window() const;
+  [[nodiscard]] FlightRecord* record_for(SeqNo seq);
+
+  EventQueue& queue_;
+  TcpRenoSenderConfig config_;
+  SendSegmentFn send_segment_;
+  SenderObserver* observer_ = nullptr;
+
+  SeqNo next_seq_ = 0;
+  SeqNo snd_una_ = 0;
+  /// High-water mark: one past the highest sequence ever transmitted.
+  /// After a timeout next_seq_ is pulled back below this (go-back-N).
+  SeqNo highest_sent_ = 0;
+  double cwnd_ = 1.0;
+  double ssthresh_ = 1e9;
+  int dupacks_ = 0;
+  bool in_fast_recovery_ = false;
+  SeqNo recover_ = 0;  ///< NewReno: recovery ends when cum ACK passes this
+  int consecutive_timeouts_ = 0;
+  Time completion_time_ = 0.0;
+
+  // Jacobson estimator state.
+  bool have_rtt_sample_ = false;
+  Duration srtt_ = 0.0;
+  Duration rttvar_ = 0.0;
+  Duration rto_ = 3.0;
+
+  // Classic single-timer RTT timing (4.4BSD style): one segment is timed
+  // at a time and the measurement is abandoned on any retransmission, so
+  // recovery stalls never pollute the samples (Karn's algorithm).
+  bool timing_active_ = false;
+  bool timing_cancelled_ = false;
+  SeqNo timed_seq_ = 0;
+  Time timing_started_ = 0.0;
+  std::size_t timing_in_flight_ = 0;
+
+  EventId rtx_timer_ = 0;
+  bool rtx_timer_armed_ = false;
+
+  /// Flight records indexed by (seq - flight_base_); front == snd_una_.
+  std::deque<FlightRecord> flight_;
+  SeqNo flight_base_ = 0;
+
+  TcpRenoSenderStats stats_;
+};
+
+}  // namespace pftk::sim

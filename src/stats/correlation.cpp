@@ -1,0 +1,57 @@
+#include "stats/correlation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pftk::stats {
+
+void PairedStats::add(double x, double y) noexcept {
+  ++n_;
+  const double inv_n = 1.0 / static_cast<double>(n_);
+  const double dx = x - mean_x_;
+  const double dy = y - mean_y_;
+  mean_x_ += dx * inv_n;
+  mean_y_ += dy * inv_n;
+  // Co-moment update uses the *new* mean of y and the *old* delta of x.
+  cxy_ += dx * (y - mean_y_);
+  m2x_ += dx * (x - mean_x_);
+  m2y_ += dy * (y - mean_y_);
+}
+
+double PairedStats::correlation() const noexcept {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  const double denom = std::sqrt(m2x_) * std::sqrt(m2y_);
+  if (denom <= 0.0) {
+    return 0.0;
+  }
+  return cxy_ / denom;
+}
+
+double PairedStats::covariance() const noexcept {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return cxy_ / static_cast<double>(n_ - 1);
+}
+
+double PairedStats::slope() const noexcept {
+  if (n_ < 2 || m2x_ <= 0.0) {
+    return 0.0;
+  }
+  return cxy_ / m2x_;
+}
+
+double pearson_correlation(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("pearson_correlation: spans differ in length");
+  }
+  PairedStats ps;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    ps.add(xs[i], ys[i]);
+  }
+  return ps.correlation();
+}
+
+}  // namespace pftk::stats

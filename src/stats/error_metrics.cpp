@@ -1,0 +1,36 @@
+#include "stats/error_metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pftk::stats {
+
+void AverageErrorMetric::add(double predicted, double observed) noexcept {
+  if (observed == 0.0) {
+    ++skipped_;
+    return;
+  }
+  ++n_;
+  sum_ += std::abs(predicted - observed) / std::abs(observed);
+}
+
+double AverageErrorMetric::value() const noexcept {
+  if (n_ == 0) {
+    return 0.0;
+  }
+  return sum_ / static_cast<double>(n_);
+}
+
+double average_relative_error(std::span<const double> predicted,
+                              std::span<const double> observed) {
+  if (predicted.size() != observed.size()) {
+    throw std::invalid_argument("average_relative_error: spans differ in length");
+  }
+  AverageErrorMetric m;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    m.add(predicted[i], observed[i]);
+  }
+  return m.value();
+}
+
+}  // namespace pftk::stats

@@ -1,0 +1,42 @@
+// The model-accuracy metric of Section III:
+//
+//   average error = (1/n) * sum_i |N_predicted(i) - N_observed(i)| / N_observed(i)
+//
+// computed over the 100-s observation intervals of a trace. Figs. 9 and 10
+// rank the three models (full, approximate, TD-only) by this metric.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace pftk::stats {
+
+/// Accumulates the Section-III average relative prediction error.
+/// Observations with observed == 0 are skipped (the paper's metric is
+/// undefined there); skipped() reports how many were dropped.
+class AverageErrorMetric {
+ public:
+  /// Adds one (predicted, observed) interval.
+  void add(double predicted, double observed) noexcept;
+
+  /// Number of intervals that contributed to the metric.
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+
+  /// Number of intervals skipped because observed == 0.
+  [[nodiscard]] std::size_t skipped() const noexcept { return skipped_; }
+
+  /// The average relative error; 0 when no intervals contributed.
+  [[nodiscard]] double value() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t skipped_ = 0;
+  double sum_ = 0.0;
+};
+
+/// One-shot version over paired spans.
+/// @throws std::invalid_argument if spans differ in length.
+[[nodiscard]] double average_relative_error(std::span<const double> predicted,
+                                            std::span<const double> observed);
+
+}  // namespace pftk::stats

@@ -1,0 +1,26 @@
+#include "stats/fairness.hpp"
+
+#include <stdexcept>
+
+namespace pftk::stats {
+
+double jain_fairness_index(std::span<const double> allocations) {
+  if (allocations.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : allocations) {
+    if (x < 0.0) {
+      throw std::invalid_argument("jain_fairness_index: negative allocation");
+    }
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) {
+    return 0.0;
+  }
+  return sum * sum / (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+}  // namespace pftk::stats

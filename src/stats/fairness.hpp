@@ -1,0 +1,15 @@
+// Jain's fairness index: the standard scalar for "how equally did N flows
+// share the link" — 1/N when one flow hogs everything, 1.0 for a perfect
+// split. Used by the shared-bottleneck fairness experiments.
+#pragma once
+
+#include <span>
+
+namespace pftk::stats {
+
+/// Jain's index (sum x)^2 / (n * sum x^2), in [1/n, 1].
+/// Returns 0 for an empty span; all-zero allocations score 0.
+/// @throws std::invalid_argument if any allocation is negative.
+[[nodiscard]] double jain_fairness_index(std::span<const double> allocations);
+
+}  // namespace pftk::stats

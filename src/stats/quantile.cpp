@@ -1,0 +1,46 @@
+#include "stats/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pftk::stats {
+
+namespace {
+
+double quantile_of_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) {
+    throw std::invalid_argument("quantile: empty sample");
+  }
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("quantile: q must be in [0, 1]");
+  }
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+double quantile(std::span<const double> sample, double q) {
+  std::vector<double> copy(sample.begin(), sample.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_of_sorted(copy, q);
+}
+
+std::vector<double> quantiles(std::span<const double> sample, std::span<const double> qs) {
+  std::vector<double> copy(sample.begin(), sample.end());
+  std::sort(copy.begin(), copy.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const double q : qs) {
+    out.push_back(quantile_of_sorted(copy, q));
+  }
+  return out;
+}
+
+double median(std::span<const double> sample) { return quantile(sample, 0.5); }
+
+}  // namespace pftk::stats

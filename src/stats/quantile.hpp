@@ -1,0 +1,25 @@
+// Exact quantiles of a stored sample (type-7 linear interpolation, the
+// default estimator of R and NumPy). Deterministic for reproducible
+// report output.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace pftk::stats {
+
+/// Returns the q-quantile (0 <= q <= 1) of the sample using linear
+/// interpolation between order statistics (Hyndman & Fan type 7).
+/// @throws std::invalid_argument if the sample is empty or q outside [0,1].
+[[nodiscard]] double quantile(std::span<const double> sample, double q);
+
+/// Returns several quantiles at once; sorts a private copy of the sample
+/// once, so this is cheaper than repeated quantile() calls.
+/// @throws std::invalid_argument under the same conditions as quantile().
+[[nodiscard]] std::vector<double> quantiles(std::span<const double> sample,
+                                            std::span<const double> qs);
+
+/// Median convenience wrapper.
+[[nodiscard]] double median(std::span<const double> sample);
+
+}  // namespace pftk::stats

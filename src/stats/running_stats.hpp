@@ -1,0 +1,55 @@
+// Online summary statistics (Welford's algorithm).
+//
+// Used throughout the trace analyzer and experiment harness to accumulate
+// RTT samples, interval send counts, and model errors without storing the
+// full sample vector.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace pftk::stats {
+
+/// Accumulates count / mean / variance / min / max of a stream of doubles
+/// in O(1) memory using Welford's numerically stable recurrence.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void merge(const RunningStats& other) noexcept;
+
+  /// Removes all observations.
+  void reset() noexcept;
+
+  /// Number of observations added so far.
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+
+  /// Arithmetic mean; 0 if no observations.
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+
+  /// Square root of variance().
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Smallest observation; +inf if none.
+  [[nodiscard]] double min() const noexcept { return min_; }
+
+  /// Largest observation; -inf if none.
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Sum of all observations.
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace pftk::stats

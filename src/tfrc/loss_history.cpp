@@ -1,0 +1,78 @@
+#include "tfrc/loss_history.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pftk::tfrc {
+
+namespace {
+
+/// RFC 5348 weights for n = 8; generalized linearly for other sizes:
+/// the newest half of the intervals weigh 1, the rest decay linearly.
+double weight(std::size_t index, std::size_t n) {
+  if (index < n / 2) {
+    return 1.0;
+  }
+  return 1.0 - static_cast<double>(index + 1 - n / 2) /
+                   (static_cast<double>(n) / 2.0 + 1.0);
+}
+
+}  // namespace
+
+LossHistory::LossHistory(std::size_t intervals) : capacity_(intervals) {
+  if (intervals == 0) {
+    throw std::invalid_argument("LossHistory: need at least one interval");
+  }
+}
+
+void LossHistory::on_packet() noexcept { ++open_; }
+
+void LossHistory::on_loss_event() {
+  seen_loss_ = true;
+  closed_.push_front(open_ + 1);  // the lost packet terminates the interval
+  if (closed_.size() > capacity_) {
+    closed_.pop_back();
+  }
+  open_ = 0;
+}
+
+double LossHistory::weighted_mean(bool include_open) const {
+  // Sequence: optionally the open interval first, then closed intervals.
+  double num = 0.0;
+  double den = 0.0;
+  std::size_t index = 0;
+  if (include_open) {
+    const double w = weight(index, capacity_);
+    num += w * static_cast<double>(open_);
+    den += w;
+    ++index;
+  }
+  for (const std::uint64_t interval : closed_) {
+    if (index >= capacity_) {
+      break;
+    }
+    const double w = weight(index, capacity_);
+    num += w * static_cast<double>(interval);
+    den += w;
+    ++index;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double LossHistory::mean_interval() const {
+  if (!seen_loss_) {
+    return 0.0;
+  }
+  // Include the open interval only if it raises the mean (lowers p).
+  return std::max(weighted_mean(false), weighted_mean(true));
+}
+
+double LossHistory::loss_event_rate() const {
+  const double mean = mean_interval();
+  if (mean <= 0.0) {
+    return 0.0;
+  }
+  return std::min(1.0, 1.0 / mean);
+}
+
+}  // namespace pftk::tfrc

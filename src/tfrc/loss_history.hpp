@@ -1,0 +1,53 @@
+// TFRC loss-interval history (RFC 5348 §5).
+//
+// TFRC does not use a raw packet-loss ratio: it tracks *loss events*
+// (one or more losses within an RTT) and averages the number of packets
+// between consecutive loss events over the last n = 8 intervals with the
+// standard decaying weights 1, 1, 1, 1, 0.8, 0.6, 0.4, 0.2. The loss
+// event rate fed to the PFTK formula is the reciprocal of that average.
+// The open (still growing) interval is included when doing so *lowers*
+// the estimated rate — RFC 5348's history-discounting rule, which lets
+// the rate recover promptly after a long loss-free stretch.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+namespace pftk::tfrc {
+
+/// Weighted loss-interval averaging.
+class LossHistory {
+ public:
+  /// @param intervals number of closed intervals retained (RFC: 8).
+  /// @throws std::invalid_argument if intervals == 0.
+  explicit LossHistory(std::size_t intervals = 8);
+
+  /// Registers one received (or inferred lost-then-counted) packet in
+  /// the current interval.
+  void on_packet() noexcept;
+
+  /// Starts a new loss event: the current interval closes.
+  void on_loss_event();
+
+  /// The smoothed loss-event rate p in [0, 1]; 0 until the first event.
+  [[nodiscard]] double loss_event_rate() const;
+
+  /// Weighted mean interval length (packets); 0 until the first event.
+  [[nodiscard]] double mean_interval() const;
+
+  /// Number of closed intervals currently held.
+  [[nodiscard]] std::size_t closed_intervals() const noexcept { return closed_.size(); }
+
+  /// Packets counted in the open interval so far.
+  [[nodiscard]] std::uint64_t open_interval() const noexcept { return open_; }
+
+ private:
+  [[nodiscard]] double weighted_mean(bool include_open) const;
+
+  std::size_t capacity_;
+  std::deque<std::uint64_t> closed_;  ///< most recent first
+  std::uint64_t open_ = 0;
+  bool seen_loss_ = false;
+};
+
+}  // namespace pftk::tfrc

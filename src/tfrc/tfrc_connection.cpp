@@ -1,0 +1,60 @@
+#include "tfrc/tfrc_connection.hpp"
+
+#include <cmath>
+
+#include "stats/running_stats.hpp"
+
+namespace pftk::tfrc {
+
+TfrcConnection::TfrcConnection(const TfrcConnectionConfig& config) {
+  sender_ = std::make_unique<TfrcSender>(queue_, config.sender);
+  receiver_ = std::make_unique<TfrcReceiver>(queue_);
+
+  forward_ = std::make_unique<sim::Link<TfrcPacket>>(
+      queue_, config.forward_link, sim::Rng::derive(config.seed, 11),
+      sim::make_loss_model(config.forward_loss), nullptr);
+  reverse_ = std::make_unique<sim::Link<TfrcFeedback>>(
+      queue_, config.reverse_link, sim::Rng::derive(config.seed, 12), nullptr, nullptr);
+
+  sender_->set_send_packet([this](const TfrcPacket& packet) { forward_->send(packet); });
+  forward_->set_deliver([this](const TfrcPacket& packet, sim::Time at) {
+    receiver_->on_packet(packet, at);
+  });
+  receiver_->set_send_feedback(
+      [this](const TfrcFeedback& feedback) { reverse_->send(feedback); });
+  reverse_->set_deliver([this](const TfrcFeedback& feedback, sim::Time at) {
+    sender_->on_feedback(feedback, at);
+  });
+}
+
+TfrcSummary TfrcConnection::run_for(sim::Duration duration) {
+  const sim::Time start = queue_.now();
+  const std::uint64_t sent_before = sender_->stats().packets_sent;
+  const std::uint64_t received_before = receiver_->stats().packets_received;
+  if (!started_) {
+    started_ = true;
+    sender_->start();
+  }
+  queue_.run_until(start + duration);
+
+  TfrcSummary summary;
+  summary.duration = queue_.now() - start;
+  summary.packets_sent = sender_->stats().packets_sent - sent_before;
+  summary.packets_received = receiver_->stats().packets_received - received_before;
+  if (summary.duration > 0.0) {
+    summary.send_rate = static_cast<double>(summary.packets_sent) / summary.duration;
+  }
+  summary.loss_event_rate = receiver_->loss_event_rate();
+
+  stats::RunningStats rate_stats;
+  for (const double r : sender_->rate_history()) {
+    rate_stats.add(r);
+  }
+  summary.mean_allowed_rate = rate_stats.mean();
+  if (rate_stats.mean() > 0.0) {
+    summary.rate_coefficient_of_variation = rate_stats.stddev() / rate_stats.mean();
+  }
+  return summary;
+}
+
+}  // namespace pftk::tfrc

@@ -1,0 +1,63 @@
+// A complete TFRC flow over the simulator's links: rate-paced sender,
+// loss-event-detecting receiver, and a lossy forward / clean feedback
+// path — the non-TCP "TCP-friendly" flow the paper's introduction
+// motivates, runnable against the same path profiles as the TCP flows.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/connection.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/link.hpp"
+#include "tfrc/tfrc_packets.hpp"
+#include "tfrc/tfrc_receiver.hpp"
+#include "tfrc/tfrc_sender.hpp"
+
+namespace pftk::tfrc {
+
+/// Everything needed for one TFRC flow.
+struct TfrcConnectionConfig {
+  TfrcSenderConfig sender;
+  sim::LinkConfig forward_link;
+  sim::LinkConfig reverse_link;
+  sim::LossSpec forward_loss = sim::NoLossSpec{};
+  std::uint64_t seed = 1;
+};
+
+/// End-of-run roll-up.
+struct TfrcSummary {
+  double duration = 0.0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_received = 0;
+  double send_rate = 0.0;            ///< packets/s over the window
+  double loss_event_rate = 0.0;      ///< receiver's final estimate
+  double mean_allowed_rate = 0.0;    ///< average of the controller's X
+  double rate_coefficient_of_variation = 0.0;  ///< smoothness metric
+};
+
+/// Owns and wires one TFRC sender/receiver pair.
+class TfrcConnection {
+ public:
+  /// @throws std::invalid_argument on invalid sub-configs.
+  explicit TfrcConnection(const TfrcConnectionConfig& config);
+
+  TfrcConnection(const TfrcConnection&) = delete;
+  TfrcConnection& operator=(const TfrcConnection&) = delete;
+
+  /// Runs for `duration` simulated seconds.
+  TfrcSummary run_for(sim::Duration duration);
+
+  [[nodiscard]] const TfrcSender& sender() const noexcept { return *sender_; }
+  [[nodiscard]] const TfrcReceiver& receiver() const noexcept { return *receiver_; }
+
+ private:
+  sim::EventQueue queue_;
+  std::unique_ptr<TfrcSender> sender_;
+  std::unique_ptr<TfrcReceiver> receiver_;
+  std::unique_ptr<sim::Link<TfrcPacket>> forward_;
+  std::unique_ptr<sim::Link<TfrcFeedback>> reverse_;
+  bool started_ = false;
+};
+
+}  // namespace pftk::tfrc

@@ -1,0 +1,24 @@
+// Wire units of the TFRC protocol (RFC 5348 §3).
+#pragma once
+
+#include "sim/sim_time.hpp"
+
+namespace pftk::tfrc {
+
+/// A paced data packet. Carries the sender's timestamp and current RTT
+/// estimate (the receiver needs the RTT to group losses into events).
+struct TfrcPacket {
+  sim::SeqNo seq = 0;
+  sim::Time sent_at = 0.0;
+  double rtt_estimate = 0.0;  ///< seconds; 0 until the sender has one
+};
+
+/// Receiver -> sender feedback, sent about once per RTT.
+struct TfrcFeedback {
+  double loss_event_rate = 0.0;  ///< p from the loss-interval history
+  double receive_rate = 0.0;     ///< X_recv, packets per second
+  sim::Time echo_timestamp = 0.0; ///< sent_at of the last data packet
+  sim::Time sent_at = 0.0;        ///< receiver clock when feedback left
+};
+
+}  // namespace pftk::tfrc

@@ -1,0 +1,72 @@
+#include "tfrc/tfrc_receiver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pftk::tfrc {
+
+TfrcReceiver::TfrcReceiver(sim::EventQueue& queue) : queue_(queue) {}
+
+void TfrcReceiver::on_packet(const TfrcPacket& packet, sim::Time now) {
+  if (!send_feedback_) {
+    throw std::logic_error("TfrcReceiver: no feedback callback set");
+  }
+  ++stats_.packets_received;
+  ++received_since_feedback_;
+  if (packet.rtt_estimate > 0.0) {
+    last_rtt_hint_ = packet.rtt_estimate;
+  }
+  last_packet_sent_at_ = packet.sent_at;
+
+  if (packet.seq >= next_expected_) {
+    // Sequence gaps are inferred losses. Losses within one RTT of the
+    // start of the current loss event belong to the same event (§5.2).
+    const sim::SeqNo losses = packet.seq - next_expected_;
+    if (losses > 0) {
+      stats_.packets_lost += losses;
+      if (now - last_event_start_ > last_rtt_hint_) {
+        ++stats_.loss_events;
+        last_event_start_ = now;
+        history_.on_loss_event();
+      }
+    }
+    history_.on_packet();
+    next_expected_ = packet.seq + 1;
+  }
+  // (late/duplicate packets are counted received but change nothing)
+
+  if (!feedback_timer_armed_) {
+    arm_feedback_timer(last_rtt_hint_);
+  }
+}
+
+void TfrcReceiver::arm_feedback_timer(double rtt) {
+  feedback_timer_armed_ = true;
+  queue_.schedule_in(std::max(1e-3, rtt), [this] {
+    feedback_timer_armed_ = false;
+    const bool had_traffic = received_since_feedback_ > 0;
+    emit_feedback();
+    if (had_traffic) {
+      // Keep reporting once per RTT while the flow is active; a silent
+      // period lets the timer lapse until the next packet re-arms it.
+      arm_feedback_timer(last_rtt_hint_);
+    }
+  });
+}
+
+void TfrcReceiver::emit_feedback() {
+  const sim::Time now = queue_.now();
+  TfrcFeedback feedback;
+  feedback.loss_event_rate = history_.loss_event_rate();
+  const double elapsed = now - last_feedback_at_;
+  feedback.receive_rate =
+      elapsed > 0.0 ? static_cast<double>(received_since_feedback_) / elapsed : 0.0;
+  feedback.echo_timestamp = last_packet_sent_at_;
+  feedback.sent_at = now;
+  last_feedback_at_ = now;
+  received_since_feedback_ = 0;
+  ++stats_.feedback_sent;
+  send_feedback_(feedback);
+}
+
+}  // namespace pftk::tfrc

@@ -1,0 +1,61 @@
+// TFRC receiver (RFC 5348 §6, simplified to the simulator's packet
+// world): detects loss events from sequence gaps, maintains the
+// loss-interval history, measures the receive rate, and emits one
+// feedback report per RTT.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "tfrc/loss_history.hpp"
+#include "tfrc/tfrc_packets.hpp"
+
+namespace pftk::tfrc {
+
+/// Counters exposed by the receiver.
+struct TfrcReceiverStats {
+  std::uint64_t packets_received = 0;
+  std::uint64_t packets_lost = 0;   ///< inferred from sequence gaps
+  std::uint64_t loss_events = 0;
+  std::uint64_t feedback_sent = 0;
+};
+
+/// Loss-event detection + feedback generation.
+class TfrcReceiver {
+ public:
+  using SendFeedbackFn = std::function<void(const TfrcFeedback&)>;
+
+  /// @param queue event queue driving the simulation (must outlive this).
+  explicit TfrcReceiver(sim::EventQueue& queue);
+
+  /// Sets the feedback transmission callback (required before traffic).
+  void set_send_feedback(SendFeedbackFn fn) { send_feedback_ = std::move(fn); }
+
+  /// Handles one arriving data packet.
+  void on_packet(const TfrcPacket& packet, sim::Time now);
+
+  [[nodiscard]] const TfrcReceiverStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] double loss_event_rate() const { return history_.loss_event_rate(); }
+
+ private:
+  void arm_feedback_timer(double rtt);
+  void emit_feedback();
+
+  sim::EventQueue& queue_;
+  SendFeedbackFn send_feedback_;
+  LossHistory history_;
+
+  sim::SeqNo next_expected_ = 0;
+  double last_rtt_hint_ = 0.2;       ///< sender's RTT estimate, from packets
+  sim::Time last_event_start_ = -1e18;
+  sim::Time last_packet_sent_at_ = 0.0;
+
+  bool feedback_timer_armed_ = false;
+  std::uint64_t received_since_feedback_ = 0;
+  sim::Time last_feedback_at_ = 0.0;
+
+  TfrcReceiverStats stats_;
+};
+
+}  // namespace pftk::tfrc

@@ -1,0 +1,95 @@
+// TFRC sender (RFC 5348 §4, simplified): a rate-paced source whose
+// allowed rate is the PFTK approximate model (eq 33 of the paper, the
+// throughput equation RFC 5348 adopts) evaluated at the feedback-reported
+// loss-event rate and the sender's smoothed RTT.
+//
+// Behaviour implemented:
+//  * packet pacing at the allowed rate X (exponentially spaced would be
+//    RFC-optional; we space deterministically),
+//  * initial slow start: X doubles each feedback round (capped by twice
+//    the reported receive rate) until the first loss event,
+//  * after loss: X = min(X_calc(p, RTT), 2 * X_recv),
+//  * RTT smoothing R = 0.9 R + 0.1 sample (RFC q = 0.9),
+//  * a no-feedback timer (4 RTT) that halves the rate — the safety valve
+//    that makes TFRC robust to dead paths.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "tfrc/tfrc_packets.hpp"
+
+namespace pftk::tfrc {
+
+/// Sender tuning.
+struct TfrcSenderConfig {
+  double initial_rate_pps = 2.0;   ///< X before any feedback (> 0)
+  double min_rate_pps = 0.25;      ///< floor, one packet per 4 s (> 0)
+  double max_rate_pps = 10000.0;   ///< cap (>= min)
+  int b = 1;                       ///< eq-33 ack factor (RFC uses b = 1)
+  double rtt_smoothing = 0.9;      ///< q of R = qR + (1-q)sample, in [0,1)
+  void validate() const;
+};
+
+/// Counters and telemetry.
+struct TfrcSenderStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t feedback_received = 0;
+  std::uint64_t no_feedback_halvings = 0;
+};
+
+/// The rate-controlled source.
+class TfrcSender {
+ public:
+  using SendPacketFn = std::function<void(const TfrcPacket&)>;
+
+  /// @throws std::invalid_argument on a bad config.
+  TfrcSender(sim::EventQueue& queue, const TfrcSenderConfig& config);
+
+  /// Sets the packet transmission callback (required before start()).
+  void set_send_packet(SendPacketFn fn) { send_packet_ = std::move(fn); }
+
+  /// Starts pacing packets.
+  /// @throws std::logic_error if no transmission callback is set.
+  void start();
+
+  /// Handles one feedback report.
+  void on_feedback(const TfrcFeedback& feedback, sim::Time now);
+
+  [[nodiscard]] double current_rate() const noexcept { return rate_; }
+  [[nodiscard]] double smoothed_rtt() const noexcept { return srtt_; }
+  [[nodiscard]] double loss_event_rate() const noexcept { return p_; }
+  [[nodiscard]] const TfrcSenderStats& stats() const noexcept { return stats_; }
+
+  /// Rate samples recorded at every feedback (for smoothness metrics).
+  [[nodiscard]] const std::vector<double>& rate_history() const noexcept {
+    return rate_history_;
+  }
+
+ private:
+  void schedule_next_packet();
+  void arm_no_feedback_timer();
+  void recompute_rate();
+
+  sim::EventQueue& queue_;
+  TfrcSenderConfig config_;
+  SendPacketFn send_packet_;
+
+  double rate_ = 1.0;
+  double srtt_ = 0.0;
+  double p_ = 0.0;
+  double x_recv_ = 0.0;
+  bool slow_start_ = true;
+  bool running_ = false;
+
+  sim::SeqNo next_seq_ = 0;
+  sim::EventId no_feedback_timer_ = 0;
+  bool no_feedback_armed_ = false;
+
+  TfrcSenderStats stats_;
+  std::vector<double> rate_history_;
+};
+
+}  // namespace pftk::tfrc

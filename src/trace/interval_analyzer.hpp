@@ -1,0 +1,50 @@
+// 100-second interval segmentation (Section III, Figs. 7 and 8).
+//
+// Each 1-hour trace is cut into consecutive 100-s intervals; each interval
+// contributes one (p_observed, N_observed) point and is categorized by the
+// worst loss indication it contains: "TD" (no timeouts), "T0" (timeouts
+// but no backoff), "T1" (at least one double timeout), "T2+", or "no loss".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "trace/loss_classifier.hpp"
+#include "trace/trace_event.hpp"
+
+namespace pftk::trace {
+
+/// Category of an interval in the Fig.-7 scatter plots.
+enum class IntervalCategory {
+  kNoLoss,  ///< no loss indications at all
+  kTd,      ///< only triple-duplicate indications
+  kT0,      ///< at least one timeout, no exponential backoff
+  kT1,      ///< at least one double timeout
+  kT2Plus,  ///< at least one triple-or-deeper timeout sequence
+};
+
+/// Display label ("TD", "T0", ...).
+[[nodiscard]] std::string_view interval_category_name(IntervalCategory c) noexcept;
+
+/// One observation interval.
+struct IntervalObservation {
+  double start = 0.0;                 ///< seconds
+  double length = 0.0;                ///< seconds
+  std::uint64_t packets_sent = 0;     ///< N_observed
+  std::uint64_t loss_indications = 0;
+  int max_timeout_depth = 0;          ///< 0 when only TDs (or nothing)
+  IntervalCategory category = IntervalCategory::kNoLoss;
+  double observed_p = 0.0;            ///< indications / packets (0 if idle)
+};
+
+/// Cuts the trace into `interval_length`-second intervals over
+/// [0, total_duration) and fills one observation per interval.
+/// @throws std::invalid_argument if interval_length <= 0 or
+///         total_duration <= 0.
+[[nodiscard]] std::vector<IntervalObservation> analyze_intervals(
+    std::span<const TraceEvent> events, double total_duration, double interval_length,
+    int dupack_threshold = 3);
+
+}  // namespace pftk::trace

@@ -1,0 +1,126 @@
+#include "trace/loss_classifier.hpp"
+
+#include <algorithm>
+
+namespace pftk::trace {
+
+LossAnalysis analyze_losses(std::span<const TraceEvent> events, int dupack_threshold) {
+  LossAnalysis out;
+
+  sim::SeqNo highest_cum = 0;
+  bool have_ack = false;
+  int dupacks = 0;
+  bool fast_rtx_seen = false;  // Reno fires one fast rtx per dup-ACK run
+  bool in_timeout_sequence = false;
+  double last_new_ack_time = 0.0;
+  double last_any_ack_time = -1.0;
+  double last_rexmit_time = -1.0;
+  double last_send_time = -1.0;
+  // A retransmission emitted in (almost) the same instant as an ACK
+  // arrival is ack-clocked — a go-back-N recovery resend, not a new loss
+  // indication. Timer-driven retransmissions follow a quiet period.
+  constexpr double kAckClockEpsilon = 1e-3;
+
+  LossIndication current_to;  // the open timeout sequence, if any
+
+  auto close_timeout_sequence = [&] {
+    if (in_timeout_sequence) {
+      out.indications.push_back(current_to);
+      in_timeout_sequence = false;
+    }
+  };
+
+  for (const TraceEvent& e : events) {
+    switch (e.type) {
+      case TraceEventType::kAckReceived: {
+        last_any_ack_time = e.t;
+        if (!have_ack || e.seq > highest_cum) {
+          have_ack = true;
+          highest_cum = e.seq;
+          dupacks = 0;
+          fast_rtx_seen = false;
+          last_new_ack_time = e.t;
+          close_timeout_sequence();
+        } else if (e.seq == highest_cum) {
+          ++dupacks;
+        }
+        break;
+      }
+      case TraceEventType::kSegmentSent: {
+        ++out.packets_sent;
+        if (!e.retransmission) {
+          last_send_time = e.t;
+          break;
+        }
+        // A retransmission is the observable footprint of a loss
+        // indication. Dup-ACK-driven => TD; timer-driven => TO. Reno can
+        // fire only one fast retransmit per dup-ACK run (recovery ends
+        // with a new ACK), so a second retransmission before any new ACK
+        // is necessarily timer-driven even if inflation dup-ACKs kept the
+        // counter above the threshold.
+        if (!in_timeout_sequence && !fast_rtx_seen && dupacks >= dupack_threshold) {
+          LossIndication td;
+          td.at = e.t;
+          td.is_timeout = false;
+          out.indications.push_back(td);
+          fast_rtx_seen = true;
+          dupacks = 0;  // the fast retransmit consumed this dup-ACK run
+        } else if (!in_timeout_sequence && last_any_ack_time >= 0.0 &&
+                   e.t - last_any_ack_time <= kAckClockEpsilon) {
+          // Ack-clocked slow-start resend of go-back-N recovery: part of
+          // the current recovery, not a fresh loss indication.
+        } else {
+          if (in_timeout_sequence) {
+            ++current_to.timeout_depth;
+          } else {
+            in_timeout_sequence = true;
+            current_to = LossIndication{};
+            current_to.at = e.t;
+            current_to.is_timeout = true;
+            current_to.timeout_depth = 1;
+            // The timer was last restarted by the most recent new ACK or
+            // retransmission; the elapsed gap approximates the RTO that
+            // just expired (the trace-derived "T0" of Table II).
+            const double armed_at =
+                std::max({last_new_ack_time, last_rexmit_time, 0.0});
+            current_to.first_timeout_wait = e.t - armed_at;
+            dupacks = 0;
+          }
+          last_rexmit_time = e.t;
+        }
+        last_send_time = e.t;
+        break;
+      }
+      case TraceEventType::kTimeout:
+      case TraceEventType::kFastRetransmit:
+      case TraceEventType::kRttSample:
+        break;  // ground-truth records: intentionally unused here
+    }
+  }
+  close_timeout_sequence();
+  (void)last_send_time;
+
+  double wait_sum = 0.0;
+  std::uint64_t wait_count = 0;
+  for (const LossIndication& ind : out.indications) {
+    if (!ind.is_timeout) {
+      ++out.td_count;
+      continue;
+    }
+    const auto depth = static_cast<std::size_t>(ind.timeout_depth);
+    const std::size_t slot = std::min<std::size_t>(depth, 6) - 1;
+    ++out.timeout_depth_counts[slot];
+    wait_sum += ind.first_timeout_wait;
+    ++wait_count;
+  }
+  if (out.packets_sent > 0) {
+    out.observed_p = static_cast<double>(out.indications.size()) /
+                     static_cast<double>(out.packets_sent);
+  }
+  if (wait_count > 0) {
+    out.mean_single_timeout = wait_sum / static_cast<double>(wait_count);
+  }
+  return out;
+}
+
+}  // namespace pftk::trace

@@ -1,0 +1,61 @@
+// Loss-indication classification from wire events only.
+//
+// Re-implements the paper's trace-analysis step: walk the sender-side
+// capture (transmissions + ACK arrivals) and identify each loss
+// indication as either a triple-duplicate-ACK event (TD) or a timeout
+// sequence (TO) of some depth — reproducing the TD / T0 / T1 / ... /
+// "T5 or more" columns of Table II. Only kSegmentSent and kAckReceived
+// records are consulted; the sender's own kTimeout / kFastRetransmit
+// ground-truth records are deliberately ignored (tests compare the two).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/trace_event.hpp"
+
+namespace pftk::trace {
+
+/// One loss indication (a TD event or a whole timeout sequence).
+struct LossIndication {
+  sim::Time at = 0.0;          ///< time of the first retransmission
+  bool is_timeout = false;     ///< false = TD (dup-ACK fast retransmit)
+  int timeout_depth = 0;       ///< number of timeouts in the sequence (0 for TD)
+  double first_timeout_wait = 0.0;  ///< observed duration of the first timeout
+};
+
+/// Trace-wide classification result.
+struct LossAnalysis {
+  std::vector<LossIndication> indications;
+  std::uint64_t packets_sent = 0;  ///< all transmissions, incl. retransmissions
+  std::uint64_t td_count = 0;
+  /// timeout_depth_counts[k] = number of TO sequences with depth k+1
+  /// (k = 5 aggregates depth >= 6, the Table-II "T5 or more" column).
+  std::array<std::uint64_t, 6> timeout_depth_counts{};
+  double observed_p = 0.0;              ///< indications / packets_sent
+  double mean_single_timeout = 0.0;     ///< observed T0 (first waits averaged)
+  [[nodiscard]] std::uint64_t total_indications() const noexcept {
+    return static_cast<std::uint64_t>(indications.size());
+  }
+  [[nodiscard]] std::uint64_t timeout_sequences() const noexcept {
+    return total_indications() - td_count;
+  }
+};
+
+/// Classifies every retransmission in the trace.
+///
+/// Classification rule (the observable counterpart of Reno's logic): a
+/// retransmission seen after >= `dupack_threshold` duplicate ACKs since
+/// the last new ACK is a TD indication; any other retransmission is a
+/// timeout. Consecutive timeouts with no intervening new ACK form one
+/// timeout *sequence* of depth k, counted as a single loss indication
+/// of category T(k-1), matching Table II.
+///
+/// @param events full trace in time order
+/// @param dupack_threshold sender's dup-ACK threshold (3; 2 for Linux)
+[[nodiscard]] LossAnalysis analyze_losses(std::span<const TraceEvent> events,
+                                          int dupack_threshold = 3);
+
+}  // namespace pftk::trace

@@ -1,0 +1,89 @@
+#include "trace/round_analyzer.hpp"
+
+#include "trace/rtt_estimator.hpp"
+
+namespace pftk::trace {
+
+RoundAnalysis analyze_rounds(std::span<const TraceEvent> events) {
+  RoundAnalysis out;
+  std::vector<bool> clean;  // round closed by self-clocking, not recovery
+
+  bool round_open = false;
+  bool ack_passed_anchor = false;
+  bool recovery_break = false;
+  sim::SeqNo anchor = 0;
+  Round current;
+
+  auto close_round = [&](bool by_recovery) {
+    if (!round_open) {
+      return;
+    }
+    out.rounds.push_back(current);
+    clean.push_back(!by_recovery);
+    round_open = false;
+  };
+
+  for (const TraceEvent& e : events) {
+    switch (e.type) {
+      case TraceEventType::kSegmentSent: {
+        if (e.retransmission) {
+          // Loss recovery suspends self-clocking: close and flag.
+          close_round(true);
+          recovery_break = true;
+          break;
+        }
+        const bool start_new = !round_open || ack_passed_anchor || recovery_break;
+        if (start_new) {
+          close_round(recovery_break);
+          current = Round{};
+          current.start = e.t;
+          current.last_send = e.t;
+          current.packets = 1;
+          anchor = e.seq;
+          round_open = true;
+          ack_passed_anchor = false;
+          recovery_break = false;
+        } else {
+          current.last_send = e.t;
+          ++current.packets;
+        }
+        break;
+      }
+      case TraceEventType::kAckReceived: {
+        if (round_open && !e.duplicate && e.seq > anchor) {
+          ack_passed_anchor = true;
+        }
+        break;
+      }
+      case TraceEventType::kTimeout:
+      case TraceEventType::kFastRetransmit:
+      case TraceEventType::kRttSample:
+        break;
+    }
+  }
+  close_round(true);  // the final round has no successor; treat as unclean
+
+  // Aggregates over cleanly-clocked consecutive rounds only.
+  for (std::size_t i = 0; i + 1 < out.rounds.size(); ++i) {
+    if (!clean[i]) {
+      continue;
+    }
+    const double duration = out.rounds[i + 1].start - out.rounds[i].start;
+    out.rounds[i].duration = duration;
+    if (duration <= 0.0) {
+      continue;
+    }
+    out.durations.add(duration);
+    out.sizes.add(static_cast<double>(out.rounds[i].packets));
+    out.span_fraction.add((out.rounds[i].last_send - out.rounds[i].start) / duration);
+    out.size_vs_duration.add(static_cast<double>(out.rounds[i].packets), duration);
+  }
+
+  const RttEstimate rtt = estimate_rtt(events);
+  if (rtt.mean_rtt() > 0.0 && out.durations.count() > 0) {
+    out.duration_over_rtt = out.durations.mean() / rtt.mean_rtt();
+  }
+  return out;
+}
+
+}  // namespace pftk::trace

@@ -1,0 +1,54 @@
+// Round-structure analysis: checking the paper's central abstraction.
+//
+// The whole Section-II model rests on "rounds": the window is sent
+// back-to-back, then the sender idles until the first ACK of that window
+// arrives, one RTT later. This analyzer reconstructs rounds from the wire
+// trace so the assumption can be *measured* on simulated (or any) traces:
+//
+//  * a round begins with the first transmission after the cumulative ACK
+//    point has passed the previous round's anchor (self-clocking),
+//  * its span is the time from its first to its last transmission,
+//  * its duration is the gap between consecutive round starts.
+//
+// The model assumes span << duration ~= RTT and duration independent of
+// the round's size; the Section-IV correlation study and the eq-(6)
+// derivation both hang on this. ext_round_structure reports how well the
+// simulated Reno flow satisfies it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/correlation.hpp"
+#include "stats/running_stats.hpp"
+#include "trace/trace_event.hpp"
+
+namespace pftk::trace {
+
+/// One reconstructed round.
+struct Round {
+  sim::Time start = 0.0;         ///< first transmission
+  sim::Time last_send = 0.0;     ///< last transmission in the round
+  std::uint64_t packets = 0;     ///< transmissions in the round
+  double duration = 0.0;         ///< gap to the next round's start (0 for last)
+};
+
+/// Aggregate view of a trace's round structure.
+struct RoundAnalysis {
+  std::vector<Round> rounds;
+  stats::RunningStats durations;      ///< seconds between round starts
+  stats::RunningStats sizes;          ///< packets per round
+  stats::RunningStats span_fraction;  ///< (within-round send span) / duration
+  stats::PairedStats size_vs_duration;  ///< the Section-IV independence check
+
+  /// Mean round duration over the mean measured RTT — the model says ~1.
+  double duration_over_rtt = 0.0;
+};
+
+/// Reconstructs rounds from a sender-side trace.
+/// Rounds interrupted by retransmissions are closed at the retransmission
+/// (loss recovery suspends the self-clocked pattern).
+[[nodiscard]] RoundAnalysis analyze_rounds(std::span<const TraceEvent> events);
+
+}  // namespace pftk::trace

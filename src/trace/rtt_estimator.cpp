@@ -1,0 +1,61 @@
+#include "trace/rtt_estimator.hpp"
+
+namespace pftk::trace {
+
+RttEstimate estimate_rtt(std::span<const TraceEvent> events) {
+  RttEstimate out;
+  // Single-timer timing, as 4.4BSD (and Karn's algorithm) do it: one
+  // segment is timed at a time, and the in-progress measurement is
+  // abandoned whenever *any* retransmission occurs, so samples never
+  // straddle loss recovery.
+  bool timing_active = false;
+  bool timing_cancelled = false;
+  sim::SeqNo timed_seq = 0;
+  sim::Time timing_started = 0.0;
+  std::size_t timing_in_flight = 0;
+  sim::SeqNo highest_cum = 0;
+  bool have_ack = false;
+
+  for (const TraceEvent& e : events) {
+    switch (e.type) {
+      case TraceEventType::kSegmentSent: {
+        if (e.retransmission) {
+          timing_cancelled = true;
+        } else if (!timing_active) {
+          timing_active = true;
+          timing_cancelled = false;
+          timed_seq = e.seq;
+          timing_started = e.t;
+          timing_in_flight = e.in_flight;
+        }
+        break;
+      }
+      case TraceEventType::kAckReceived: {
+        if (have_ack && e.seq <= highest_cum) {
+          break;  // duplicate or stale
+        }
+        have_ack = true;
+        highest_cum = e.seq;
+        if (timing_active && e.seq > timed_seq) {
+          timing_active = false;
+          if (!timing_cancelled) {
+            const double sample = e.t - timing_started;
+            if (sample > 0.0) {
+              out.samples.add(sample);
+              out.sample_values.push_back(sample);
+              out.window_vs_rtt.add(static_cast<double>(timing_in_flight), sample);
+            }
+          }
+        }
+        break;
+      }
+      case TraceEventType::kTimeout:
+      case TraceEventType::kFastRetransmit:
+      case TraceEventType::kRttSample:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace pftk::trace

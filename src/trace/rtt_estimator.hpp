@@ -1,0 +1,36 @@
+// Trace-based RTT estimation with Karn's rule.
+//
+// Reproduces the paper's measurement procedure: "When calculating RTT
+// values, we follow Karn's algorithm, in an attempt to minimize the
+// impact of time-outs and retransmissions on the RTT estimates." Samples
+// are taken only for segments transmitted exactly once, by matching each
+// new cumulative ACK against the first transmission it acknowledges.
+//
+// The estimator also pairs every sample with the number of packets in
+// flight when the timed segment was sent, enabling the Section-IV
+// RTT-vs-window correlation study (ordinary paths: |rho| <= 0.1; modem
+// path: rho up to 0.97).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/correlation.hpp"
+#include "stats/running_stats.hpp"
+#include "trace/trace_event.hpp"
+
+namespace pftk::trace {
+
+/// Result of re-deriving RTT from wire events.
+struct RttEstimate {
+  stats::RunningStats samples;        ///< Karn-valid samples, seconds
+  stats::PairedStats window_vs_rtt;   ///< (in-flight at send, RTT sample) pairs
+  std::vector<double> sample_values;  ///< the raw samples, in order
+  [[nodiscard]] double mean_rtt() const noexcept { return samples.mean(); }
+  [[nodiscard]] double correlation() const noexcept { return window_vs_rtt.correlation(); }
+};
+
+/// Scans the trace and produces Karn-filtered RTT statistics.
+[[nodiscard]] RttEstimate estimate_rtt(std::span<const TraceEvent> events);
+
+}  // namespace pftk::trace

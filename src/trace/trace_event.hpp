@@ -1,0 +1,43 @@
+// Raw sender-side trace records.
+//
+// The paper instruments the *sender* with tcpdump and post-processes the
+// capture. Our TraceRecorder fills the same role: it logs transmissions
+// and ACK arrivals (the observable wire events), plus the sender's own
+// recovery actions (timeout / fast-retransmit) which tests use as ground
+// truth to validate the purely-wire-based loss classifier.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/sim_time.hpp"
+
+namespace pftk::trace {
+
+/// What happened.
+enum class TraceEventType {
+  kSegmentSent,     ///< data segment left the sender
+  kAckReceived,     ///< cumulative ACK arrived
+  kTimeout,         ///< retransmission timer fired (ground truth)
+  kFastRetransmit,  ///< dup-ACK threshold crossed (ground truth)
+  kRttSample,       ///< Karn-valid RTT sample (ground truth)
+};
+
+/// One trace record. Field meaning depends on `type`:
+///  kSegmentSent:    seq, retransmission, in_flight, cwnd
+///  kAckReceived:    seq = cumulative ack, duplicate
+///  kTimeout:        seq, consecutive (1 = first of sequence), value = RTO used
+///  kFastRetransmit: seq
+///  kRttSample:      value = sample seconds, in_flight at send time
+struct TraceEvent {
+  sim::Time t = 0.0;
+  TraceEventType type = TraceEventType::kSegmentSent;
+  sim::SeqNo seq = 0;
+  bool retransmission = false;
+  bool duplicate = false;
+  int consecutive = 0;
+  double value = 0.0;
+  std::size_t in_flight = 0;
+  double cwnd = 0.0;
+};
+
+}  // namespace pftk::trace

@@ -1,0 +1,113 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pftk::trace {
+
+void write_trace(std::ostream& os, std::span<const TraceEvent> events) {
+  os << "# pftk trace v1: S/A/T/F/R events, tab-separated, times in seconds\n";
+  os << std::fixed << std::setprecision(9);
+  for (const TraceEvent& e : events) {
+    switch (e.type) {
+      case TraceEventType::kSegmentSent:
+        os << "S\t" << e.t << '\t' << e.seq << '\t' << (e.retransmission ? 1 : 0) << '\t'
+           << e.in_flight << '\t' << e.cwnd << '\n';
+        break;
+      case TraceEventType::kAckReceived:
+        os << "A\t" << e.t << '\t' << e.seq << '\t' << (e.duplicate ? 1 : 0) << '\n';
+        break;
+      case TraceEventType::kTimeout:
+        os << "T\t" << e.t << '\t' << e.seq << '\t' << e.consecutive << '\t' << e.value
+           << '\n';
+        break;
+      case TraceEventType::kFastRetransmit:
+        os << "F\t" << e.t << '\t' << e.seq << '\n';
+        break;
+      case TraceEventType::kRttSample:
+        os << "R\t" << e.t << '\t' << e.value << '\t' << e.in_flight << '\n';
+        break;
+    }
+  }
+}
+
+std::vector<TraceEvent> read_trace(std::istream& is) {
+  std::vector<TraceEvent> out;
+  std::string line;
+  std::size_t line_no = 0;
+  auto fail = [&line_no](const std::string& why) {
+    throw std::invalid_argument("read_trace: line " + std::to_string(line_no) + ": " + why);
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    TraceEvent e;
+    int flag = 0;
+    switch (tag) {
+      case 'S':
+        e.type = TraceEventType::kSegmentSent;
+        if (!(ls >> e.t >> e.seq >> flag >> e.in_flight >> e.cwnd)) {
+          fail("malformed S record");
+        }
+        e.retransmission = flag != 0;
+        break;
+      case 'A':
+        e.type = TraceEventType::kAckReceived;
+        if (!(ls >> e.t >> e.seq >> flag)) {
+          fail("malformed A record");
+        }
+        e.duplicate = flag != 0;
+        break;
+      case 'T':
+        e.type = TraceEventType::kTimeout;
+        if (!(ls >> e.t >> e.seq >> e.consecutive >> e.value)) {
+          fail("malformed T record");
+        }
+        break;
+      case 'F':
+        e.type = TraceEventType::kFastRetransmit;
+        if (!(ls >> e.t >> e.seq)) {
+          fail("malformed F record");
+        }
+        break;
+      case 'R':
+        e.type = TraceEventType::kRttSample;
+        if (!(ls >> e.t >> e.value >> e.in_flight)) {
+          fail("malformed R record");
+        }
+        break;
+      default:
+        fail(std::string("unknown record tag '") + tag + "'");
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+void save_trace_file(const std::string& path, std::span<const TraceEvent> events) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::invalid_argument("save_trace_file: cannot open " + path);
+  }
+  write_trace(os, events);
+}
+
+std::vector<TraceEvent> load_trace_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::invalid_argument("load_trace_file: cannot open " + path);
+  }
+  return read_trace(is);
+}
+
+}  // namespace pftk::trace

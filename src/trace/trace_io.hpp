@@ -1,0 +1,41 @@
+// Trace serialization — the reproduction's "tcpdump file" format.
+//
+// The paper's workflow separates capture (tcpdump at the sender) from
+// analysis (their programs, cross-checked against tcptrace). This module
+// provides the same separation: a simulation can dump its sender-side
+// trace to a text file and every analyzer (loss classifier, RTT
+// estimator, interval segmentation) can run on the reloaded copy.
+//
+// Format: one event per line, tab-separated:
+//   S <t> <seq> <rexmit 0|1> <in_flight> <cwnd>      segment sent
+//   A <t> <cum> <dup 0|1>                            ack received
+//   T <t> <seq> <consecutive> <rto>                  timeout (ground truth)
+//   F <t> <seq>                                      fast rtx (ground truth)
+//   R <t> <sample> <in_flight>                       rtt sample (ground truth)
+// Lines starting with '#' are comments. Times are seconds with fixed
+// 9-digit precision, so a round trip is loss-free for simulation scales.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/trace_event.hpp"
+
+namespace pftk::trace {
+
+/// Writes the trace, one event per line, preceded by a '#' header.
+/// @throws std::ios_base::failure on stream errors.
+void write_trace(std::ostream& os, std::span<const TraceEvent> events);
+
+/// Reads a trace written by write_trace.
+/// @throws std::invalid_argument on any malformed line (with its number).
+[[nodiscard]] std::vector<TraceEvent> read_trace(std::istream& is);
+
+/// Convenience file wrappers.
+/// @throws std::invalid_argument if the file cannot be opened.
+void save_trace_file(const std::string& path, std::span<const TraceEvent> events);
+[[nodiscard]] std::vector<TraceEvent> load_trace_file(const std::string& path);
+
+}  // namespace pftk::trace

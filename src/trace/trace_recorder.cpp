@@ -1,0 +1,55 @@
+#include "trace/trace_recorder.hpp"
+
+namespace pftk::trace {
+
+void TraceRecorder::on_segment_sent(sim::Time t, sim::SeqNo seq, bool retransmission,
+                                    std::size_t in_flight, double cwnd) {
+  TraceEvent e;
+  e.t = t;
+  e.type = TraceEventType::kSegmentSent;
+  e.seq = seq;
+  e.retransmission = retransmission;
+  e.in_flight = in_flight;
+  e.cwnd = cwnd;
+  events_.push_back(e);
+}
+
+void TraceRecorder::on_ack_received(sim::Time t, sim::SeqNo cumulative, bool duplicate) {
+  TraceEvent e;
+  e.t = t;
+  e.type = TraceEventType::kAckReceived;
+  e.seq = cumulative;
+  e.duplicate = duplicate;
+  events_.push_back(e);
+}
+
+void TraceRecorder::on_fast_retransmit(sim::Time t, sim::SeqNo seq) {
+  TraceEvent e;
+  e.t = t;
+  e.type = TraceEventType::kFastRetransmit;
+  e.seq = seq;
+  events_.push_back(e);
+}
+
+void TraceRecorder::on_timeout(sim::Time t, sim::SeqNo seq, int consecutive,
+                               sim::Duration rto_used) {
+  TraceEvent e;
+  e.t = t;
+  e.type = TraceEventType::kTimeout;
+  e.seq = seq;
+  e.consecutive = consecutive;
+  e.value = rto_used;
+  events_.push_back(e);
+}
+
+void TraceRecorder::on_rtt_sample(sim::Time t, sim::Duration sample,
+                                  std::size_t in_flight) {
+  TraceEvent e;
+  e.t = t;
+  e.type = TraceEventType::kRttSample;
+  e.value = sample;
+  e.in_flight = in_flight;
+  events_.push_back(e);
+}
+
+}  // namespace pftk::trace

@@ -1,0 +1,36 @@
+// Collects the sender-side event stream of a simulation run.
+#pragma once
+
+#include <vector>
+
+#include "sim/sender_observer.hpp"
+#include "trace/trace_event.hpp"
+
+namespace pftk::trace {
+
+/// SenderObserver that appends every event to an in-memory trace.
+/// Attach via sim::Connection::set_observer before running.
+class TraceRecorder final : public sim::SenderObserver {
+ public:
+  void on_segment_sent(sim::Time t, sim::SeqNo seq, bool retransmission,
+                       std::size_t in_flight, double cwnd) override;
+  void on_ack_received(sim::Time t, sim::SeqNo cumulative, bool duplicate) override;
+  void on_fast_retransmit(sim::Time t, sim::SeqNo seq) override;
+  void on_timeout(sim::Time t, sim::SeqNo seq, int consecutive,
+                  sim::Duration rto_used) override;
+  void on_rtt_sample(sim::Time t, sim::Duration sample, std::size_t in_flight) override;
+
+  /// The recorded events, in simulation-time order.
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
+
+  /// Drops all recorded events (e.g. between back-to-back experiments).
+  void clear() noexcept { events_.clear(); }
+
+  /// Reserve storage up front for long runs.
+  void reserve(std::size_t n) { events_.reserve(n); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace pftk::trace

@@ -1,0 +1,32 @@
+#include "trace/trace_summary.hpp"
+
+#include "trace/loss_classifier.hpp"
+#include "trace/rtt_estimator.hpp"
+
+namespace pftk::trace {
+
+double TraceSummary::timeout_fraction() const noexcept {
+  if (loss_indications == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(loss_indications - td_events) /
+         static_cast<double>(loss_indications);
+}
+
+TraceSummary summarize_trace(std::span<const TraceEvent> events, int dupack_threshold) {
+  TraceSummary row;
+  const LossAnalysis losses = analyze_losses(events, dupack_threshold);
+  row.packets_sent = losses.packets_sent;
+  row.loss_indications = losses.total_indications();
+  row.td_events = losses.td_count;
+  row.timeouts_by_depth = losses.timeout_depth_counts;
+  row.observed_p = losses.observed_p;
+  row.avg_timeout = losses.mean_single_timeout;
+
+  const RttEstimate rtt = estimate_rtt(events);
+  row.avg_rtt = rtt.mean_rtt();
+  row.rtt_window_correlation = rtt.correlation();
+  return row;
+}
+
+}  // namespace pftk::trace

@@ -1,0 +1,37 @@
+// Table-II row construction: the per-trace summary the paper reports for
+// every 1-hour connection.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "trace/trace_event.hpp"
+
+namespace pftk::trace {
+
+/// One row of Table II.
+struct TraceSummary {
+  std::string sender;    ///< label only
+  std::string receiver;  ///< label only
+  std::uint64_t packets_sent = 0;
+  std::uint64_t loss_indications = 0;
+  std::uint64_t td_events = 0;
+  /// timeouts_by_depth[k]: TO sequences with k+1 timeouts; index 5 is
+  /// the "T5 or more" aggregate.
+  std::array<std::uint64_t, 6> timeouts_by_depth{};
+  double avg_rtt = 0.0;      ///< Karn-filtered mean RTT, seconds
+  double avg_timeout = 0.0;  ///< observed mean single-timeout duration, seconds
+  double observed_p = 0.0;   ///< loss_indications / packets_sent
+  double rtt_window_correlation = 0.0;  ///< Section-IV diagnostic
+
+  /// Fraction of loss indications that are timeout sequences.
+  [[nodiscard]] double timeout_fraction() const noexcept;
+};
+
+/// Builds a Table-II row from a recorded trace.
+[[nodiscard]] TraceSummary summarize_trace(std::span<const TraceEvent> events,
+                                           int dupack_threshold = 3);
+
+}  // namespace pftk::trace

@@ -1,0 +1,77 @@
+#include "trace/trace_validator.hpp"
+
+namespace pftk::trace {
+
+TraceValidation validate_trace(std::span<const TraceEvent> events) {
+  TraceValidation report;
+  auto flag = [&report](std::size_t idx, std::string message) {
+    report.violations.push_back({idx, std::move(message)});
+  };
+
+  double last_t = 0.0;
+  sim::SeqNo next_new_seq = 0;  // next first-transmission expected
+  sim::SeqNo highest_cum = 0;
+  bool have_ack = false;
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (e.t < 0.0) {
+      flag(i, "negative timestamp");
+    }
+    if (e.t < last_t) {
+      flag(i, "timestamps regress");
+    }
+    last_t = e.t;
+
+    switch (e.type) {
+      case TraceEventType::kSegmentSent: {
+        if (!e.retransmission) {
+          if (e.seq != next_new_seq) {
+            flag(i, "first transmission out of order (seq " + std::to_string(e.seq) +
+                        ", expected " + std::to_string(next_new_seq) + ")");
+          }
+          next_new_seq = e.seq + 1;
+        } else if (e.seq >= next_new_seq) {
+          flag(i, "retransmission of never-sent seq " + std::to_string(e.seq));
+        }
+        break;
+      }
+      case TraceEventType::kAckReceived: {
+        if (e.seq > next_new_seq) {
+          flag(i, "ack of never-sent data (cum " + std::to_string(e.seq) + ")");
+        }
+        if (e.duplicate && have_ack && e.seq > highest_cum) {
+          flag(i, "duplicate-flagged ack advances the cumulative point");
+        }
+        if (!e.duplicate && have_ack && e.seq < highest_cum) {
+          flag(i, "cumulative point regressed");
+        }
+        if (!have_ack || e.seq > highest_cum) {
+          highest_cum = e.seq;
+          have_ack = true;
+        }
+        break;
+      }
+      case TraceEventType::kTimeout: {
+        if (e.consecutive < 1) {
+          flag(i, "timeout with non-positive depth");
+        }
+        if (e.value <= 0.0) {
+          flag(i, "timeout with non-positive RTO");
+        }
+        break;
+      }
+      case TraceEventType::kRttSample: {
+        if (e.value <= 0.0) {
+          flag(i, "non-positive RTT sample");
+        }
+        break;
+      }
+      case TraceEventType::kFastRetransmit:
+        break;
+    }
+  }
+  return report;
+}
+
+}  // namespace pftk::trace

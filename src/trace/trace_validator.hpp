@@ -1,0 +1,41 @@
+// Trace sanity validation.
+//
+// The paper verified its analysis programs against tcptrace and ns; this
+// validator fills that role for our pipeline: it checks the structural
+// invariants every legitimate sender-side capture must satisfy, so a
+// corrupted file or a buggy recorder is caught before it silently skews
+// Table-II statistics.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/trace_event.hpp"
+
+namespace pftk::trace {
+
+/// One violated invariant.
+struct TraceViolation {
+  std::size_t event_index = 0;  ///< offending position in the stream
+  std::string message;
+};
+
+/// Validation report.
+struct TraceValidation {
+  std::vector<TraceViolation> violations;
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+};
+
+/// Checks, in one pass:
+///  * timestamps are non-negative and non-decreasing,
+///  * the first transmission of each sequence number is not flagged as a
+///    retransmission, and every retransmission was previously sent,
+///  * new sequence numbers are introduced in order (no gaps),
+///  * cumulative ACKs never acknowledge data that was never sent and the
+///    cumulative point never regresses on a non-duplicate ACK,
+///  * duplicate-flagged ACKs do not advance the cumulative point,
+///  * RTT samples and RTO values are positive.
+[[nodiscard]] TraceValidation validate_trace(std::span<const TraceEvent> events);
+
+}  // namespace pftk::trace

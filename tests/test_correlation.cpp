@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/correlation.hpp"
+
+namespace pftk::stats {
+namespace {
+
+TEST(PairedStats, PerfectPositiveCorrelation) {
+  PairedStats ps;
+  for (int i = 0; i < 20; ++i) {
+    ps.add(i, 3.0 * i + 1.0);
+  }
+  EXPECT_NEAR(ps.correlation(), 1.0, 1e-12);
+  EXPECT_NEAR(ps.slope(), 3.0, 1e-12);
+}
+
+TEST(PairedStats, PerfectNegativeCorrelation) {
+  PairedStats ps;
+  for (int i = 0; i < 20; ++i) {
+    ps.add(i, -2.0 * i + 7.0);
+  }
+  EXPECT_NEAR(ps.correlation(), -1.0, 1e-12);
+}
+
+TEST(PairedStats, UncorrelatedSymmetricPattern) {
+  PairedStats ps;
+  // y is symmetric around x's mean: correlation exactly 0.
+  ps.add(-1.0, 1.0);
+  ps.add(0.0, 0.0);
+  ps.add(1.0, 1.0);
+  EXPECT_NEAR(ps.correlation(), 0.0, 1e-12);
+}
+
+TEST(PairedStats, ConstantInputGivesZero) {
+  PairedStats ps;
+  ps.add(5.0, 1.0);
+  ps.add(5.0, 2.0);
+  ps.add(5.0, 3.0);
+  EXPECT_EQ(ps.correlation(), 0.0);
+  EXPECT_EQ(ps.slope(), 0.0);
+}
+
+TEST(PairedStats, FewerThanTwoPairsIsZero) {
+  PairedStats ps;
+  EXPECT_EQ(ps.correlation(), 0.0);
+  ps.add(1.0, 2.0);
+  EXPECT_EQ(ps.correlation(), 0.0);
+}
+
+TEST(PairedStats, CovarianceKnownValue) {
+  PairedStats ps;
+  ps.add(1.0, 2.0);
+  ps.add(2.0, 4.0);
+  ps.add(3.0, 6.0);
+  EXPECT_NEAR(ps.covariance(), 2.0, 1e-12);  // cov of (1,2,3) with (2,4,6)
+}
+
+TEST(PearsonCorrelation, SpanOverloadMatchesAccumulator) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0};
+  const std::vector<double> ys{1.1, 1.9, 4.2, 7.8};
+  PairedStats ps;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    ps.add(xs[i], ys[i]);
+  }
+  EXPECT_NEAR(pearson_correlation(xs, ys), ps.correlation(), 1e-12);
+}
+
+TEST(PearsonCorrelation, MismatchedLengthsThrow) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{1.0};
+  EXPECT_THROW((void)pearson_correlation(xs, ys), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pftk::stats

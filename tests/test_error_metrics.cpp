@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/error_metrics.hpp"
+
+namespace pftk::stats {
+namespace {
+
+TEST(AverageErrorMetric, PerfectPredictionIsZero) {
+  AverageErrorMetric m;
+  m.add(10.0, 10.0);
+  m.add(5.0, 5.0);
+  EXPECT_DOUBLE_EQ(m.value(), 0.0);
+  EXPECT_EQ(m.count(), 2u);
+}
+
+TEST(AverageErrorMetric, KnownRelativeErrors) {
+  AverageErrorMetric m;
+  m.add(12.0, 10.0);  // 0.2
+  m.add(5.0, 10.0);   // 0.5
+  EXPECT_NEAR(m.value(), 0.35, 1e-12);
+}
+
+TEST(AverageErrorMetric, OverAndUnderPredictionsBothCountPositive) {
+  AverageErrorMetric m;
+  m.add(15.0, 10.0);
+  EXPECT_NEAR(m.value(), 0.5, 1e-12);
+  m.add(5.0, 10.0);
+  EXPECT_NEAR(m.value(), 0.5, 1e-12);
+}
+
+TEST(AverageErrorMetric, ZeroObservedIsSkipped) {
+  AverageErrorMetric m;
+  m.add(10.0, 0.0);
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_EQ(m.skipped(), 1u);
+  EXPECT_DOUBLE_EQ(m.value(), 0.0);
+}
+
+TEST(AverageErrorMetric, EmptyIsZero) {
+  AverageErrorMetric m;
+  EXPECT_DOUBLE_EQ(m.value(), 0.0);
+}
+
+TEST(AverageRelativeError, SpanOverloadMatches) {
+  const std::vector<double> pred{12.0, 5.0};
+  const std::vector<double> obs{10.0, 10.0};
+  EXPECT_NEAR(average_relative_error(pred, obs), 0.35, 1e-12);
+}
+
+TEST(AverageRelativeError, MismatchedSpansThrow) {
+  const std::vector<double> pred{1.0};
+  const std::vector<double> obs{1.0, 2.0};
+  EXPECT_THROW((void)average_relative_error(pred, obs), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pftk::stats

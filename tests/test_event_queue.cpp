@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace pftk::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, FifoTieBreakAtEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(5.0, [&] { ++fired; });
+  q.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule_at(1.0, [&] { ++fired; });
+  q.cancel(id);
+  q.run_all();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  q.cancel(9999);  // must not throw
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  std::vector<double> times;
+  q.schedule_at(1.0, [&] {
+    times.push_back(q.now());
+    q.schedule_in(1.5, [&] { times.push_back(q.now()); });
+  });
+  q.run_all();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.5);
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue q;
+  q.schedule_at(2.0, [] {});
+  q.run_until(2.0);
+  EXPECT_THROW(q.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_in(-0.1, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, ExecutedCounterAdvances) {
+  EventQueue q;
+  q.schedule_at(1.0, [] {});
+  q.schedule_at(2.0, [] {});
+  q.run_all();
+  EXPECT_EQ(q.executed(), 2u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWithoutEvents) {
+  EventQueue q;
+  q.run_until(7.5);
+  EXPECT_DOUBLE_EQ(q.now(), 7.5);
+}
+
+TEST(EventQueue, CancelledEventDoesNotBlockOthersAtSameTime) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule_at(1.0, [&] { fired += 100; });
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.cancel(id);
+  q.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace pftk::sim

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "trace/interval_analyzer.hpp"
+
+namespace pftk::trace {
+namespace {
+
+TraceEvent send_event(double t, sim::SeqNo seq, bool rexmit) {
+  TraceEvent e;
+  e.t = t;
+  e.type = TraceEventType::kSegmentSent;
+  e.seq = seq;
+  e.retransmission = rexmit;
+  return e;
+}
+
+TraceEvent ack_event(double t, sim::SeqNo cum) {
+  TraceEvent e;
+  e.t = t;
+  e.type = TraceEventType::kAckReceived;
+  e.seq = cum;
+  return e;
+}
+
+TEST(IntervalAnalyzer, SplitsDurationIntoIntervals) {
+  const std::vector<TraceEvent> ev;
+  const auto obs = analyze_intervals(ev, 1000.0, 100.0);
+  ASSERT_EQ(obs.size(), 10u);
+  EXPECT_DOUBLE_EQ(obs[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(obs[9].start, 900.0);
+  EXPECT_DOUBLE_EQ(obs[9].length, 100.0);
+}
+
+TEST(IntervalAnalyzer, PartialFinalInterval) {
+  const std::vector<TraceEvent> ev;
+  const auto obs = analyze_intervals(ev, 250.0, 100.0);
+  ASSERT_EQ(obs.size(), 3u);
+  EXPECT_DOUBLE_EQ(obs[2].length, 50.0);
+}
+
+TEST(IntervalAnalyzer, PacketsCountedPerInterval) {
+  std::vector<TraceEvent> ev;
+  for (int i = 0; i < 5; ++i) {
+    ev.push_back(send_event(10.0 + i, static_cast<sim::SeqNo>(i), false));
+  }
+  for (int i = 0; i < 3; ++i) {
+    ev.push_back(send_event(110.0 + i, static_cast<sim::SeqNo>(5 + i), false));
+  }
+  const auto obs = analyze_intervals(ev, 300.0, 100.0);
+  EXPECT_EQ(obs[0].packets_sent, 5u);
+  EXPECT_EQ(obs[1].packets_sent, 3u);
+  EXPECT_EQ(obs[2].packets_sent, 0u);
+}
+
+TEST(IntervalAnalyzer, CategoryNoLossAndTd) {
+  std::vector<TraceEvent> ev;
+  // Interval 0: clean transfer.
+  ev.push_back(send_event(1.0, 0, false));
+  ev.push_back(ack_event(1.2, 1));
+  // Interval 1: a TD event (3 dup acks then retransmission).
+  for (sim::SeqNo s = 1; s < 9; ++s) {
+    ev.push_back(send_event(100.5, s, false));
+  }
+  ev.push_back(ack_event(101.0, 5));
+  ev.push_back(ack_event(101.1, 5));
+  ev.push_back(ack_event(101.2, 5));
+  ev.push_back(ack_event(101.3, 5));
+  ev.push_back(send_event(101.4, 5, true));
+  const auto obs = analyze_intervals(ev, 300.0, 100.0);
+  EXPECT_EQ(obs[0].category, IntervalCategory::kNoLoss);
+  EXPECT_EQ(obs[1].category, IntervalCategory::kTd);
+  EXPECT_EQ(obs[1].loss_indications, 1u);
+}
+
+TEST(IntervalAnalyzer, CategoryEscalatesWithTimeoutDepth) {
+  std::vector<TraceEvent> ev;
+  // Interval 0: single timeout (depth 1) -> T0.
+  ev.push_back(send_event(0.0, 0, false));
+  ev.push_back(send_event(3.0, 0, true));
+  ev.push_back(ack_event(3.1, 1));
+  // Interval 1: double timeout (depth 2) -> T1.
+  ev.push_back(send_event(100.0, 1, false));
+  ev.push_back(send_event(103.0, 1, true));
+  ev.push_back(send_event(109.0, 1, true));
+  ev.push_back(ack_event(109.1, 2));
+  // Interval 2: depth 4 -> T2+.
+  ev.push_back(send_event(200.0, 2, false));
+  ev.push_back(send_event(203.0, 2, true));
+  ev.push_back(send_event(209.0, 2, true));
+  ev.push_back(send_event(221.0, 2, true));
+  ev.push_back(send_event(245.0, 2, true));
+  const auto obs = analyze_intervals(ev, 300.0, 100.0);
+  EXPECT_EQ(obs[0].category, IntervalCategory::kT0);
+  EXPECT_EQ(obs[1].category, IntervalCategory::kT1);
+  EXPECT_EQ(obs[2].category, IntervalCategory::kT2Plus);
+}
+
+TEST(IntervalAnalyzer, ObservedPIsIndicationsOverPackets) {
+  std::vector<TraceEvent> ev;
+  for (int i = 0; i < 99; ++i) {
+    ev.push_back(send_event(0.1 * i, static_cast<sim::SeqNo>(i), false));
+  }
+  ev.push_back(send_event(50.0, 0, true));  // one timeout indication
+  const auto obs = analyze_intervals(ev, 100.0, 100.0);
+  ASSERT_EQ(obs.size(), 1u);
+  EXPECT_EQ(obs[0].packets_sent, 100u);
+  EXPECT_EQ(obs[0].loss_indications, 1u);
+  EXPECT_NEAR(obs[0].observed_p, 0.01, 1e-12);
+}
+
+TEST(IntervalAnalyzer, IndicationBinnedByFirstRetransmission) {
+  // A timeout sequence straddling a boundary belongs to the interval of
+  // its first retransmission.
+  std::vector<TraceEvent> ev;
+  ev.push_back(send_event(90.0, 0, false));
+  ev.push_back(send_event(95.0, 0, true));   // starts in interval 0
+  ev.push_back(send_event(105.0, 0, true));  // continues in interval 1
+  const auto obs = analyze_intervals(ev, 200.0, 100.0);
+  EXPECT_EQ(obs[0].loss_indications, 1u);
+  EXPECT_EQ(obs[1].loss_indications, 0u);
+  EXPECT_EQ(obs[0].max_timeout_depth, 2);
+}
+
+TEST(IntervalAnalyzer, RejectsBadArguments) {
+  const std::vector<TraceEvent> ev;
+  EXPECT_THROW(analyze_intervals(ev, 100.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(analyze_intervals(ev, 0.0, 100.0), std::invalid_argument);
+}
+
+TEST(IntervalCategoryName, AllNamed) {
+  EXPECT_EQ(interval_category_name(IntervalCategory::kNoLoss), "none");
+  EXPECT_EQ(interval_category_name(IntervalCategory::kTd), "TD");
+  EXPECT_EQ(interval_category_name(IntervalCategory::kT0), "T0");
+  EXPECT_EQ(interval_category_name(IntervalCategory::kT1), "T1");
+  EXPECT_EQ(interval_category_name(IntervalCategory::kT2Plus), "T2+");
+}
+
+}  // namespace
+}  // namespace pftk::trace

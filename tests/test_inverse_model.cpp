@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/full_model.hpp"
+#include "core/inverse_model.hpp"
+
+namespace pftk::model {
+namespace {
+
+ModelParams base() {
+  ModelParams mp;
+  mp.rtt = 0.2;
+  mp.t0 = 2.0;
+  mp.b = 2;
+  mp.wm = 32.0;
+  return mp;
+}
+
+TEST(MaxLossForRate, RoundTripsThroughTheForwardModel) {
+  ModelParams mp = base();
+  for (const double p : {0.005, 0.02, 0.08}) {
+    mp.p = p;
+    const double rate = full_model_send_rate(mp);
+    const double recovered = max_loss_for_rate(base(), rate);
+    EXPECT_NEAR(recovered / p, 1.0, 1e-6) << "p=" << p;
+  }
+}
+
+TEST(MaxLossForRate, UnreachableTargetIsZero) {
+  // Ceiling is Wm/RTT = 160 pkts/s; asking for more is impossible.
+  EXPECT_EQ(max_loss_for_rate(base(), 200.0), 0.0);
+}
+
+TEST(MaxLossForRate, TrivialTargetToleratesHeavyLoss) {
+  const double p = max_loss_for_rate(base(), 0.001);
+  EXPECT_GT(p, 0.5);
+}
+
+TEST(MaxLossForRate, MonotoneInTarget) {
+  double prev = 1.0;
+  for (const double target : {1.0, 5.0, 20.0, 80.0, 150.0}) {
+    const double p = max_loss_for_rate(base(), target);
+    EXPECT_LE(p, prev + 1e-12) << "target=" << target;
+    prev = p;
+  }
+}
+
+TEST(RequiredWindowForRate, RoundTripsInWindowLimitedRegime) {
+  // Pick a target below the loss-limited rate so a finite window exists;
+  // forward-evaluating at the returned window must reach the target.
+  ModelParams mp = base();
+  mp.p = 0.001;  // loss-limited rate is high
+  const double target = 100.0;
+  const double wm = required_window_for_rate(mp, target);
+  ASSERT_TRUE(std::isfinite(wm));
+  mp.wm = wm;
+  EXPECT_GE(full_model_send_rate(mp), target * 0.999);
+  // And a slightly smaller window must miss it.
+  mp.wm = wm * 0.95;
+  EXPECT_LT(full_model_send_rate(mp), target);
+}
+
+TEST(RequiredWindowForRate, LossLimitedTargetIsInfinite) {
+  ModelParams mp = base();
+  mp.p = 0.05;  // loss-limited around 9 pkts/s
+  EXPECT_TRUE(std::isinf(required_window_for_rate(mp, 50.0)));
+}
+
+TEST(RequiredWindowForRate, TinyTargetNeedsMinimalWindow) {
+  ModelParams mp = base();
+  mp.p = 0.01;
+  EXPECT_DOUBLE_EQ(required_window_for_rate(mp, 0.01), 1.0);
+}
+
+TEST(InverseModel, RejectsBadTargets) {
+  EXPECT_THROW((void)max_loss_for_rate(base(), 0.0), std::invalid_argument);
+  ModelParams mp = base();
+  mp.p = 0.01;
+  EXPECT_THROW((void)required_window_for_rate(mp, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pftk::model

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/link.hpp"
+#include "sim/packet.hpp"
+
+namespace pftk::sim {
+namespace {
+
+struct Delivery {
+  SeqNo seq;
+  Time at;
+};
+
+struct LinkFixture {
+  EventQueue queue;
+  std::vector<Delivery> deliveries;
+
+  std::unique_ptr<Link<Segment>> make(const LinkConfig& cfg,
+                                      std::unique_ptr<LossModel> loss = nullptr,
+                                      std::unique_ptr<QueuePolicy> policy = nullptr) {
+    auto link = std::make_unique<Link<Segment>>(queue, cfg, Rng(1), std::move(loss),
+                                                std::move(policy));
+    link->set_deliver([this](const Segment& s, Time t) {
+      deliveries.push_back({s.seq, t});
+    });
+    return link;
+  }
+
+  void send(Link<Segment>& link, SeqNo seq) {
+    Segment s;
+    s.seq = seq;
+    link.send(s);
+  }
+};
+
+TEST(Link, DeliversAfterPropagationDelay) {
+  LinkFixture f;
+  LinkConfig cfg;
+  cfg.propagation_delay = 0.25;
+  auto link = f.make(cfg);
+  f.send(*link, 7);
+  f.queue.run_all();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_EQ(f.deliveries[0].seq, 7u);
+  EXPECT_DOUBLE_EQ(f.deliveries[0].at, 0.25);
+}
+
+TEST(Link, JitterNeverReorders) {
+  LinkFixture f;
+  LinkConfig cfg;
+  cfg.propagation_delay = 0.1;
+  cfg.jitter = 0.05;
+  auto link = f.make(cfg);
+  for (SeqNo i = 0; i < 200; ++i) {
+    f.send(*link, i);
+  }
+  f.queue.run_all();
+  ASSERT_EQ(f.deliveries.size(), 200u);
+  for (std::size_t i = 1; i < f.deliveries.size(); ++i) {
+    EXPECT_LE(f.deliveries[i - 1].at, f.deliveries[i].at);
+    EXPECT_EQ(f.deliveries[i].seq, i);
+  }
+}
+
+TEST(Link, LossModelDropsPackets) {
+  LinkFixture f;
+  LinkConfig cfg;
+  auto link = f.make(cfg, std::make_unique<BernoulliLoss>(0.5));
+  for (SeqNo i = 0; i < 2000; ++i) {
+    f.send(*link, i);
+  }
+  f.queue.run_all();
+  const LinkStats& st = link->stats();
+  EXPECT_EQ(st.offered, 2000u);
+  EXPECT_NEAR(static_cast<double>(st.dropped_loss) / 2000.0, 0.5, 0.05);
+  EXPECT_EQ(st.delivered + st.dropped_loss, st.offered);
+}
+
+TEST(Link, RateLimitSerializesPackets) {
+  LinkFixture f;
+  LinkConfig cfg;
+  cfg.propagation_delay = 0.0;
+  cfg.rate_pps = 10.0;  // 0.1 s per packet
+  auto link = f.make(cfg);
+  for (SeqNo i = 0; i < 5; ++i) {
+    f.send(*link, i);
+  }
+  f.queue.run_all();
+  ASSERT_EQ(f.deliveries.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(f.deliveries[i].at, 0.1 * static_cast<double>(i + 1), 1e-9);
+  }
+}
+
+TEST(Link, DropTailQueueOverflows) {
+  LinkFixture f;
+  LinkConfig cfg;
+  cfg.rate_pps = 1.0;
+  auto link = f.make(cfg, nullptr, std::make_unique<DropTailPolicy>(3));
+  for (SeqNo i = 0; i < 10; ++i) {
+    f.send(*link, i);  // all at t=0: 1 in service + 3 queued max
+  }
+  f.queue.run_all();
+  const LinkStats& st = link->stats();
+  EXPECT_GT(st.dropped_queue, 0u);
+  EXPECT_LT(st.delivered, 10u);
+  EXPECT_EQ(st.delivered + st.dropped_queue, st.offered);
+}
+
+TEST(Link, BacklogReflectsQueuedPackets) {
+  LinkFixture f;
+  LinkConfig cfg;
+  cfg.rate_pps = 1.0;
+  auto link = f.make(cfg);
+  for (SeqNo i = 0; i < 4; ++i) {
+    f.send(*link, i);
+  }
+  EXPECT_EQ(link->backlog(), 4u);
+  f.queue.run_until(2.0);
+  EXPECT_EQ(link->backlog(), 2u);
+  f.queue.run_all();
+  EXPECT_EQ(link->backlog(), 0u);
+}
+
+TEST(Link, SendWithoutCallbackThrows) {
+  EventQueue q;
+  Link<Segment> link(q, LinkConfig{}, Rng(1));
+  Segment s;
+  EXPECT_THROW(link.send(s), std::logic_error);
+}
+
+TEST(Link, InvalidConfigThrows) {
+  EventQueue q;
+  LinkConfig cfg;
+  cfg.propagation_delay = -1.0;
+  EXPECT_THROW(Link<Segment>(q, cfg, Rng(1)), std::invalid_argument);
+}
+
+TEST(Link, ResetProcessesClearsStats) {
+  LinkFixture f;
+  auto link = f.make(LinkConfig{});
+  f.send(*link, 1);
+  f.queue.run_all();
+  EXPECT_EQ(link->stats().offered, 1u);
+  link->reset_processes();
+  EXPECT_EQ(link->stats().offered, 0u);
+}
+
+}  // namespace
+}  // namespace pftk::sim

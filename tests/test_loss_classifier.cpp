@@ -1,0 +1,181 @@
+// Classification of TD vs. timeout-sequence loss indications, both from
+// synthetic event streams (exact expectations) and from real simulation
+// traces (cross-checked against the sender's ground truth).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/connection.hpp"
+#include "trace/loss_classifier.hpp"
+#include "trace/trace_recorder.hpp"
+
+namespace pftk::trace {
+namespace {
+
+TraceEvent send_event(double t, sim::SeqNo seq, bool rexmit) {
+  TraceEvent e;
+  e.t = t;
+  e.type = TraceEventType::kSegmentSent;
+  e.seq = seq;
+  e.retransmission = rexmit;
+  return e;
+}
+
+TraceEvent ack_event(double t, sim::SeqNo cum) {
+  TraceEvent e;
+  e.t = t;
+  e.type = TraceEventType::kAckReceived;
+  e.seq = cum;
+  return e;
+}
+
+TEST(LossClassifier, CleanTraceHasNoIndications) {
+  std::vector<TraceEvent> ev;
+  for (int i = 0; i < 10; ++i) {
+    ev.push_back(send_event(0.1 * i, static_cast<sim::SeqNo>(i), false));
+    ev.push_back(ack_event(0.1 * i + 0.2, static_cast<sim::SeqNo>(i + 1)));
+  }
+  const LossAnalysis a = analyze_losses(ev);
+  EXPECT_TRUE(a.indications.empty());
+  EXPECT_EQ(a.packets_sent, 10u);
+  EXPECT_EQ(a.observed_p, 0.0);
+}
+
+TEST(LossClassifier, TripleDupAckRetransmissionIsTd) {
+  std::vector<TraceEvent> ev;
+  for (sim::SeqNo s = 0; s < 8; ++s) {
+    ev.push_back(send_event(0.01 * static_cast<double>(s), s, false));
+  }
+  ev.push_back(ack_event(0.20, 4));  // new ack
+  ev.push_back(ack_event(0.21, 4));  // dup 1
+  ev.push_back(ack_event(0.22, 4));  // dup 2
+  ev.push_back(ack_event(0.23, 4));  // dup 3
+  ev.push_back(send_event(0.24, 4, true));  // fast retransmit
+  const LossAnalysis a = analyze_losses(ev, 3);
+  ASSERT_EQ(a.indications.size(), 1u);
+  EXPECT_FALSE(a.indications[0].is_timeout);
+  EXPECT_EQ(a.td_count, 1u);
+  EXPECT_EQ(a.timeout_sequences(), 0u);
+}
+
+TEST(LossClassifier, RetransmissionWithoutDupAcksIsTimeout) {
+  std::vector<TraceEvent> ev;
+  ev.push_back(send_event(0.0, 0, false));
+  ev.push_back(send_event(3.0, 0, true));  // RTO fired
+  const LossAnalysis a = analyze_losses(ev);
+  ASSERT_EQ(a.indications.size(), 1u);
+  EXPECT_TRUE(a.indications[0].is_timeout);
+  EXPECT_EQ(a.indications[0].timeout_depth, 1);
+  EXPECT_EQ(a.timeout_depth_counts[0], 1u);
+}
+
+TEST(LossClassifier, ConsecutiveTimeoutsFormOneSequence) {
+  std::vector<TraceEvent> ev;
+  ev.push_back(send_event(0.0, 0, false));
+  ev.push_back(send_event(3.0, 0, true));   // T0
+  ev.push_back(send_event(9.0, 0, true));   // 2*T0 later: backoff 1
+  ev.push_back(send_event(21.0, 0, true));  // 4*T0 later: backoff 2
+  ev.push_back(ack_event(21.2, 1));         // finally recovered
+  const LossAnalysis a = analyze_losses(ev);
+  ASSERT_EQ(a.indications.size(), 1u);
+  EXPECT_EQ(a.indications[0].timeout_depth, 3);
+  EXPECT_EQ(a.timeout_depth_counts[2], 1u);  // "T2" column
+  EXPECT_EQ(a.timeout_sequences(), 1u);
+}
+
+TEST(LossClassifier, NewAckSplitsTimeoutSequences) {
+  std::vector<TraceEvent> ev;
+  ev.push_back(send_event(0.0, 0, false));
+  ev.push_back(send_event(3.0, 0, true));
+  ev.push_back(ack_event(3.2, 1));          // sequence of depth 1 ends
+  ev.push_back(send_event(3.3, 1, false));
+  ev.push_back(send_event(6.3, 1, true));   // new sequence
+  const LossAnalysis a = analyze_losses(ev);
+  EXPECT_EQ(a.indications.size(), 2u);
+  EXPECT_EQ(a.timeout_depth_counts[0], 2u);
+}
+
+TEST(LossClassifier, DepthSixOrMoreAggregates) {
+  std::vector<TraceEvent> ev;
+  ev.push_back(send_event(0.0, 0, false));
+  double t = 1.0;
+  for (int k = 0; k < 9; ++k) {
+    ev.push_back(send_event(t, 0, true));
+    t *= 2.0;
+  }
+  const LossAnalysis a = analyze_losses(ev);
+  ASSERT_EQ(a.indications.size(), 1u);
+  EXPECT_EQ(a.indications[0].timeout_depth, 9);
+  EXPECT_EQ(a.timeout_depth_counts[5], 1u);  // "T5 or more"
+}
+
+TEST(LossClassifier, TdThenTimeoutCountsTwoIndications) {
+  // A failed fast retransmit followed by an RTO: one TD + one TO.
+  std::vector<TraceEvent> ev;
+  for (sim::SeqNo s = 0; s < 8; ++s) {
+    ev.push_back(send_event(0.01 * static_cast<double>(s), s, false));
+  }
+  ev.push_back(ack_event(0.2, 4));
+  ev.push_back(ack_event(0.21, 4));
+  ev.push_back(ack_event(0.22, 4));
+  ev.push_back(ack_event(0.23, 4));
+  ev.push_back(send_event(0.24, 4, true));  // TD
+  ev.push_back(send_event(3.24, 4, true));  // then RTO
+  const LossAnalysis a = analyze_losses(ev, 3);
+  EXPECT_EQ(a.indications.size(), 2u);
+  EXPECT_EQ(a.td_count, 1u);
+  EXPECT_EQ(a.timeout_sequences(), 1u);
+}
+
+TEST(LossClassifier, LinuxThresholdClassifiesDoubleDupAsTd) {
+  std::vector<TraceEvent> ev;
+  for (sim::SeqNo s = 0; s < 8; ++s) {
+    ev.push_back(send_event(0.01 * static_cast<double>(s), s, false));
+  }
+  ev.push_back(ack_event(0.2, 4));
+  ev.push_back(ack_event(0.21, 4));
+  ev.push_back(ack_event(0.22, 4));
+  ev.push_back(send_event(0.23, 4, true));
+  EXPECT_EQ(analyze_losses(ev, 2).td_count, 1u);
+  EXPECT_EQ(analyze_losses(ev, 3).td_count, 0u);  // same trace, BSD rules
+}
+
+TEST(LossClassifier, FirstTimeoutWaitIsMeasuredFromLastNewAck) {
+  std::vector<TraceEvent> ev;
+  ev.push_back(send_event(0.0, 0, false));
+  ev.push_back(ack_event(0.2, 1));
+  ev.push_back(send_event(0.2, 1, false));
+  ev.push_back(send_event(2.7, 1, true));  // RTO ~2.5 after the ack
+  const LossAnalysis a = analyze_losses(ev);
+  ASSERT_EQ(a.indications.size(), 1u);
+  EXPECT_NEAR(a.indications[0].first_timeout_wait, 2.5, 1e-9);
+  EXPECT_NEAR(a.mean_single_timeout, 2.5, 1e-9);
+}
+
+TEST(LossClassifier, GroundTruthAgreementOnSimulatedTrace) {
+  // The wire-only classifier must agree with the sender's own counters.
+  sim::ConnectionConfig cfg;
+  cfg.sender.advertised_window = 24.0;
+  cfg.forward_link.propagation_delay = 0.08;
+  cfg.reverse_link.propagation_delay = 0.08;
+  cfg.forward_loss = sim::BernoulliLossSpec{0.02};
+  cfg.seed = 99;
+  sim::Connection conn(cfg);
+  TraceRecorder rec;
+  conn.set_observer(&rec);
+  conn.run_for(600.0);
+
+  const LossAnalysis a = analyze_losses(rec.events(), 3);
+  const auto& st = conn.sender().stats();
+  EXPECT_EQ(a.td_count, st.fast_retransmits);
+  // Individual timeouts (not sequences) must also match: total depth.
+  std::uint64_t total_timeouts = 0;
+  for (const LossIndication& ind : a.indications) {
+    total_timeouts += static_cast<std::uint64_t>(ind.timeout_depth);
+  }
+  EXPECT_EQ(total_timeouts, st.timeouts);
+  EXPECT_EQ(a.packets_sent, st.transmissions);
+}
+
+}  // namespace
+}  // namespace pftk::trace

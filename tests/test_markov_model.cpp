@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "core/full_model.hpp"
+#include "core/markov_model.hpp"
+
+namespace pftk::model {
+namespace {
+
+ModelParams fig12_params(double p) {
+  // Fig. 12 operating point: RTT = 0.47 s, T0 = 3.2 s, Wm = 12.
+  ModelParams mp;
+  mp.p = p;
+  mp.rtt = 0.47;
+  mp.t0 = 3.2;
+  mp.b = 2;
+  mp.wm = 12.0;
+  return mp;
+}
+
+TEST(MarkovModel, StationaryDistributionSumsToOne) {
+  const MarkovModelResult r = markov_model_solve(fig12_params(0.05));
+  const double total = std::accumulate(r.stationary.begin(), r.stationary.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(MarkovModel, CloseToFullModelAtFig12OperatingPoint) {
+  // The paper's Fig. 12: the numerically-solved Markov model closely
+  // matches the closed form across the p sweep.
+  for (const double p : {0.01, 0.02, 0.05, 0.1, 0.2, 0.3}) {
+    const double markov = markov_model_send_rate(fig12_params(p));
+    const double closed = full_model_send_rate(fig12_params(p));
+    EXPECT_NEAR(markov / closed, 1.0, 0.35) << "p=" << p;
+  }
+}
+
+TEST(MarkovModel, MonotoneDecreasingInLoss) {
+  double prev = markov_model_send_rate(fig12_params(0.005));
+  for (const double p : {0.01, 0.03, 0.08, 0.2, 0.4}) {
+    const double cur = markov_model_send_rate(fig12_params(p));
+    EXPECT_LT(cur, prev) << "p=" << p;
+    prev = cur;
+  }
+}
+
+TEST(MarkovModel, TimeoutFractionGrowsWithLoss) {
+  const double low = markov_model_solve(fig12_params(0.01)).timeout_fraction;
+  const double high = markov_model_solve(fig12_params(0.3)).timeout_fraction;
+  EXPECT_LT(low, high);
+  EXPECT_GT(low, 0.0);
+  EXPECT_LE(high, 1.0);
+}
+
+TEST(MarkovModel, ExpectedStartWindowShrinksWithLoss) {
+  const double low = markov_model_solve(fig12_params(0.01)).expected_start_window;
+  const double high = markov_model_solve(fig12_params(0.3)).expected_start_window;
+  EXPECT_GT(low, high);
+  EXPECT_GE(high, 1.0);
+}
+
+TEST(MarkovModel, UnlimitedWindowIsTruncatedSanely) {
+  ModelParams mp = fig12_params(0.05);
+  mp.wm = ModelParams::unlimited_window;
+  const MarkovModelResult r = markov_model_solve(mp);
+  EXPECT_GT(r.send_rate, 0.0);
+  // Truncation must not depend pathologically on the cap: doubling the
+  // cap barely changes the rate.
+  MarkovModelOptions wide;
+  wide.max_window_states = 512;
+  const MarkovModelResult r2 = markov_model_solve(mp, wide);
+  EXPECT_NEAR(r.send_rate / r2.send_rate, 1.0, 0.02);
+}
+
+TEST(MarkovModel, RejectsZeroLoss) {
+  EXPECT_THROW(markov_model_solve(fig12_params(0.0)), std::invalid_argument);
+}
+
+TEST(MarkovModel, RejectsTinyStateSpace) {
+  MarkovModelOptions opt;
+  opt.max_window_states = 2;
+  EXPECT_THROW(markov_model_solve(fig12_params(0.05), opt), std::invalid_argument);
+}
+
+TEST(MarkovModel, ConvergesQuickly) {
+  const MarkovModelResult r = markov_model_solve(fig12_params(0.05));
+  EXPECT_LT(r.iterations, 10000u);
+}
+
+}  // namespace
+}  // namespace pftk::model

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exp/model_comparison.hpp"
+
+namespace pftk::exp {
+namespace {
+
+model::ModelParams base_params() {
+  model::ModelParams mp;
+  mp.p = 0.02;  // overwritten per observation
+  mp.rtt = 0.2;
+  mp.t0 = 2.0;
+  mp.b = 2;
+  mp.wm = 16.0;
+  return mp;
+}
+
+trace::IntervalObservation make_obs(double p, std::uint64_t packets) {
+  trace::IntervalObservation obs;
+  obs.packets_sent = packets;
+  obs.loss_indications = static_cast<std::uint64_t>(p * static_cast<double>(packets));
+  obs.observed_p = p;
+  obs.length = 100.0;
+  return obs;
+}
+
+TEST(ScoreHourTrace, PerfectObservationsScoreZeroForFullModel) {
+  // Build observations whose packet counts equal the full model's own
+  // prediction: the full model's error must be ~0.
+  const model::ModelParams base = base_params();
+  std::vector<trace::IntervalObservation> intervals;
+  for (const double p : {0.01, 0.02, 0.05}) {
+    model::ModelParams mp = base;
+    mp.p = p;
+    const double predicted = model::evaluate_model(model::ModelKind::kFull, mp) * 100.0;
+    intervals.push_back(make_obs(p, static_cast<std::uint64_t>(predicted + 0.5)));
+  }
+  const ModelErrorRow row = score_hour_trace("test", base, intervals, 100.0);
+  EXPECT_LT(row.avg_error[0], 0.01);   // full
+  EXPECT_EQ(row.observations, 3u);
+}
+
+TEST(ScoreHourTrace, TdOnlyOverestimatesTimeoutHeavyTraces) {
+  // Observations at high p where timeouts dominate: TD-only's error must
+  // exceed the full model's (the Fig. 9 ordering).
+  const model::ModelParams base = base_params();
+  std::vector<trace::IntervalObservation> intervals;
+  for (const double p : {0.05, 0.08, 0.12}) {
+    model::ModelParams mp = base;
+    mp.p = p;
+    const double truth = model::evaluate_model(model::ModelKind::kFull, mp) * 100.0;
+    intervals.push_back(make_obs(p, static_cast<std::uint64_t>(truth + 0.5)));
+  }
+  const ModelErrorRow row = score_hour_trace("test", base, intervals, 100.0);
+  EXPECT_GT(row.avg_error[2], row.avg_error[0]);  // TD-only worse than full
+}
+
+TEST(ScoreHourTrace, EmptyIntervalsAreSkipped) {
+  const model::ModelParams base = base_params();
+  std::vector<trace::IntervalObservation> intervals;
+  intervals.push_back(make_obs(0.02, 0));  // no packets: skipped
+  intervals.push_back(make_obs(0.02, 500));
+  const ModelErrorRow row = score_hour_trace("t", base, intervals, 100.0);
+  EXPECT_EQ(row.observations, 1u);
+}
+
+TEST(ScoreHourTrace, LossFreeIntervalUsesWindowCeiling) {
+  const model::ModelParams base = base_params();  // ceiling = 16/0.2 = 80/s
+  std::vector<trace::IntervalObservation> intervals;
+  intervals.push_back(make_obs(0.0, 8000));  // exactly the ceiling *100s
+  const ModelErrorRow row = score_hour_trace("t", base, intervals, 100.0);
+  EXPECT_LT(row.avg_error[0], 0.01);  // full model nails it
+  EXPECT_LT(row.avg_error[1], 0.01);  // approx too
+  // TD-only is undefined at p=0 and contributes nothing, so its average
+  // error over this trace is 0 by convention (no observations).
+  EXPECT_EQ(row.avg_error[2], 0.0);
+}
+
+TEST(ScoreShortTraces, MirrorsHourScoring) {
+  std::vector<ShortTraceRecord> records;
+  for (int i = 0; i < 3; ++i) {
+    ShortTraceRecord rec;
+    rec.index = i;
+    rec.params = base_params();
+    rec.params.p = 0.03;
+    rec.had_loss = true;
+    const double truth =
+        model::evaluate_model(model::ModelKind::kFull, rec.params) * 100.0;
+    rec.packets_sent = static_cast<std::uint64_t>(truth + 0.5);
+    records.push_back(rec);
+  }
+  const ModelErrorRow row = score_short_traces("pair", records, 100.0);
+  EXPECT_EQ(row.label, "pair");
+  EXPECT_EQ(row.observations, 3u);
+  EXPECT_LT(row.avg_error[0], 0.01);
+}
+
+TEST(ScoreShortTraces, ZeroPacketTracesSkipped) {
+  std::vector<ShortTraceRecord> records(1);
+  records[0].packets_sent = 0;
+  records[0].params = base_params();
+  const ModelErrorRow row = score_short_traces("pair", records, 100.0);
+  EXPECT_EQ(row.observations, 0u);
+}
+
+}  // namespace
+}  // namespace pftk::exp

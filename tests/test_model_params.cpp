@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/tcp_model_params.hpp"
+
+namespace pftk::model {
+namespace {
+
+TEST(ModelParams, DefaultsAreValid) {
+  ModelParams p;
+  EXPECT_TRUE(p.valid());
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(ModelParams, RejectsBadLossProbability) {
+  ModelParams p;
+  p.p = -0.1;
+  EXPECT_FALSE(p.valid());
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.p = 1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.p = 0.0;  // p == 0 is allowed (window-limited regime)
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(ModelParams, RejectsNonPositiveTimes) {
+  ModelParams p;
+  p.rtt = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.rtt = 0.1;
+  p.t0 = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ModelParams, RejectsBadAckFactorAndWindow) {
+  ModelParams p;
+  p.b = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.b = 1;
+  p.wm = 0.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ModelParams, RejectsNonFinite) {
+  ModelParams p;
+  p.p = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(p.valid());
+  p.p = 0.01;
+  p.rtt = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(p.valid());
+}
+
+TEST(ModelParams, DescribeMentionsFields) {
+  ModelParams p;
+  p.p = 0.02;
+  const std::string text = p.describe();
+  EXPECT_NE(text.find("p=0.02"), std::string::npos);
+  EXPECT_NE(text.find("RTT="), std::string::npos);
+  EXPECT_NE(text.find("Wm="), std::string::npos);
+}
+
+TEST(ModelParams, DescribeUnlimitedWindow) {
+  ModelParams p;
+  p.wm = ModelParams::unlimited_window;
+  EXPECT_NE(p.describe().find("Wm=unlimited"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pftk::model

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/approx_model.hpp"
+#include "core/full_model.hpp"
+#include "core/model_registry.hpp"
+#include "core/td_only_model.hpp"
+
+namespace pftk::model {
+namespace {
+
+TEST(ModelRegistry, NamesAreDistinct) {
+  EXPECT_EQ(model_name(ModelKind::kFull), "proposed (full)");
+  EXPECT_EQ(model_name(ModelKind::kApproximate), "proposed (approx)");
+  EXPECT_EQ(model_name(ModelKind::kTdOnly), "TD only");
+}
+
+TEST(ModelRegistry, EvaluateDispatchesToTheRightModel) {
+  ModelParams mp;
+  mp.p = 0.03;
+  mp.rtt = 0.25;
+  mp.t0 = 1.5;
+  mp.wm = 30.0;
+  EXPECT_DOUBLE_EQ(evaluate_model(ModelKind::kFull, mp), full_model_send_rate(mp));
+  EXPECT_DOUBLE_EQ(evaluate_model(ModelKind::kApproximate, mp),
+                   approx_model_send_rate(mp));
+  EXPECT_DOUBLE_EQ(evaluate_model(ModelKind::kTdOnly, mp),
+                   td_only_asymptotic_send_rate(mp));
+}
+
+TEST(ModelRegistry, AllKindsListsThree) {
+  EXPECT_EQ(all_model_kinds.size(), 3u);
+  EXPECT_EQ(all_model_kinds[0], ModelKind::kFull);
+  EXPECT_EQ(all_model_kinds[1], ModelKind::kApproximate);
+  EXPECT_EQ(all_model_kinds[2], ModelKind::kTdOnly);
+}
+
+TEST(ModelRegistry, OrderingFullBelowTdOnlyAboveZero) {
+  ModelParams mp;
+  mp.p = 0.05;
+  mp.rtt = 0.2;
+  mp.t0 = 2.0;
+  mp.wm = ModelParams::unlimited_window;
+  const double full = evaluate_model(ModelKind::kFull, mp);
+  const double td = evaluate_model(ModelKind::kTdOnly, mp);
+  EXPECT_GT(full, 0.0);
+  EXPECT_LT(full, td);
+}
+
+TEST(ModelRegistry, PropagatesValidation) {
+  ModelParams mp;
+  mp.p = 2.0;
+  for (const ModelKind kind : all_model_kinds) {
+    EXPECT_THROW((void)evaluate_model(kind, mp), std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace pftk::model

@@ -1,0 +1,157 @@
+// The reproduction's flagship validation: the full model, fed with the
+// parameters *measured from a simulated trace* (exactly the paper's
+// methodology), must predict the simulated send rate much better than the
+// TD-only model — and within a factor consistent with Figs. 9/10.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/model_registry.hpp"
+#include "exp/hour_trace_experiment.hpp"
+#include "exp/model_comparison.hpp"
+#include "exp/path_profile.hpp"
+#include "trace/trace_recorder.hpp"
+#include "trace/trace_summary.hpp"
+
+namespace pftk::exp {
+namespace {
+
+class ProfileValidation : public ::testing::TestWithParam<const char*> {
+ protected:
+  static PathProfile find(const std::string& key) {
+    const auto sep = key.find("->");
+    return profile_by_label(key.substr(0, sep), key.substr(sep + 2));
+  }
+};
+
+TEST_P(ProfileValidation, FullModelTracksSimulatedSendRate) {
+  const PathProfile profile = find(GetParam());
+  HourTraceOptions opt;
+  opt.duration = 1200.0;  // 20 simulated minutes keeps the suite quick
+  opt.seed = 2024;
+  const HourTraceResult r = run_hour_trace(profile, opt);
+  ASSERT_GT(r.summary.loss_indications, 10u) << "trace too quiet to validate";
+
+  const double measured = r.measured_send_rate;
+  const double full = model::evaluate_model(model::ModelKind::kFull, r.trace_params);
+  // The paper's own fit is not tighter than a factor ~2 on the
+  // timeout-dominated traces: evaluating eq (32) at Table II's
+  // manic->alps row (p=.0133, RTT=.207, T0=2.5, Wm~16) gives ~27 pkts/s
+  // against their measured 15.1 pkts/s. Require the same envelope: the
+  // model within a factor of 3 of the measurement on every path.
+  const double ratio = full / measured;
+  EXPECT_GT(ratio, 1.0 / 3.0) << r.trace_params.describe();
+  EXPECT_LT(ratio, 3.0) << r.trace_params.describe();
+}
+
+TEST_P(ProfileValidation, PerIntervalErrorsAreBounded) {
+  const PathProfile profile = find(GetParam());
+  HourTraceOptions opt;
+  opt.duration = 1200.0;
+  opt.seed = 31337;
+  const HourTraceResult r = run_hour_trace(profile, opt);
+  const ModelErrorRow row =
+      score_hour_trace(profile.label(), r.trace_params, r.intervals, 100.0);
+  ASSERT_GT(row.observations, 5u);
+  // Fig. 9's proposed-model errors reach ~1.0 on the timeout-dominated
+  // traces at the right end of the figure; bound ours by 1.5.
+  EXPECT_LT(row.avg_error[0], 1.5) << "full-model error";
+  EXPECT_LT(row.avg_error[1], 1.6) << "approx-model error";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableTwoSample, ProfileValidation,
+    ::testing::Values("manic->alps", "manic->sutton", "void->alps", "void->tove",
+                      "babel->ganef", "babel->alps", "pif->manic"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-' || c == '>') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+TEST(ModelVsSimulation, FullModelBeatsTdOnlyOnMostProfiles) {
+  // The paper's Fig. 9 claim, stated the way the paper states it: "in
+  // most cases, our proposed model is a better estimator" — an aggregate
+  // statement over traces, with individual exceptions at the low-error
+  // end allowed.
+  int full_wins = 0;
+  int total = 0;
+  double full_error_sum = 0.0;
+  double td_error_sum = 0.0;
+  for (const char* key :
+       {"manic->alps", "manic->sutton", "manic->tove", "void->alps", "void->tove",
+        "void->sutton", "babel->ganef", "babel->alps", "pif->manic", "pif->imagine"}) {
+    const std::string label(key);
+    const auto sep = label.find("->");
+    const PathProfile profile =
+        profile_by_label(label.substr(0, sep), label.substr(sep + 2));
+    HourTraceOptions opt;
+    opt.duration = 1200.0;
+    opt.seed = 31337;
+    const HourTraceResult r = run_hour_trace(profile, opt);
+    const ModelErrorRow row = score_hour_trace(label, r.trace_params, r.intervals, 100.0);
+    if (row.observations < 5) {
+      continue;
+    }
+    ++total;
+    full_error_sum += row.avg_error[0];
+    td_error_sum += row.avg_error[2];
+    if (row.avg_error[0] < row.avg_error[2]) {
+      ++full_wins;
+    }
+  }
+  ASSERT_GE(total, 8);
+  EXPECT_GE(full_wins * 2, total) << "full model should win on most profiles";
+  EXPECT_LT(full_error_sum, td_error_sum) << "and on aggregate error";
+}
+
+TEST(ModelVsSimulation, TimeoutsAreTheCommonIndication) {
+  // Table II's headline: across the catalogue, timeout sequences are the
+  // majority of loss indications on most paths.
+  int timeout_dominated = 0;
+  int total = 0;
+  for (const PathProfile& profile : table2_profiles()) {
+    if (profile.sender == "babel" && profile.receiver != "alps") {
+      continue;  // sample a subset to keep runtime modest
+    }
+    HourTraceOptions opt;
+    opt.duration = 600.0;
+    opt.seed = 5150;
+    const HourTraceResult r = run_hour_trace(profile, opt);
+    if (r.summary.loss_indications < 5) {
+      continue;
+    }
+    ++total;
+    if (r.summary.timeout_fraction() > 0.5) {
+      ++timeout_dominated;
+    }
+  }
+  ASSERT_GT(total, 10);
+  EXPECT_GT(static_cast<double>(timeout_dominated) / static_cast<double>(total), 0.6);
+}
+
+TEST(ModelVsSimulation, ModemPathBreaksTheModel) {
+  // Fig. 11 / Section IV: on the modem path the RTT is strongly window-
+  // correlated and the models' per-interval predictions overestimate.
+  const PathProfile profile = modem_profile();
+  sim::Connection conn(make_modem_connection_config(profile, 42));
+  trace::TraceRecorder rec;
+  conn.set_observer(&rec);
+  conn.run_for(1800.0);
+  const trace::TraceSummary row = trace::summarize_trace(rec.events(), 3);
+  EXPECT_GT(row.rtt_window_correlation, 0.8);  // paper: 0.97
+
+  // Ordinary catalogue paths stay in the paper's [-0.1, 0.1] band
+  // (allow measurement slack).
+  HourTraceOptions opt;
+  opt.duration = 600.0;
+  const HourTraceResult normal = run_hour_trace(profile_by_label("manic", "ganef"), opt);
+  EXPECT_LT(std::abs(normal.summary.rtt_window_correlation), 0.35);
+}
+
+}  // namespace
+}  // namespace pftk::exp

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "exp/path_profile.hpp"
+
+namespace pftk::exp {
+namespace {
+
+TEST(PathProfile, CatalogueHasTwentyFourPairs) {
+  const auto profiles = table2_profiles();
+  EXPECT_EQ(profiles.size(), 24u);
+  std::set<std::string> labels;
+  for (const PathProfile& p : profiles) {
+    labels.insert(p.label());
+  }
+  EXPECT_EQ(labels.size(), 24u);  // all distinct
+}
+
+TEST(PathProfile, SendersMatchTableOne) {
+  // The paper's senders: manic (Irix), void (Linux), babel, pif.
+  std::set<std::string> senders;
+  for (const PathProfile& p : table2_profiles()) {
+    senders.insert(p.sender);
+  }
+  EXPECT_EQ(senders, (std::set<std::string>{"manic", "void", "babel", "pif"}));
+}
+
+TEST(PathProfile, FlavorQuirksFollowSectionFour) {
+  for (const PathProfile& p : table2_profiles()) {
+    if (p.sender == "void") {
+      EXPECT_EQ(p.flavor, OsFlavor::kLinux);
+      EXPECT_EQ(p.dupack_threshold(), 2);  // Linux TD after 2 dup-ACKs
+    }
+    if (p.sender == "manic") {
+      EXPECT_EQ(p.flavor, OsFlavor::kIrix);
+      EXPECT_EQ(p.max_backoff_exponent(), 5);  // Irix caps at 2^5
+    }
+    if (p.sender == "babel" || p.sender == "pif") {
+      EXPECT_EQ(p.dupack_threshold(), 3);
+      EXPECT_EQ(p.max_backoff_exponent(), 6);
+    }
+  }
+}
+
+TEST(PathProfile, ParameterRangesSpanTableTwo) {
+  for (const PathProfile& p : table2_profiles()) {
+    EXPECT_GT(p.nominal_rtt(), 0.1) << p.label();
+    EXPECT_LT(p.nominal_rtt(), 0.6) << p.label();
+    EXPECT_GE(p.min_rto, 0.3) << p.label();
+    EXPECT_LE(p.min_rto, 7.5) << p.label();
+    EXPECT_GE(p.advertised_window, 6.0) << p.label();
+    EXPECT_LE(p.advertised_window, 48.0) << p.label();
+    EXPECT_GT(p.loss_p, 0.0) << p.label();
+    EXPECT_LT(p.loss_p, 0.2) << p.label();
+  }
+}
+
+TEST(PathProfile, Figure7WindowsMatchPaper) {
+  EXPECT_DOUBLE_EQ(profile_by_label("manic", "baskerville").advertised_window, 6.0);
+  EXPECT_DOUBLE_EQ(profile_by_label("pif", "imagine").advertised_window, 8.0);
+  EXPECT_DOUBLE_EQ(profile_by_label("pif", "manic").advertised_window, 33.0);
+  EXPECT_DOUBLE_EQ(profile_by_label("void", "alps").advertised_window, 48.0);
+  EXPECT_DOUBLE_EQ(profile_by_label("void", "tove").advertised_window, 8.0);
+}
+
+TEST(PathProfile, LookupThrowsForUnknownPair) {
+  EXPECT_THROW(profile_by_label("nobody", "nowhere"), std::invalid_argument);
+}
+
+TEST(PathProfile, ConnectionConfigReflectsProfile) {
+  const PathProfile p = profile_by_label("void", "tove");
+  const sim::ConnectionConfig cfg = make_connection_config(p, 42);
+  EXPECT_EQ(cfg.sender.dupack_threshold, 2);
+  EXPECT_DOUBLE_EQ(cfg.sender.advertised_window, 8.0);
+  EXPECT_DOUBLE_EQ(cfg.forward_link.propagation_delay, p.one_way_delay);
+  EXPECT_EQ(cfg.seed, 42u);
+  ASSERT_TRUE(std::holds_alternative<sim::MixedBurstLossSpec>(cfg.forward_loss));
+  const auto& spec = std::get<sim::MixedBurstLossSpec>(cfg.forward_loss);
+  EXPECT_DOUBLE_EQ(spec.p, p.loss_p);
+  EXPECT_DOUBLE_EQ(spec.single_fraction, p.single_loss_fraction);
+  EXPECT_DOUBLE_EQ(spec.episode_mean, p.episode_mean_s);
+  EXPECT_DOUBLE_EQ(spec.episode_min, kEpisodeFloorRttMultiple * p.nominal_rtt());
+  EXPECT_EQ(cfg.receiver.ack_every, 2);  // b = 2 everywhere
+}
+
+TEST(PathProfile, BernoulliSelectedWhenEpisodeMeanZero) {
+  PathProfile p = profile_by_label("manic", "alps");
+  p.episode_mean_s = 0.0;
+  const sim::ConnectionConfig cfg = make_connection_config(p, 1);
+  EXPECT_TRUE(std::holds_alternative<sim::BernoulliLossSpec>(cfg.forward_loss));
+}
+
+TEST(PathProfile, ModemProfileMatchesFigureEleven) {
+  const PathProfile p = modem_profile();
+  EXPECT_DOUBLE_EQ(p.advertised_window, 22.0);  // Fig. 11: Wm = 22
+  const sim::ConnectionConfig cfg = make_modem_connection_config(p, 3);
+  EXPECT_GT(cfg.forward_link.rate_pps, 0.0);
+  EXPECT_TRUE(std::holds_alternative<sim::DropTailSpec>(cfg.forward_queue));
+  EXPECT_TRUE(std::holds_alternative<sim::BernoulliLossSpec>(cfg.forward_loss));
+  // The queue must be smaller than the window, or it never overflows.
+  EXPECT_LT(static_cast<double>(std::get<sim::DropTailSpec>(cfg.forward_queue).capacity),
+            p.advertised_window);
+}
+
+}  // namespace
+}  // namespace pftk::exp

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/quantile.hpp"
+
+namespace pftk::stats {
+namespace {
+
+TEST(Quantile, MedianOfOddSample) {
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(xs), 2.0);
+}
+
+TEST(Quantile, MedianOfEvenSampleInterpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Quantile, ExtremesAreMinAndMax) {
+  const std::vector<double> xs{5.0, -1.0, 3.0, 9.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), -1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 9.0);
+}
+
+TEST(Quantile, Type7Interpolation) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  // pos = 0.25 * 3 = 0.75 -> 10 + 0.75*(20-10) = 17.5
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 17.5);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> xs{7.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 7.0);
+}
+
+TEST(Quantile, EmptySampleThrows) {
+  const std::vector<double> xs;
+  EXPECT_THROW((void)quantile(xs, 0.5), std::invalid_argument);
+}
+
+TEST(Quantile, OutOfRangeQThrows) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW((void)quantile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)quantile(xs, 1.1), std::invalid_argument);
+}
+
+TEST(Quantile, BatchMatchesIndividual) {
+  const std::vector<double> xs{4.0, 8.0, 15.0, 16.0, 23.0, 42.0};
+  const std::vector<double> qs{0.1, 0.5, 0.9};
+  const std::vector<double> batch = quantiles(xs, qs);
+  ASSERT_EQ(batch.size(), 3u);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], quantile(xs, qs[i]));
+  }
+}
+
+}  // namespace
+}  // namespace pftk::stats

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/queue_policy.hpp"
+
+namespace pftk::sim {
+namespace {
+
+TEST(DropTailPolicy, AdmitsBelowCapacity) {
+  DropTailPolicy policy(3);
+  Rng rng(1);
+  EXPECT_TRUE(policy.admit(0, rng));
+  EXPECT_TRUE(policy.admit(2, rng));
+  EXPECT_FALSE(policy.admit(3, rng));
+  EXPECT_FALSE(policy.admit(10, rng));
+  EXPECT_EQ(policy.capacity(), 3u);
+}
+
+TEST(DropTailPolicy, RejectsZeroCapacity) {
+  EXPECT_THROW(DropTailPolicy(0), std::invalid_argument);
+}
+
+RedPolicy::Config red_config() {
+  RedPolicy::Config cfg;
+  cfg.min_threshold = 2.0;
+  cfg.max_threshold = 8.0;
+  cfg.max_drop_prob = 0.5;
+  cfg.ewma_weight = 1.0;  // track instantaneous queue for testability
+  cfg.hard_capacity = 20;
+  return cfg;
+}
+
+TEST(RedPolicy, AlwaysAdmitsBelowMinThreshold) {
+  RedPolicy policy(red_config());
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(policy.admit(1, rng));
+  }
+}
+
+TEST(RedPolicy, AlwaysDropsAboveMaxThreshold) {
+  RedPolicy policy(red_config());
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(policy.admit(9, rng));
+  }
+}
+
+TEST(RedPolicy, DropsProbabilisticallyBetweenThresholds) {
+  RedPolicy policy(red_config());
+  Rng rng(4);
+  int admitted = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    admitted += policy.admit(5, rng) ? 1 : 0;
+  }
+  const double admit_rate = static_cast<double>(admitted) / n;
+  EXPECT_GT(admit_rate, 0.4);
+  EXPECT_LT(admit_rate, 0.95);
+}
+
+TEST(RedPolicy, HardCapacityAlwaysEnforced) {
+  RedPolicy policy(red_config());
+  Rng rng(5);
+  EXPECT_FALSE(policy.admit(20, rng));
+  EXPECT_FALSE(policy.admit(25, rng));
+}
+
+TEST(RedPolicy, EwmaSmoothsTheAverage) {
+  RedPolicy::Config cfg = red_config();
+  cfg.ewma_weight = 0.1;
+  RedPolicy policy(cfg);
+  Rng rng(6);
+  (void)policy.admit(10, rng);
+  // One sample of 10 with weight 0.1 -> average 1.0, far below min_th.
+  EXPECT_NEAR(policy.average_queue(), 1.0, 1e-12);
+}
+
+TEST(RedPolicy, ResetClearsAverage) {
+  RedPolicy policy(red_config());
+  Rng rng(7);
+  (void)policy.admit(6, rng);
+  EXPECT_GT(policy.average_queue(), 0.0);
+  policy.reset();
+  EXPECT_DOUBLE_EQ(policy.average_queue(), 0.0);
+}
+
+TEST(RedPolicy, RejectsBadConfigs) {
+  RedPolicy::Config cfg = red_config();
+  cfg.max_threshold = cfg.min_threshold;
+  EXPECT_THROW(RedPolicy{cfg}, std::invalid_argument);
+  cfg = red_config();
+  cfg.max_drop_prob = 0.0;
+  EXPECT_THROW(RedPolicy{cfg}, std::invalid_argument);
+  cfg = red_config();
+  cfg.ewma_weight = 1.5;
+  EXPECT_THROW(RedPolicy{cfg}, std::invalid_argument);
+  cfg = red_config();
+  cfg.hard_capacity = 0;
+  EXPECT_THROW(RedPolicy{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pftk::sim

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace pftk::sim {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DerivedStreamsAreIndependent) {
+  Rng a = Rng::derive(7, 0);
+  Rng b = Rng::derive(7, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DeriveIsDeterministic) {
+  Rng a = Rng::derive(7, 3);
+  Rng b = Rng::derive(7, 3);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+  EXPECT_DOUBLE_EQ(r.uniform(4.0, 4.0), 4.0);
+  EXPECT_THROW((void)r.uniform(3.0, 2.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng r(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyIsRoughlyP) {
+  Rng r(5);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += r.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanIsRight) {
+  Rng r(9);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += r.exponential(2.5);
+  }
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+  EXPECT_THROW((void)r.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t x = r.uniform_int(3, 5);
+    EXPECT_GE(x, 3u);
+    EXPECT_LE(x, 5u);
+    saw_lo = saw_lo || x == 3;
+    saw_hi = saw_hi || x == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW((void)r.uniform_int(5, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pftk::sim

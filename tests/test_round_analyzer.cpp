@@ -1,0 +1,134 @@
+// The round reconstruction and — more importantly — the measured validity
+// of the paper's round abstraction on simulated Reno traffic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/connection.hpp"
+#include "trace/round_analyzer.hpp"
+#include "trace/trace_recorder.hpp"
+
+namespace pftk::trace {
+namespace {
+
+TraceEvent send_event(double t, sim::SeqNo seq, bool rexmit = false) {
+  TraceEvent e;
+  e.t = t;
+  e.type = TraceEventType::kSegmentSent;
+  e.seq = seq;
+  e.retransmission = rexmit;
+  return e;
+}
+
+TraceEvent ack_event(double t, sim::SeqNo cum, bool dup = false) {
+  TraceEvent e;
+  e.t = t;
+  e.type = TraceEventType::kAckReceived;
+  e.seq = cum;
+  e.duplicate = dup;
+  return e;
+}
+
+TEST(RoundAnalyzer, HandBuiltStopAndWaitRounds) {
+  // Lock-step: send 1 packet, ack, send next — every packet is a round.
+  std::vector<TraceEvent> ev;
+  double t = 0.0;
+  sim::SeqNo seq = 0;
+  for (int i = 0; i < 10; ++i) {
+    ev.push_back(send_event(t, seq));
+    ev.push_back(ack_event(t + 0.2, seq + 1));
+    t += 0.2;
+    ++seq;
+  }
+  const RoundAnalysis a = analyze_rounds(ev);
+  ASSERT_EQ(a.rounds.size(), 10u);
+  EXPECT_EQ(a.sizes.mean(), 1.0);
+  EXPECT_NEAR(a.durations.mean(), 0.2, 1e-9);
+}
+
+TEST(RoundAnalyzer, WindowedRoundsGroupBackToBackSends) {
+  // Window of 4 sent back-to-back, acked one RTT later, repeat.
+  std::vector<TraceEvent> ev;
+  sim::SeqNo seq = 0;
+  for (int round = 0; round < 5; ++round) {
+    const double t0 = 0.2 * round;
+    for (int j = 0; j < 4; ++j) {
+      ev.push_back(send_event(t0 + 0.001 * j, seq++));
+    }
+    ev.push_back(ack_event(t0 + 0.2, seq));
+  }
+  const RoundAnalysis a = analyze_rounds(ev);
+  ASSERT_EQ(a.rounds.size(), 5u);
+  EXPECT_EQ(a.sizes.mean(), 4.0);
+  EXPECT_NEAR(a.durations.mean(), 0.2, 1e-9);
+  // Back-to-back sends: span is a tiny fraction of the duration.
+  EXPECT_LT(a.span_fraction.mean(), 0.05);
+}
+
+TEST(RoundAnalyzer, RetransmissionBreaksTheRound) {
+  std::vector<TraceEvent> ev;
+  ev.push_back(send_event(0.0, 0));
+  ev.push_back(send_event(0.001, 1));
+  ev.push_back(send_event(3.0, 0, /*rexmit=*/true));  // timeout recovery
+  ev.push_back(ack_event(3.2, 2));
+  ev.push_back(send_event(3.2, 2));
+  ev.push_back(ack_event(3.4, 3));
+  const RoundAnalysis a = analyze_rounds(ev);
+  // Two rounds, but the recovery boundary contributes no duration sample.
+  ASSERT_EQ(a.rounds.size(), 2u);
+  EXPECT_EQ(a.durations.count(), 0u);
+}
+
+TEST(RoundAnalyzer, SimulatedRenoExhibitsThePapersRounds) {
+  // The load-bearing check: on a clean path the simulated Reno flow's
+  // round durations sit at ~1 RTT, sends cluster at the round start, and
+  // round size is uncorrelated with round duration (Section IV's
+  // assumption, |rho| small off modem paths).
+  sim::ConnectionConfig cfg;
+  cfg.sender.advertised_window = 16.0;
+  cfg.forward_link.propagation_delay = 0.1;
+  cfg.reverse_link.propagation_delay = 0.1;
+  cfg.forward_loss = sim::BernoulliLossSpec{0.005};
+  cfg.sender.min_rto = 1.0;
+  cfg.seed = 8;
+  sim::Connection conn(cfg);
+  TraceRecorder rec;
+  conn.set_observer(&rec);
+  conn.run_for(600.0);
+
+  const RoundAnalysis a = analyze_rounds(rec.events());
+  ASSERT_GT(a.durations.count(), 500u);
+  EXPECT_NEAR(a.duration_over_rtt, 1.0, 0.35);
+  EXPECT_LT(std::abs(a.size_vs_duration.correlation()), 0.35);
+  EXPECT_GT(a.sizes.mean(), 2.0);  // operating window well above one packet
+}
+
+TEST(RoundAnalyzer, ModemPathViolatesTheAssumption) {
+  // On the Fig.-11 bottleneck the round duration grows with the round
+  // size (the queue *is* the RTT): positive, strong correlation.
+  sim::ConnectionConfig cfg;
+  cfg.sender.advertised_window = 22.0;
+  cfg.forward_link.propagation_delay = 0.15;
+  cfg.reverse_link.propagation_delay = 0.15;
+  cfg.forward_link.rate_pps = 6.25;
+  cfg.forward_queue = sim::DropTailSpec{12};
+  cfg.sender.min_rto = 1.0;
+  cfg.seed = 8;
+  sim::Connection conn(cfg);
+  TraceRecorder rec;
+  conn.set_observer(&rec);
+  conn.run_for(1200.0);
+
+  const RoundAnalysis a = analyze_rounds(rec.events());
+  ASSERT_GT(a.durations.count(), 50u);
+  EXPECT_GT(a.size_vs_duration.correlation(), 0.4);
+}
+
+TEST(RoundAnalyzer, EmptyTrace) {
+  const RoundAnalysis a = analyze_rounds({});
+  EXPECT_TRUE(a.rounds.empty());
+  EXPECT_EQ(a.duration_over_rtt, 0.0);
+}
+
+}  // namespace
+}  // namespace pftk::trace

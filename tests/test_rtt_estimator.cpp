@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/connection.hpp"
+#include "trace/rtt_estimator.hpp"
+#include "trace/trace_recorder.hpp"
+
+namespace pftk::trace {
+namespace {
+
+TraceEvent send_event(double t, sim::SeqNo seq, bool rexmit, std::size_t in_flight = 1) {
+  TraceEvent e;
+  e.t = t;
+  e.type = TraceEventType::kSegmentSent;
+  e.seq = seq;
+  e.retransmission = rexmit;
+  e.in_flight = in_flight;
+  return e;
+}
+
+TraceEvent ack_event(double t, sim::SeqNo cum) {
+  TraceEvent e;
+  e.t = t;
+  e.type = TraceEventType::kAckReceived;
+  e.seq = cum;
+  return e;
+}
+
+TEST(RttEstimator, SimpleStopAndWaitSamples) {
+  std::vector<TraceEvent> ev;
+  ev.push_back(send_event(0.0, 0, false));
+  ev.push_back(ack_event(0.2, 1));
+  ev.push_back(send_event(0.2, 1, false));
+  ev.push_back(ack_event(0.5, 2));
+  const RttEstimate est = estimate_rtt(ev);
+  ASSERT_EQ(est.samples.count(), 2u);
+  EXPECT_NEAR(est.mean_rtt(), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(est.samples.min(), 0.2);
+  EXPECT_DOUBLE_EQ(est.samples.max(), 0.3);
+}
+
+TEST(RttEstimator, OnlyOneSegmentTimedAtOnce) {
+  // Two segments outstanding: only the first is timed; the second send
+  // while timing is active is not a new measurement.
+  std::vector<TraceEvent> ev;
+  ev.push_back(send_event(0.0, 0, false));
+  ev.push_back(send_event(0.05, 1, false));
+  ev.push_back(ack_event(0.2, 2));  // acks both
+  const RttEstimate est = estimate_rtt(ev);
+  ASSERT_EQ(est.samples.count(), 1u);
+  EXPECT_NEAR(est.mean_rtt(), 0.2, 1e-12);  // timed from seq 0
+}
+
+TEST(RttEstimator, KarnRuleCancelsOnRetransmission) {
+  std::vector<TraceEvent> ev;
+  ev.push_back(send_event(0.0, 0, false));
+  ev.push_back(send_event(3.0, 0, true));  // RTO retransmission
+  ev.push_back(ack_event(3.2, 1));         // ambiguous: no sample
+  const RttEstimate est = estimate_rtt(ev);
+  EXPECT_EQ(est.samples.count(), 0u);
+}
+
+TEST(RttEstimator, AnyRetransmissionCancelsInProgressTiming) {
+  // Timing seq 5 while seq 2 is retransmitted: the eventual cumulative
+  // ACK covering seq 5 must not produce a (recovery-inflated) sample.
+  std::vector<TraceEvent> ev;
+  ev.push_back(send_event(0.0, 5, false));
+  ev.push_back(send_event(0.1, 2, true));
+  ev.push_back(ack_event(4.0, 6));
+  const RttEstimate est = estimate_rtt(ev);
+  EXPECT_EQ(est.samples.count(), 0u);
+}
+
+TEST(RttEstimator, TimingResumesAfterCancelledMeasurement) {
+  std::vector<TraceEvent> ev;
+  ev.push_back(send_event(0.0, 0, false));
+  ev.push_back(send_event(1.0, 0, true));
+  ev.push_back(ack_event(1.2, 1));         // cancelled
+  ev.push_back(send_event(1.3, 1, false)); // new timing
+  ev.push_back(ack_event(1.55, 2));
+  const RttEstimate est = estimate_rtt(ev);
+  ASSERT_EQ(est.samples.count(), 1u);
+  EXPECT_NEAR(est.mean_rtt(), 0.25, 1e-12);
+}
+
+TEST(RttEstimator, DupAcksDoNotCompleteTiming) {
+  std::vector<TraceEvent> ev;
+  ev.push_back(send_event(0.0, 3, false));
+  ev.push_back(ack_event(0.1, 3));  // dup (cum == timed seq, not beyond)
+  ev.push_back(ack_event(0.2, 3));
+  ev.push_back(ack_event(0.4, 4));  // this one completes
+  const RttEstimate est = estimate_rtt(ev);
+  ASSERT_EQ(est.samples.count(), 1u);
+  EXPECT_NEAR(est.mean_rtt(), 0.4, 1e-12);
+}
+
+TEST(RttEstimator, WindowCorrelationTracksInFlight) {
+  // Construct samples where RTT grows with the in-flight count.
+  std::vector<TraceEvent> ev;
+  double t = 0.0;
+  for (int w = 1; w <= 20; ++w) {
+    ev.push_back(send_event(t, static_cast<sim::SeqNo>(w - 1), false,
+                            static_cast<std::size_t>(w)));
+    t += 0.1 + 0.01 * w;
+    ev.push_back(ack_event(t, static_cast<sim::SeqNo>(w)));
+    t += 0.01;
+  }
+  const RttEstimate est = estimate_rtt(ev);
+  EXPECT_EQ(est.samples.count(), 20u);
+  EXPECT_GT(est.correlation(), 0.95);
+}
+
+TEST(RttEstimator, SimulatedTraceMatchesSenderEstimate) {
+  sim::ConnectionConfig cfg;
+  cfg.sender.advertised_window = 16.0;
+  cfg.forward_link.propagation_delay = 0.1;
+  cfg.reverse_link.propagation_delay = 0.1;
+  cfg.forward_loss = sim::BernoulliLossSpec{0.01};
+  cfg.seed = 17;
+  sim::Connection conn(cfg);
+  TraceRecorder rec;
+  conn.set_observer(&rec);
+  conn.run_for(300.0);
+
+  const RttEstimate est = estimate_rtt(rec.events());
+  EXPECT_GT(est.samples.count(), 50u);
+  // Propagation RTT is 0.2; samples sit between that and ~0.2 + delack.
+  EXPECT_GE(est.samples.min(), 0.199);
+  EXPECT_NEAR(est.mean_rtt(), 0.22, 0.05);
+  // Ordinary path: |correlation| small (Section IV).
+  EXPECT_LT(std::abs(est.correlation()), 0.3);
+}
+
+TEST(RttEstimator, EmptyTraceYieldsNoSamples) {
+  const std::vector<TraceEvent> ev;
+  const RttEstimate est = estimate_rtt(ev);
+  EXPECT_EQ(est.samples.count(), 0u);
+  EXPECT_EQ(est.mean_rtt(), 0.0);
+  EXPECT_EQ(est.correlation(), 0.0);
+}
+
+}  // namespace
+}  // namespace pftk::trace

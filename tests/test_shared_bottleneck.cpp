@@ -1,0 +1,141 @@
+// Multi-flow dumbbell tests: congestion-driven losses, fair sharing, and
+// the model's per-flow predictions from measured per-flow parameters.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/model_registry.hpp"
+#include "sim/shared_bottleneck.hpp"
+#include "stats/fairness.hpp"
+#include "trace/trace_recorder.hpp"
+#include "trace/trace_summary.hpp"
+
+namespace pftk::sim {
+namespace {
+
+SharedBottleneckConfig dumbbell(std::size_t flows, double rate_pps = 120.0,
+                                std::size_t queue_len = 20) {
+  SharedBottleneckConfig cfg;
+  cfg.rate_pps = rate_pps;
+  cfg.queue = DropTailSpec{queue_len};
+  cfg.bottleneck_delay = 0.02;
+  cfg.seed = 33;
+  for (std::size_t i = 0; i < flows; ++i) {
+    FlowEndpointConfig f;
+    f.sender.advertised_window = 64.0;
+    f.sender.min_rto = 1.0;
+    f.access_delay = 0.01;
+    f.exit_delay = 0.02;
+    f.return_delay = 0.04;
+    cfg.flows.push_back(f);
+  }
+  return cfg;
+}
+
+TEST(SharedBottleneck, SingleFlowSaturatesTheLink) {
+  SharedBottleneck net(dumbbell(1));
+  const auto summaries = net.run_for(300.0);
+  ASSERT_EQ(summaries.size(), 1u);
+  // Goodput within a few percent of the bottleneck rate.
+  EXPECT_GT(summaries[0].throughput, 0.90 * 120.0);
+  EXPECT_LE(summaries[0].throughput, 120.5);
+}
+
+TEST(SharedBottleneck, CongestionCreatesLossesWithoutInjectedNoise) {
+  SharedBottleneck net(dumbbell(2));
+  net.run_for(300.0);
+  EXPECT_GT(net.bottleneck_stats().dropped_queue, 0u);
+  EXPECT_EQ(net.bottleneck_stats().dropped_loss, 0u);  // no stochastic loss
+}
+
+TEST(SharedBottleneck, TwoIdenticalFlowsShareFairly) {
+  SharedBottleneck net(dumbbell(2));
+  const auto summaries = net.run_for(600.0);
+  std::vector<double> rates;
+  double total = 0.0;
+  for (const FlowSummary& s : summaries) {
+    rates.push_back(s.throughput);
+    total += s.throughput;
+  }
+  EXPECT_GT(total, 0.9 * 120.0);  // the pair still saturates the link
+  EXPECT_GT(stats::jain_fairness_index(rates), 0.85);
+}
+
+TEST(SharedBottleneck, FourFlowsStillFairAndSaturating) {
+  SharedBottleneck net(dumbbell(4, 160.0, 30));
+  const auto summaries = net.run_for(600.0);
+  std::vector<double> rates;
+  double total = 0.0;
+  for (const FlowSummary& s : summaries) {
+    rates.push_back(s.throughput);
+    total += s.throughput;
+  }
+  EXPECT_GT(total, 0.9 * 160.0);
+  EXPECT_GT(stats::jain_fairness_index(rates), 0.8);
+}
+
+TEST(SharedBottleneck, ShorterRttFlowGetsMore) {
+  // Classic TCP RTT-unfairness: rate ~ 1/RTT for synchronized flows.
+  SharedBottleneckConfig cfg = dumbbell(2);
+  cfg.flows[1].return_delay = 0.25;  // flow 1 has a much longer RTT
+  SharedBottleneck net(cfg);
+  const auto summaries = net.run_for(600.0);
+  EXPECT_GT(summaries[0].throughput, 1.3 * summaries[1].throughput);
+}
+
+TEST(SharedBottleneck, PerFlowModelPredictionFromMeasuredParameters) {
+  // The paper's use case: measure a flow's p/RTT/T0 on a shared link and
+  // predict its send rate with the full model.
+  SharedBottleneckConfig cfg = dumbbell(2);
+  SharedBottleneck net(cfg);
+  trace::TraceRecorder recorder;
+  net.set_observer(0, &recorder);
+  const auto summaries = net.run_for(900.0);
+
+  const auto row = trace::summarize_trace(recorder.events(), 3);
+  ASSERT_GT(row.loss_indications, 10u);
+  model::ModelParams params;
+  params.p = row.observed_p;
+  params.rtt = row.avg_rtt;
+  params.t0 = row.avg_timeout > 0.0 ? row.avg_timeout : 1.0;
+  params.b = 2;
+  params.wm = 64.0;
+  const double predicted = model::evaluate_model(model::ModelKind::kFull, params);
+  const double measured = summaries[0].send_rate;
+  EXPECT_GT(predicted / measured, 1.0 / 3.0);
+  EXPECT_LT(predicted / measured, 3.0);
+}
+
+TEST(SharedBottleneck, RejectsBadConfigs) {
+  SharedBottleneckConfig cfg = dumbbell(1);
+  cfg.rate_pps = 0.0;
+  EXPECT_THROW(SharedBottleneck{cfg}, std::invalid_argument);
+  cfg = dumbbell(1);
+  cfg.flows.clear();
+  EXPECT_THROW(SharedBottleneck{cfg}, std::invalid_argument);
+  cfg = dumbbell(1);
+  cfg.flows[0].access_delay = -1.0;
+  EXPECT_THROW(SharedBottleneck{cfg}, std::invalid_argument);
+}
+
+TEST(SharedBottleneck, ObserverIndexChecked) {
+  SharedBottleneck net(dumbbell(2));
+  EXPECT_THROW(net.set_observer(5, nullptr), std::out_of_range);
+}
+
+TEST(JainFairness, KnownValues) {
+  const std::vector<double> equal{10.0, 10.0, 10.0};
+  EXPECT_NEAR(stats::jain_fairness_index(equal), 1.0, 1e-12);
+  const std::vector<double> hog{30.0, 0.0, 0.0};
+  EXPECT_NEAR(stats::jain_fairness_index(hog), 1.0 / 3.0, 1e-12);
+  const std::vector<double> empty;
+  EXPECT_EQ(stats::jain_fairness_index(empty), 0.0);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_EQ(stats::jain_fairness_index(zeros), 0.0);
+  const std::vector<double> bad{-1.0};
+  EXPECT_THROW((void)stats::jain_fairness_index(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pftk::sim

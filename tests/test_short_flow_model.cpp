@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/full_model.hpp"
+#include "core/short_flow_model.hpp"
+#include "sim/connection.hpp"
+
+namespace pftk::model {
+namespace {
+
+ModelParams path(double p, double rtt = 0.2, double t0 = 1.5, double wm = 32.0) {
+  ModelParams mp;
+  mp.p = p;
+  mp.rtt = rtt;
+  mp.t0 = t0;
+  mp.b = 2;
+  mp.wm = wm;
+  return mp;
+}
+
+TEST(ShortFlowModel, LosslessIsPureSlowStart) {
+  // With p = 0 and no window cap pressure: latency = RTT * log_1.5 of the
+  // transfer, at least one round.
+  const ShortFlowBreakdown bd = short_flow_breakdown(1, path(0.0));
+  EXPECT_DOUBLE_EQ(bd.loss_probability, 0.0);
+  EXPECT_DOUBLE_EQ(bd.loss_recovery_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(bd.steady_state_seconds, 0.0);
+  EXPECT_NEAR(bd.total_seconds, 0.2, 0.05);  // one round trip
+
+  const double d = 100.0;
+  // Keep the window cap out of play (w_ss would be 51 packets).
+  const ShortFlowBreakdown big = short_flow_breakdown(100, path(0.0, 0.2, 1.5, 1000.0));
+  const double rounds = std::log(d * 0.5 + 1.0) / std::log(1.5);
+  EXPECT_NEAR(big.total_seconds, 0.2 * rounds, 1e-9);
+}
+
+TEST(ShortFlowModel, MonotoneInTransferSize) {
+  double prev = 0.0;
+  for (const std::uint64_t d : {1ULL, 2ULL, 5ULL, 20ULL, 100ULL, 1000ULL, 10000ULL}) {
+    const double latency = expected_transfer_latency(d, path(0.01));
+    EXPECT_GT(latency, prev) << "d=" << d;
+    prev = latency;
+  }
+}
+
+TEST(ShortFlowModel, MonotoneInLossRate) {
+  double prev = 0.0;
+  for (const double p : {0.0, 0.005, 0.02, 0.08, 0.2}) {
+    const double latency = expected_transfer_latency(500, path(p));
+    EXPECT_GT(latency, prev) << "p=" << p;
+    prev = latency;
+  }
+}
+
+TEST(ShortFlowModel, LargeTransfersConvergeToSteadyStateRate) {
+  const ModelParams mp = path(0.02);
+  const double rate = full_model_send_rate(mp);
+  const std::uint64_t d = 200000;
+  const double latency = expected_transfer_latency(d, mp);
+  const double effective_rate = static_cast<double>(d) / latency;
+  EXPECT_NEAR(effective_rate / rate, 1.0, 0.05);
+}
+
+TEST(ShortFlowModel, SmallTransfersAreSlowStartDominated) {
+  const ShortFlowBreakdown bd = short_flow_breakdown(8, path(0.02));
+  EXPECT_GT(bd.slow_start_seconds, bd.steady_state_seconds);
+}
+
+TEST(ShortFlowModel, HandshakeAddsOneRtt) {
+  ShortFlowOptions with;
+  with.include_handshake = true;
+  const double base = expected_transfer_latency(10, path(0.01));
+  const double shaken = expected_transfer_latency(10, path(0.01), with);
+  EXPECT_NEAR(shaken - base, 0.2, 1e-9);
+}
+
+TEST(ShortFlowModel, WindowCapSlowsTheExponentialPhase) {
+  const double open = expected_transfer_latency(2000, path(0.0, 0.2, 1.5, 1000.0));
+  const double capped = expected_transfer_latency(2000, path(0.0, 0.2, 1.5, 8.0));
+  EXPECT_GT(capped, 2.0 * open);
+}
+
+TEST(ShortFlowModel, RejectsBadInput) {
+  EXPECT_THROW((void)expected_transfer_latency(0, path(0.01)), std::invalid_argument);
+  ShortFlowOptions bad;
+  bad.initial_cwnd = 0.5;
+  EXPECT_THROW((void)expected_transfer_latency(10, path(0.01), bad),
+               std::invalid_argument);
+}
+
+TEST(ShortFlowModel, TracksSimulatedTransferLatency) {
+  // Validate against real finite transfers: the model should land within
+  // a factor of ~2 of the mean simulated completion time.
+  const double p = 0.01;
+  for (const std::uint64_t d : {20ULL, 200ULL, 2000ULL}) {
+    double total = 0.0;
+    int completed = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      sim::ConnectionConfig cfg;
+      cfg.sender.advertised_window = 32.0;
+      cfg.sender.total_packets = d;
+      cfg.sender.min_rto = 1.0;
+      cfg.forward_link.propagation_delay = 0.1;
+      cfg.reverse_link.propagation_delay = 0.1;
+      cfg.forward_loss = sim::BernoulliLossSpec{p};
+      cfg.seed = seed;
+      sim::Connection conn(cfg);
+      conn.run_for(3600.0);
+      if (conn.sender().complete()) {
+        total += conn.sender().completion_time();
+        ++completed;
+      }
+    }
+    ASSERT_GT(completed, 7) << "d=" << d;
+    const double mean_sim = total / completed;
+    ModelParams mp = path(p, 0.22, 1.0);  // measured-ish RTT incl. delack
+    const double predicted = expected_transfer_latency(d, mp);
+    EXPECT_GT(predicted / mean_sim, 0.4) << "d=" << d;
+    EXPECT_LT(predicted / mean_sim, 2.5) << "d=" << d;
+  }
+}
+
+}  // namespace
+}  // namespace pftk::model

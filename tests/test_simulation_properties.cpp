@@ -1,0 +1,90 @@
+// Property sweep over the whole path catalogue: every profile's simulated
+// trace must satisfy the cross-module invariants that tie the simulator,
+// the trace pipeline and the experiment harness together.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "exp/path_profile.hpp"
+#include "trace/interval_analyzer.hpp"
+#include "trace/loss_classifier.hpp"
+#include "trace/rtt_estimator.hpp"
+#include "trace/trace_recorder.hpp"
+#include "trace/trace_validator.hpp"
+
+namespace pftk::exp {
+namespace {
+
+class ProfileSweep : public ::testing::TestWithParam<int> {
+ protected:
+  static constexpr double kDuration = 150.0;
+};
+
+TEST_P(ProfileSweep, InvariantsHold) {
+  const PathProfile profile = table2_profiles().at(static_cast<std::size_t>(GetParam()));
+  sim::Connection conn(make_connection_config(profile, 20240615));
+  trace::TraceRecorder rec;
+  conn.set_observer(&rec);
+  const sim::ConnectionSummary summary = conn.run_for(kDuration);
+
+  const auto& sender = conn.sender();
+  const auto& receiver = conn.receiver();
+
+  // Accounting identities.
+  EXPECT_EQ(sender.stats().transmissions,
+            sender.stats().new_segments + sender.stats().retransmissions)
+      << profile.label();
+  EXPECT_LE(summary.packets_delivered, summary.packets_sent) << profile.label();
+  // The sender never believes more was acked than the receiver delivered.
+  EXPECT_LE(sender.snd_una(), receiver.next_expected()) << profile.label();
+  EXPECT_LE(sender.snd_una(), sender.next_seq()) << profile.label();
+
+  // The wire trace is structurally valid.
+  const trace::TraceValidation validation = trace::validate_trace(rec.events());
+  EXPECT_TRUE(validation.ok())
+      << profile.label() << ": " << validation.violations.size() << " violations, first: "
+      << (validation.violations.empty() ? "" : validation.violations.front().message);
+
+  // Classifier consistency: columns add up; ground truth agreement.
+  const trace::LossAnalysis losses =
+      trace::analyze_losses(rec.events(), profile.dupack_threshold());
+  std::uint64_t depth_sum = losses.td_count;
+  std::uint64_t timeout_count = 0;
+  for (const auto& ind : losses.indications) {
+    if (ind.is_timeout) {
+      timeout_count += static_cast<std::uint64_t>(ind.timeout_depth);
+    } else {
+      ++depth_sum;
+    }
+  }
+  EXPECT_EQ(losses.td_count, sender.stats().fast_retransmits) << profile.label();
+  EXPECT_EQ(timeout_count, sender.stats().timeouts) << profile.label();
+  EXPECT_EQ(losses.packets_sent, sender.stats().transmissions) << profile.label();
+
+  // RTT estimates sit at or above the propagation floor.
+  const trace::RttEstimate rtt = trace::estimate_rtt(rec.events());
+  if (rtt.samples.count() > 0) {
+    EXPECT_GE(rtt.samples.min(), profile.nominal_rtt() * 0.99) << profile.label();
+    EXPECT_LT(rtt.mean_rtt(), profile.nominal_rtt() + 0.4) << profile.label();
+  }
+
+  // Interval packet counts tie out with the trace total.
+  const auto intervals =
+      trace::analyze_intervals(rec.events(), kDuration, 50.0, profile.dupack_threshold());
+  std::uint64_t interval_packets = 0;
+  for (const auto& obs : intervals) {
+    interval_packets += obs.packets_sent;
+  }
+  EXPECT_EQ(interval_packets, losses.packets_sent) << profile.label();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileSweep, ::testing::Range(0, 24),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           const auto profile = table2_profiles().at(
+                               static_cast<std::size_t>(info.param));
+                           std::string name = profile.sender + "_" + profile.receiver;
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace pftk::exp

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "exp/table_format.hpp"
+
+namespace pftk::exp {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream lines(os.str());
+  std::string header;
+  std::string rule;
+  std::string row1;
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, row1);
+  // Column alignment: "value" in the header and "1" in the first row
+  // start at the same offset.
+  EXPECT_EQ(header.find("value"), row1.find('1'));
+  EXPECT_NE(header.find("name"), std::string::npos);
+  EXPECT_NE(row1.find("alpha"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.print(os));
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TextTable, WideRowThrows) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, HeaderRuleSeparatesRows) {
+  TextTable t({"col"});
+  t.add_row({"val"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("---"), std::string::npos);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(1.0, 3), "1.000");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+}
+
+TEST(Fmt, Unsigned) {
+  EXPECT_EQ(fmt_u(0), "0");
+  EXPECT_EQ(fmt_u(123456789ULL), "123456789");
+}
+
+}  // namespace
+}  // namespace pftk::exp

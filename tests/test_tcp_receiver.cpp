@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/tcp_receiver.hpp"
+
+namespace pftk::sim {
+namespace {
+
+struct ReceiverFixture {
+  EventQueue queue;
+  std::vector<Ack> acks;
+  TcpReceiverConfig config;
+
+  void wire(TcpReceiver& rx) {
+    rx.set_send_ack([this](const Ack& a) { acks.push_back(a); });
+  }
+
+  void deliver(TcpReceiver& rx, SeqNo seq) {
+    Segment s;
+    s.seq = seq;
+    rx.on_segment(s, queue.now());
+  }
+};
+
+TEST(TcpReceiver, AcksEverySecondInOrderSegment) {
+  ReceiverFixture f;
+  TcpReceiver rx(f.queue, f.config);
+  f.wire(rx);
+  f.deliver(rx, 0);
+  EXPECT_EQ(f.acks.size(), 0u);  // first of a pair is delayed
+  f.deliver(rx, 1);
+  ASSERT_EQ(f.acks.size(), 1u);
+  EXPECT_EQ(f.acks[0].cumulative, 2u);
+}
+
+TEST(TcpReceiver, DelayedAckTimerFlushesStraggler) {
+  ReceiverFixture f;
+  TcpReceiver rx(f.queue, f.config);
+  f.wire(rx);
+  f.deliver(rx, 0);
+  EXPECT_EQ(f.acks.size(), 0u);
+  f.queue.run_until(0.5);  // heartbeat period is 0.2
+  ASSERT_EQ(f.acks.size(), 1u);
+  EXPECT_EQ(f.acks[0].cumulative, 1u);
+  EXPECT_LE(f.acks[0].sent_at, 0.2 + 1e-9);
+}
+
+TEST(TcpReceiver, OutOfOrderTriggersImmediateDupAck) {
+  ReceiverFixture f;
+  TcpReceiver rx(f.queue, f.config);
+  f.wire(rx);
+  f.deliver(rx, 0);
+  f.deliver(rx, 1);  // ACK 2
+  f.deliver(rx, 3);  // hole at 2 -> immediate dup ACK with cum=2
+  f.deliver(rx, 4);  // another dup
+  ASSERT_EQ(f.acks.size(), 3u);
+  EXPECT_EQ(f.acks[1].cumulative, 2u);
+  EXPECT_EQ(f.acks[2].cumulative, 2u);
+  EXPECT_EQ(rx.buffered(), 2u);
+  EXPECT_EQ(rx.stats().dup_acks_sent, 2u);
+}
+
+TEST(TcpReceiver, FillingHoleAcksImmediatelyAndAdvances) {
+  ReceiverFixture f;
+  TcpReceiver rx(f.queue, f.config);
+  f.wire(rx);
+  f.deliver(rx, 0);
+  f.deliver(rx, 1);
+  f.deliver(rx, 3);
+  f.deliver(rx, 2);  // fills the hole
+  const Ack& last = f.acks.back();
+  EXPECT_EQ(last.cumulative, 4u);
+  EXPECT_EQ(rx.buffered(), 0u);
+  EXPECT_EQ(rx.next_expected(), 4u);
+}
+
+TEST(TcpReceiver, DuplicateSegmentBelowCumPointIsAcked) {
+  ReceiverFixture f;
+  TcpReceiver rx(f.queue, f.config);
+  f.wire(rx);
+  f.deliver(rx, 0);
+  f.deliver(rx, 1);
+  const std::size_t before = f.acks.size();
+  f.deliver(rx, 0);  // spurious retransmission
+  ASSERT_EQ(f.acks.size(), before + 1);
+  EXPECT_EQ(f.acks.back().cumulative, 2u);
+  EXPECT_EQ(rx.stats().duplicate_segments, 1u);
+}
+
+TEST(TcpReceiver, AckEveryOneIsImmediate) {
+  ReceiverFixture f;
+  f.config.ack_every = 1;
+  TcpReceiver rx(f.queue, f.config);
+  f.wire(rx);
+  f.deliver(rx, 0);
+  f.deliver(rx, 1);
+  EXPECT_EQ(f.acks.size(), 2u);
+}
+
+TEST(TcpReceiver, DupAckCountEqualsPacketsAfterHole) {
+  // The paper's footnote: dup-ACKs are not delayed, so the number of
+  // dup-ACKs equals the packets received past the hole.
+  ReceiverFixture f;
+  TcpReceiver rx(f.queue, f.config);
+  f.wire(rx);
+  f.deliver(rx, 0);
+  f.deliver(rx, 1);
+  const std::size_t before = f.acks.size();
+  for (SeqNo s = 3; s < 9; ++s) {
+    f.deliver(rx, s);
+  }
+  EXPECT_EQ(f.acks.size() - before, 6u);
+  EXPECT_EQ(rx.stats().dup_acks_sent, 6u);
+}
+
+TEST(TcpReceiver, StatsCountArrivals) {
+  ReceiverFixture f;
+  TcpReceiver rx(f.queue, f.config);
+  f.wire(rx);
+  for (SeqNo s = 0; s < 10; ++s) {
+    f.deliver(rx, s);
+  }
+  EXPECT_EQ(rx.stats().segments_received, 10u);
+  EXPECT_EQ(rx.next_expected(), 10u);
+}
+
+TEST(TcpReceiver, ConfigValidation) {
+  EventQueue q;
+  TcpReceiverConfig bad;
+  bad.ack_every = 0;
+  EXPECT_THROW(TcpReceiver(q, bad), std::invalid_argument);
+  bad.ack_every = 2;
+  bad.delayed_ack_timeout = -0.1;
+  EXPECT_THROW(TcpReceiver(q, bad), std::invalid_argument);
+}
+
+TEST(TcpReceiver, HoleFilledOnlyPartially) {
+  ReceiverFixture f;
+  TcpReceiver rx(f.queue, f.config);
+  f.wire(rx);
+  f.deliver(rx, 0);
+  f.deliver(rx, 1);
+  f.deliver(rx, 3);
+  f.deliver(rx, 5);  // two holes: 2 and 4
+  f.deliver(rx, 2);  // fills first hole only
+  EXPECT_EQ(rx.next_expected(), 4u);
+  EXPECT_EQ(rx.buffered(), 1u);  // seq 5 still buffered
+  EXPECT_EQ(f.acks.back().cumulative, 4u);
+}
+
+}  // namespace
+}  // namespace pftk::sim

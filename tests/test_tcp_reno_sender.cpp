@@ -1,0 +1,348 @@
+// Unit tests of the Reno state machine, driven with hand-crafted ACK
+// streams (no links, no receiver): every transition the model relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "sim/tcp_reno_sender.hpp"
+
+namespace pftk::sim {
+namespace {
+
+struct SenderFixture {
+  EventQueue queue;
+  std::vector<Segment> sent;
+  TcpRenoSenderConfig config;
+
+  SenderFixture() {
+    config.advertised_window = 16.0;
+    config.min_rto = 1.0;
+    config.timer_tick = 0.0;  // exact timers for determinism in tests
+  }
+
+  // Heap-allocated: the sender's timer events capture its address, so it
+  // must never move after start().
+  std::unique_ptr<TcpRenoSender> start() {
+    auto s = std::make_unique<TcpRenoSender>(queue, config);
+    s->set_send_segment([this](const Segment& seg) { sent.push_back(seg); });
+    s->start();
+    return s;
+  }
+
+  /// Delivers a cumulative ACK at the current queue time.
+  static void ack(TcpRenoSender& s, EventQueue& q, SeqNo cum) {
+    Ack a;
+    a.cumulative = cum;
+    s.on_ack(a, q.now());
+  }
+};
+
+TEST(TcpRenoSender, InitialWindowIsOnePacket) {
+  SenderFixture f;
+  auto sp = f.start();
+  TcpRenoSender& s = *sp;
+  EXPECT_EQ(f.sent.size(), 1u);
+  EXPECT_EQ(f.sent[0].seq, 0u);
+  EXPECT_EQ(s.in_flight(), 1u);
+}
+
+TEST(TcpRenoSender, SlowStartDoublesPerRoundWithAckPerPacket) {
+  SenderFixture f;
+  auto sp = f.start();
+  TcpRenoSender& s = *sp;
+  SenderFixture::ack(s, f.queue, 1);  // ack seq 0
+  // cwnd 2 -> two more packets (1, 2)
+  EXPECT_EQ(f.sent.size(), 3u);
+  SenderFixture::ack(s, f.queue, 2);
+  SenderFixture::ack(s, f.queue, 3);
+  // cwnd 4 -> packets 3,4,5,6 outstanding
+  EXPECT_EQ(s.cwnd(), 4.0);
+  EXPECT_EQ(s.in_flight(), 4u);
+}
+
+TEST(TcpRenoSender, CongestionAvoidanceGrowsByReciprocal) {
+  SenderFixture f;
+  f.config.initial_ssthresh = 2.0;  // leave slow start immediately
+  f.config.initial_cwnd = 2.0;
+  auto sp = f.start();
+  TcpRenoSender& s = *sp;
+  const double before = s.cwnd();
+  SenderFixture::ack(s, f.queue, 1);
+  EXPECT_NEAR(s.cwnd(), before + 1.0 / before, 1e-12);
+}
+
+TEST(TcpRenoSender, SlowStartCapsAtSsthresh) {
+  SenderFixture f;
+  f.config.initial_ssthresh = 4.0;
+  auto sp = f.start();
+  TcpRenoSender& s = *sp;
+  SenderFixture::ack(s, f.queue, 1);
+  SenderFixture::ack(s, f.queue, 2);
+  SenderFixture::ack(s, f.queue, 3);
+  SenderFixture::ack(s, f.queue, 4);
+  EXPECT_LE(s.cwnd(), 4.0 + 1.0);  // one CA increment at most past the knee
+  EXPECT_GE(s.cwnd(), 4.0);
+}
+
+TEST(TcpRenoSender, TripleDupAckTriggersFastRetransmit) {
+  SenderFixture f;
+  f.config.initial_cwnd = 8.0;
+  f.config.initial_ssthresh = 8.0;
+  auto sp = f.start();
+  TcpRenoSender& s = *sp;
+  ASSERT_EQ(f.sent.size(), 8u);
+  SenderFixture::ack(s, f.queue, 4);  // new ack, 4 acked, sends more
+  const std::size_t sent_before = f.sent.size();
+  SenderFixture::ack(s, f.queue, 4);  // dup 1
+  SenderFixture::ack(s, f.queue, 4);  // dup 2
+  EXPECT_EQ(s.stats().fast_retransmits, 0u);
+  SenderFixture::ack(s, f.queue, 4);  // dup 3 -> fast retransmit
+  EXPECT_EQ(s.stats().fast_retransmits, 1u);
+  EXPECT_TRUE(s.in_fast_recovery());
+  // The retransmission resends snd_una.
+  bool resent = false;
+  for (std::size_t i = sent_before; i < f.sent.size(); ++i) {
+    if (f.sent[i].seq == 4 && f.sent[i].retransmission) {
+      resent = true;
+    }
+  }
+  EXPECT_TRUE(resent);
+  // ssthresh = half the flight.
+  EXPECT_NEAR(s.ssthresh(), std::max(4.0, 2.0), 1e-9);
+}
+
+TEST(TcpRenoSender, LinuxStyleTwoDupAckThreshold) {
+  SenderFixture f;
+  f.config.dupack_threshold = 2;
+  f.config.initial_cwnd = 8.0;
+  f.config.initial_ssthresh = 8.0;
+  auto sp = f.start();
+  TcpRenoSender& s = *sp;
+  SenderFixture::ack(s, f.queue, 4);
+  SenderFixture::ack(s, f.queue, 4);
+  EXPECT_EQ(s.stats().fast_retransmits, 0u);
+  SenderFixture::ack(s, f.queue, 4);
+  EXPECT_EQ(s.stats().fast_retransmits, 1u);
+}
+
+TEST(TcpRenoSender, FastRecoveryDeflatesOnNewAck) {
+  SenderFixture f;
+  f.config.initial_cwnd = 8.0;
+  f.config.initial_ssthresh = 8.0;
+  auto sp = f.start();
+  TcpRenoSender& s = *sp;
+  SenderFixture::ack(s, f.queue, 4);
+  for (int i = 0; i < 3; ++i) {
+    SenderFixture::ack(s, f.queue, 4);
+  }
+  ASSERT_TRUE(s.in_fast_recovery());
+  const double ssthresh = s.ssthresh();
+  SenderFixture::ack(s, f.queue, 9);  // new ack ends recovery
+  EXPECT_FALSE(s.in_fast_recovery());
+  EXPECT_DOUBLE_EQ(s.cwnd(), ssthresh);
+}
+
+TEST(TcpRenoSender, DupAcksInflateWindowDuringRecovery) {
+  SenderFixture f;
+  f.config.initial_cwnd = 8.0;
+  f.config.initial_ssthresh = 8.0;
+  auto sp = f.start();
+  TcpRenoSender& s = *sp;
+  SenderFixture::ack(s, f.queue, 4);
+  for (int i = 0; i < 3; ++i) {
+    SenderFixture::ack(s, f.queue, 4);
+  }
+  const double inflated = s.cwnd();
+  SenderFixture::ack(s, f.queue, 4);  // 4th dup: inflate further
+  EXPECT_DOUBLE_EQ(s.cwnd(), inflated + 1.0);
+}
+
+TEST(TcpRenoSender, TimeoutCollapsesWindowToOne) {
+  SenderFixture f;
+  f.config.initial_cwnd = 8.0;
+  f.config.initial_ssthresh = 8.0;
+  auto sp = f.start();
+  TcpRenoSender& s = *sp;
+  EXPECT_EQ(s.in_flight(), 8u);
+  f.queue.run_until(10.0);  // no ACKs: the RTO fires
+  EXPECT_GE(s.stats().timeouts, 1u);
+  EXPECT_EQ(s.cwnd(), 1.0);
+  // Exactly one retransmission per timeout (of snd_una).
+  EXPECT_EQ(f.sent.back().seq, 0u);
+  EXPECT_TRUE(f.sent.back().retransmission);
+}
+
+TEST(TcpRenoSender, ExponentialBackoffDoublesAndCaps) {
+  SenderFixture f;
+  f.config.initial_cwnd = 1.0;
+  f.config.initial_rto = 1.0;
+  f.config.min_rto = 1.0;
+  f.config.max_rto = 1000.0;
+  f.config.max_backoff_exponent = 3;  // cap at 8x for a fast test
+  auto sp = f.start();
+  TcpRenoSender& s = *sp;
+
+  std::vector<Time> rexmit_times;
+  f.queue.run_until(100.0);
+  for (std::size_t i = 1; i < f.sent.size(); ++i) {
+    if (f.sent[i].retransmission) {
+      rexmit_times.push_back(0.0);
+    }
+  }
+  // Timeouts at 1, 1+2, 1+2+4, 1+2+4+8, then +8 each: count within 100 s:
+  // 1,3,7,15,23,31,... -> sequence capped at 8x spacing.
+  EXPECT_GE(s.stats().timeouts, 10u);
+  EXPECT_EQ(s.consecutive_timeouts(), static_cast<int>(s.stats().timeouts));
+}
+
+TEST(TcpRenoSender, BackoffClearsOnNewAck) {
+  SenderFixture f;
+  f.config.initial_cwnd = 4.0;
+  f.config.initial_ssthresh = 8.0;
+  auto sp = f.start();
+  TcpRenoSender& s = *sp;
+  f.queue.run_until(5.0);  // at least one timeout
+  ASSERT_GT(s.consecutive_timeouts(), 0);
+  SenderFixture::ack(s, f.queue, 1);
+  EXPECT_EQ(s.consecutive_timeouts(), 0);
+}
+
+TEST(TcpRenoSender, RtoHonorsMinAndTick) {
+  SenderFixture f;
+  f.config.min_rto = 2.0;
+  f.config.timer_tick = 0.5;
+  auto sp = f.start();
+  TcpRenoSender& s = *sp;
+  // Feed a tiny RTT sample: RTO must still be >= min_rto.
+  f.queue.run_until(0.01);
+  SenderFixture::ack(s, f.queue, 1);
+  EXPECT_GE(s.current_rto(), 2.0);
+  EXPECT_NEAR(std::fmod(s.current_rto(), 0.5), 0.0, 1e-9);
+}
+
+TEST(TcpRenoSender, AdvertisedWindowCapsFlight) {
+  SenderFixture f;
+  f.config.advertised_window = 4.0;
+  f.config.initial_cwnd = 10.0;
+  f.config.initial_ssthresh = 100.0;
+  auto sp = f.start();
+  TcpRenoSender& s = *sp;
+  EXPECT_EQ(s.in_flight(), 4u);
+}
+
+TEST(TcpRenoSender, StaleAckIsIgnored) {
+  SenderFixture f;
+  f.config.initial_cwnd = 4.0;
+  auto sp = f.start();
+  TcpRenoSender& s = *sp;
+  SenderFixture::ack(s, f.queue, 2);
+  const double cwnd = s.cwnd();
+  const std::size_t sent = f.sent.size();
+  SenderFixture::ack(s, f.queue, 1);  // below snd_una
+  EXPECT_DOUBLE_EQ(s.cwnd(), cwnd);
+  EXPECT_EQ(f.sent.size(), sent);
+}
+
+TEST(TcpRenoSender, RttEstimatorTracksSamples) {
+  SenderFixture f;
+  f.config.min_rto = 0.1;
+  auto sp = f.start();
+  TcpRenoSender& s = *sp;
+  f.queue.run_until(0.2);
+  SenderFixture::ack(s, f.queue, 1);
+  EXPECT_NEAR(s.smoothed_rtt(), 0.2, 1e-9);
+  // RTO = srtt + 4*rttvar = 0.2 + 4*0.1 = 0.6.
+  EXPECT_NEAR(s.current_rto(), 0.6, 1e-9);
+}
+
+TEST(TcpRenoSender, StartWithoutCallbackThrows) {
+  EventQueue q;
+  TcpRenoSenderConfig cfg;
+  TcpRenoSender s(q, cfg);
+  EXPECT_THROW(s.start(), std::logic_error);
+}
+
+TEST(TcpRenoSender, ConfigValidation) {
+  EventQueue q;
+  TcpRenoSenderConfig cfg;
+  cfg.dupack_threshold = 0;
+  EXPECT_THROW(TcpRenoSender(q, cfg), std::invalid_argument);
+  cfg = TcpRenoSenderConfig{};
+  cfg.advertised_window = 0.0;
+  EXPECT_THROW(TcpRenoSender(q, cfg), std::invalid_argument);
+  cfg = TcpRenoSenderConfig{};
+  cfg.max_backoff_exponent = 40;
+  EXPECT_THROW(TcpRenoSender(q, cfg), std::invalid_argument);
+  cfg = TcpRenoSenderConfig{};
+  cfg.max_rto = 0.5;
+  cfg.min_rto = 1.0;
+  EXPECT_THROW(TcpRenoSender(q, cfg), std::invalid_argument);
+}
+
+TEST(TcpRenoSender, TimeoutPullsBackAndResendsGoBackN) {
+  // After an RTO the sender must resend the old flight (go-back-N, as
+  // 4.4BSD does), not wait for per-hole timeouts.
+  SenderFixture f;
+  f.config.initial_cwnd = 6.0;
+  f.config.initial_ssthresh = 6.0;
+  auto sp = f.start();
+  TcpRenoSender& s = *sp;
+  ASSERT_EQ(f.sent.size(), 6u);
+  f.queue.run_until(5.0);  // RTO fires, whole flight lost
+  ASSERT_GE(s.stats().timeouts, 1u);
+  // First resend is seq 0 as a retransmission.
+  EXPECT_EQ(f.sent[6].seq, 0u);
+  EXPECT_TRUE(f.sent[6].retransmission);
+
+  // Ack it: slow start resends seqs 1 and 2, still flagged retransmission.
+  const std::size_t before = f.sent.size();
+  SenderFixture::ack(s, f.queue, 1);
+  ASSERT_EQ(f.sent.size(), before + 2);
+  EXPECT_EQ(f.sent[before].seq, 1u);
+  EXPECT_TRUE(f.sent[before].retransmission);
+  EXPECT_EQ(f.sent[before + 1].seq, 2u);
+  EXPECT_TRUE(f.sent[before + 1].retransmission);
+}
+
+TEST(TcpRenoSender, GoBackNResumesNewDataPastTheOldFlight) {
+  SenderFixture f;
+  f.config.initial_cwnd = 4.0;
+  f.config.initial_ssthresh = 64.0;
+  auto sp = f.start();
+  TcpRenoSender& s = *sp;
+  f.queue.run_until(5.0);  // timeout; pull back to seq 0
+  SenderFixture::ack(s, f.queue, 4);  // receiver had buffered everything
+  // All old data acked: the next transmissions are genuinely new.
+  const std::size_t before = f.sent.size() == 0 ? 0 : f.sent.size();
+  (void)before;
+  bool saw_new = false;
+  for (std::size_t i = f.sent.size(); i-- > 0;) {
+    if (!f.sent[i].retransmission && f.sent[i].seq >= 4) {
+      saw_new = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_new);
+  EXPECT_GE(s.next_seq(), 4u);
+}
+
+TEST(TcpRenoSender, TransmissionStatsAreConsistent) {
+  SenderFixture f;
+  f.config.initial_cwnd = 8.0;
+  f.config.initial_ssthresh = 8.0;
+  auto sp = f.start();
+  TcpRenoSender& s = *sp;
+  SenderFixture::ack(s, f.queue, 4);
+  for (int i = 0; i < 3; ++i) {
+    SenderFixture::ack(s, f.queue, 4);
+  }
+  const TcpRenoSenderStats& st = s.stats();
+  EXPECT_EQ(st.transmissions, st.new_segments + st.retransmissions);
+  EXPECT_EQ(st.transmissions, f.sent.size());
+  EXPECT_EQ(st.dup_acks_received, 3u);
+}
+
+}  // namespace
+}  // namespace pftk::sim

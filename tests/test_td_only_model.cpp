@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/td_only_model.hpp"
+
+namespace pftk::model {
+namespace {
+
+ModelParams base_params(double p) {
+  ModelParams mp;
+  mp.p = p;
+  mp.rtt = 0.2;
+  mp.t0 = 2.0;
+  mp.b = 2;
+  mp.wm = ModelParams::unlimited_window;
+  return mp;
+}
+
+TEST(TdOnlyModel, AsymptoteIsMathisFormula) {
+  // eq (20): B = (1/RTT) sqrt(3/(2 b p)).
+  const ModelParams mp = base_params(0.01);
+  const double expected = std::sqrt(3.0 / (2.0 * 2.0 * 0.01)) / 0.2;
+  EXPECT_DOUBLE_EQ(td_only_asymptotic_send_rate(mp), expected);
+}
+
+TEST(TdOnlyModel, ExactMatchesAsymptoteForSmallP) {
+  for (const int b : {1, 2}) {
+    ModelParams mp = base_params(1e-6);
+    mp.b = b;
+    const double exact = td_only_send_rate(mp);
+    const double asym = td_only_asymptotic_send_rate(mp);
+    EXPECT_NEAR(exact / asym, 1.0, 0.02) << "b=" << b;
+  }
+}
+
+TEST(TdOnlyModel, ExactAndAsymptoteDivergeForLargeP) {
+  // The o(1/sqrt(p)) terms matter above ~5% loss: the two TD-only forms
+  // separate by well over 10% (here the (1-p)/p packet term keeps the
+  // exact form above the asymptote).
+  ModelParams mp = base_params(0.3);
+  const double ratio = td_only_asymptotic_send_rate(mp) / td_only_send_rate(mp);
+  EXPECT_GT(std::abs(ratio - 1.0), 0.10);
+}
+
+TEST(TdOnlyModel, RateDecreasesWithLoss) {
+  double prev = td_only_send_rate(base_params(0.001));
+  for (double p = 0.005; p < 0.9; p += 0.02) {
+    const double cur = td_only_send_rate(base_params(p));
+    EXPECT_LT(cur, prev) << "p=" << p;
+    prev = cur;
+  }
+}
+
+TEST(TdOnlyModel, RateScalesInverselyWithRtt) {
+  ModelParams mp = base_params(0.02);
+  const double r1 = td_only_send_rate(mp);
+  mp.rtt = 0.4;
+  const double r2 = td_only_send_rate(mp);
+  EXPECT_NEAR(r1 / r2, 2.0, 1e-9);
+}
+
+TEST(TdOnlyModel, ZeroLossIsUnbounded) {
+  const ModelParams mp = base_params(0.0);
+  EXPECT_TRUE(std::isinf(td_only_send_rate(mp)));
+  EXPECT_TRUE(std::isinf(td_only_asymptotic_send_rate(mp)));
+}
+
+TEST(TdOnlyModel, DelayedAcksHalveTheRateRatio) {
+  ModelParams mp = base_params(0.01);
+  mp.b = 1;
+  const double b1 = td_only_asymptotic_send_rate(mp);
+  mp.b = 2;
+  const double b2 = td_only_asymptotic_send_rate(mp);
+  EXPECT_NEAR(b1 / b2, std::sqrt(2.0), 1e-12);
+}
+
+TEST(TdOnlyModel, InvalidParamsThrow) {
+  ModelParams mp = base_params(0.01);
+  mp.rtt = -1.0;
+  EXPECT_THROW((void)td_only_send_rate(mp), std::invalid_argument);
+  EXPECT_THROW((void)td_only_asymptotic_send_rate(mp), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pftk::model

@@ -1,0 +1,175 @@
+// TFRC subsystem: loss-interval history, sender/receiver behaviour, and
+// the closed control loop over lossy paths (including the headline
+// TCP-friendliness property).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/approx_model.hpp"
+#include "sim/connection.hpp"
+#include "tfrc/loss_history.hpp"
+#include "tfrc/tfrc_connection.hpp"
+
+namespace pftk::tfrc {
+namespace {
+
+// ---------------------------------------------------------------------
+// LossHistory
+// ---------------------------------------------------------------------
+
+TEST(LossHistory, NoLossMeansZeroRate) {
+  LossHistory h;
+  for (int i = 0; i < 1000; ++i) {
+    h.on_packet();
+  }
+  EXPECT_EQ(h.loss_event_rate(), 0.0);
+  EXPECT_EQ(h.mean_interval(), 0.0);
+}
+
+TEST(LossHistory, UniformIntervalsGiveReciprocalRate) {
+  LossHistory h;
+  for (int event = 0; event < 20; ++event) {
+    for (int i = 0; i < 99; ++i) {
+      h.on_packet();
+    }
+    h.on_loss_event();  // interval length 100 (99 received + the loss)
+  }
+  EXPECT_NEAR(h.mean_interval(), 100.0, 1e-9);
+  EXPECT_NEAR(h.loss_event_rate(), 0.01, 1e-9);
+}
+
+TEST(LossHistory, KeepsOnlyConfiguredIntervals) {
+  LossHistory h(4);
+  for (int event = 0; event < 10; ++event) {
+    h.on_loss_event();
+  }
+  EXPECT_EQ(h.closed_intervals(), 4u);
+}
+
+TEST(LossHistory, RecentIntervalsWeighMore) {
+  LossHistory h;
+  // Seven short intervals, then one long (most recent).
+  for (int event = 0; event < 7; ++event) {
+    for (int i = 0; i < 9; ++i) {
+      h.on_packet();
+    }
+    h.on_loss_event();  // intervals of 10
+  }
+  for (int i = 0; i < 999; ++i) {
+    h.on_packet();
+  }
+  h.on_loss_event();  // one interval of 1000, newest
+  // Unweighted mean would be (7*10 + 1000)/8 ~ 134; the newest-first
+  // weighting pulls the estimate well above that.
+  EXPECT_GT(h.mean_interval(), 160.0);  // weighted mean is 175 here
+}
+
+TEST(LossHistory, OpenIntervalLowersRateAfterQuietPeriod) {
+  LossHistory h;
+  for (int event = 0; event < 8; ++event) {
+    for (int i = 0; i < 9; ++i) {
+      h.on_packet();
+    }
+    h.on_loss_event();
+  }
+  const double rate_before = h.loss_event_rate();
+  for (int i = 0; i < 5000; ++i) {
+    h.on_packet();  // long loss-free stretch
+  }
+  EXPECT_LT(h.loss_event_rate(), rate_before / 3.0);
+}
+
+TEST(LossHistory, RejectsZeroCapacity) {
+  EXPECT_THROW(LossHistory(0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Closed loop
+// ---------------------------------------------------------------------
+
+TfrcConnectionConfig path(double p, std::uint64_t seed = 5) {
+  TfrcConnectionConfig cfg;
+  cfg.forward_link.propagation_delay = 0.1;
+  cfg.reverse_link.propagation_delay = 0.1;
+  if (p > 0.0) {
+    cfg.forward_loss = sim::BernoulliLossSpec{p};
+  }
+  cfg.sender.max_rate_pps = 500.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(TfrcConnection, LosslessFlowRampsToTheCap) {
+  TfrcConnection conn(path(0.0));
+  const TfrcSummary s = conn.run_for(120.0);
+  EXPECT_GT(s.packets_sent, 1000u);
+  EXPECT_EQ(s.loss_event_rate, 0.0);
+  // Slow start doubles to the configured cap.
+  EXPECT_GT(conn.sender().current_rate(), 400.0);
+}
+
+TEST(TfrcConnection, LossyFlowConvergesNearTheFormulaRate) {
+  const double p = 0.02;
+  TfrcConnection conn(path(p));
+  const TfrcSummary s = conn.run_for(600.0);
+  ASSERT_GT(s.packets_sent, 500u);
+  EXPECT_GT(s.loss_event_rate, 0.002);
+
+  // The achieved rate should sit near eq (33) at (p_event, RTT~0.2):
+  // TCP-friendliness by construction, closed through a real loop.
+  pftk::model::ModelParams params;
+  params.p = s.loss_event_rate;
+  params.rtt = conn.sender().smoothed_rtt();
+  params.t0 = 4.0 * params.rtt;
+  params.b = 1;
+  params.wm = pftk::model::ModelParams::unlimited_window;
+  const double target = pftk::model::approx_model_send_rate(params);
+  EXPECT_NEAR(s.send_rate / target, 1.0, 0.4);
+}
+
+TEST(TfrcConnection, HigherLossMeansLowerRate) {
+  const double low = TfrcConnection(path(0.01)).run_for(600.0).send_rate;
+  const double high = TfrcConnection(path(0.08)).run_for(600.0).send_rate;
+  EXPECT_GT(low, 1.5 * high);
+}
+
+TEST(TfrcConnection, RateIsSmootherThanItsOwnLossProcess) {
+  TfrcConnection conn(path(0.03));
+  const TfrcSummary s = conn.run_for(600.0);
+  // TFRC's selling point: a smooth rate. CoV well under 1.
+  EXPECT_LT(s.rate_coefficient_of_variation, 0.6);
+  EXPECT_GT(s.mean_allowed_rate, 0.0);
+}
+
+TEST(TfrcConnection, RttIsLearnedFromFeedback) {
+  TfrcConnection conn(path(0.01));
+  conn.run_for(60.0);
+  EXPECT_NEAR(conn.sender().smoothed_rtt(), 0.2, 0.1);
+}
+
+TEST(TfrcConnection, DeterministicPerSeed) {
+  const TfrcSummary a = TfrcConnection(path(0.02, 9)).run_for(120.0);
+  const TfrcSummary b = TfrcConnection(path(0.02, 9)).run_for(120.0);
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+  EXPECT_EQ(a.packets_received, b.packets_received);
+}
+
+TEST(TfrcSenderConfig, Validation) {
+  sim::EventQueue q;
+  TfrcSenderConfig bad;
+  bad.initial_rate_pps = 0.0;
+  EXPECT_THROW(TfrcSender(q, bad), std::invalid_argument);
+  bad = TfrcSenderConfig{};
+  bad.min_rate_pps = 10.0;
+  bad.max_rate_pps = 1.0;
+  EXPECT_THROW(TfrcSender(q, bad), std::invalid_argument);
+  bad = TfrcSenderConfig{};
+  bad.rtt_smoothing = 1.0;
+  EXPECT_THROW(TfrcSender(q, bad), std::invalid_argument);
+  bad = TfrcSenderConfig{};
+  bad.b = 0;
+  EXPECT_THROW(TfrcSender(q, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pftk::tfrc

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/full_model.hpp"
+#include "core/model_terms.hpp"
+#include "core/throughput_model.hpp"
+
+namespace pftk::model {
+namespace {
+
+ModelParams params(double p, double rtt = 0.47, double t0 = 3.2, int b = 2,
+                   double wm = 12.0) {
+  // Defaults are the Fig.-13 operating point: Wm=12, RTT=470ms, T0=3.2s.
+  ModelParams mp;
+  mp.p = p;
+  mp.rtt = rtt;
+  mp.t0 = t0;
+  mp.b = b;
+  mp.wm = wm;
+  return mp;
+}
+
+TEST(ThroughputModel, NeverExceedsSendRate) {
+  // T(p) counts only delivered packets; B(p) counts all transmissions.
+  for (double p = 0.001; p < 0.7; p *= 1.4) {
+    const ModelParams mp = params(p);
+    EXPECT_LE(throughput_model_rate(mp), full_model_send_rate(mp) * (1.0 + 1e-9))
+        << "p=" << p;
+  }
+}
+
+TEST(ThroughputModel, GapGrowsWithLoss) {
+  // Fig. 13: send rate and throughput diverge as p grows.
+  const double ratio_low =
+      throughput_model_rate(params(0.01)) / full_model_send_rate(params(0.01));
+  const double ratio_high =
+      throughput_model_rate(params(0.4)) / full_model_send_rate(params(0.4));
+  EXPECT_GT(ratio_low, ratio_high);
+}
+
+TEST(ThroughputModel, ZeroLossIsCeiling) {
+  EXPECT_DOUBLE_EQ(throughput_model_rate(params(0.0)), 12.0 / 0.47);
+}
+
+TEST(ThroughputModel, MonotoneDecreasingInLoss) {
+  double prev = throughput_model_rate(params(0.0005));
+  for (double p = 0.001; p < 0.9; p += 0.01) {
+    const double cur = throughput_model_rate(params(p));
+    EXPECT_LE(cur, prev * (1.0 + 1e-9)) << "p=" << p;
+    prev = cur;
+  }
+}
+
+TEST(ThroughputModel, MatchesHandComputedEq37) {
+  // Window-limited branch of eq (37) at b=2 (paper's stated form):
+  // numerator (1-p)/p + Wm/2 + Q, denominator RTT(Wm/4 + (1-p)/(p Wm) + 2)
+  // + Q G(p) T0 / (1-p). Use p large enough that Wm=12 binds.
+  const double p = 0.004;  // E[Wu] ~ 18.8 > 12
+  const double wm = 12.0;
+  const double qh = q_hat_exact(p, wm);
+  const double g = backoff_polynomial(p);
+  const double numerator = (1.0 - p) / p + wm / 2.0 + qh;
+  const double denominator =
+      0.47 * (wm / 4.0 + (1.0 - p) / (p * wm) + 2.0) + qh * g * 3.2 / (1.0 - p);
+  EXPECT_NEAR(throughput_model_rate(params(p)), numerator / denominator, 1e-12);
+}
+
+TEST(ThroughputModel, UnconstrainedBranchMatchesEq37) {
+  // Unconstrained: numerator (1-p)/p + W(p)/2 + Q, denominator
+  // RTT(W(p)+1) + Q G T0/(1-p), with W(p) from eq (38) (b=2 form).
+  const double p = 0.15;  // E[Wu] ~ 5.1 < 12
+  const double w = expected_unconstrained_window(p, 2);
+  const double qh = q_hat_exact(p, w);
+  const double g = backoff_polynomial(p);
+  const double numerator = (1.0 - p) / p + w / 2.0 + qh;
+  const double denominator = 0.47 * (w + 1.0) + qh * g * 3.2 / (1.0 - p);
+  EXPECT_NEAR(throughput_model_rate(params(p)), numerator / denominator, 1e-12);
+}
+
+TEST(DeliveredFraction, InUnitInterval) {
+  for (double p = 0.001; p < 0.8; p *= 1.7) {
+    const double frac = delivered_fraction(params(p));
+    EXPECT_GT(frac, 0.0) << "p=" << p;
+    EXPECT_LE(frac, 1.0) << "p=" << p;
+  }
+}
+
+TEST(DeliveredFraction, NearOneForTinyLoss) {
+  EXPECT_GT(delivered_fraction(params(1e-5)), 0.95);
+}
+
+TEST(ThroughputModel, ValidatesInput) {
+  ModelParams mp = params(0.1);
+  mp.b = 0;
+  EXPECT_THROW((void)throughput_model_rate(mp), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pftk::model

@@ -1,0 +1,153 @@
+// Round-trip and validation tests for the trace file format.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/connection.hpp"
+#include "trace/loss_classifier.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_recorder.hpp"
+#include "trace/trace_validator.hpp"
+
+namespace pftk::trace {
+namespace {
+
+std::vector<TraceEvent> simulated_trace() {
+  sim::ConnectionConfig cfg;
+  cfg.sender.advertised_window = 16.0;
+  cfg.forward_link.propagation_delay = 0.08;
+  cfg.reverse_link.propagation_delay = 0.08;
+  cfg.forward_loss = sim::BernoulliLossSpec{0.02};
+  cfg.sender.min_rto = 1.0;
+  cfg.seed = 77;
+  sim::Connection conn(cfg);
+  TraceRecorder rec;
+  conn.set_observer(&rec);
+  conn.run_for(120.0);
+  return rec.events();
+}
+
+TEST(TraceIo, RoundTripPreservesEveryEvent) {
+  const std::vector<TraceEvent> original = simulated_trace();
+  ASSERT_GT(original.size(), 100u);
+
+  std::stringstream buffer;
+  write_trace(buffer, original);
+  const std::vector<TraceEvent> reloaded = read_trace(buffer);
+
+  ASSERT_EQ(reloaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reloaded[i].type, original[i].type) << "event " << i;
+    EXPECT_NEAR(reloaded[i].t, original[i].t, 1e-9) << "event " << i;
+    EXPECT_EQ(reloaded[i].seq, original[i].seq) << "event " << i;
+    EXPECT_EQ(reloaded[i].retransmission, original[i].retransmission) << "event " << i;
+    EXPECT_EQ(reloaded[i].duplicate, original[i].duplicate) << "event " << i;
+    EXPECT_EQ(reloaded[i].consecutive, original[i].consecutive) << "event " << i;
+    EXPECT_EQ(reloaded[i].in_flight, original[i].in_flight) << "event " << i;
+  }
+}
+
+TEST(TraceIo, AnalysisIsIdenticalOnReloadedTrace) {
+  const std::vector<TraceEvent> original = simulated_trace();
+  std::stringstream buffer;
+  write_trace(buffer, original);
+  const std::vector<TraceEvent> reloaded = read_trace(buffer);
+
+  const LossAnalysis a = analyze_losses(original, 3);
+  const LossAnalysis b = analyze_losses(reloaded, 3);
+  EXPECT_EQ(a.total_indications(), b.total_indications());
+  EXPECT_EQ(a.td_count, b.td_count);
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+}
+
+TEST(TraceIo, CommentsAndBlankLinesAreSkipped) {
+  std::stringstream buffer;
+  buffer << "# header\n\nS\t0.5\t0\t0\t1\t1.0\n# trailing comment\n";
+  const auto events = read_trace(buffer);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, TraceEventType::kSegmentSent);
+  EXPECT_NEAR(events[0].t, 0.5, 1e-12);
+}
+
+TEST(TraceIo, MalformedLinesAreRejectedWithLineNumbers) {
+  {
+    std::stringstream buffer("S\t0.5\t0\n");  // truncated S record
+    EXPECT_THROW((void)read_trace(buffer), std::invalid_argument);
+  }
+  {
+    std::stringstream buffer("X\t0.5\t0\t0\n");  // unknown tag
+    try {
+      (void)read_trace(buffer);
+      FAIL() << "expected an exception";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+    }
+  }
+}
+
+TEST(TraceIo, FileWrappersRejectBadPaths) {
+  EXPECT_THROW((void)load_trace_file("/nonexistent/dir/trace.txt"),
+               std::invalid_argument);
+  EXPECT_THROW(save_trace_file("/nonexistent/dir/trace.txt", {}), std::invalid_argument);
+}
+
+TEST(TraceValidator, CleanSimulatedTraceValidates) {
+  const TraceValidation report = validate_trace(simulated_trace());
+  EXPECT_TRUE(report.ok()) << (report.violations.empty()
+                                   ? ""
+                                   : report.violations.front().message);
+}
+
+TEST(TraceValidator, CatchesRegressingTimestamps) {
+  std::vector<TraceEvent> ev(2);
+  ev[0].type = TraceEventType::kSegmentSent;
+  ev[0].t = 1.0;
+  ev[1].type = TraceEventType::kSegmentSent;
+  ev[1].t = 0.5;
+  ev[1].seq = 1;
+  const TraceValidation report = validate_trace(ev);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(TraceValidator, CatchesRetransmissionOfUnsentData) {
+  std::vector<TraceEvent> ev(1);
+  ev[0].type = TraceEventType::kSegmentSent;
+  ev[0].seq = 5;
+  ev[0].retransmission = true;
+  EXPECT_FALSE(validate_trace(ev).ok());
+}
+
+TEST(TraceValidator, CatchesOutOfOrderFirstTransmissions) {
+  std::vector<TraceEvent> ev(1);
+  ev[0].type = TraceEventType::kSegmentSent;
+  ev[0].seq = 3;  // first send must be seq 0
+  EXPECT_FALSE(validate_trace(ev).ok());
+}
+
+TEST(TraceValidator, CatchesAckOfUnsentData) {
+  std::vector<TraceEvent> ev(2);
+  ev[0].type = TraceEventType::kSegmentSent;
+  ev[0].seq = 0;
+  ev[1].type = TraceEventType::kAckReceived;
+  ev[1].t = 0.1;
+  ev[1].seq = 10;
+  EXPECT_FALSE(validate_trace(ev).ok());
+}
+
+TEST(TraceValidator, CatchesBadTimeoutAndRttRecords) {
+  std::vector<TraceEvent> ev(2);
+  ev[0].type = TraceEventType::kTimeout;
+  ev[0].consecutive = 0;
+  ev[0].value = -1.0;
+  ev[1].type = TraceEventType::kRttSample;
+  ev[1].value = 0.0;
+  const TraceValidation report = validate_trace(ev);
+  EXPECT_GE(report.violations.size(), 3u);
+}
+
+TEST(TraceValidator, EmptyTraceIsValid) {
+  EXPECT_TRUE(validate_trace({}).ok());
+}
+
+}  // namespace
+}  // namespace pftk::trace

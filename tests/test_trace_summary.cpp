@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "sim/connection.hpp"
+#include "trace/trace_recorder.hpp"
+#include "trace/trace_summary.hpp"
+
+namespace pftk::trace {
+namespace {
+
+TEST(TraceSummary, EmptyTraceIsAllZero) {
+  const std::vector<TraceEvent> ev;
+  const TraceSummary row = summarize_trace(ev);
+  EXPECT_EQ(row.packets_sent, 0u);
+  EXPECT_EQ(row.loss_indications, 0u);
+  EXPECT_EQ(row.timeout_fraction(), 0.0);
+}
+
+TEST(TraceSummary, SimulatedHourStyleRowIsConsistent) {
+  sim::ConnectionConfig cfg;
+  cfg.sender.advertised_window = 16.0;
+  cfg.forward_link.propagation_delay = 0.1;
+  cfg.reverse_link.propagation_delay = 0.1;
+  cfg.forward_loss = sim::BurstLossSpec{0.002, 0.3};
+  cfg.sender.min_rto = 1.0;
+  cfg.seed = 23;
+  sim::Connection conn(cfg);
+  TraceRecorder rec;
+  conn.set_observer(&rec);
+  conn.run_for(900.0);
+
+  const TraceSummary row = summarize_trace(rec.events(), 3);
+  EXPECT_GT(row.packets_sent, 1000u);
+  EXPECT_GT(row.loss_indications, 0u);
+
+  // Column identity: TD + all timeout depths == total indications.
+  std::uint64_t sum = row.td_events;
+  for (const std::uint64_t c : row.timeouts_by_depth) {
+    sum += c;
+  }
+  EXPECT_EQ(sum, row.loss_indications);
+
+  // p = indications / packets.
+  EXPECT_NEAR(row.observed_p,
+              static_cast<double>(row.loss_indications) /
+                  static_cast<double>(row.packets_sent),
+              1e-12);
+
+  // RTT around the propagation floor; timeout near the RTO floor.
+  EXPECT_GT(row.avg_rtt, 0.19);
+  EXPECT_LT(row.avg_rtt, 0.40);
+  EXPECT_GE(row.avg_timeout, 0.9);
+
+  // Ordinary path: weak RTT/window correlation (Section IV).
+  EXPECT_LT(std::abs(row.rtt_window_correlation), 0.35);
+
+  // Timeout fraction within [0, 1] and consistent with the columns.
+  const double frac = row.timeout_fraction();
+  EXPECT_GE(frac, 0.0);
+  EXPECT_LE(frac, 1.0);
+}
+
+TEST(TraceSummary, TimeoutFractionFormula) {
+  TraceSummary row;
+  row.loss_indications = 10;
+  row.td_events = 4;
+  EXPECT_DOUBLE_EQ(row.timeout_fraction(), 0.6);
+}
+
+TEST(TraceSummary, LabelsPassThrough) {
+  const std::vector<TraceEvent> ev;
+  TraceSummary row = summarize_trace(ev);
+  row.sender = "manic";
+  row.receiver = "alps";
+  EXPECT_EQ(row.sender, "manic");
+  EXPECT_EQ(row.receiver, "alps");
+}
+
+}  // namespace
+}  // namespace pftk::trace

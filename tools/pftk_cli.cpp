@@ -1,0 +1,213 @@
+// pftk — command-line front end to the library.
+//
+//   pftk model <p> <rtt_s> <t0_s> <wm> [b]         closed-form predictions
+//   pftk latency <packets> <p> <rtt_s> <t0_s> <wm> short-flow latency
+//   pftk provision <rate_pps> <rtt_s> <t0_s> <wm>   inverse model: max loss
+//                                                   rate / required window
+//   pftk list                                      path-profile catalogue
+//   pftk simulate <sender> <receiver> <secs> [seed] [trace-file]
+//                                                  run + Table-II row
+//   pftk analyze <trace-file> [dupack_threshold]   offline trace analysis
+//
+// The simulate/analyze pair mirrors the paper's tcpdump-then-postprocess
+// workflow: `simulate ... trace.tsv` writes a capture that `analyze`
+// (or any external tool) can consume later.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/markov_model.hpp"
+#include "core/model_registry.hpp"
+#include "core/inverse_model.hpp"
+#include "core/short_flow_model.hpp"
+#include "core/throughput_model.hpp"
+#include "exp/hour_trace_experiment.hpp"
+#include "exp/table_format.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_recorder.hpp"
+#include "trace/trace_summary.hpp"
+#include "trace/trace_validator.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage:\n"
+               "  pftk model <p> <rtt_s> <t0_s> <wm> [b]\n"
+               "  pftk latency <packets> <p> <rtt_s> <t0_s> <wm>\n"
+               "  pftk provision <rate_pps> <rtt_s> <t0_s> <wm>\n"
+               "  pftk list\n"
+               "  pftk simulate <sender> <receiver> <seconds> [seed] [trace-file]\n"
+               "  pftk analyze <trace-file> [dupack_threshold]\n";
+  return 2;
+}
+
+int cmd_model(int argc, char** argv) {
+  if (argc < 6) {
+    return usage();
+  }
+  pftk::model::ModelParams params;
+  params.p = std::atof(argv[2]);
+  params.rtt = std::atof(argv[3]);
+  params.t0 = std::atof(argv[4]);
+  params.wm = std::atof(argv[5]);
+  params.b = argc > 6 ? std::atoi(argv[6]) : 2;
+  params.validate();
+
+  std::cout << params.describe() << "\n";
+  for (const auto kind : pftk::model::all_model_kinds) {
+    std::cout << "  " << pftk::model::model_name(kind) << ": "
+              << pftk::model::evaluate_model(kind, params) << " pkts/s\n";
+  }
+  std::cout << "  throughput T(p): " << pftk::model::throughput_model_rate(params)
+            << " pkts/s\n";
+  if (params.p > 0.0) {
+    std::cout << "  Markov (numerical): " << pftk::model::markov_model_send_rate(params)
+              << " pkts/s\n";
+  }
+  return 0;
+}
+
+int cmd_latency(int argc, char** argv) {
+  if (argc < 7) {
+    return usage();
+  }
+  const auto d = static_cast<std::uint64_t>(std::atoll(argv[2]));
+  pftk::model::ModelParams params;
+  params.p = std::atof(argv[3]);
+  params.rtt = std::atof(argv[4]);
+  params.t0 = std::atof(argv[5]);
+  params.wm = std::atof(argv[6]);
+  const auto bd = pftk::model::short_flow_breakdown(d, params);
+  std::cout << "transfer of " << d << " packets @ " << params.describe() << "\n"
+            << "  slow start:    " << bd.slow_start_seconds << " s ("
+            << bd.expected_slow_start_packets << " pkts)\n"
+            << "  loss recovery: " << bd.loss_recovery_seconds << " s (P[loss] = "
+            << bd.loss_probability << ")\n"
+            << "  steady state:  " << bd.steady_state_seconds << " s\n"
+            << "  total:         " << bd.total_seconds << " s\n";
+  return 0;
+}
+
+int cmd_provision(int argc, char** argv) {
+  if (argc < 6) {
+    return usage();
+  }
+  const double target = std::atof(argv[2]);
+  pftk::model::ModelParams params;
+  params.rtt = std::atof(argv[3]);
+  params.t0 = std::atof(argv[4]);
+  params.wm = std::atof(argv[5]);
+  params.p = 0.01;  // placeholder; each inversion ignores one field
+  const double max_p = pftk::model::max_loss_for_rate(params, target);
+  std::cout << "target " << target << " pkts/s @ RTT " << params.rtt << " s, T0 "
+            << params.t0 << " s, Wm " << params.wm << ":\n"
+            << "  max tolerable loss-indication rate: " << max_p
+            << (max_p == 0.0 ? "  (unreachable: ceiling Wm/RTT is below target)" : "")
+            << "\n";
+  for (const double p : {0.001, 0.01, 0.05}) {
+    pftk::model::ModelParams probe = params;
+    probe.p = p;
+    const double wm = pftk::model::required_window_for_rate(probe, target);
+    std::cout << "  required window at p=" << p << ": " << wm << " packets\n";
+  }
+  return 0;
+}
+
+int cmd_list() {
+  for (const auto& profile : pftk::exp::table2_profiles()) {
+    std::cout << profile.label() << "\n";
+  }
+  std::cout << pftk::exp::modem_profile().label() << " (modem; use the fig11 bench)\n";
+  return 0;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  if (argc < 5) {
+    return usage();
+  }
+  const auto profile = pftk::exp::profile_by_label(argv[2], argv[3]);
+  const double duration = std::atof(argv[4]);
+  const std::uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1998;
+  const std::string trace_path = argc > 6 ? argv[6] : "";
+
+  pftk::sim::Connection conn(pftk::exp::make_connection_config(profile, seed));
+  pftk::trace::TraceRecorder recorder;
+  conn.set_observer(&recorder);
+  const auto run = conn.run_for(duration);
+
+  auto row = pftk::trace::summarize_trace(recorder.events(), profile.dupack_threshold());
+  std::cout << profile.label() << ", " << duration << " s, seed " << seed << "\n"
+            << "  packets sent " << row.packets_sent << ", loss indications "
+            << row.loss_indications << " (p = " << pftk::exp::fmt(row.observed_p, 4)
+            << "), TD " << row.td_events << "\n"
+            << "  RTT " << pftk::exp::fmt(row.avg_rtt, 3) << " s, T0 "
+            << pftk::exp::fmt(row.avg_timeout, 3) << " s, send rate "
+            << pftk::exp::fmt(run.send_rate, 2) << " pkts/s\n";
+  if (!trace_path.empty()) {
+    pftk::trace::save_trace_file(trace_path, recorder.events());
+    std::cout << "  trace written to " << trace_path << " (" << recorder.events().size()
+              << " events)\n";
+  }
+  return 0;
+}
+
+int cmd_analyze(int argc, char** argv) {
+  if (argc < 3) {
+    return usage();
+  }
+  const auto events = pftk::trace::load_trace_file(argv[2]);
+  const int threshold = argc > 3 ? std::atoi(argv[3]) : 3;
+
+  const auto validation = pftk::trace::validate_trace(events);
+  if (!validation.ok()) {
+    std::cerr << "trace has " << validation.violations.size() << " violations; first: "
+              << validation.violations.front().message << " (event "
+              << validation.violations.front().event_index << ")\n";
+    return 1;
+  }
+  const auto row = pftk::trace::summarize_trace(events, threshold);
+  std::cout << "events " << events.size() << ", packets " << row.packets_sent
+            << ", loss indications " << row.loss_indications << " (p = "
+            << pftk::exp::fmt(row.observed_p, 4) << ")\n"
+            << "TD " << row.td_events << "; timeout depths";
+  for (std::size_t k = 0; k < row.timeouts_by_depth.size(); ++k) {
+    std::cout << " T" << k << "=" << row.timeouts_by_depth[k];
+  }
+  std::cout << "\nRTT " << pftk::exp::fmt(row.avg_rtt, 3) << " s, T0 "
+            << pftk::exp::fmt(row.avg_timeout, 3) << " s, RTT/window corr "
+            << pftk::exp::fmt(row.rtt_window_correlation, 3) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "model") {
+      return cmd_model(argc, argv);
+    }
+    if (cmd == "latency") {
+      return cmd_latency(argc, argv);
+    }
+    if (cmd == "provision") {
+      return cmd_provision(argc, argv);
+    }
+    if (cmd == "list") {
+      return cmd_list();
+    }
+    if (cmd == "simulate") {
+      return cmd_simulate(argc, argv);
+    }
+    if (cmd == "analyze") {
+      return cmd_analyze(argc, argv);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
