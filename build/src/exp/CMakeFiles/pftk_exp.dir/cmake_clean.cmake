@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pftk_exp.dir/hour_trace_experiment.cpp.o"
+  "CMakeFiles/pftk_exp.dir/hour_trace_experiment.cpp.o.d"
+  "CMakeFiles/pftk_exp.dir/model_comparison.cpp.o"
+  "CMakeFiles/pftk_exp.dir/model_comparison.cpp.o.d"
+  "CMakeFiles/pftk_exp.dir/path_profile.cpp.o"
+  "CMakeFiles/pftk_exp.dir/path_profile.cpp.o.d"
+  "CMakeFiles/pftk_exp.dir/short_trace_experiment.cpp.o"
+  "CMakeFiles/pftk_exp.dir/short_trace_experiment.cpp.o.d"
+  "CMakeFiles/pftk_exp.dir/table_format.cpp.o"
+  "CMakeFiles/pftk_exp.dir/table_format.cpp.o.d"
+  "libpftk_exp.a"
+  "libpftk_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pftk_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

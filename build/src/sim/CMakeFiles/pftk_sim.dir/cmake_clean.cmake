@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pftk_sim.dir/connection.cpp.o"
+  "CMakeFiles/pftk_sim.dir/connection.cpp.o.d"
+  "CMakeFiles/pftk_sim.dir/cross_traffic.cpp.o"
+  "CMakeFiles/pftk_sim.dir/cross_traffic.cpp.o.d"
+  "CMakeFiles/pftk_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/pftk_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/pftk_sim.dir/loss_model.cpp.o"
+  "CMakeFiles/pftk_sim.dir/loss_model.cpp.o.d"
+  "CMakeFiles/pftk_sim.dir/queue_policy.cpp.o"
+  "CMakeFiles/pftk_sim.dir/queue_policy.cpp.o.d"
+  "CMakeFiles/pftk_sim.dir/rng.cpp.o"
+  "CMakeFiles/pftk_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/pftk_sim.dir/shared_bottleneck.cpp.o"
+  "CMakeFiles/pftk_sim.dir/shared_bottleneck.cpp.o.d"
+  "CMakeFiles/pftk_sim.dir/tcp_receiver.cpp.o"
+  "CMakeFiles/pftk_sim.dir/tcp_receiver.cpp.o.d"
+  "CMakeFiles/pftk_sim.dir/tcp_reno_sender.cpp.o"
+  "CMakeFiles/pftk_sim.dir/tcp_reno_sender.cpp.o.d"
+  "libpftk_sim.a"
+  "libpftk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pftk_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
