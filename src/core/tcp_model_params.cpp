@@ -12,19 +12,35 @@ bool ModelParams::valid() const noexcept {
 }
 
 void ModelParams::validate() const {
-  if (!(std::isfinite(p) && p >= 0.0 && p < 1.0)) {
+  // Non-finite values get their own diagnostics: a NaN silently fails
+  // every range comparison, so without these checks a corrupted trace
+  // summary would be reported as a range error (or, worse, p = NaN would
+  // sail through a `!(p < 0)`-style check into the formulas).
+  if (std::isnan(p) || std::isinf(p)) {
+    throw std::invalid_argument("ModelParams: p must be finite (got NaN/Inf)");
+  }
+  if (std::isnan(rtt) || std::isinf(rtt)) {
+    throw std::invalid_argument("ModelParams: rtt must be finite (got NaN/Inf)");
+  }
+  if (std::isnan(t0) || std::isinf(t0)) {
+    throw std::invalid_argument("ModelParams: t0 must be finite (got NaN/Inf)");
+  }
+  if (std::isnan(wm) || std::isinf(wm)) {
+    throw std::invalid_argument("ModelParams: wm must be finite (got NaN/Inf)");
+  }
+  if (!(p >= 0.0 && p < 1.0)) {
     throw std::invalid_argument("ModelParams: p must be in [0, 1)");
   }
-  if (!(std::isfinite(rtt) && rtt > 0.0)) {
+  if (!(rtt > 0.0)) {
     throw std::invalid_argument("ModelParams: rtt must be positive");
   }
-  if (!(std::isfinite(t0) && t0 > 0.0)) {
+  if (!(t0 > 0.0)) {
     throw std::invalid_argument("ModelParams: t0 must be positive");
   }
   if (b < 1) {
     throw std::invalid_argument("ModelParams: b must be >= 1");
   }
-  if (!(std::isfinite(wm) && wm >= 1.0)) {
+  if (!(wm >= 1.0)) {
     throw std::invalid_argument("ModelParams: wm must be >= 1");
   }
 }

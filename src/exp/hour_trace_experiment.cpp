@@ -12,7 +12,13 @@ HourTraceResult run_hour_trace(const PathProfile& profile,
     throw std::invalid_argument("run_hour_trace: durations must be positive");
   }
 
-  sim::Connection connection(make_connection_config(profile, options.seed));
+  sim::ConnectionConfig config = make_connection_config(profile, options.seed);
+  config.forward_faults = options.forward_faults;
+  config.reverse_faults = options.reverse_faults;
+  sim::Connection connection(config);
+  if (options.enable_watchdog) {
+    connection.enable_watchdog(options.watchdog);
+  }
   trace::TraceRecorder recorder;
   // A busy hour produces a few hundred thousand events.
   recorder.reserve(static_cast<std::size_t>(options.duration * 100.0));
@@ -23,6 +29,8 @@ HourTraceResult run_hour_trace(const PathProfile& profile,
   result.profile = profile;
   result.duration = run.duration;
   result.measured_send_rate = run.send_rate;
+  result.forward_faults = run.forward_faults;
+  result.reverse_faults = run.reverse_faults;
 
   const int threshold = profile.dupack_threshold();
   result.summary = trace::summarize_trace(recorder.events(), threshold);

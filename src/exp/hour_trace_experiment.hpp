@@ -25,6 +25,8 @@ struct HourTraceResult {
   model::ModelParams trace_params;  ///< p/RTT/T0 averaged over the whole trace
   double measured_send_rate = 0.0;  ///< packets per second over the run
   double duration = 0.0;            ///< seconds simulated
+  sim::FaultStats forward_faults;   ///< injected impairments, data path
+  sim::FaultStats reverse_faults;   ///< injected impairments, ACK path
 };
 
 /// Experiment knobs.
@@ -32,6 +34,14 @@ struct HourTraceOptions {
   double duration = 3600.0;         ///< 1 hour, as in the paper
   double interval_length = 100.0;   ///< Fig. 7 observation interval
   std::uint64_t seed = 1998;
+  /// Scheduled impairments layered over the profile's loss process
+  /// (empty = clean run, byte-identical to the pre-fault-layer runs).
+  sim::FaultSchedule forward_faults;
+  sim::FaultSchedule reverse_faults;  ///< ACK-path impairments
+  /// Arm a watchdog so impaired runs fail with a diagnostic
+  /// sim::WatchdogError instead of hanging or silently corrupting a row.
+  bool enable_watchdog = false;
+  sim::WatchdogConfig watchdog;
 };
 
 /// Runs the experiment for one profile.

@@ -1,0 +1,85 @@
+#include "exp/robust_experiment.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "trace/trace_io.hpp"
+
+namespace pftk::exp {
+
+std::vector<HourTraceResult> run_hour_traces_robust(
+    std::span<const PathProfile> profiles, const HourTraceOptions& options,
+    RunReport& report) {
+  std::vector<HourTraceResult> results;
+  results.reserve(profiles.size());
+  for (const PathProfile& profile : profiles) {
+    try {
+      HourTraceResult result = run_hour_trace(profile, options);
+      report.forward_faults += result.forward_faults;
+      report.reverse_faults += result.reverse_faults;
+      report.record_success();
+      results.push_back(std::move(result));
+    } catch (const std::exception& ex) {
+      report.record_failure(profile.label(), ex.what());
+    }
+  }
+  return results;
+}
+
+std::vector<ShortTraceRecord> run_short_traces_robust(const PathProfile& profile,
+                                                      const ShortTraceOptions& options,
+                                                      RunReport& report) {
+  if (options.connections < 1) {
+    throw std::invalid_argument("run_short_traces_robust: invalid options");
+  }
+  std::vector<ShortTraceRecord> records;
+  records.reserve(static_cast<std::size_t>(options.connections));
+  for (int i = 0; i < options.connections; ++i) {
+    try {
+      ShortTraceRecord rec = run_one_short_trace(profile, options, i);
+      report.forward_faults += rec.forward_faults;
+      report.reverse_faults += rec.reverse_faults;
+      report.record_success();
+      records.push_back(std::move(rec));
+    } catch (const std::exception& ex) {
+      report.record_failure(profile.label() + " trace " + std::to_string(i), ex.what());
+    }
+  }
+  return records;
+}
+
+std::vector<TraceFileAnalysis> analyze_trace_files_robust(
+    std::span<const std::string> paths, int dupack_threshold, RunReport& report) {
+  std::vector<TraceFileAnalysis> results;
+  results.reserve(paths.size());
+  for (const std::string& path : paths) {
+    trace::TraceReadReport read_report;
+    std::vector<trace::TraceEvent> events;
+    try {
+      events = trace::load_trace_file_lenient(path, &read_report);
+    } catch (const std::exception& ex) {
+      report.record_failure(path, ex.what());
+      report.read_reports.push_back(read_report);
+      continue;
+    }
+    report.read_reports.push_back(read_report);
+    if (events.empty()) {
+      report.record_failure(path, read_report.first_error.empty()
+                                      ? "no trace events salvaged"
+                                      : "no trace events salvaged: " +
+                                            read_report.first_error);
+      continue;
+    }
+    TraceFileAnalysis analysis;
+    analysis.path = path;
+    analysis.summary = trace::summarize_trace(events, dupack_threshold);
+    analysis.read_report = read_report;
+    report.record_success();
+    results.push_back(std::move(analysis));
+  }
+  return results;
+}
+
+}  // namespace pftk::exp

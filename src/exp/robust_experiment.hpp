@@ -1,0 +1,48 @@
+// Graceful-degradation drivers for the batch experiments.
+//
+// The plain drivers (run_hour_trace, run_short_traces) throw their way
+// out of the first failure — correct for unit tests, ruinous for a
+// 24-profile hour-long campaign. These wrappers run every item, catch
+// per-item failures (invalid profiles, watchdog trips under injected
+// faults, corrupt capture files), and return the partial results plus a
+// RunReport saying exactly what was lost.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "exp/hour_trace_experiment.hpp"
+#include "exp/run_report.hpp"
+#include "exp/short_trace_experiment.hpp"
+#include "trace/trace_summary.hpp"
+
+namespace pftk::exp {
+
+/// Runs the hour experiment for every profile, skipping (and recording)
+/// profiles that fail instead of voiding the whole table. Results arrive
+/// in profile order, failures omitted.
+[[nodiscard]] std::vector<HourTraceResult> run_hour_traces_robust(
+    std::span<const PathProfile> profiles, const HourTraceOptions& options,
+    RunReport& report);
+
+/// Runs the 100x100-s series, skipping (and recording) connections that
+/// fail — e.g. watchdog trips under an aggressive fault schedule — so a
+/// Fig. 8/10 series keeps its surviving points.
+[[nodiscard]] std::vector<ShortTraceRecord> run_short_traces_robust(
+    const PathProfile& profile, const ShortTraceOptions& options, RunReport& report);
+
+/// One capture file's offline analysis.
+struct TraceFileAnalysis {
+  std::string path;
+  trace::TraceSummary summary;
+  trace::TraceReadReport read_report;  ///< what the lenient read salvaged
+};
+
+/// Analyzes capture files with the lenient reader: a corrupt file
+/// contributes its valid prefix (with exact dropped-line accounting); an
+/// unreadable or empty-salvage file is recorded in `report` and skipped.
+[[nodiscard]] std::vector<TraceFileAnalysis> analyze_trace_files_robust(
+    std::span<const std::string> paths, int dupack_threshold, RunReport& report);
+
+}  // namespace pftk::exp

@@ -1,0 +1,40 @@
+#include "exp/run_report.hpp"
+
+#include <sstream>
+
+namespace pftk::exp {
+
+std::string RunReport::describe() const {
+  std::ostringstream os;
+  os << succeeded << "/" << attempted << " runs ok";
+  if (!failures.empty()) {
+    os << "; " << failures.size() << " failed:";
+    for (const RunFailure& failure : failures) {
+      os << "\n  " << failure.label << ": " << failure.error;
+    }
+  }
+  const auto fault_line = [&os](const char* name, const sim::FaultStats& stats) {
+    if (stats.offered == 0) {
+      return;
+    }
+    os << "\n  " << name << " faults: " << stats.total_dropped() << " dropped ("
+       << stats.dropped_blackout << " blackout, " << stats.dropped_loss << " loss), "
+       << stats.duplicated << " duplicated, " << stats.reordered << " reordered, "
+       << stats.delayed << " delayed, of " << stats.offered << " offered";
+  };
+  fault_line("forward", forward_faults);
+  fault_line("reverse", reverse_faults);
+  std::size_t dirty = 0;
+  for (const trace::TraceReadReport& report : read_reports) {
+    if (!report.clean()) {
+      ++dirty;
+    }
+  }
+  if (dirty > 0) {
+    os << "\n  " << dirty << "/" << read_reports.size()
+       << " trace files needed lenient salvage";
+  }
+  return os.str();
+}
+
+}  // namespace pftk::exp

@@ -1,0 +1,53 @@
+// Partial-result accounting for batch experiments.
+//
+// The paper's measurement campaign is hours of captures across dozens of
+// paths; one corrupt trace or one pathological path must cost one row,
+// not the table. Every robust driver fills a RunReport: what was
+// attempted, what succeeded, which items failed with what diagnostic,
+// the aggregate fault-injection counters, and (for file-based analysis)
+// each file's TraceReadReport.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/fault_injector.hpp"
+#include "trace/trace_io.hpp"
+
+namespace pftk::exp {
+
+/// One item (profile, connection, or file) that could not be processed.
+struct RunFailure {
+  std::string label;  ///< profile label, "trace 17", or a file path
+  std::string error;  ///< the exception's what()
+};
+
+/// Outcome roll-up of one batch run.
+struct RunReport {
+  std::size_t attempted = 0;
+  std::size_t succeeded = 0;
+  std::vector<RunFailure> failures;
+  /// Impairment counters aggregated over every *successful* run.
+  sim::FaultStats forward_faults;
+  sim::FaultStats reverse_faults;
+  /// Per-file salvage reports from lenient trace reads, in input order
+  /// (only filled by the file-analysis drivers).
+  std::vector<trace::TraceReadReport> read_reports;
+
+  [[nodiscard]] bool all_ok() const noexcept { return failures.empty(); }
+
+  void record_success() {
+    ++attempted;
+    ++succeeded;
+  }
+  void record_failure(std::string label, std::string error) {
+    ++attempted;
+    failures.push_back(RunFailure{std::move(label), std::move(error)});
+  }
+
+  /// Multi-line human-readable summary (for bench/CLI footers).
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace pftk::exp

@@ -7,6 +7,46 @@
 
 namespace pftk::exp {
 
+ShortTraceRecord run_one_short_trace(const PathProfile& profile,
+                                     const ShortTraceOptions& options, int index) {
+  if (!(options.duration > 0.0)) {
+    throw std::invalid_argument("run_one_short_trace: invalid options");
+  }
+  const std::uint64_t seed =
+      options.seed + static_cast<std::uint64_t>(index) * 7919;
+  sim::ConnectionConfig config = make_connection_config(profile, seed);
+  config.forward_faults = options.forward_faults;
+  config.reverse_faults = options.reverse_faults;
+  sim::Connection connection(config);
+  if (options.enable_watchdog) {
+    connection.enable_watchdog(options.watchdog);
+  }
+  trace::TraceRecorder recorder;
+  connection.set_observer(&recorder);
+  const sim::ConnectionSummary run = connection.run_for(options.duration);
+
+  const trace::TraceSummary summary =
+      trace::summarize_trace(recorder.events(), profile.dupack_threshold());
+
+  ShortTraceRecord rec;
+  rec.index = index;
+  rec.packets_sent = run.packets_sent;
+  rec.had_loss = summary.loss_indications > 0;
+  rec.forward_faults = run.forward_faults;
+  rec.reverse_faults = run.reverse_faults;
+  rec.params.p = summary.observed_p;
+  rec.params.rtt = summary.avg_rtt > 0.0 ? summary.avg_rtt : profile.nominal_rtt();
+  rec.params.t0 = summary.avg_timeout > 0.0 ? summary.avg_timeout : profile.min_rto;
+  rec.params.b = 2;
+  rec.params.wm = profile.advertised_window;
+
+  for (std::size_t m = 0; m < model::all_model_kinds.size(); ++m) {
+    const double rate = model::evaluate_model(model::all_model_kinds[m], rec.params);
+    rec.predicted[m] = rate * options.duration;
+  }
+  return rec;
+}
+
 std::vector<ShortTraceRecord> run_short_traces(const PathProfile& profile,
                                                const ShortTraceOptions& options) {
   if (options.connections < 1 || !(options.duration > 0.0)) {
@@ -15,32 +55,8 @@ std::vector<ShortTraceRecord> run_short_traces(const PathProfile& profile,
 
   std::vector<ShortTraceRecord> records;
   records.reserve(static_cast<std::size_t>(options.connections));
-
   for (int i = 0; i < options.connections; ++i) {
-    const std::uint64_t seed = options.seed + static_cast<std::uint64_t>(i) * 7919;
-    sim::Connection connection(make_connection_config(profile, seed));
-    trace::TraceRecorder recorder;
-    connection.set_observer(&recorder);
-    const sim::ConnectionSummary run = connection.run_for(options.duration);
-
-    const trace::TraceSummary summary =
-        trace::summarize_trace(recorder.events(), profile.dupack_threshold());
-
-    ShortTraceRecord rec;
-    rec.index = i;
-    rec.packets_sent = run.packets_sent;
-    rec.had_loss = summary.loss_indications > 0;
-    rec.params.p = summary.observed_p;
-    rec.params.rtt = summary.avg_rtt > 0.0 ? summary.avg_rtt : profile.nominal_rtt();
-    rec.params.t0 = summary.avg_timeout > 0.0 ? summary.avg_timeout : profile.min_rto;
-    rec.params.b = 2;
-    rec.params.wm = profile.advertised_window;
-
-    for (std::size_t m = 0; m < model::all_model_kinds.size(); ++m) {
-      const double rate = model::evaluate_model(model::all_model_kinds[m], rec.params);
-      rec.predicted[m] = rate * options.duration;
-    }
-    records.push_back(rec);
+    records.push_back(run_one_short_trace(profile, options, i));
   }
   return records;
 }

@@ -26,6 +26,8 @@ struct ShortTraceRecord {
   /// predicted packet counts, indexed like model::all_model_kinds
   std::array<double, 3> predicted{};
   bool had_loss = false;             ///< p > 0 on this trace
+  sim::FaultStats forward_faults;    ///< injected impairments, data path
+  sim::FaultStats reverse_faults;    ///< injected impairments, ACK path
 };
 
 /// Experiment knobs.
@@ -33,7 +35,20 @@ struct ShortTraceOptions {
   int connections = 100;
   double duration = 100.0;
   std::uint64_t seed = 424242;
+  /// Scheduled impairments, applied identically to every connection
+  /// (each connection's clock starts at 0).
+  sim::FaultSchedule forward_faults;
+  sim::FaultSchedule reverse_faults;
+  bool enable_watchdog = false;     ///< fail impaired runs with a diagnostic
+  sim::WatchdogConfig watchdog;
 };
+
+/// Runs one connection of the series (trace number `index`).
+/// @throws std::invalid_argument on invalid options; sim::WatchdogError
+/// if an enabled watchdog trips.
+[[nodiscard]] ShortTraceRecord run_one_short_trace(const PathProfile& profile,
+                                                   const ShortTraceOptions& options,
+                                                   int index);
 
 /// Runs the full series for one profile.
 /// @throws std::invalid_argument on invalid options.

@@ -43,14 +43,25 @@ Connection::Connection(const ConnectionConfig& config) {
   receiver_ = std::make_unique<TcpReceiver>(queue_, config.receiver);
 
   // Independent randomness streams per component, all derived from the
-  // master seed so a run is a pure function of its config.
+  // master seed so a run is a pure function of its config. Fault
+  // injectors get their own streams (3, 4): an empty schedule draws
+  // nothing, so enabling the layer never perturbs an unfaulted run.
+  auto make_faults = [&config](const FaultSchedule& schedule, std::uint64_t stream)
+      -> std::unique_ptr<FaultInjector> {
+    if (schedule.empty()) {
+      return nullptr;
+    }
+    return std::make_unique<FaultInjector>(schedule, Rng::derive(config.seed, stream));
+  };
   forward_ = std::make_unique<Link<Segment>>(queue_, config.forward_link,
                                              Rng::derive(config.seed, 1),
                                              make_loss_model(config.forward_loss),
-                                             make_queue_policy(config.forward_queue));
+                                             make_queue_policy(config.forward_queue),
+                                             make_faults(config.forward_faults, 3));
   reverse_ = std::make_unique<Link<Ack>>(queue_, config.reverse_link,
                                          Rng::derive(config.seed, 2),
-                                         make_loss_model(config.reverse_loss), nullptr);
+                                         make_loss_model(config.reverse_loss), nullptr,
+                                         make_faults(config.reverse_faults, 4));
 
   sender_->set_send_segment([this](const Segment& segment) { forward_->send(segment); });
   forward_->set_deliver(
@@ -61,6 +72,11 @@ Connection::Connection(const ConnectionConfig& config) {
 
 void Connection::set_observer(SenderObserver* observer) noexcept {
   sender_->set_observer(observer);
+}
+
+void Connection::enable_watchdog(const WatchdogConfig& config) {
+  watchdog_ = std::make_unique<SimWatchdog>(queue_, *sender_, config);
+  watchdog_->arm();
 }
 
 ConnectionSummary Connection::run_for(Duration duration) {
@@ -84,6 +100,12 @@ ConnectionSummary Connection::run_for(Duration duration) {
   if (summary.duration > 0.0) {
     summary.send_rate = static_cast<double>(summary.packets_sent) / summary.duration;
     summary.throughput = static_cast<double>(summary.packets_delivered) / summary.duration;
+  }
+  if (const FaultInjector* faults = forward_->faults()) {
+    summary.forward_faults = faults->stats();
+  }
+  if (const FaultInjector* faults = reverse_->faults()) {
+    summary.reverse_faults = faults->stats();
   }
   return summary;
 }

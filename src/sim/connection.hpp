@@ -11,10 +11,12 @@
 #include <variant>
 
 #include "sim/event_queue.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/link.hpp"
 #include "sim/loss_model.hpp"
 #include "sim/queue_policy.hpp"
 #include "sim/rng.hpp"
+#include "sim/sim_watchdog.hpp"
 #include "sim/tcp_receiver.hpp"
 #include "sim/tcp_reno_sender.hpp"
 
@@ -68,6 +70,11 @@ struct ConnectionConfig {
   LossSpec forward_loss = NoLossSpec{};
   LossSpec reverse_loss = NoLossSpec{};  ///< ACK loss
   QueueSpec forward_queue = NoQueueSpec{};
+  /// Scheduled impairments per direction (empty = no fault layer). The
+  /// reverse schedule is how ACK-path faults (e.g. ACK blackouts) are
+  /// expressed.
+  FaultSchedule forward_faults;
+  FaultSchedule reverse_faults;
   std::uint64_t seed = 1;
 };
 
@@ -81,6 +88,8 @@ struct ConnectionSummary {
   std::uint64_t timeouts = 0;
   double send_rate = 0.0;        ///< packets_sent / duration
   double throughput = 0.0;       ///< packets_delivered / duration
+  FaultStats forward_faults;     ///< injected-impairment counters (data path)
+  FaultStats reverse_faults;     ///< injected-impairment counters (ACK path)
 };
 
 /// Owns and wires a sender/receiver pair over lossy links.
@@ -96,8 +105,15 @@ class Connection {
   /// before run_for(); may be nullptr.
   void set_observer(SenderObserver* observer) noexcept;
 
+  /// Arms a watchdog over this connection's queue and sender. Subsequent
+  /// run_for() calls throw WatchdogError (with a diagnostic snapshot)
+  /// instead of hanging or corrupting state when a budget, stall, or
+  /// invariant check fails.
+  void enable_watchdog(const WatchdogConfig& config = {});
+
   /// Runs the connection for `duration` seconds of simulated time and
   /// returns the roll-up. May be called repeatedly to extend the run.
+  /// @throws WatchdogError if an enabled watchdog trips mid-run.
   ConnectionSummary run_for(Duration duration);
 
   [[nodiscard]] const TcpRenoSender& sender() const noexcept { return *sender_; }
@@ -112,6 +128,7 @@ class Connection {
   std::unique_ptr<TcpReceiver> receiver_;
   std::unique_ptr<Link<Segment>> forward_;
   std::unique_ptr<Link<Ack>> reverse_;
+  std::unique_ptr<SimWatchdog> watchdog_;
   bool started_ = false;
 };
 

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -10,7 +11,8 @@ EventId EventQueue::schedule_at(Time at, std::function<void()> action) {
     throw std::invalid_argument("EventQueue::schedule_at: time in the past");
   }
   const EventId id = next_id_++;
-  heap_.push(Entry{at, id});
+  heap_.push_back(Entry{at, id});
+  std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
   actions_.emplace(id, std::move(action));
   return id;
 }
@@ -22,14 +24,37 @@ EventId EventQueue::schedule_in(Duration delay, std::function<void()> action) {
   return schedule_at(now_ + delay, std::move(action));
 }
 
-void EventQueue::cancel(EventId id) noexcept { actions_.erase(id); }
+void EventQueue::cancel(EventId id) noexcept {
+  if (actions_.erase(id) > 0) {
+    ++cancelled_in_heap_;
+    compact_if_mostly_cancelled();
+  }
+}
 
-bool EventQueue::pop_next(Entry& out) {
+void EventQueue::compact_if_mostly_cancelled() noexcept {
+  // Rebuild only when cancelled entries dominate, so the amortized cost
+  // per cancel stays O(log n) while memory stays O(live events).
+  if (heap_.size() < 64 || cancelled_in_heap_ * 2 <= heap_.size()) {
+    return;
+  }
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Entry& e) {
+                               return actions_.find(e.id) == actions_.end();
+                             }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), EntryAfter{});
+  cancelled_in_heap_ = 0;
+}
+
+bool EventQueue::peek_next(Entry& out) {
   // Skip heap entries whose action was cancelled.
   while (!heap_.empty()) {
-    const Entry top = heap_.top();
+    const Entry top = heap_.front();
     if (actions_.find(top.id) == actions_.end()) {
-      heap_.pop();
+      pop_heap_top();
+      if (cancelled_in_heap_ > 0) {
+        --cancelled_in_heap_;
+      }
       continue;
     }
     out = top;
@@ -38,19 +63,31 @@ bool EventQueue::pop_next(Entry& out) {
   return false;
 }
 
+void EventQueue::pop_heap_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+  heap_.pop_back();
+}
+
+void EventQueue::run_one(const Entry& entry) {
+  pop_heap_top();
+  auto it = actions_.find(entry.id);
+  auto action = std::move(it->second);
+  actions_.erase(it);
+  now_ = entry.at;
+  ++executed_;
+  action();
+  if (inspector_ && executed_ % inspect_every_ == 0) {
+    inspector_();
+  }
+}
+
 void EventQueue::run_until(Time end_time) {
   Entry entry{};
-  while (pop_next(entry)) {
+  while (peek_next(entry)) {
     if (entry.at > end_time) {
       break;
     }
-    heap_.pop();
-    auto it = actions_.find(entry.id);
-    auto action = std::move(it->second);
-    actions_.erase(it);
-    now_ = entry.at;
-    ++executed_;
-    action();
+    run_one(entry);
   }
   if (now_ < end_time) {
     now_ = end_time;
@@ -59,15 +96,22 @@ void EventQueue::run_until(Time end_time) {
 
 void EventQueue::run_all() {
   Entry entry{};
-  while (pop_next(entry)) {
-    heap_.pop();
-    auto it = actions_.find(entry.id);
-    auto action = std::move(it->second);
-    actions_.erase(it);
-    now_ = entry.at;
-    ++executed_;
-    action();
+  while (peek_next(entry)) {
+    run_one(entry);
   }
+}
+
+void EventQueue::set_inspector(std::function<void()> inspector, std::uint64_t every) {
+  if (every == 0) {
+    throw std::invalid_argument("EventQueue::set_inspector: every must be >= 1");
+  }
+  inspector_ = std::move(inspector);
+  inspect_every_ = every;
+}
+
+void EventQueue::clear_inspector() noexcept {
+  inspector_ = nullptr;
+  inspect_every_ = 1;
 }
 
 std::size_t EventQueue::pending() const noexcept { return actions_.size(); }

@@ -3,11 +3,15 @@
 // A minimal, deterministic event queue: events at equal timestamps fire
 // in scheduling order (FIFO tie-break via a monotone sequence number), so
 // a given seed always reproduces the same run byte-for-byte.
+//
+// Cancellation is lazy (the heap entry stays until popped) but bounded:
+// when cancelled entries outnumber live ones the heap is compacted in
+// place, so fault-heavy runs that schedule and cancel millions of timers
+// keep O(live) memory.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -39,6 +43,15 @@ class EventQueue {
   /// Runs every pending event (use only when the event graph terminates).
   void run_all();
 
+  /// Installs a hook invoked after every `every` executed events (a
+  /// watchdog's inspection point). The hook may throw to abort the run;
+  /// the exception propagates out of run_until/run_all with the queue in
+  /// a consistent state. Replaces any previous inspector.
+  void set_inspector(std::function<void()> inspector, std::uint64_t every = 1);
+
+  /// Removes the inspector hook.
+  void clear_inspector() noexcept;
+
   /// Current simulation clock.
   [[nodiscard]] Time now() const noexcept { return now_; }
 
@@ -48,12 +61,16 @@ class EventQueue {
   /// Total events executed so far.
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
+  /// Heap entries currently held, including lazily-cancelled ones — a
+  /// memory diagnostic; stays within a small factor of pending().
+  [[nodiscard]] std::size_t heap_size() const noexcept { return heap_.size(); }
+
  private:
   struct Entry {
     Time at;
     EventId id;
-    // Ordered as a min-heap on (at, id): id grows monotonically, giving
-    // FIFO order among same-time events.
+    // Min-heap on (at, id): id grows monotonically, giving FIFO order
+    // among same-time events.
     bool operator>(const Entry& other) const noexcept {
       if (at != other.at) {
         return at > other.at;
@@ -61,14 +78,23 @@ class EventQueue {
       return id > other.id;
     }
   };
+  struct EntryAfter {
+    bool operator()(const Entry& a, const Entry& b) const noexcept { return a > b; }
+  };
 
-  bool pop_next(Entry& out);
+  bool peek_next(Entry& out);
+  void pop_heap_top();
+  void compact_if_mostly_cancelled() noexcept;
+  void run_one(const Entry& entry);
 
   Time now_ = 0.0;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<Entry> heap_;  ///< std::push_heap/pop_heap with EntryAfter
   std::unordered_map<EventId, std::function<void()>> actions_;
+  std::size_t cancelled_in_heap_ = 0;
+  std::function<void()> inspector_;
+  std::uint64_t inspect_every_ = 1;
 };
 
 }  // namespace pftk::sim

@@ -1,0 +1,132 @@
+// Deterministic, schedulable link impairments.
+//
+// The paper's traces come from real 1997-98 Internet paths: modem links
+// that black out for seconds, ACK paths that lose whole trains, routes
+// that duplicate and reorder, RTT spikes from route flaps. The stochastic
+// LossModels capture the *average* loss process; a FaultInjector layers
+// *adversarial episodes* on top, so experiments can probe how the model's
+// error behaves when the loss process is hostile rather than stationary
+// (cf. Zaragoza: accuracy hinges on the loss process, not the rate).
+//
+// Design rules:
+//  * declarative — a FaultSchedule is plain data, parseable from a
+//    compact string, so benches and the CLI replay identical sequences;
+//  * deterministic — the injector owns a derived RNG stream; the same
+//    (seed, schedule) pair always yields byte-identical traces, and an
+//    empty schedule consumes no randomness (adding the layer does not
+//    perturb existing runs);
+//  * composable — the injector sits in front of any LossModel on a Link
+//    and never reaches into TCP state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/sim_time.hpp"
+
+namespace pftk::sim {
+
+/// Impairment classes the injector can schedule.
+enum class FaultKind {
+  kBlackout,    ///< drop everything (time window or next-N-packets outage)
+  kLoss,        ///< extra i.i.d. loss at `rate` during the window (ACK-path
+                ///< loss when attached to the reverse link)
+  kDuplicate,   ///< with prob `rate`, deliver an extra copy `magnitude` s late
+  kReorder,     ///< with prob `rate`, hold a packet back `magnitude` s and let
+                ///< later packets overtake it
+  kDelaySpike,  ///< add `magnitude` s of one-way delay to every packet (RTT
+                ///< spike episode)
+};
+
+/// One scheduled impairment episode.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kBlackout;
+  Time start = 0.0;        ///< activation time, seconds
+  Duration duration = 0.0; ///< window length; 0 with count>0 = packet-scoped
+  std::uint64_t count = 0; ///< blackout only: drop exactly this many packets
+  double rate = 1.0;       ///< per-packet probability (loss/dup/reorder)
+  double magnitude = 0.0;  ///< seconds (dup lag, reorder hold, spike delay)
+
+  /// @throws std::invalid_argument naming the offending field.
+  void validate() const;
+
+  /// Compact rendering, e.g. "blackout@100+5" or "dup@0+60:0.02:0.01".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// A replayable sequence of impairments for one link direction.
+struct FaultSchedule {
+  std::vector<FaultSpec> faults;
+
+  [[nodiscard]] bool empty() const noexcept { return faults.empty(); }
+
+  /// @throws std::invalid_argument if any spec is invalid.
+  void validate() const;
+
+  /// Parses a ';'-separated list of fault specs. Grammar per spec:
+  ///   kind@start[+duration][#count][:rate[:magnitude]]
+  /// with kind in {blackout, loss, dup, reorder, delay}; e.g.
+  ///   "blackout@100+5;ackloss is spelled loss on the reverse schedule"
+  ///   "blackout@30#20"          drop the 20 packets after t=30
+  ///   "loss@200+60:0.5"         50% extra loss for a minute
+  ///   "dup@0+3600:0.01"         1% duplication all run
+  ///   "reorder@0+3600:0.02:0.15" 2% of packets held back 150 ms
+  ///   "delay@500+10:0.4"        +400 ms one-way delay for 10 s
+  /// @throws std::invalid_argument with the offending clause on bad input.
+  [[nodiscard]] static FaultSchedule parse(const std::string& text);
+
+  /// ';'-joined describe() of every fault (inverse of parse()).
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Counters kept by the injector (per link direction).
+struct FaultStats {
+  std::uint64_t offered = 0;           ///< packets inspected
+  std::uint64_t dropped_blackout = 0;
+  std::uint64_t dropped_loss = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t delayed = 0;           ///< packets given spike delay
+
+  [[nodiscard]] std::uint64_t total_dropped() const noexcept {
+    return dropped_blackout + dropped_loss;
+  }
+  FaultStats& operator+=(const FaultStats& other) noexcept;
+};
+
+/// Per-packet verdict handed to the Link.
+struct FaultVerdict {
+  bool drop = false;
+  std::size_t extra_copies = 0;  ///< duplicates to schedule after the original
+  Duration duplicate_lag = 0.0;  ///< how far behind the original each copy runs
+  Duration extra_delay = 0.0;    ///< added to the arrival time
+  bool exempt_fifo = false;      ///< reordered: later packets may overtake it
+};
+
+/// Applies a FaultSchedule to the packets offered to one link direction.
+class FaultInjector {
+ public:
+  /// @throws std::invalid_argument if the schedule is invalid.
+  FaultInjector(FaultSchedule schedule, Rng rng);
+
+  /// Judges one offered packet; called once per packet in arrival order.
+  [[nodiscard]] FaultVerdict on_packet(Time at);
+
+  /// Restores schedule state (packet budgets, counters) for a fresh run.
+  void reset();
+
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FaultSchedule& schedule() const noexcept { return schedule_; }
+
+ private:
+  [[nodiscard]] bool active(const FaultSpec& spec, std::size_t index, Time at) const;
+
+  FaultSchedule schedule_;
+  std::vector<std::uint64_t> remaining_;  ///< per-fault packet budgets
+  Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace pftk::sim

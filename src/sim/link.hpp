@@ -2,13 +2,16 @@
 //
 // A Link carries payloads (data Segments one way, Acks the other) and
 // models, in order of application:
-//   1. a stochastic loss process (LossModel) at ingress,
-//   2. an optional bandwidth limit with a FIFO queue and an admission
+//   1. an optional scheduled fault-injection layer (blackouts, extra
+//      loss, duplication, reordering, delay spikes) at ingress,
+//   2. a stochastic loss process (LossModel),
+//   3. an optional bandwidth limit with a FIFO queue and an admission
 //      policy (drop-tail / RED) — this is what makes the Fig.-11 modem
 //      scenario's RTT grow with the window,
-//   3. fixed propagation delay plus optional uniform jitter,
+//   4. fixed propagation delay plus optional uniform jitter,
 // and delivers in FIFO order (delivery times are monotone), since TCP
-// dup-ACK counting is meaningful only on mostly-in-order paths.
+// dup-ACK counting is meaningful only on mostly-in-order paths —
+// except for packets a fault deliberately reorders or duplicates.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +21,7 @@
 #include <utility>
 
 #include "sim/event_queue.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/loss_model.hpp"
 #include "sim/queue_policy.hpp"
 #include "sim/rng.hpp"
@@ -42,6 +46,8 @@ struct LinkStats {
   std::uint64_t offered = 0;        ///< packets handed to send()
   std::uint64_t dropped_loss = 0;   ///< dropped by the loss model
   std::uint64_t dropped_queue = 0;  ///< rejected by the queue policy
+  std::uint64_t dropped_fault = 0;  ///< dropped by the fault injector
+  std::uint64_t duplicated = 0;     ///< extra copies injected by faults
   std::uint64_t delivered = 0;      ///< handed to the delivery callback
 };
 
@@ -57,14 +63,18 @@ class Link {
   /// @param loss     optional ingress loss process (may be nullptr)
   /// @param policy   optional queue admission policy; required if
   ///                 config.rate_pps > 0 (defaults to a deep drop-tail)
+  /// @param faults   optional scheduled-impairment layer, applied at
+  ///                 ingress before the stochastic loss process
   Link(EventQueue& queue, const LinkConfig& config, Rng rng,
        std::unique_ptr<LossModel> loss = nullptr,
-       std::unique_ptr<QueuePolicy> policy = nullptr)
+       std::unique_ptr<QueuePolicy> policy = nullptr,
+       std::unique_ptr<FaultInjector> faults = nullptr)
       : queue_(queue),
         config_(config),
         rng_(std::move(rng)),
         loss_(std::move(loss)),
-        policy_(std::move(policy)) {
+        policy_(std::move(policy)),
+        faults_(std::move(faults)) {
     config_.validate();
     if (config_.rate_pps > 0.0 && !policy_) {
       policy_ = std::make_unique<DropTailPolicy>(1000);
@@ -82,6 +92,17 @@ class Link {
     }
     ++stats_.offered;
     const Time now = queue_.now();
+
+    // Scheduled impairments act first: a blackout is physical-layer, so
+    // the stochastic loss model never even sees the packet.
+    FaultVerdict verdict;
+    if (faults_) {
+      verdict = faults_->on_packet(now);
+      if (verdict.drop) {
+        ++stats_.dropped_fault;
+        return;
+      }
+    }
 
     if (loss_ && loss_->should_drop(now, rng_)) {
       ++stats_.dropped_loss;
@@ -106,16 +127,37 @@ class Link {
     if (config_.jitter > 0.0) {
       arrival += rng_.uniform(0.0, config_.jitter);
     }
-    // FIFO clamp: jitter never reorders deliveries.
-    if (arrival < last_delivery_) {
-      arrival = last_delivery_;
+    arrival += verdict.extra_delay;
+    if (verdict.exempt_fifo) {
+      // A reordered packet is held back and deliberately overtaken: it
+      // neither respects nor advances the FIFO frontier.
+      if (arrival < queue_.now()) {
+        arrival = queue_.now();
+      }
+    } else {
+      // FIFO clamp: jitter never reorders deliveries.
+      if (arrival < last_delivery_) {
+        arrival = last_delivery_;
+      }
+      last_delivery_ = arrival;
     }
-    last_delivery_ = arrival;
 
     queue_.schedule_at(arrival, [this, item, arrival] {
       ++stats_.delivered;
       deliver_(item, arrival);
     });
+    for (std::size_t copy = 1; copy <= verdict.extra_copies; ++copy) {
+      // Duplicates trail the original; they do not advance the FIFO
+      // frontier, so a late duplicate can arrive after newer packets
+      // (exactly what dup-ACK machinery must tolerate).
+      const Time dup_arrival =
+          arrival + verdict.duplicate_lag * static_cast<double>(copy);
+      ++stats_.duplicated;
+      queue_.schedule_at(dup_arrival, [this, item, dup_arrival] {
+        ++stats_.delivered;
+        deliver_(item, dup_arrival);
+      });
+    }
   }
 
   /// Current number of packets in the serialization backlog.
@@ -128,13 +170,19 @@ class Link {
 
   [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
 
-  /// Resets loss-model/AQM state and counters (not pending deliveries).
+  /// The attached fault injector, if any (for stats/introspection).
+  [[nodiscard]] const FaultInjector* faults() const noexcept { return faults_.get(); }
+
+  /// Resets loss-model/AQM/fault state and counters (not pending deliveries).
   void reset_processes() {
     if (loss_) {
       loss_->reset();
     }
     if (policy_) {
       policy_->reset();
+    }
+    if (faults_) {
+      faults_->reset();
     }
     stats_ = LinkStats{};
   }
@@ -145,6 +193,7 @@ class Link {
   Rng rng_;
   std::unique_ptr<LossModel> loss_;
   std::unique_ptr<QueuePolicy> policy_;
+  std::unique_ptr<FaultInjector> faults_;
   DeliverFn deliver_;
   Time busy_until_ = 0.0;
   Time last_delivery_ = 0.0;

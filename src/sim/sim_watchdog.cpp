@@ -1,0 +1,98 @@
+#include "sim/sim_watchdog.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace pftk::sim {
+
+std::string WatchdogSnapshot::describe() const {
+  std::ostringstream os;
+  os << "watchdog: " << reason << " [t=" << now << "s executed=" << executed
+     << " pending=" << pending << " snd_una=" << snd_una << " next_seq=" << next_seq
+     << " in_flight=" << in_flight << " cwnd=" << cwnd << " rto=" << rto
+     << "s consecutive_timeouts=" << consecutive_timeouts
+     << " last_progress=" << last_progress_at << "s]";
+  return os.str();
+}
+
+WatchdogError::WatchdogError(WatchdogSnapshot snapshot)
+    : std::runtime_error(snapshot.describe()), snapshot_(std::move(snapshot)) {}
+
+SimWatchdog::SimWatchdog(EventQueue& queue, const TcpRenoSender& sender,
+                         WatchdogConfig config)
+    : queue_(queue), sender_(sender), config_(config) {}
+
+SimWatchdog::~SimWatchdog() { disarm(); }
+
+void SimWatchdog::arm() {
+  last_una_ = sender_.snd_una();
+  last_progress_ = queue_.now();
+  queue_.set_inspector([this] { check(); }, std::max<std::uint64_t>(1, config_.check_every));
+  armed_ = true;
+}
+
+void SimWatchdog::disarm() noexcept {
+  if (armed_) {
+    queue_.clear_inspector();
+    armed_ = false;
+  }
+}
+
+WatchdogSnapshot SimWatchdog::snapshot(std::string reason) const {
+  WatchdogSnapshot s;
+  s.reason = std::move(reason);
+  s.now = queue_.now();
+  s.executed = queue_.executed();
+  s.pending = queue_.pending();
+  s.snd_una = sender_.snd_una();
+  s.next_seq = sender_.next_seq();
+  s.in_flight = sender_.in_flight();
+  s.cwnd = sender_.cwnd();
+  s.rto = sender_.current_rto();
+  s.consecutive_timeouts = sender_.consecutive_timeouts();
+  s.last_progress_at = last_progress_;
+  return s;
+}
+
+void SimWatchdog::check() {
+  if (config_.max_events > 0 && queue_.executed() > config_.max_events) {
+    throw WatchdogError(snapshot("event budget exceeded"));
+  }
+  if (config_.max_sim_time > 0.0 && queue_.now() > config_.max_sim_time) {
+    throw WatchdogError(snapshot("simulated-time budget exceeded"));
+  }
+
+  const SeqNo una = sender_.snd_una();
+  if (config_.check_invariants) {
+    if (una < last_una_) {
+      throw WatchdogError(snapshot("cumulative ACK went backwards"));
+    }
+    if (sender_.cwnd() < 1.0) {
+      throw WatchdogError(snapshot("cwnd below one segment"));
+    }
+    const double window = sender_.sender_config().advertised_window;
+    if (static_cast<double>(sender_.in_flight()) > window) {
+      throw WatchdogError(snapshot("in-flight exceeds the advertised window"));
+    }
+  }
+
+  if (una > last_una_) {
+    last_una_ = una;
+    last_progress_ = queue_.now();
+  } else if (config_.stall_rtos > 0.0 && sender_.stats().transmissions > 0) {
+    // Scale the stall horizon with the *backed-off* RTO: a legitimate deep
+    // backoff sequence waits exactly one backed-off RTO between attempts,
+    // so `stall_rtos` of them without progress means the path is dead.
+    const Duration threshold =
+        std::max(config_.stall_floor, config_.stall_rtos * sender_.backed_off_rto());
+    if (queue_.now() - last_progress_ > threshold) {
+      throw WatchdogError(
+          snapshot("no cumulative-ACK progress for " +
+                   std::to_string(queue_.now() - last_progress_) + "s (threshold " +
+                   std::to_string(threshold) + "s)"));
+    }
+  }
+}
+
+}  // namespace pftk::sim

@@ -1,0 +1,102 @@
+// Run-away protection for fault-heavy simulations.
+//
+// An hour-long impaired run can fail in ways a clean run never does: a
+// blackout that outlives every retransmission leaves the sender backing
+// off forever, a bad schedule can make the event graph spin, a subtle
+// sender bug can corrupt TCP state silently. The watchdog converts all of
+// these into a *diagnostic failure* — a WatchdogError carrying a snapshot
+// of the connection — instead of a hang or a silently wrong table row.
+//
+// It piggybacks on the EventQueue's inspector hook and checks, every
+// `check_every` executed events:
+//   * budgets     — total executed events, absolute simulated time;
+//   * stall       — no cumulative-ACK progress for `stall_rtos` backed-off
+//                   RTOs (scaling with the backoff keeps legitimate deep
+//                   backoff sequences from tripping it);
+//   * invariants  — cwnd >= 1, in-flight <= advertised window, monotone
+//                   cumulative ACK.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sim/event_queue.hpp"
+#include "sim/sim_time.hpp"
+#include "sim/tcp_reno_sender.hpp"
+
+namespace pftk::sim {
+
+/// Budgets and thresholds; 0 disables the corresponding check.
+struct WatchdogConfig {
+  std::uint64_t max_events = 0;   ///< cumulative executed-event budget
+  Duration max_sim_time = 0.0;    ///< absolute simulated-clock budget, seconds
+  double stall_rtos = 4.0;        ///< stall after this many backed-off RTOs
+                                  ///< without cum-ACK progress; 0 disables
+  Duration stall_floor = 1.0;     ///< minimum stall threshold, seconds
+  bool check_invariants = true;
+  std::uint64_t check_every = 1;  ///< executed events between inspections
+};
+
+/// State captured at the moment a check fails.
+struct WatchdogSnapshot {
+  std::string reason;
+  Time now = 0.0;
+  std::uint64_t executed = 0;
+  std::size_t pending = 0;
+  SeqNo snd_una = 0;
+  SeqNo next_seq = 0;
+  std::size_t in_flight = 0;
+  double cwnd = 0.0;
+  Duration rto = 0.0;
+  int consecutive_timeouts = 0;
+  Time last_progress_at = 0.0;
+
+  /// One-line diagnostic rendering (embedded in WatchdogError::what()).
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Thrown by SimWatchdog::check(); what() carries the full snapshot.
+class WatchdogError : public std::runtime_error {
+ public:
+  explicit WatchdogError(WatchdogSnapshot snapshot);
+  [[nodiscard]] const WatchdogSnapshot& snapshot() const noexcept { return snapshot_; }
+
+ private:
+  WatchdogSnapshot snapshot_;
+};
+
+/// Watches one sender/queue pair. Arm it before running; it stays armed
+/// until disarmed or destroyed (the destructor detaches its hook).
+class SimWatchdog {
+ public:
+  /// Both references must outlive the watchdog.
+  SimWatchdog(EventQueue& queue, const TcpRenoSender& sender, WatchdogConfig config = {});
+  ~SimWatchdog();
+
+  SimWatchdog(const SimWatchdog&) = delete;
+  SimWatchdog& operator=(const SimWatchdog&) = delete;
+
+  /// Installs the inspector hook on the event queue.
+  void arm();
+
+  /// Removes the hook; a disarmed watchdog never fires.
+  void disarm() noexcept;
+
+  /// One inspection pass. @throws WatchdogError on any violation.
+  void check();
+
+  [[nodiscard]] const WatchdogConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] WatchdogSnapshot snapshot(std::string reason) const;
+
+  EventQueue& queue_;
+  const TcpRenoSender& sender_;
+  WatchdogConfig config_;
+  SeqNo last_una_ = 0;
+  Time last_progress_ = 0.0;
+  bool armed_ = false;
+};
+
+}  // namespace pftk::sim

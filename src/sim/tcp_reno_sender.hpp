@@ -112,6 +112,12 @@ class TcpRenoSender {
   [[nodiscard]] Time completion_time() const noexcept { return completion_time_; }
   [[nodiscard]] int consecutive_timeouts() const noexcept { return consecutive_timeouts_; }
   [[nodiscard]] Duration current_rto() const noexcept { return rto_; }
+  /// RTO after exponential backoff — the delay the next timeout will wait.
+  [[nodiscard]] Duration backed_off_rto() const;
+  /// The configuration this sender was built with (watchdog invariants).
+  [[nodiscard]] const TcpRenoSenderConfig& sender_config() const noexcept {
+    return config_;
+  }
   [[nodiscard]] Duration smoothed_rtt() const noexcept { return srtt_; }
   [[nodiscard]] const TcpRenoSenderStats& stats() const noexcept { return stats_; }
 
@@ -131,7 +137,6 @@ class TcpRenoSender {
   void stop_rtx_timer();
   void take_rtt_sample(const Ack& ack, Time now);
   void update_rto(Duration sample);
-  [[nodiscard]] Duration backed_off_rto() const;
   [[nodiscard]] double effective_window() const;
   [[nodiscard]] FlightRecord* record_for(SeqNo seq);
 

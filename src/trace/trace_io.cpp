@@ -1,5 +1,6 @@
 #include "trace/trace_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <istream>
@@ -8,6 +9,167 @@
 #include <stdexcept>
 
 namespace pftk::trace {
+
+namespace {
+
+// Sanity bounds on decoded fields. A well-formed capture of any
+// simulatable length sits far inside these; values beyond them are the
+// signature of corruption (e.g. a negative number read into an unsigned
+// field wraps to ~1.8e19 and is caught here).
+constexpr double kMaxTime = 1e12;        // seconds
+constexpr double kMaxDurationValue = 1e6; // RTO/RTT sample, seconds
+constexpr std::uint64_t kMaxSeq = 1'000'000'000'000ULL;
+constexpr std::size_t kMaxInFlight = 1'000'000'000;
+constexpr double kMaxCwnd = 1e9;
+
+/// Parses one non-comment line into `event`; returns false with a
+/// diagnostic in `error` if the line is malformed or out of range.
+bool parse_line(const std::string& line, TraceEvent& event, std::string& error) {
+  if (line.find('\0') != std::string::npos) {
+    error = "embedded NUL byte";
+    return false;
+  }
+  std::istringstream ls(line);
+  char tag = 0;
+  ls >> tag;
+  TraceEvent e;
+  int flag = 0;
+  switch (tag) {
+    case 'S':
+      e.type = TraceEventType::kSegmentSent;
+      if (!(ls >> e.t >> e.seq >> flag >> e.in_flight >> e.cwnd)) {
+        error = "malformed S record";
+        return false;
+      }
+      e.retransmission = flag != 0;
+      if (!(std::isfinite(e.cwnd) && e.cwnd >= 0.0 && e.cwnd <= kMaxCwnd)) {
+        error = "cwnd out of range";
+        return false;
+      }
+      break;
+    case 'A':
+      e.type = TraceEventType::kAckReceived;
+      if (!(ls >> e.t >> e.seq >> flag)) {
+        error = "malformed A record";
+        return false;
+      }
+      e.duplicate = flag != 0;
+      break;
+    case 'T':
+      e.type = TraceEventType::kTimeout;
+      if (!(ls >> e.t >> e.seq >> e.consecutive >> e.value)) {
+        error = "malformed T record";
+        return false;
+      }
+      if (e.consecutive < 0 || e.consecutive > 64) {
+        error = "timeout depth out of range";
+        return false;
+      }
+      break;
+    case 'F':
+      e.type = TraceEventType::kFastRetransmit;
+      if (!(ls >> e.t >> e.seq)) {
+        error = "malformed F record";
+        return false;
+      }
+      break;
+    case 'R':
+      e.type = TraceEventType::kRttSample;
+      if (!(ls >> e.t >> e.value >> e.in_flight)) {
+        error = "malformed R record";
+        return false;
+      }
+      break;
+    default:
+      error = std::string("unknown record tag '") + tag + "'";
+      return false;
+  }
+  if (!(std::isfinite(e.t) && e.t >= 0.0 && e.t <= kMaxTime)) {
+    error = "timestamp out of range";
+    return false;
+  }
+  if (e.seq > kMaxSeq) {
+    error = "sequence number out of range";
+    return false;
+  }
+  if (e.in_flight > kMaxInFlight) {
+    error = "in-flight count out of range";
+    return false;
+  }
+  if (!(std::isfinite(e.value) && e.value >= -kMaxDurationValue &&
+        e.value <= kMaxDurationValue)) {
+    error = "duration value out of range";
+    return false;
+  }
+  event = e;
+  return true;
+}
+
+enum class ReadMode { kStrict, kLenient };
+
+std::vector<TraceEvent> read_trace_impl(std::istream& is, ReadMode mode,
+                                        TraceReadReport* report) {
+  std::vector<TraceEvent> out;
+  TraceReadReport local;
+  TraceReadReport& rep = report != nullptr ? *report : local;
+  rep = TraceReadReport{};
+
+  std::string line;
+  bool final_line_unterminated = false;
+  bool final_line_bad = false;
+  while (std::getline(is, line)) {
+    ++rep.lines_total;
+    // A successful getline that also hit EOF read a line with no trailing
+    // newline — on the last line that is the truncation signature.
+    final_line_unterminated = is.eof();
+    final_line_bad = false;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();  // tolerate CRLF captures
+    }
+    if (line.empty() || line[0] == '#') {
+      ++rep.comment_lines;
+      continue;
+    }
+    TraceEvent event;
+    std::string error;
+    if (parse_line(line, event, error)) {
+      out.push_back(event);
+      ++rep.events_parsed;
+      continue;
+    }
+    final_line_bad = true;
+    ++rep.lines_dropped;
+    rep.bytes_dropped += line.size() + 1;
+    if (rep.first_error_line == 0) {
+      rep.first_error_line = rep.lines_total;
+      rep.first_error = error;
+    }
+    if (mode == ReadMode::kStrict) {
+      throw std::invalid_argument("read_trace: line " + std::to_string(rep.lines_total) +
+                                  ": " + error);
+    }
+  }
+  rep.truncated = final_line_unterminated && final_line_bad;
+  return out;
+}
+
+}  // namespace
+
+std::string TraceReadReport::describe() const {
+  std::ostringstream os;
+  os << events_parsed << " events from " << lines_total << " lines";
+  if (lines_dropped > 0) {
+    os << "; dropped " << lines_dropped << " lines (" << bytes_dropped
+       << " bytes), first error at line " << first_error_line << ": " << first_error;
+  }
+  if (truncated) {
+    os << "; file appears truncated mid-record";
+  }
+  if (clean()) {
+    os << "; clean";
+  }
+  return os.str();
+}
 
 void write_trace(std::ostream& os, std::span<const TraceEvent> events) {
   os << "# pftk trace v1: S/A/T/F/R events, tab-separated, times in seconds\n";
@@ -36,62 +198,11 @@ void write_trace(std::ostream& os, std::span<const TraceEvent> events) {
 }
 
 std::vector<TraceEvent> read_trace(std::istream& is) {
-  std::vector<TraceEvent> out;
-  std::string line;
-  std::size_t line_no = 0;
-  auto fail = [&line_no](const std::string& why) {
-    throw std::invalid_argument("read_trace: line " + std::to_string(line_no) + ": " + why);
-  };
+  return read_trace_impl(is, ReadMode::kStrict, nullptr);
+}
 
-  while (std::getline(is, line)) {
-    ++line_no;
-    if (line.empty() || line[0] == '#') {
-      continue;
-    }
-    std::istringstream ls(line);
-    char tag = 0;
-    ls >> tag;
-    TraceEvent e;
-    int flag = 0;
-    switch (tag) {
-      case 'S':
-        e.type = TraceEventType::kSegmentSent;
-        if (!(ls >> e.t >> e.seq >> flag >> e.in_flight >> e.cwnd)) {
-          fail("malformed S record");
-        }
-        e.retransmission = flag != 0;
-        break;
-      case 'A':
-        e.type = TraceEventType::kAckReceived;
-        if (!(ls >> e.t >> e.seq >> flag)) {
-          fail("malformed A record");
-        }
-        e.duplicate = flag != 0;
-        break;
-      case 'T':
-        e.type = TraceEventType::kTimeout;
-        if (!(ls >> e.t >> e.seq >> e.consecutive >> e.value)) {
-          fail("malformed T record");
-        }
-        break;
-      case 'F':
-        e.type = TraceEventType::kFastRetransmit;
-        if (!(ls >> e.t >> e.seq)) {
-          fail("malformed F record");
-        }
-        break;
-      case 'R':
-        e.type = TraceEventType::kRttSample;
-        if (!(ls >> e.t >> e.value >> e.in_flight)) {
-          fail("malformed R record");
-        }
-        break;
-      default:
-        fail(std::string("unknown record tag '") + tag + "'");
-    }
-    out.push_back(e);
-  }
-  return out;
+std::vector<TraceEvent> read_trace_lenient(std::istream& is, TraceReadReport* report) {
+  return read_trace_impl(is, ReadMode::kLenient, report);
 }
 
 void save_trace_file(const std::string& path, std::span<const TraceEvent> events) {
@@ -108,6 +219,15 @@ std::vector<TraceEvent> load_trace_file(const std::string& path) {
     throw std::invalid_argument("load_trace_file: cannot open " + path);
   }
   return read_trace(is);
+}
+
+std::vector<TraceEvent> load_trace_file_lenient(const std::string& path,
+                                                TraceReadReport* report) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::invalid_argument("load_trace_file_lenient: cannot open " + path);
+  }
+  return read_trace_lenient(is, report);
 }
 
 }  // namespace pftk::trace

@@ -14,6 +14,14 @@
 //   R <t> <sample> <in_flight>                       rtt sample (ground truth)
 // Lines starting with '#' are comments. Times are seconds with fixed
 // 9-digit precision, so a round trip is loss-free for simulation scales.
+//
+// Real capture files get truncated, hit disk-full mid-line, and pick up
+// garbage; an hour of capture must not be voided by one bad line. The
+// reader therefore has two modes:
+//   * strict  — throw on the first malformed line (CI round-trip checks);
+//   * lenient — skip malformed lines, recording what was dropped (and
+//     whether the file looks truncated) in a TraceReadReport, so batch
+//     experiments recover the valid prefix and report exact losses.
 #pragma once
 
 #include <iosfwd>
@@ -25,17 +33,45 @@
 
 namespace pftk::trace {
 
+/// What a lenient read salvaged and what it had to discard.
+struct TraceReadReport {
+  std::size_t lines_total = 0;      ///< every line seen (incl. comments)
+  std::size_t events_parsed = 0;    ///< records successfully decoded
+  std::size_t comment_lines = 0;    ///< '#' and blank lines
+  std::size_t lines_dropped = 0;    ///< malformed lines skipped
+  std::size_t bytes_dropped = 0;    ///< bytes of those skipped lines
+  std::size_t first_error_line = 0; ///< 1-based; 0 = no errors
+  std::string first_error;          ///< diagnostic for the first bad line
+  /// True when the file ends mid-record (no trailing newline and the
+  /// final line failed to parse) — the signature of a truncated capture.
+  bool truncated = false;
+
+  [[nodiscard]] bool clean() const noexcept {
+    return lines_dropped == 0 && !truncated;
+  }
+  /// One-line human-readable summary.
+  [[nodiscard]] std::string describe() const;
+};
+
 /// Writes the trace, one event per line, preceded by a '#' header.
 /// @throws std::ios_base::failure on stream errors.
 void write_trace(std::ostream& os, std::span<const TraceEvent> events);
 
-/// Reads a trace written by write_trace.
+/// Reads a trace written by write_trace (strict mode).
 /// @throws std::invalid_argument on any malformed line (with its number).
 [[nodiscard]] std::vector<TraceEvent> read_trace(std::istream& is);
+
+/// Reads a trace, skipping malformed/truncated lines instead of
+/// throwing. Never throws on content (only on stream faults); fills
+/// `report` (if non-null) with what was salvaged and dropped.
+[[nodiscard]] std::vector<TraceEvent> read_trace_lenient(std::istream& is,
+                                                         TraceReadReport* report = nullptr);
 
 /// Convenience file wrappers.
 /// @throws std::invalid_argument if the file cannot be opened.
 void save_trace_file(const std::string& path, std::span<const TraceEvent> events);
 [[nodiscard]] std::vector<TraceEvent> load_trace_file(const std::string& path);
+[[nodiscard]] std::vector<TraceEvent> load_trace_file_lenient(
+    const std::string& path, TraceReadReport* report = nullptr);
 
 }  // namespace pftk::trace

@@ -105,5 +105,94 @@ TEST(EventQueue, CancelledEventDoesNotBlockOthersAtSameTime) {
   EXPECT_EQ(fired, 1);
 }
 
+TEST(EventQueue, MillionCancelledEventsAreReclaimed) {
+  // Fault-heavy runs schedule and cancel timers constantly; lazy
+  // cancellation must not let the heap grow without bound.
+  EventQueue q;
+  std::vector<EventId> ids;
+  constexpr std::size_t kEvents = 1'000'000;
+  ids.reserve(kEvents);
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    ids.push_back(q.schedule_at(static_cast<double>(i % 1000) + 1.0, [] {}));
+  }
+  EXPECT_EQ(q.pending(), kEvents);
+  for (const EventId id : ids) {
+    q.cancel(id);
+  }
+  EXPECT_EQ(q.pending(), 0u);
+  // Compaction keeps dead entries below half the heap; with everything
+  // cancelled, the heap must have collapsed to (near) nothing.
+  EXPECT_LT(q.heap_size(), 64u);
+  q.run_all();
+  EXPECT_EQ(q.executed(), 0u);
+}
+
+TEST(EventQueue, HeapStaysProportionalToLiveEvents) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  constexpr std::size_t kEvents = 100'000;
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    ids.push_back(q.schedule_at(static_cast<double>(i) + 1.0, [] {}));
+  }
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    if (i % 100 != 0) {
+      q.cancel(ids[i]);  // keep 1% alive
+    }
+  }
+  EXPECT_EQ(q.pending(), kEvents / 100);
+  EXPECT_LE(q.heap_size(), 2 * q.pending() + 64);
+  q.run_all();
+  EXPECT_EQ(q.executed(), kEvents / 100);
+}
+
+TEST(EventQueue, InspectorRunsEveryNExecutedEvents) {
+  EventQueue q;
+  int inspections = 0;
+  q.set_inspector([&] { ++inspections; }, 3);
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(static_cast<double>(i) + 1.0, [] {});
+  }
+  q.run_all();
+  EXPECT_EQ(q.executed(), 10u);
+  EXPECT_EQ(inspections, 3);  // after events 3, 6, 9
+}
+
+TEST(EventQueue, ClearedInspectorStopsFiring) {
+  EventQueue q;
+  int inspections = 0;
+  q.set_inspector([&] { ++inspections; });
+  q.schedule_at(1.0, [] {});
+  q.run_all();
+  EXPECT_EQ(inspections, 1);
+  q.clear_inspector();
+  q.schedule_at(2.0, [] {});
+  q.run_all();
+  EXPECT_EQ(inspections, 1);
+}
+
+TEST(EventQueue, InspectorExceptionAbortsTheRunConsistently) {
+  EventQueue q;
+  q.set_inspector([&] {
+    if (q.executed() == 2) {
+      throw std::runtime_error("budget");
+    }
+  });
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(static_cast<double>(i) + 1.0, [] {});
+  }
+  EXPECT_THROW(q.run_all(), std::runtime_error);
+  EXPECT_EQ(q.executed(), 2u);
+  EXPECT_EQ(q.pending(), 3u);
+  // The queue survives the abort: clearing the hook lets the run resume.
+  q.clear_inspector();
+  q.run_all();
+  EXPECT_EQ(q.executed(), 5u);
+}
+
+TEST(EventQueue, InspectorIntervalMustBePositive) {
+  EventQueue q;
+  EXPECT_THROW(q.set_inspector([] {}, 0), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace pftk::sim

@@ -51,6 +51,44 @@ TEST(ModelParams, RejectsNonFinite) {
   EXPECT_FALSE(p.valid());
 }
 
+// A NaN silently fails every range comparison, so validate() must call
+// out non-finite fields explicitly rather than mislabel them as range
+// errors (or let them sail through into the formulas).
+TEST(ModelParams, ValidateNamesEachNonFiniteField) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  struct Case {
+    double ModelParams::* field;
+    const char* name;
+  };
+  const Case cases[] = {{&ModelParams::p, "p"},
+                        {&ModelParams::rtt, "rtt"},
+                        {&ModelParams::t0, "t0"},
+                        {&ModelParams::wm, "wm"}};
+  for (const Case& c : cases) {
+    for (const double bad : {nan, inf, -inf}) {
+      ModelParams params;
+      params.*(c.field) = bad;
+      try {
+        params.validate();
+        FAIL() << c.name << " = non-finite passed validate()";
+      } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find(c.name), std::string::npos) << what;
+        EXPECT_NE(what.find("finite"), std::string::npos) << what;
+      }
+    }
+  }
+}
+
+TEST(ModelParams, NegativeZeroAndDenormalsAreFinite) {
+  ModelParams p;
+  p.p = std::numeric_limits<double>::denorm_min();
+  EXPECT_NO_THROW(p.validate());
+  p.p = -0.0;  // counts as zero, i.e. the window-limited regime
+  EXPECT_NO_THROW(p.validate());
+}
+
 TEST(ModelParams, DescribeMentionsFields) {
   ModelParams p;
   p.p = 0.02;

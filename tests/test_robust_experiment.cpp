@@ -1,0 +1,203 @@
+// Graceful degradation: one corrupt input or one pathological profile
+// costs one row and one RunReport entry, never the whole batch.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "exp/robust_experiment.hpp"
+#include "sim/connection.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_recorder.hpp"
+
+namespace pftk::exp {
+namespace {
+
+PathProfile quick_profile(const std::string& receiver) {
+  PathProfile profile;
+  profile.sender = "testhost";
+  profile.receiver = receiver;
+  profile.one_way_delay = 0.05;
+  profile.loss_p = 0.02;
+  profile.advertised_window = 16.0;
+  return profile;
+}
+
+HourTraceOptions quick_options() {
+  HourTraceOptions opt;
+  opt.duration = 60.0;
+  opt.interval_length = 20.0;
+  return opt;
+}
+
+TEST(RobustExperiment, BadProfileCostsOneRowNotTheBatch) {
+  std::vector<PathProfile> profiles = {quick_profile("a"), quick_profile("bad"),
+                                       quick_profile("c")};
+  profiles[1].advertised_window = 0.0;  // rejected by the sender config
+
+  RunReport report;
+  const auto results = run_hour_traces_robust(profiles, quick_options(), report);
+
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].profile.receiver, "a");
+  EXPECT_EQ(results[1].profile.receiver, "c");
+  EXPECT_EQ(report.attempted, 3u);
+  EXPECT_EQ(report.succeeded, 2u);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].label, "testhost -> bad");
+  EXPECT_NE(report.failures[0].error.find("advertised_window"), std::string::npos);
+  EXPECT_FALSE(report.all_ok());
+  EXPECT_NE(report.describe().find("2/3"), std::string::npos);
+}
+
+TEST(RobustExperiment, WatchdogTripBecomesARecordedFailure) {
+  std::vector<PathProfile> profiles = {quick_profile("a"), quick_profile("stalled")};
+  HourTraceOptions opt = quick_options();
+  opt.enable_watchdog = true;
+
+  RunReport report;
+  const auto clean = run_hour_traces_robust(profiles, opt, report);
+  EXPECT_EQ(clean.size(), 2u);
+  EXPECT_TRUE(report.all_ok());
+
+  // A total ACK blackhole: snd_una never advances, so once elapsed time
+  // outgrows stall_rtos backed-off RTOs the watchdog converts the would-be
+  // endless backoff into a recorded failure. The run needs to be long
+  // enough to outlast the backoff cap (2^6 * RTO).
+  opt.duration = 3600.0;
+  opt.reverse_faults = sim::FaultSchedule::parse("loss@0+100000:1");
+  RunReport stalled_report;
+  const auto stalled = run_hour_traces_robust(profiles, opt, stalled_report);
+  EXPECT_TRUE(stalled.empty());
+  EXPECT_EQ(stalled_report.attempted, 2u);
+  EXPECT_EQ(stalled_report.failures.size(), 2u);
+  EXPECT_NE(stalled_report.failures[0].error.find("no cumulative-ACK progress"),
+            std::string::npos)
+      << stalled_report.failures[0].error;
+}
+
+TEST(RobustExperiment, FaultStatsAggregateOverSuccessfulRuns) {
+  std::vector<PathProfile> profiles = {quick_profile("a"), quick_profile("b")};
+  HourTraceOptions opt = quick_options();
+  opt.forward_faults = sim::FaultSchedule::parse("loss@0+60:0.2");
+
+  RunReport report;
+  const auto results = run_hour_traces_robust(profiles, opt, report);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(report.forward_faults.offered,
+            results[0].forward_faults.offered + results[1].forward_faults.offered);
+  EXPECT_GT(report.forward_faults.dropped_loss, 0u);
+}
+
+TEST(RobustExperiment, ShortTraceSeriesKeepsSurvivingPoints) {
+  ShortTraceOptions opt;
+  opt.connections = 3;
+  opt.duration = 30.0;
+  RunReport report;
+  const auto clean = run_short_traces_robust(quick_profile("a"), opt, report);
+  EXPECT_EQ(clean.size(), 3u);
+  EXPECT_TRUE(report.all_ok());
+
+  // An event budget far below what 30 s needs fails every connection —
+  // each failure is recorded individually, none aborts the series.
+  opt.enable_watchdog = true;
+  opt.watchdog.max_events = 50;
+  RunReport tripped;
+  const auto none = run_short_traces_robust(quick_profile("a"), opt, tripped);
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(tripped.attempted, 3u);
+  ASSERT_EQ(tripped.failures.size(), 3u);
+  EXPECT_NE(tripped.failures[1].label.find("trace 1"), std::string::npos);
+  EXPECT_NE(tripped.failures[0].error.find("event budget"), std::string::npos)
+      << tripped.failures[0].error;
+}
+
+TEST(RobustExperiment, ShortTraceFaultSchedulesApplyPerConnection) {
+  ShortTraceOptions opt;
+  opt.connections = 2;
+  opt.duration = 30.0;
+  opt.forward_faults = sim::FaultSchedule::parse("loss@0+30:0.2");
+  RunReport report;
+  const auto records = run_short_traces_robust(quick_profile("a"), opt, report);
+  ASSERT_EQ(records.size(), 2u);
+  for (const ShortTraceRecord& rec : records) {
+    EXPECT_GT(rec.forward_faults.dropped_loss, 0u) << "trace " << rec.index;
+  }
+  EXPECT_EQ(report.forward_faults.dropped_loss,
+            records[0].forward_faults.dropped_loss +
+                records[1].forward_faults.dropped_loss);
+}
+
+std::string write_capture(const std::string& path, double duration,
+                          const std::string& garbage_suffix) {
+  sim::ConnectionConfig cfg;
+  cfg.sender.advertised_window = 16.0;
+  cfg.forward_link.propagation_delay = 0.05;
+  cfg.reverse_link.propagation_delay = 0.05;
+  cfg.forward_loss = sim::BernoulliLossSpec{0.02};
+  cfg.seed = 11;
+  sim::Connection conn(cfg);
+  trace::TraceRecorder rec;
+  conn.set_observer(&rec);
+  (void)conn.run_for(duration);
+  trace::save_trace_file(path, rec.events());
+  if (!garbage_suffix.empty()) {
+    std::ofstream os(path, std::ios::app);
+    os << garbage_suffix;
+  }
+  return path;
+}
+
+TEST(RobustExperiment, OneCorruptFileOfThreeYieldsPartialResults) {
+  const std::string dir = testing::TempDir();
+  const std::vector<std::string> paths = {
+      write_capture(dir + "pftk_robust_a.tsv", 30.0, ""),
+      // Valid prefix, then a disk-full signature: garbage lines and a
+      // final record cut mid-field with no trailing newline.
+      write_capture(dir + "pftk_robust_b.tsv", 30.0,
+                    "garbage line\nX\t1\t2\t3\nS\t99.0\t12"),
+      dir + "pftk_robust_missing.tsv",  // never written
+  };
+
+  RunReport report;
+  const auto results = analyze_trace_files_robust(paths, 3, report);
+
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(report.attempted, 3u);
+  EXPECT_EQ(report.succeeded, 2u);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].label, paths[2]);
+
+  // The corrupt file contributed exactly its valid prefix...
+  const auto pristine = trace::load_trace_file(paths[0]);
+  EXPECT_EQ(results[0].summary.packets_sent, results[1].summary.packets_sent);
+  EXPECT_TRUE(results[0].read_report.clean());
+  // ...with exact accounting for what was cut away.
+  const trace::TraceReadReport& salvage = results[1].read_report;
+  EXPECT_EQ(salvage.events_parsed, pristine.size());
+  EXPECT_EQ(salvage.lines_dropped, 3u);
+  EXPECT_EQ(salvage.bytes_dropped,
+            std::string("garbage line\n").size() + std::string("X\t1\t2\t3\n").size() +
+                std::string("S\t99.0\t12\n").size());
+  EXPECT_TRUE(salvage.truncated);
+  EXPECT_FALSE(salvage.clean());
+}
+
+TEST(RobustExperiment, FileWithNoSalvageableEventsIsAFailure) {
+  const std::string path = testing::TempDir() + "pftk_robust_junk.tsv";
+  {
+    std::ofstream os(path);
+    os << "not a trace at all\n<<<binary-ish>>>\n";
+  }
+  RunReport report;
+  const auto results = analyze_trace_files_robust(std::vector<std::string>{path}, 3, report);
+  EXPECT_TRUE(results.empty());
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_NE(report.failures[0].error.find("no trace events"), std::string::npos);
+  ASSERT_EQ(report.read_reports.size(), 1u);
+  EXPECT_EQ(report.read_reports[0].lines_dropped, 2u);
+}
+
+}  // namespace
+}  // namespace pftk::exp

@@ -89,6 +89,125 @@ TEST(TraceIo, FileWrappersRejectBadPaths) {
   EXPECT_THROW((void)load_trace_file("/nonexistent/dir/trace.txt"),
                std::invalid_argument);
   EXPECT_THROW(save_trace_file("/nonexistent/dir/trace.txt", {}), std::invalid_argument);
+  EXPECT_THROW((void)load_trace_file_lenient("/nonexistent/dir/trace.txt"),
+               std::invalid_argument);
+}
+
+// Fuzz-style table of corrupt single lines: strict must throw, lenient
+// must skip exactly that line and say why.
+TEST(TraceIo, MalformedLineTable) {
+  const struct {
+    const char* name;
+    std::string line;
+  } cases[] = {
+      {"truncated S record", "S\t0.5\t0"},
+      {"truncated A record", "A\t0.5\t1"},
+      {"unknown tag", "X\t0.5\t0\t0"},
+      {"binary garbage", "\x01\x02\xff\xfe"},
+      {"negative timestamp", "S\t-1.0\t0\t0\t1\t1.0"},
+      {"huge timestamp", "S\t1e15\t0\t0\t1\t1.0"},
+      {"negative seq wraps to huge", "A\t0.5\t-3\t0"},
+      {"timeout depth out of range", "T\t0.5\t0\t99\t1.0"},
+      {"cwnd out of range", "S\t0.5\t0\t0\t1\t1e300"},
+      {"non-numeric field", "S\t0.5\tzero\t0\t1\t1.0"},
+      {"embedded NUL", std::string("S\t0.5\t0\t0\t1\t1.0").insert(3, 1, '\0')},
+  };
+  const std::string good = "S\t0.1\t0\t0\t1\t1.000000000\n";
+  for (const auto& c : cases) {
+    const std::string content = good + c.line + "\n" + good;
+    {
+      std::istringstream strict(content);
+      EXPECT_THROW((void)read_trace(strict), std::invalid_argument) << c.name;
+    }
+    std::istringstream lenient(content);
+    TraceReadReport report;
+    const auto events = read_trace_lenient(lenient, &report);
+    EXPECT_EQ(events.size(), 2u) << c.name;
+    EXPECT_EQ(report.lines_total, 3u) << c.name;
+    EXPECT_EQ(report.events_parsed, 2u) << c.name;
+    EXPECT_EQ(report.lines_dropped, 1u) << c.name;
+    EXPECT_EQ(report.bytes_dropped, c.line.size() + 1) << c.name;
+    EXPECT_EQ(report.first_error_line, 2u) << c.name;
+    EXPECT_FALSE(report.first_error.empty()) << c.name;
+    EXPECT_FALSE(report.clean()) << c.name;
+    EXPECT_FALSE(report.truncated) << c.name;
+  }
+}
+
+TEST(TraceIo, LenientRecoversTheValidPrefixExactly) {
+  const std::vector<TraceEvent> original = simulated_trace();
+  std::stringstream buffer;
+  write_trace(buffer, original);
+  // Simulate disk-full corruption: garbage, then a record cut mid-field
+  // with no trailing newline.
+  buffer << "%%% corrupted tail %%%\nS\t99.0\t12";
+
+  TraceReadReport report;
+  const auto events = read_trace_lenient(buffer, &report);
+  ASSERT_EQ(events.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(events[i].seq, original[i].seq) << "event " << i;
+  }
+  EXPECT_EQ(report.events_parsed, original.size());
+  EXPECT_EQ(report.lines_dropped, 2u);
+  EXPECT_EQ(report.bytes_dropped, std::string("%%% corrupted tail %%%\n").size() +
+                                      std::string("S\t99.0\t12\n").size());
+  EXPECT_TRUE(report.truncated);
+}
+
+TEST(TraceIo, TruncationRequiresAnUnterminatedBadFinalLine) {
+  {
+    // Unterminated but parseable final line: a capture stopped between
+    // records, not mid-record — salvaged, not flagged.
+    std::istringstream is("S\t0.5\t0\t0\t1\t1.0\nA\t0.6\t1\t0");
+    TraceReadReport report;
+    const auto events = read_trace_lenient(is, &report);
+    EXPECT_EQ(events.size(), 2u);
+    EXPECT_FALSE(report.truncated);
+    EXPECT_TRUE(report.clean());
+  }
+  {
+    // Terminated bad line mid-file: corruption, but not truncation.
+    std::istringstream is("junk\nS\t0.5\t0\t0\t1\t1.0\n");
+    TraceReadReport report;
+    (void)read_trace_lenient(is, &report);
+    EXPECT_FALSE(report.truncated);
+    EXPECT_EQ(report.lines_dropped, 1u);
+  }
+}
+
+TEST(TraceIo, CrlfLineEndingsAreTolerated) {
+  std::istringstream is("# dos capture\r\nS\t0.5\t0\t0\t1\t1.0\r\n");
+  TraceReadReport report;
+  const auto events = read_trace_lenient(is, &report);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NEAR(events[0].t, 0.5, 1e-12);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(TraceIo, LenientReportDescribesItself) {
+  std::istringstream is("S\t0.5\t0\t0\t1\t1.0\njunk\n");
+  TraceReadReport report;
+  (void)read_trace_lenient(is, &report);
+  const std::string text = report.describe();
+  EXPECT_NE(text.find("dropped 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("line 2"), std::string::npos) << text;
+}
+
+TEST(TraceIo, LenientMatchesStrictOnCleanInput) {
+  const std::vector<TraceEvent> original = simulated_trace();
+  std::stringstream buffer;
+  write_trace(buffer, original);
+  const std::string content = buffer.str();
+
+  std::istringstream strict_in(content);
+  std::istringstream lenient_in(content);
+  TraceReadReport report;
+  const auto strict_events = read_trace(strict_in);
+  const auto lenient_events = read_trace_lenient(lenient_in, &report);
+  ASSERT_EQ(lenient_events.size(), strict_events.size());
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.events_parsed, strict_events.size());
 }
 
 TEST(TraceValidator, CleanSimulatedTraceValidates) {

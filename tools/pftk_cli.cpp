@@ -8,10 +8,16 @@
 //   pftk simulate <sender> <receiver> <secs> [seed] [trace-file]
 //                                                  run + Table-II row
 //   pftk analyze <trace-file> [dupack_threshold]   offline trace analysis
+//   pftk faultsim <sender> <receiver> <secs> <schedule> [seed] [trace-file]
+//                                                  run under injected faults
 //
 // The simulate/analyze pair mirrors the paper's tcpdump-then-postprocess
 // workflow: `simulate ... trace.tsv` writes a capture that `analyze`
-// (or any external tool) can consume later.
+// (or any external tool) can consume later. `faultsim` layers a
+// declarative impairment schedule (see sim/fault_injector.hpp, e.g.
+// "blackout@120+5;loss@600+60:0.05") over the path's loss process and
+// runs with a watchdog armed, so pathological schedules fail with a
+// diagnostic instead of hanging.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -23,6 +29,8 @@
 #include "core/throughput_model.hpp"
 #include "exp/hour_trace_experiment.hpp"
 #include "exp/table_format.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/sim_watchdog.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/trace_recorder.hpp"
 #include "trace/trace_summary.hpp"
@@ -37,7 +45,10 @@ int usage() {
                "  pftk provision <rate_pps> <rtt_s> <t0_s> <wm>\n"
                "  pftk list\n"
                "  pftk simulate <sender> <receiver> <seconds> [seed] [trace-file]\n"
-               "  pftk analyze <trace-file> [dupack_threshold]\n";
+               "  pftk analyze <trace-file> [dupack_threshold]\n"
+               "  pftk faultsim <sender> <receiver> <seconds> <schedule> [seed] [trace-file]\n"
+               "      schedule: kind@start[+duration][#count][:rate[:magnitude]] ';'-separated\n"
+               "      kinds: blackout, loss, dup, reorder, delay  (e.g. blackout@120+5)\n";
   return 2;
 }
 
@@ -151,6 +162,51 @@ int cmd_simulate(int argc, char** argv) {
   return 0;
 }
 
+int cmd_faultsim(int argc, char** argv) {
+  if (argc < 6) {
+    return usage();
+  }
+  const auto profile = pftk::exp::profile_by_label(argv[2], argv[3]);
+  const double duration = std::atof(argv[4]);
+  const auto schedule = pftk::sim::FaultSchedule::parse(argv[5]);
+  const std::uint64_t seed = argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 1998;
+  const std::string trace_path = argc > 7 ? argv[7] : "";
+
+  auto config = pftk::exp::make_connection_config(profile, seed);
+  config.forward_faults = schedule;
+  pftk::sim::Connection conn(config);
+  conn.enable_watchdog();
+  pftk::trace::TraceRecorder recorder;
+  conn.set_observer(&recorder);
+
+  std::cout << profile.label() << ", " << duration << " s, seed " << seed
+            << "\n  schedule: " << schedule.describe() << "\n";
+  try {
+    const auto run = conn.run_for(duration);
+    auto row =
+        pftk::trace::summarize_trace(recorder.events(), profile.dupack_threshold());
+    std::cout << "  packets sent " << row.packets_sent << ", loss indications "
+              << row.loss_indications << " (p = " << pftk::exp::fmt(row.observed_p, 4)
+              << "), send rate " << pftk::exp::fmt(run.send_rate, 2) << " pkts/s\n"
+              << "  faults: " << run.forward_faults.total_dropped() << " dropped ("
+              << run.forward_faults.dropped_blackout << " blackout, "
+              << run.forward_faults.dropped_loss << " loss), "
+              << run.forward_faults.duplicated << " duplicated, "
+              << run.forward_faults.reordered << " reordered, "
+              << run.forward_faults.delayed << " delayed, of "
+              << run.forward_faults.offered << " offered\n";
+  } catch (const pftk::sim::WatchdogError& e) {
+    std::cerr << "watchdog tripped:\n" << e.snapshot().describe() << "\n";
+    return 1;
+  }
+  if (!trace_path.empty()) {
+    pftk::trace::save_trace_file(trace_path, recorder.events());
+    std::cout << "  trace written to " << trace_path << " (" << recorder.events().size()
+              << " events)\n";
+  }
+  return 0;
+}
+
 int cmd_analyze(int argc, char** argv) {
   if (argc < 3) {
     return usage();
@@ -204,6 +260,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "analyze") {
       return cmd_analyze(argc, argv);
+    }
+    if (cmd == "faultsim") {
+      return cmd_faultsim(argc, argv);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
