@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_loss_models"
+  "../bench/ablation_loss_models.pdb"
+  "CMakeFiles/bench_ablation_loss_models.dir/ablation_loss_models.cpp.o"
+  "CMakeFiles/bench_ablation_loss_models.dir/ablation_loss_models.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_loss_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_red_vs_droptail"
+  "../bench/ablation_red_vs_droptail.pdb"
+  "CMakeFiles/bench_ablation_red_vs_droptail.dir/ablation_red_vs_droptail.cpp.o"
+  "CMakeFiles/bench_ablation_red_vs_droptail.dir/ablation_red_vs_droptail.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_red_vs_droptail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tcp_flavors"
+  "../bench/ablation_tcp_flavors.pdb"
+  "CMakeFiles/bench_ablation_tcp_flavors.dir/ablation_tcp_flavors.cpp.o"
+  "CMakeFiles/bench_ablation_tcp_flavors.dir/ablation_tcp_flavors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tcp_flavors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

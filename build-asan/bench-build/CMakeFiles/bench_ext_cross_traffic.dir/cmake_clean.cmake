@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_cross_traffic"
+  "../bench/ext_cross_traffic.pdb"
+  "CMakeFiles/bench_ext_cross_traffic.dir/ext_cross_traffic.cpp.o"
+  "CMakeFiles/bench_ext_cross_traffic.dir/ext_cross_traffic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cross_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_fairness"
+  "../bench/ext_fairness.pdb"
+  "CMakeFiles/bench_ext_fairness.dir/ext_fairness.cpp.o"
+  "CMakeFiles/bench_ext_fairness.dir/ext_fairness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_round_structure"
+  "../bench/ext_round_structure.pdb"
+  "CMakeFiles/bench_ext_round_structure.dir/ext_round_structure.cpp.o"
+  "CMakeFiles/bench_ext_round_structure.dir/ext_round_structure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_round_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_short_flows"
+  "../bench/ext_short_flows.pdb"
+  "CMakeFiles/bench_ext_short_flows.dir/ext_short_flows.cpp.o"
+  "CMakeFiles/bench_ext_short_flows.dir/ext_short_flows.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_short_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_tfrc"
+  "../bench/ext_tfrc.pdb"
+  "CMakeFiles/bench_ext_tfrc.dir/ext_tfrc.cpp.o"
+  "CMakeFiles/bench_ext_tfrc.dir/ext_tfrc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_tfrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_window_distribution"
+  "../bench/ext_window_distribution.pdb"
+  "CMakeFiles/bench_ext_window_distribution.dir/ext_window_distribution.cpp.o"
+  "CMakeFiles/bench_ext_window_distribution.dir/ext_window_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_window_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_model_error_short"
+  "../bench/fig10_model_error_short.pdb"
+  "CMakeFiles/bench_fig10_model_error_short.dir/fig10_model_error_short.cpp.o"
+  "CMakeFiles/bench_fig10_model_error_short.dir/fig10_model_error_short.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_model_error_short.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

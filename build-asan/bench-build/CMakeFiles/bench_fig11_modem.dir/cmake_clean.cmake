@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_modem"
+  "../bench/fig11_modem.pdb"
+  "CMakeFiles/bench_fig11_modem.dir/fig11_modem.cpp.o"
+  "CMakeFiles/bench_fig11_modem.dir/fig11_modem.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_modem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_markov"
+  "../bench/fig12_markov.pdb"
+  "CMakeFiles/bench_fig12_markov.dir/fig12_markov.cpp.o"
+  "CMakeFiles/bench_fig12_markov.dir/fig12_markov.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

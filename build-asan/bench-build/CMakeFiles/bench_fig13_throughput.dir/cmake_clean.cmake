@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_throughput"
+  "../bench/fig13_throughput.pdb"
+  "CMakeFiles/bench_fig13_throughput.dir/fig13_throughput.cpp.o"
+  "CMakeFiles/bench_fig13_throughput.dir/fig13_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

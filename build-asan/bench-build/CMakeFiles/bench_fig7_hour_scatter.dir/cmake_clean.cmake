@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_hour_scatter"
+  "../bench/fig7_hour_scatter.pdb"
+  "CMakeFiles/bench_fig7_hour_scatter.dir/fig7_hour_scatter.cpp.o"
+  "CMakeFiles/bench_fig7_hour_scatter.dir/fig7_hour_scatter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_hour_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

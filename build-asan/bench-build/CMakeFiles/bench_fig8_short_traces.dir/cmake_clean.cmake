@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_short_traces"
+  "../bench/fig8_short_traces.pdb"
+  "CMakeFiles/bench_fig8_short_traces.dir/fig8_short_traces.cpp.o"
+  "CMakeFiles/bench_fig8_short_traces.dir/fig8_short_traces.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_short_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_model_error_hour"
+  "../bench/fig9_model_error_hour.pdb"
+  "CMakeFiles/bench_fig9_model_error_hour.dir/fig9_model_error_hour.cpp.o"
+  "CMakeFiles/bench_fig9_model_error_hour.dir/fig9_model_error_hour.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_model_error_hour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_models"
+  "../bench/micro_models.pdb"
+  "CMakeFiles/bench_micro_models.dir/micro_models.cpp.o"
+  "CMakeFiles/bench_micro_models.dir/micro_models.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

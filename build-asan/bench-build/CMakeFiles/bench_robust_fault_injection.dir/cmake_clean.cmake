@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/robust_fault_injection"
+  "../bench/robust_fault_injection.pdb"
+  "CMakeFiles/bench_robust_fault_injection.dir/robust_fault_injection.cpp.o"
+  "CMakeFiles/bench_robust_fault_injection.dir/robust_fault_injection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_robust_fault_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_hosts"
+  "../bench/table1_hosts.pdb"
+  "CMakeFiles/bench_table1_hosts.dir/table1_hosts.cpp.o"
+  "CMakeFiles/bench_table1_hosts.dir/table1_hosts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_hosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

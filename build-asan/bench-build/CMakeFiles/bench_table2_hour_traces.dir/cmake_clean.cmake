@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_hour_traces"
+  "../bench/table2_hour_traces.pdb"
+  "CMakeFiles/bench_table2_hour_traces.dir/table2_hour_traces.cpp.o"
+  "CMakeFiles/bench_table2_hour_traces.dir/table2_hour_traces.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_hour_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_competing_flows.dir/competing_flows.cpp.o"
+  "CMakeFiles/example_competing_flows.dir/competing_flows.cpp.o.d"
+  "competing_flows"
+  "competing_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_competing_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_competing_flows.
+# This may be replaced when dependencies are built.

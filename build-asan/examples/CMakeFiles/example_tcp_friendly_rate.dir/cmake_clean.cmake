@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tcp_friendly_rate.dir/tcp_friendly_rate.cpp.o"
+  "CMakeFiles/example_tcp_friendly_rate.dir/tcp_friendly_rate.cpp.o.d"
+  "tcp_friendly_rate"
+  "tcp_friendly_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tcp_friendly_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

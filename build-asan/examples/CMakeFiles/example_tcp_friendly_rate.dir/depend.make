@@ -1,0 +1,2 @@
+# Empty dependencies file for example_tcp_friendly_rate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trace_analysis.dir/trace_analysis.cpp.o"
+  "CMakeFiles/example_trace_analysis.dir/trace_analysis.cpp.o.d"
+  "trace_analysis"
+  "trace_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trace_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_window_evolution.dir/window_evolution.cpp.o"
+  "CMakeFiles/example_window_evolution.dir/window_evolution.cpp.o.d"
+  "window_evolution"
+  "window_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_window_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

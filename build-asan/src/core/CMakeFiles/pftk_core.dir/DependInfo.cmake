@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/approx_model.cpp" "src/core/CMakeFiles/pftk_core.dir/approx_model.cpp.o" "gcc" "src/core/CMakeFiles/pftk_core.dir/approx_model.cpp.o.d"
+  "/root/repo/src/core/full_model.cpp" "src/core/CMakeFiles/pftk_core.dir/full_model.cpp.o" "gcc" "src/core/CMakeFiles/pftk_core.dir/full_model.cpp.o.d"
+  "/root/repo/src/core/inverse_model.cpp" "src/core/CMakeFiles/pftk_core.dir/inverse_model.cpp.o" "gcc" "src/core/CMakeFiles/pftk_core.dir/inverse_model.cpp.o.d"
+  "/root/repo/src/core/markov_model.cpp" "src/core/CMakeFiles/pftk_core.dir/markov_model.cpp.o" "gcc" "src/core/CMakeFiles/pftk_core.dir/markov_model.cpp.o.d"
+  "/root/repo/src/core/model_registry.cpp" "src/core/CMakeFiles/pftk_core.dir/model_registry.cpp.o" "gcc" "src/core/CMakeFiles/pftk_core.dir/model_registry.cpp.o.d"
+  "/root/repo/src/core/model_terms.cpp" "src/core/CMakeFiles/pftk_core.dir/model_terms.cpp.o" "gcc" "src/core/CMakeFiles/pftk_core.dir/model_terms.cpp.o.d"
+  "/root/repo/src/core/short_flow_model.cpp" "src/core/CMakeFiles/pftk_core.dir/short_flow_model.cpp.o" "gcc" "src/core/CMakeFiles/pftk_core.dir/short_flow_model.cpp.o.d"
+  "/root/repo/src/core/tcp_model_params.cpp" "src/core/CMakeFiles/pftk_core.dir/tcp_model_params.cpp.o" "gcc" "src/core/CMakeFiles/pftk_core.dir/tcp_model_params.cpp.o.d"
+  "/root/repo/src/core/td_only_model.cpp" "src/core/CMakeFiles/pftk_core.dir/td_only_model.cpp.o" "gcc" "src/core/CMakeFiles/pftk_core.dir/td_only_model.cpp.o.d"
+  "/root/repo/src/core/throughput_model.cpp" "src/core/CMakeFiles/pftk_core.dir/throughput_model.cpp.o" "gcc" "src/core/CMakeFiles/pftk_core.dir/throughput_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/stats/CMakeFiles/pftk_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pftk_core.dir/approx_model.cpp.o"
+  "CMakeFiles/pftk_core.dir/approx_model.cpp.o.d"
+  "CMakeFiles/pftk_core.dir/full_model.cpp.o"
+  "CMakeFiles/pftk_core.dir/full_model.cpp.o.d"
+  "CMakeFiles/pftk_core.dir/inverse_model.cpp.o"
+  "CMakeFiles/pftk_core.dir/inverse_model.cpp.o.d"
+  "CMakeFiles/pftk_core.dir/markov_model.cpp.o"
+  "CMakeFiles/pftk_core.dir/markov_model.cpp.o.d"
+  "CMakeFiles/pftk_core.dir/model_registry.cpp.o"
+  "CMakeFiles/pftk_core.dir/model_registry.cpp.o.d"
+  "CMakeFiles/pftk_core.dir/model_terms.cpp.o"
+  "CMakeFiles/pftk_core.dir/model_terms.cpp.o.d"
+  "CMakeFiles/pftk_core.dir/short_flow_model.cpp.o"
+  "CMakeFiles/pftk_core.dir/short_flow_model.cpp.o.d"
+  "CMakeFiles/pftk_core.dir/tcp_model_params.cpp.o"
+  "CMakeFiles/pftk_core.dir/tcp_model_params.cpp.o.d"
+  "CMakeFiles/pftk_core.dir/td_only_model.cpp.o"
+  "CMakeFiles/pftk_core.dir/td_only_model.cpp.o.d"
+  "CMakeFiles/pftk_core.dir/throughput_model.cpp.o"
+  "CMakeFiles/pftk_core.dir/throughput_model.cpp.o.d"
+  "libpftk_core.a"
+  "libpftk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pftk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/hour_trace_experiment.cpp" "src/exp/CMakeFiles/pftk_exp.dir/hour_trace_experiment.cpp.o" "gcc" "src/exp/CMakeFiles/pftk_exp.dir/hour_trace_experiment.cpp.o.d"
+  "/root/repo/src/exp/model_comparison.cpp" "src/exp/CMakeFiles/pftk_exp.dir/model_comparison.cpp.o" "gcc" "src/exp/CMakeFiles/pftk_exp.dir/model_comparison.cpp.o.d"
+  "/root/repo/src/exp/path_profile.cpp" "src/exp/CMakeFiles/pftk_exp.dir/path_profile.cpp.o" "gcc" "src/exp/CMakeFiles/pftk_exp.dir/path_profile.cpp.o.d"
+  "/root/repo/src/exp/robust_experiment.cpp" "src/exp/CMakeFiles/pftk_exp.dir/robust_experiment.cpp.o" "gcc" "src/exp/CMakeFiles/pftk_exp.dir/robust_experiment.cpp.o.d"
+  "/root/repo/src/exp/run_report.cpp" "src/exp/CMakeFiles/pftk_exp.dir/run_report.cpp.o" "gcc" "src/exp/CMakeFiles/pftk_exp.dir/run_report.cpp.o.d"
+  "/root/repo/src/exp/short_trace_experiment.cpp" "src/exp/CMakeFiles/pftk_exp.dir/short_trace_experiment.cpp.o" "gcc" "src/exp/CMakeFiles/pftk_exp.dir/short_trace_experiment.cpp.o.d"
+  "/root/repo/src/exp/table_format.cpp" "src/exp/CMakeFiles/pftk_exp.dir/table_format.cpp.o" "gcc" "src/exp/CMakeFiles/pftk_exp.dir/table_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/pftk_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/pftk_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/trace/CMakeFiles/pftk_trace.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/stats/CMakeFiles/pftk_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/connection.cpp" "src/sim/CMakeFiles/pftk_sim.dir/connection.cpp.o" "gcc" "src/sim/CMakeFiles/pftk_sim.dir/connection.cpp.o.d"
+  "/root/repo/src/sim/cross_traffic.cpp" "src/sim/CMakeFiles/pftk_sim.dir/cross_traffic.cpp.o" "gcc" "src/sim/CMakeFiles/pftk_sim.dir/cross_traffic.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/pftk_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/pftk_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/fault_injector.cpp" "src/sim/CMakeFiles/pftk_sim.dir/fault_injector.cpp.o" "gcc" "src/sim/CMakeFiles/pftk_sim.dir/fault_injector.cpp.o.d"
+  "/root/repo/src/sim/loss_model.cpp" "src/sim/CMakeFiles/pftk_sim.dir/loss_model.cpp.o" "gcc" "src/sim/CMakeFiles/pftk_sim.dir/loss_model.cpp.o.d"
+  "/root/repo/src/sim/queue_policy.cpp" "src/sim/CMakeFiles/pftk_sim.dir/queue_policy.cpp.o" "gcc" "src/sim/CMakeFiles/pftk_sim.dir/queue_policy.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/sim/CMakeFiles/pftk_sim.dir/rng.cpp.o" "gcc" "src/sim/CMakeFiles/pftk_sim.dir/rng.cpp.o.d"
+  "/root/repo/src/sim/shared_bottleneck.cpp" "src/sim/CMakeFiles/pftk_sim.dir/shared_bottleneck.cpp.o" "gcc" "src/sim/CMakeFiles/pftk_sim.dir/shared_bottleneck.cpp.o.d"
+  "/root/repo/src/sim/sim_watchdog.cpp" "src/sim/CMakeFiles/pftk_sim.dir/sim_watchdog.cpp.o" "gcc" "src/sim/CMakeFiles/pftk_sim.dir/sim_watchdog.cpp.o.d"
+  "/root/repo/src/sim/tcp_receiver.cpp" "src/sim/CMakeFiles/pftk_sim.dir/tcp_receiver.cpp.o" "gcc" "src/sim/CMakeFiles/pftk_sim.dir/tcp_receiver.cpp.o.d"
+  "/root/repo/src/sim/tcp_reno_sender.cpp" "src/sim/CMakeFiles/pftk_sim.dir/tcp_reno_sender.cpp.o" "gcc" "src/sim/CMakeFiles/pftk_sim.dir/tcp_reno_sender.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/stats/CMakeFiles/pftk_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

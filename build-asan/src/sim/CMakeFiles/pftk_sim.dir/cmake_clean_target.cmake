@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpftk_sim.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/pftk_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/pftk_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/error_metrics.cpp" "src/stats/CMakeFiles/pftk_stats.dir/error_metrics.cpp.o" "gcc" "src/stats/CMakeFiles/pftk_stats.dir/error_metrics.cpp.o.d"
+  "/root/repo/src/stats/fairness.cpp" "src/stats/CMakeFiles/pftk_stats.dir/fairness.cpp.o" "gcc" "src/stats/CMakeFiles/pftk_stats.dir/fairness.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/pftk_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/pftk_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/quantile.cpp" "src/stats/CMakeFiles/pftk_stats.dir/quantile.cpp.o" "gcc" "src/stats/CMakeFiles/pftk_stats.dir/quantile.cpp.o.d"
+  "/root/repo/src/stats/running_stats.cpp" "src/stats/CMakeFiles/pftk_stats.dir/running_stats.cpp.o" "gcc" "src/stats/CMakeFiles/pftk_stats.dir/running_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pftk_stats.dir/correlation.cpp.o"
+  "CMakeFiles/pftk_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/pftk_stats.dir/error_metrics.cpp.o"
+  "CMakeFiles/pftk_stats.dir/error_metrics.cpp.o.d"
+  "CMakeFiles/pftk_stats.dir/fairness.cpp.o"
+  "CMakeFiles/pftk_stats.dir/fairness.cpp.o.d"
+  "CMakeFiles/pftk_stats.dir/histogram.cpp.o"
+  "CMakeFiles/pftk_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/pftk_stats.dir/quantile.cpp.o"
+  "CMakeFiles/pftk_stats.dir/quantile.cpp.o.d"
+  "CMakeFiles/pftk_stats.dir/running_stats.cpp.o"
+  "CMakeFiles/pftk_stats.dir/running_stats.cpp.o.d"
+  "libpftk_stats.a"
+  "libpftk_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pftk_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

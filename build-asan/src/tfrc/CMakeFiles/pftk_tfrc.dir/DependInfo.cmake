@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tfrc/loss_history.cpp" "src/tfrc/CMakeFiles/pftk_tfrc.dir/loss_history.cpp.o" "gcc" "src/tfrc/CMakeFiles/pftk_tfrc.dir/loss_history.cpp.o.d"
+  "/root/repo/src/tfrc/tfrc_connection.cpp" "src/tfrc/CMakeFiles/pftk_tfrc.dir/tfrc_connection.cpp.o" "gcc" "src/tfrc/CMakeFiles/pftk_tfrc.dir/tfrc_connection.cpp.o.d"
+  "/root/repo/src/tfrc/tfrc_receiver.cpp" "src/tfrc/CMakeFiles/pftk_tfrc.dir/tfrc_receiver.cpp.o" "gcc" "src/tfrc/CMakeFiles/pftk_tfrc.dir/tfrc_receiver.cpp.o.d"
+  "/root/repo/src/tfrc/tfrc_sender.cpp" "src/tfrc/CMakeFiles/pftk_tfrc.dir/tfrc_sender.cpp.o" "gcc" "src/tfrc/CMakeFiles/pftk_tfrc.dir/tfrc_sender.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/pftk_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/pftk_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/stats/CMakeFiles/pftk_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pftk_tfrc.dir/loss_history.cpp.o"
+  "CMakeFiles/pftk_tfrc.dir/loss_history.cpp.o.d"
+  "CMakeFiles/pftk_tfrc.dir/tfrc_connection.cpp.o"
+  "CMakeFiles/pftk_tfrc.dir/tfrc_connection.cpp.o.d"
+  "CMakeFiles/pftk_tfrc.dir/tfrc_receiver.cpp.o"
+  "CMakeFiles/pftk_tfrc.dir/tfrc_receiver.cpp.o.d"
+  "CMakeFiles/pftk_tfrc.dir/tfrc_sender.cpp.o"
+  "CMakeFiles/pftk_tfrc.dir/tfrc_sender.cpp.o.d"
+  "libpftk_tfrc.a"
+  "libpftk_tfrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pftk_tfrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/interval_analyzer.cpp" "src/trace/CMakeFiles/pftk_trace.dir/interval_analyzer.cpp.o" "gcc" "src/trace/CMakeFiles/pftk_trace.dir/interval_analyzer.cpp.o.d"
+  "/root/repo/src/trace/loss_classifier.cpp" "src/trace/CMakeFiles/pftk_trace.dir/loss_classifier.cpp.o" "gcc" "src/trace/CMakeFiles/pftk_trace.dir/loss_classifier.cpp.o.d"
+  "/root/repo/src/trace/round_analyzer.cpp" "src/trace/CMakeFiles/pftk_trace.dir/round_analyzer.cpp.o" "gcc" "src/trace/CMakeFiles/pftk_trace.dir/round_analyzer.cpp.o.d"
+  "/root/repo/src/trace/rtt_estimator.cpp" "src/trace/CMakeFiles/pftk_trace.dir/rtt_estimator.cpp.o" "gcc" "src/trace/CMakeFiles/pftk_trace.dir/rtt_estimator.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/pftk_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/pftk_trace.dir/trace_io.cpp.o.d"
+  "/root/repo/src/trace/trace_recorder.cpp" "src/trace/CMakeFiles/pftk_trace.dir/trace_recorder.cpp.o" "gcc" "src/trace/CMakeFiles/pftk_trace.dir/trace_recorder.cpp.o.d"
+  "/root/repo/src/trace/trace_summary.cpp" "src/trace/CMakeFiles/pftk_trace.dir/trace_summary.cpp.o" "gcc" "src/trace/CMakeFiles/pftk_trace.dir/trace_summary.cpp.o.d"
+  "/root/repo/src/trace/trace_validator.cpp" "src/trace/CMakeFiles/pftk_trace.dir/trace_validator.cpp.o" "gcc" "src/trace/CMakeFiles/pftk_trace.dir/trace_validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/pftk_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/stats/CMakeFiles/pftk_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pftk_trace.dir/interval_analyzer.cpp.o"
+  "CMakeFiles/pftk_trace.dir/interval_analyzer.cpp.o.d"
+  "CMakeFiles/pftk_trace.dir/loss_classifier.cpp.o"
+  "CMakeFiles/pftk_trace.dir/loss_classifier.cpp.o.d"
+  "CMakeFiles/pftk_trace.dir/round_analyzer.cpp.o"
+  "CMakeFiles/pftk_trace.dir/round_analyzer.cpp.o.d"
+  "CMakeFiles/pftk_trace.dir/rtt_estimator.cpp.o"
+  "CMakeFiles/pftk_trace.dir/rtt_estimator.cpp.o.d"
+  "CMakeFiles/pftk_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/pftk_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/pftk_trace.dir/trace_recorder.cpp.o"
+  "CMakeFiles/pftk_trace.dir/trace_recorder.cpp.o.d"
+  "CMakeFiles/pftk_trace.dir/trace_summary.cpp.o"
+  "CMakeFiles/pftk_trace.dir/trace_summary.cpp.o.d"
+  "CMakeFiles/pftk_trace.dir/trace_validator.cpp.o"
+  "CMakeFiles/pftk_trace.dir/trace_validator.cpp.o.d"
+  "libpftk_trace.a"
+  "libpftk_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pftk_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

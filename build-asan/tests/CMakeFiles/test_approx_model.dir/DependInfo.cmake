@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_approx_model.cpp" "tests/CMakeFiles/test_approx_model.dir/test_approx_model.cpp.o" "gcc" "tests/CMakeFiles/test_approx_model.dir/test_approx_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/pftk_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/pftk_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/trace/CMakeFiles/pftk_trace.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/exp/CMakeFiles/pftk_exp.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/stats/CMakeFiles/pftk_stats.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tfrc/CMakeFiles/pftk_tfrc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_approx_model.dir/test_approx_model.cpp.o"
+  "CMakeFiles/test_approx_model.dir/test_approx_model.cpp.o.d"
+  "test_approx_model"
+  "test_approx_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_approx_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_connection.dir/test_connection.cpp.o"
+  "CMakeFiles/test_connection.dir/test_connection.cpp.o.d"
+  "test_connection"
+  "test_connection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_connection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

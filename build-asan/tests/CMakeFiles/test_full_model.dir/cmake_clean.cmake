@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_full_model.dir/test_full_model.cpp.o"
+  "CMakeFiles/test_full_model.dir/test_full_model.cpp.o.d"
+  "test_full_model"
+  "test_full_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_full_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

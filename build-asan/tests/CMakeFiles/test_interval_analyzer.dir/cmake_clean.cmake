@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interval_analyzer.dir/test_interval_analyzer.cpp.o"
+  "CMakeFiles/test_interval_analyzer.dir/test_interval_analyzer.cpp.o.d"
+  "test_interval_analyzer"
+  "test_interval_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interval_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

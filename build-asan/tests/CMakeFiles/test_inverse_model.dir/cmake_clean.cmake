@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inverse_model.dir/test_inverse_model.cpp.o"
+  "CMakeFiles/test_inverse_model.dir/test_inverse_model.cpp.o.d"
+  "test_inverse_model"
+  "test_inverse_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inverse_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

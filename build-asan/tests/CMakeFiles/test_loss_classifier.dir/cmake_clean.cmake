@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loss_classifier.dir/test_loss_classifier.cpp.o"
+  "CMakeFiles/test_loss_classifier.dir/test_loss_classifier.cpp.o.d"
+  "test_loss_classifier"
+  "test_loss_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loss_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

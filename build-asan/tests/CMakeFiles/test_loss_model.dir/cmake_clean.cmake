@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loss_model.dir/test_loss_model.cpp.o"
+  "CMakeFiles/test_loss_model.dir/test_loss_model.cpp.o.d"
+  "test_loss_model"
+  "test_loss_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loss_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

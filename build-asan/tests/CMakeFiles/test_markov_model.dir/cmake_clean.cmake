@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_markov_model.dir/test_markov_model.cpp.o"
+  "CMakeFiles/test_markov_model.dir/test_markov_model.cpp.o.d"
+  "test_markov_model"
+  "test_markov_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_markov_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_comparison.dir/test_model_comparison.cpp.o"
+  "CMakeFiles/test_model_comparison.dir/test_model_comparison.cpp.o.d"
+  "test_model_comparison"
+  "test_model_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

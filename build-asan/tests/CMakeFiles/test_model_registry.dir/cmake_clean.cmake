@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_registry.dir/test_model_registry.cpp.o"
+  "CMakeFiles/test_model_registry.dir/test_model_registry.cpp.o.d"
+  "test_model_registry"
+  "test_model_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

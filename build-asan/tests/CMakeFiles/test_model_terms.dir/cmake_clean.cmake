@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_terms.dir/test_model_terms.cpp.o"
+  "CMakeFiles/test_model_terms.dir/test_model_terms.cpp.o.d"
+  "test_model_terms"
+  "test_model_terms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_terms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_vs_simulation.dir/test_model_vs_simulation.cpp.o"
+  "CMakeFiles/test_model_vs_simulation.dir/test_model_vs_simulation.cpp.o.d"
+  "test_model_vs_simulation"
+  "test_model_vs_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_vs_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_profile.dir/test_path_profile.cpp.o"
+  "CMakeFiles/test_path_profile.dir/test_path_profile.cpp.o.d"
+  "test_path_profile"
+  "test_path_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_models.dir/test_property_models.cpp.o"
+  "CMakeFiles/test_property_models.dir/test_property_models.cpp.o.d"
+  "test_property_models"
+  "test_property_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantile.dir/test_quantile.cpp.o"
+  "CMakeFiles/test_quantile.dir/test_quantile.cpp.o.d"
+  "test_quantile"
+  "test_quantile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_robust_experiment.dir/test_robust_experiment.cpp.o"
+  "CMakeFiles/test_robust_experiment.dir/test_robust_experiment.cpp.o.d"
+  "test_robust_experiment"
+  "test_robust_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_robust_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtt_estimator.dir/test_rtt_estimator.cpp.o"
+  "CMakeFiles/test_rtt_estimator.dir/test_rtt_estimator.cpp.o.d"
+  "test_rtt_estimator"
+  "test_rtt_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtt_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_running_stats.dir/test_running_stats.cpp.o"
+  "CMakeFiles/test_running_stats.dir/test_running_stats.cpp.o.d"
+  "test_running_stats"
+  "test_running_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_running_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

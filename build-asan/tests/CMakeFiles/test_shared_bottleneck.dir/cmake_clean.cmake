@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shared_bottleneck.dir/test_shared_bottleneck.cpp.o"
+  "CMakeFiles/test_shared_bottleneck.dir/test_shared_bottleneck.cpp.o.d"
+  "test_shared_bottleneck"
+  "test_shared_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shared_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_watchdog.dir/test_sim_watchdog.cpp.o"
+  "CMakeFiles/test_sim_watchdog.dir/test_sim_watchdog.cpp.o.d"
+  "test_sim_watchdog"
+  "test_sim_watchdog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_watchdog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

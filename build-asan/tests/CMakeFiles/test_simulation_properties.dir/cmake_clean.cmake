@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulation_properties.dir/test_simulation_properties.cpp.o"
+  "CMakeFiles/test_simulation_properties.dir/test_simulation_properties.cpp.o.d"
+  "test_simulation_properties"
+  "test_simulation_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulation_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

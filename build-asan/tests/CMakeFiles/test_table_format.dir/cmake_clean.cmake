@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_format.dir/test_table_format.cpp.o"
+  "CMakeFiles/test_table_format.dir/test_table_format.cpp.o.d"
+  "test_table_format"
+  "test_table_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

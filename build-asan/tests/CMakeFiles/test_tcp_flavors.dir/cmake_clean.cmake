@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_flavors.dir/test_tcp_flavors.cpp.o"
+  "CMakeFiles/test_tcp_flavors.dir/test_tcp_flavors.cpp.o.d"
+  "test_tcp_flavors"
+  "test_tcp_flavors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_flavors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_receiver.dir/test_tcp_receiver.cpp.o"
+  "CMakeFiles/test_tcp_receiver.dir/test_tcp_receiver.cpp.o.d"
+  "test_tcp_receiver"
+  "test_tcp_receiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_receiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_reno_sender.dir/test_tcp_reno_sender.cpp.o"
+  "CMakeFiles/test_tcp_reno_sender.dir/test_tcp_reno_sender.cpp.o.d"
+  "test_tcp_reno_sender"
+  "test_tcp_reno_sender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_reno_sender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_tcp_reno_sender.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_td_only_model.dir/test_td_only_model.cpp.o"
+  "CMakeFiles/test_td_only_model.dir/test_td_only_model.cpp.o.d"
+  "test_td_only_model"
+  "test_td_only_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_td_only_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

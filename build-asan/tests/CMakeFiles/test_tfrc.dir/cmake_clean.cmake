@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tfrc.dir/test_tfrc.cpp.o"
+  "CMakeFiles/test_tfrc.dir/test_tfrc.cpp.o.d"
+  "test_tfrc"
+  "test_tfrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tfrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

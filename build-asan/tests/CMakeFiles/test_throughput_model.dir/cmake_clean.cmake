@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_throughput_model.dir/test_throughput_model.cpp.o"
+  "CMakeFiles/test_throughput_model.dir/test_throughput_model.cpp.o.d"
+  "test_throughput_model"
+  "test_throughput_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_throughput_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

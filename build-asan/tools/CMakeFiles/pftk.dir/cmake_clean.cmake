@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pftk.dir/pftk_cli.cpp.o"
+  "CMakeFiles/pftk.dir/pftk_cli.cpp.o.d"
+  "pftk"
+  "pftk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pftk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

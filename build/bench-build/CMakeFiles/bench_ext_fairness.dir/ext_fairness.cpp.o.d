@@ -214,13 +214,10 @@ bench-build/CMakeFiles/bench_ext_fairness.dir/ext_fairness.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/sim_time.hpp /root/repo/src/sim/link.hpp \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/sim/loss_model.hpp /root/repo/src/sim/rng.hpp \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/sim/sim_time.hpp /root/repo/src/sim/fault_injector.hpp \
+ /root/repo/src/sim/rng.hpp /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -247,13 +244,16 @@ bench-build/CMakeFiles/bench_ext_fairness.dir/ext_fairness.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/sim/queue_policy.hpp /root/repo/src/sim/tcp_receiver.hpp \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/sim/packet.hpp \
- /root/repo/src/sim/tcp_reno_sender.hpp \
- /root/repo/src/sim/sender_observer.hpp \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/sim/link.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/sim/loss_model.hpp /root/repo/src/sim/queue_policy.hpp \
+ /root/repo/src/sim/sim_watchdog.hpp \
+ /root/repo/src/sim/tcp_reno_sender.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/sim/packet.hpp /root/repo/src/sim/sender_observer.hpp \
+ /root/repo/src/sim/tcp_receiver.hpp /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/sim/cross_traffic.hpp /root/repo/src/stats/fairness.hpp \
  /usr/include/c++/12/span /root/repo/src/trace/trace_recorder.hpp \
  /root/repo/src/trace/trace_event.hpp \

@@ -11,6 +11,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/exp/hour_trace_experiment.cpp" "src/exp/CMakeFiles/pftk_exp.dir/hour_trace_experiment.cpp.o" "gcc" "src/exp/CMakeFiles/pftk_exp.dir/hour_trace_experiment.cpp.o.d"
   "/root/repo/src/exp/model_comparison.cpp" "src/exp/CMakeFiles/pftk_exp.dir/model_comparison.cpp.o" "gcc" "src/exp/CMakeFiles/pftk_exp.dir/model_comparison.cpp.o.d"
   "/root/repo/src/exp/path_profile.cpp" "src/exp/CMakeFiles/pftk_exp.dir/path_profile.cpp.o" "gcc" "src/exp/CMakeFiles/pftk_exp.dir/path_profile.cpp.o.d"
+  "/root/repo/src/exp/robust_experiment.cpp" "src/exp/CMakeFiles/pftk_exp.dir/robust_experiment.cpp.o" "gcc" "src/exp/CMakeFiles/pftk_exp.dir/robust_experiment.cpp.o.d"
+  "/root/repo/src/exp/run_report.cpp" "src/exp/CMakeFiles/pftk_exp.dir/run_report.cpp.o" "gcc" "src/exp/CMakeFiles/pftk_exp.dir/run_report.cpp.o.d"
   "/root/repo/src/exp/short_trace_experiment.cpp" "src/exp/CMakeFiles/pftk_exp.dir/short_trace_experiment.cpp.o" "gcc" "src/exp/CMakeFiles/pftk_exp.dir/short_trace_experiment.cpp.o.d"
   "/root/repo/src/exp/table_format.cpp" "src/exp/CMakeFiles/pftk_exp.dir/table_format.cpp.o" "gcc" "src/exp/CMakeFiles/pftk_exp.dir/table_format.cpp.o.d"
   )

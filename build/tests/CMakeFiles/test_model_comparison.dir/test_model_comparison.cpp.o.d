@@ -298,11 +298,8 @@ tests/CMakeFiles/test_model_comparison.dir/test_model_comparison.cpp.o: \
  /root/repo/src/core/tcp_model_params.hpp \
  /root/repo/src/exp/short_trace_experiment.hpp \
  /root/repo/src/exp/path_profile.hpp /root/repo/src/sim/connection.hpp \
- /root/repo/src/sim/event_queue.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/sim_time.hpp /root/repo/src/sim/link.hpp \
- /root/repo/src/sim/loss_model.hpp /root/repo/src/sim/rng.hpp \
+ /root/repo/src/sim/event_queue.hpp /root/repo/src/sim/sim_time.hpp \
+ /root/repo/src/sim/fault_injector.hpp /root/repo/src/sim/rng.hpp \
  /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -329,10 +326,13 @@ tests/CMakeFiles/test_model_comparison.dir/test_model_comparison.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/sim/queue_policy.hpp /root/repo/src/sim/tcp_receiver.hpp \
- /root/repo/src/sim/packet.hpp /root/repo/src/sim/tcp_reno_sender.hpp \
- /root/repo/src/sim/sender_observer.hpp \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/sim/link.hpp \
+ /root/repo/src/sim/loss_model.hpp /root/repo/src/sim/queue_policy.hpp \
+ /root/repo/src/sim/sim_watchdog.hpp \
+ /root/repo/src/sim/tcp_reno_sender.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/sim/packet.hpp /root/repo/src/sim/sender_observer.hpp \
+ /root/repo/src/sim/tcp_receiver.hpp \
  /root/repo/src/trace/interval_analyzer.hpp \
  /root/repo/src/trace/loss_classifier.hpp \
  /root/repo/src/trace/trace_event.hpp

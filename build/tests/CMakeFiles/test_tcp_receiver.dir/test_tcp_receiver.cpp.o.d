@@ -294,7 +294,4 @@ tests/CMakeFiles/test_tcp_receiver.dir/test_tcp_receiver.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/sim/tcp_receiver.hpp /root/repo/src/sim/event_queue.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/sim_time.hpp \
- /root/repo/src/sim/packet.hpp
+ /root/repo/src/sim/sim_time.hpp /root/repo/src/sim/packet.hpp

@@ -317,6 +317,5 @@ tests/CMakeFiles/test_tcp_reno_sender.dir/test_tcp_reno_sender.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/sim/tcp_reno_sender.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sim/event_queue.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/sim_time.hpp \
+ /root/repo/src/sim/event_queue.hpp /root/repo/src/sim/sim_time.hpp \
  /root/repo/src/sim/packet.hpp /root/repo/src/sim/sender_observer.hpp
