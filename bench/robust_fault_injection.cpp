@@ -9,77 +9,96 @@
 // re-measured from the impaired trace, so eqs. (31)-(33) should keep
 // tracking the connection.
 //
-// Every run goes through the robust driver: a profile that trips the
-// watchdog or fails outright costs one row, and the RunReport footer
-// says exactly what was lost.
+// Every scenario runs as a supervised campaign (exp/campaign/): items
+// execute on a worker pool with the watchdog armed, transient failures
+// (e.g. a blackout that stalls the sender past the stall horizon) are
+// retried with backoff and a perturbed seed, and whatever is still lost
+// costs one row. The per-scenario RunReports are merged into one footer
+// that says exactly what was lost and why.
 //
 // Usage: robust_fault_injection [duration_seconds]   (default 3600)
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "exp/campaign/campaign_runner.hpp"
 #include "exp/model_comparison.hpp"
-#include "exp/robust_experiment.hpp"
 #include "exp/table_format.hpp"
 
 int main(int argc, char** argv) {
   using namespace pftk::exp;
+  using namespace pftk::exp::campaign;
   const double duration = argc > 1 ? std::atof(argv[1]) : 3600.0;
 
   // A spread of loss environments from Table II: low, medium, high p.
   const std::vector<PathProfile> all = table2_profiles();
   const std::vector<PathProfile> profiles = {all[0], all[7], all[14], all[21]};
 
-  struct Scenario {
-    std::string name;
-    std::string forward;  // FaultSchedule grammar, data path
-    std::string reverse;  // ACK path
-  };
   // Windows scale with the run length so short smoke runs still see them.
   const std::string mid = std::to_string(duration * 0.25);
   const std::string len = std::to_string(duration * 0.5);
-  const std::vector<Scenario> scenarios = {
-      {"clean", "", ""},
-      {"blackouts", "blackout@" + mid + "+2#200", ""},
-      {"ack loss 20%", "", "loss@" + mid + "+" + len + ":0.2"},
-      {"duplication 5%", "dup@" + mid + "+" + len + ":0.05:0.01", ""},
-      {"reordering 10%", "reorder@" + mid + "+" + len + ":0.1:0.05", ""},
-      {"rtt spikes", "delay@" + mid + "+" + len + ":0.02:0.5", ""},
+  const std::vector<FaultScenario> scenarios = {
+      {"clean", {}, {}},
+      {"blackouts", pftk::sim::FaultSchedule::parse("blackout@" + mid + "+2#200"), {}},
+      {"ack loss 20%",
+       {},
+       pftk::sim::FaultSchedule::parse("loss@" + mid + "+" + len + ":0.2")},
+      {"duplication 5%",
+       pftk::sim::FaultSchedule::parse("dup@" + mid + "+" + len + ":0.05:0.01"),
+       {}},
+      {"reordering 10%",
+       pftk::sim::FaultSchedule::parse("reorder@" + mid + "+" + len + ":0.1:0.05"),
+       {}},
+      {"rtt spikes",
+       pftk::sim::FaultSchedule::parse("delay@" + mid + "+" + len + ":0.02:0.5"),
+       {}},
   };
 
   std::cout << "Robustness: per-interval model error under injected faults\n"
             << "(" << profiles.size() << " paths x " << scenarios.size()
-            << " impairment classes, " << duration << " s each)\n\n";
+            << " impairment classes, " << duration << " s each, supervised "
+            << "campaign with retry)\n\n";
 
   TextTable t({"scenario", "path", "proposed (full)", "TD only", "intervals",
-               "faults dropped"});
-  RunReport report;
-  for (const Scenario& scenario : scenarios) {
-    HourTraceOptions opt;
-    opt.duration = duration;
-    opt.seed = 1998;
-    if (!scenario.forward.empty()) {
-      opt.forward_faults = pftk::sim::FaultSchedule::parse(scenario.forward);
-    }
-    if (!scenario.reverse.empty()) {
-      opt.reverse_faults = pftk::sim::FaultSchedule::parse(scenario.reverse);
-    }
-    opt.enable_watchdog = true;
-    opt.watchdog.stall_rtos = 8.0;  // impaired runs legitimately back off deep
+               "faults dropped", "tries"});
+  RunReport total;
+  CampaignRunnerOptions options;
+  options.threads = std::max(1u, std::thread::hardware_concurrency());
 
-    const auto results = run_hour_traces_robust(profiles, opt, report);
-    for (const HourTraceResult& r : results) {
+  for (const FaultScenario& scenario : scenarios) {
+    CampaignSpec spec;
+    spec.kind = CampaignKind::kHourTrace;
+    spec.duration = duration;
+    spec.interval_length = 100.0;
+    spec.profiles = profiles;
+    spec.seeds = {1998};
+    spec.scenarios = {scenario};
+    spec.watchdog.stall_rtos = 8.0;  // impaired runs legitimately back off deep
+    spec.retry.max_attempts = 2;
+    spec.retry.backoff_base = std::chrono::milliseconds{10};
+
+    const CampaignResult result = CampaignRunner(spec, options).run();
+    for (const CampaignItemResult& item : result.items) {
+      if (!item.ok() || !item.hour.has_value()) {
+        continue;  // the merged footer reports it
+      }
+      const HourTraceResult& r = *item.hour;
       const ModelErrorRow row = score_hour_trace(r.profile.label(), r.trace_params,
-                                                 r.intervals, opt.interval_length);
-      const auto dropped = r.forward_faults.total_dropped() +
-                           r.reverse_faults.total_dropped();
+                                                 r.intervals, spec.interval_length);
+      const auto dropped =
+          r.forward_faults.total_dropped() + r.reverse_faults.total_dropped();
       t.add_row({scenario.name, row.label, fmt(row.avg_error[0], 3),
                  fmt(row.avg_error[2], 3), std::to_string(row.observations),
-                 std::to_string(dropped)});
+                 std::to_string(dropped), std::to_string(item.attempts)});
     }
+    // Scenarios complete in a fixed order, so merging here is
+    // deterministic no matter how the pool scheduled the items.
+    total.merge(result.report);
   }
   t.print(std::cout);
-  std::cout << "\n" << report.describe() << "\n";
-  return report.all_ok() ? 0 : 1;
+  std::cout << "\n" << total.describe() << "\n";
+  return total.all_ok() ? 0 : 1;
 }

@@ -2,19 +2,37 @@
 // indications, the TD / T0 / T1 / ... / "T5 or more" breakdown, average
 // RTT and average single-timeout duration, for all 24 path profiles.
 //
+// The 24 hour-long runs execute as a supervised campaign (exp/campaign/):
+// a worker pool runs them in parallel with the watchdog armed, and a
+// profile that fails costs one row instead of the table (the footer
+// reports anything lost). Results arrive in catalogue order regardless
+// of scheduling, so the table is deterministic at any thread count.
+//
 // Usage: table2_hour_traces [duration_seconds]   (default 3600)
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <thread>
 
-#include "exp/hour_trace_experiment.hpp"
+#include "exp/campaign/campaign_runner.hpp"
 #include "exp/table_format.hpp"
 
 int main(int argc, char** argv) {
   using namespace pftk::exp;
+  using namespace pftk::exp::campaign;
   const double duration = argc > 1 ? std::atof(argv[1]) : 3600.0;
 
   std::cout << "Table II analogue: " << duration << "-second simulated bulk transfers\n"
             << "(one row per path profile; T_k = timeout sequences of depth k+1)\n\n";
+
+  CampaignSpec spec;
+  spec.kind = CampaignKind::kHourTrace;
+  spec.duration = duration;
+  spec.profiles = table2_profiles();
+  spec.seeds = {1998};
+  CampaignRunnerOptions options;
+  options.threads = std::max(1u, std::thread::hardware_concurrency());
+  const CampaignResult result = CampaignRunner(spec, options).run();
 
   TextTable t({"sender", "receiver", "pkts sent", "loss ind", "TD", "T0", "T1", "T2",
                "T3", "T4", "T5+", "RTT", "timeout", "p", "TO frac"});
@@ -22,12 +40,11 @@ int main(int argc, char** argv) {
   std::uint64_t total_indications = 0;
   std::uint64_t total_timeout_seqs = 0;
   std::uint64_t total_backoff_seqs = 0;
-  for (const PathProfile& profile : table2_profiles()) {
-    HourTraceOptions opt;
-    opt.duration = duration;
-    opt.seed = 1998;
-    const HourTraceResult r = run_hour_trace(profile, opt);
-    const auto& s = r.summary;
+  for (const CampaignItemResult& item : result.items) {
+    if (!item.ok() || !item.hour.has_value()) {
+      continue;  // the footer reports the loss
+    }
+    const auto& s = item.hour->summary;
     t.add_row({s.sender, s.receiver, fmt_u(s.packets_sent), fmt_u(s.loss_indications),
                fmt_u(s.td_events), fmt_u(s.timeouts_by_depth[0]),
                fmt_u(s.timeouts_by_depth[1]), fmt_u(s.timeouts_by_depth[2]),
@@ -50,5 +67,10 @@ int main(int argc, char** argv) {
             << "  (paper: majority or significant fraction on every trace)\n"
             << "  sequences with exponential backoff (depth >= 2) = "
             << fmt_u(total_backoff_seqs) << "  (paper: occurs with significant frequency)\n";
+  if (!result.all_ok()) {
+    std::cout << "\n" << result.report.describe() << "\n"
+              << result.taxonomy_summary() << "\n";
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,343 @@
+#include "exp/campaign/campaign_journal.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pftk::exp::campaign {
+
+namespace {
+
+// ---- serialization -------------------------------------------------------
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Round-trip-exact, locale-independent double rendering.
+std::string fmt_double(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+void append_fault_stats(std::string& out, const sim::FaultStats& stats) {
+  out += '[';
+  const std::uint64_t fields[] = {stats.offered,    stats.dropped_blackout,
+                                  stats.dropped_loss, stats.duplicated,
+                                  stats.reordered,  stats.delayed};
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += std::to_string(fields[i]);
+  }
+  out += ']';
+}
+
+// ---- parsing -------------------------------------------------------------
+
+/// Cursor over one JSON line; supports exactly the subset to_json emits
+/// (flat object of string / number / number-array values).
+class Scanner {
+ public:
+  explicit Scanner(const std::string& line) : s_(line) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) {
+          fail("dangling escape");
+        }
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case 'n':
+            c = '\n';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          case 'r':
+            c = '\r';
+            break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) {
+              fail("short \\u escape");
+            }
+            c = static_cast<char>(
+                std::stoi(s_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default:
+            c = esc;  // \" and \\ (and anything else verbatim)
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= s_.size()) {
+      fail("unterminated string");
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  [[nodiscard]] double parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected a number");
+    }
+    return std::stod(s_.substr(start, pos_ - start));
+  }
+
+  [[nodiscard]] std::vector<double> parse_number_array() {
+    expect('[');
+    std::vector<double> out;
+    if (consume(']')) {
+      return out;
+    }
+    do {
+      out.push_back(parse_number());
+    } while (consume(','));
+    expect(']');
+    return out;
+  }
+
+  void skip_value() {
+    skip_ws();
+    if (pos_ >= s_.size()) {
+      fail("expected a value");
+    }
+    if (s_[pos_] == '"') {
+      (void)parse_string();
+    } else if (s_[pos_] == '[') {
+      (void)parse_number_array();
+    } else {
+      (void)parse_number();
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("journal entry: " + what + " at offset " +
+                                std::to_string(pos_) + " in: " + s_);
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+sim::FaultStats fault_stats_from_array(const std::vector<double>& fields) {
+  if (fields.size() != 6) {
+    throw std::invalid_argument("journal entry: fault-stats array needs 6 fields");
+  }
+  sim::FaultStats stats;
+  stats.offered = static_cast<std::uint64_t>(fields[0]);
+  stats.dropped_blackout = static_cast<std::uint64_t>(fields[1]);
+  stats.dropped_loss = static_cast<std::uint64_t>(fields[2]);
+  stats.duplicated = static_cast<std::uint64_t>(fields[3]);
+  stats.reordered = static_cast<std::uint64_t>(fields[4]);
+  stats.delayed = static_cast<std::uint64_t>(fields[5]);
+  return stats;
+}
+
+}  // namespace
+
+std::string JournalEntry::to_json() const {
+  std::string out = "{\"item\":" + std::to_string(index) + ",\"key\":";
+  append_escaped(out, key);
+  out += ",\"status\":";
+  out += ok ? "\"ok\"" : "\"failed\"";
+  out += ",\"attempts\":" + std::to_string(attempts);
+  if (ok) {
+    out += ",\"packets\":" + std::to_string(metrics.packets_sent);
+    out += ",\"send_rate\":" + fmt_double(metrics.send_rate);
+    out += ",\"p\":" + fmt_double(metrics.p);
+    out += ",\"rtt\":" + fmt_double(metrics.rtt);
+    out += ",\"t0\":" + fmt_double(metrics.t0);
+    out += ",\"predicted\":" + fmt_double(metrics.predicted);
+    out += ",\"ff\":";
+    append_fault_stats(out, metrics.forward_faults);
+    out += ",\"rf\":";
+    append_fault_stats(out, metrics.reverse_faults);
+  } else {
+    out += ",\"class\":\"";
+    out += failure_class_name(failure_class);
+    out += "\",\"kind\":\"";
+    out += failure_kind_name(failure_kind);
+    out += "\",\"error\":";
+    append_escaped(out, error);
+  }
+  out += '}';
+  return out;
+}
+
+JournalEntry JournalEntry::from_json(const std::string& line) {
+  JournalEntry entry;
+  Scanner scan(line);
+  scan.expect('{');
+  bool saw_status = false;
+  if (!scan.consume('}')) {
+    do {
+      const std::string field = scan.parse_string();
+      scan.expect(':');
+      if (field == "item") {
+        entry.index = static_cast<std::size_t>(scan.parse_number());
+      } else if (field == "key") {
+        entry.key = scan.parse_string();
+      } else if (field == "status") {
+        const std::string status = scan.parse_string();
+        if (status != "ok" && status != "failed") {
+          scan.fail("status must be ok|failed");
+        }
+        entry.ok = status == "ok";
+        saw_status = true;
+      } else if (field == "attempts") {
+        entry.attempts = static_cast<int>(scan.parse_number());
+      } else if (field == "packets") {
+        entry.metrics.packets_sent =
+            static_cast<std::uint64_t>(scan.parse_number());
+      } else if (field == "send_rate") {
+        entry.metrics.send_rate = scan.parse_number();
+      } else if (field == "p") {
+        entry.metrics.p = scan.parse_number();
+      } else if (field == "rtt") {
+        entry.metrics.rtt = scan.parse_number();
+      } else if (field == "t0") {
+        entry.metrics.t0 = scan.parse_number();
+      } else if (field == "predicted") {
+        entry.metrics.predicted = scan.parse_number();
+      } else if (field == "ff") {
+        entry.metrics.forward_faults =
+            fault_stats_from_array(scan.parse_number_array());
+      } else if (field == "rf") {
+        entry.metrics.reverse_faults =
+            fault_stats_from_array(scan.parse_number_array());
+      } else if (field == "class") {
+        entry.failure_class = scan.parse_string() == "transient"
+                                  ? FailureClass::kTransient
+                                  : FailureClass::kPermanent;
+      } else if (field == "kind") {
+        entry.failure_kind = failure_kind_from_name(scan.parse_string());
+      } else if (field == "error") {
+        entry.error = scan.parse_string();
+      } else {
+        scan.skip_value();  // forward compatibility
+      }
+    } while (scan.consume(','));
+    scan.expect('}');
+  }
+  if (!saw_status || entry.key.empty()) {
+    throw std::invalid_argument("journal entry: missing status/key in: " + line);
+  }
+  return entry;
+}
+
+JournalReplay replay_journal(std::istream& in) {
+  JournalReplay replay;
+  std::string line;
+  while (std::getline(in, line)) {
+    const bool complete = !in.eof();  // getline hit '\n', not end-of-file
+    if (line.empty()) {
+      replay.valid_bytes += complete ? 1 : 0;
+      continue;
+    }
+    JournalEntry entry;
+    try {
+      entry = JournalEntry::from_json(line);
+    } catch (const std::invalid_argument&) {
+      // A malformed line can only be the torn tail of a killed append;
+      // everything before it is intact. Drop it and resume from here.
+      replay.truncated_tail = true;
+      break;
+    }
+    if (!complete) {
+      // Parsed but missing its newline: the flush may not have covered
+      // the full line. Treat as torn; the item will simply re-run.
+      replay.truncated_tail = true;
+      break;
+    }
+    if (entry.index != replay.entries.size()) {
+      throw std::invalid_argument(
+          "journal out of order: line " + std::to_string(replay.entries.size()) +
+          " has item index " + std::to_string(entry.index));
+    }
+    replay.valid_bytes += line.size() + 1;
+    replay.entries.push_back(std::move(entry));
+  }
+  return replay;
+}
+
+JournalReplay replay_journal_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {};
+  }
+  return replay_journal(in);
+}
+
+}  // namespace pftk::exp::campaign

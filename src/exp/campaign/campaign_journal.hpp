@@ -1,0 +1,84 @@
+// JSONL checkpoint manifest for campaign runs.
+//
+// The journal is the campaign's crash-consistency story. One line per
+// *settled* item (succeeded, failed permanently, or failed with retries
+// exhausted), appended and flushed in **spec expansion order** — workers
+// may finish out of order, but the committer only writes line i once
+// lines [0, i) are written. The file is therefore always an ordered
+// prefix of the item list, which buys three properties:
+//
+//   * resume is trivial — count the valid lines, skip that many items;
+//   * the journal for a given (spec, seed set) is byte-identical at any
+//     worker-thread count, because line i's content depends only on item
+//     i's deterministic simulation, never on scheduling;
+//   * a kill-then-resume run appends exactly the lines the uninterrupted
+//     run would have written, so the final files are identical.
+//
+// Entries carry no wall-clock timestamps for the same reason. A line
+// holds the item's identity (index + key, cross-checked against the spec
+// on resume), its outcome, attempt count, failure taxonomy, and the
+// deterministic result metrics needed to rebuild an aggregate RunReport
+// without re-running the item.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/campaign/failure_taxonomy.hpp"
+#include "sim/fault_injector.hpp"
+
+namespace pftk::exp::campaign {
+
+/// Deterministic per-item metrics persisted for successful items.
+struct ItemMetrics {
+  std::uint64_t packets_sent = 0;
+  double send_rate = 0.0;   ///< packets per simulated second
+  double p = 0.0;           ///< measured loss-indication rate
+  double rtt = 0.0;         ///< measured average RTT, seconds
+  double t0 = 0.0;          ///< measured average single timeout, seconds
+  double predicted = 0.0;   ///< item model's predicted packets over the run
+  sim::FaultStats forward_faults;
+  sim::FaultStats reverse_faults;
+};
+
+/// One settled item, as journaled.
+struct JournalEntry {
+  std::size_t index = 0;
+  std::string key;
+  bool ok = false;
+  int attempts = 1;
+  // Failure fields (ok == false).
+  FailureClass failure_class = FailureClass::kPermanent;
+  FailureKind failure_kind = FailureKind::kNone;
+  std::string error;
+  // Result metrics (ok == true).
+  ItemMetrics metrics;
+
+  /// Serializes to one JSON line (no trailing newline). Field order and
+  /// float formatting are fixed so equal entries render byte-identically.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Parses a line written by to_json().
+  /// @throws std::invalid_argument on malformed input.
+  [[nodiscard]] static JournalEntry from_json(const std::string& line);
+};
+
+/// What replaying a journal file found.
+struct JournalReplay {
+  std::vector<JournalEntry> entries;  ///< valid ordered prefix
+  std::size_t valid_bytes = 0;  ///< offset after the last complete line
+  bool truncated_tail = false;  ///< file ended mid-line (killed mid-write)
+};
+
+/// Replays a journal stream: reads entries until EOF or the first
+/// malformed/partial line (the signature of a kill mid-append), which is
+/// dropped. Verifies entries are indexed 0,1,2,...
+/// @throws std::invalid_argument if indices are out of order.
+[[nodiscard]] JournalReplay replay_journal(std::istream& in);
+
+/// File wrapper; a missing file replays as empty.
+[[nodiscard]] JournalReplay replay_journal_file(const std::string& path);
+
+}  // namespace pftk::exp::campaign

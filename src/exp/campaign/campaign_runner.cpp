@@ -1,0 +1,330 @@
+#include "exp/campaign/campaign_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/model_registry.hpp"
+#include "exp/campaign/retry_policy.hpp"
+
+namespace pftk::exp::campaign {
+
+namespace {
+
+std::size_t model_index(model::ModelKind kind) noexcept {
+  for (std::size_t i = 0; i < model::all_model_kinds.size(); ++i) {
+    if (model::all_model_kinds[i] == kind) {
+      return i;
+    }
+  }
+  return 0;
+}
+
+/// Spec watchdog plus the per-attempt wall-clock deadline.
+sim::WatchdogConfig supervised_watchdog(const CampaignSpec& spec) {
+  sim::WatchdogConfig config = spec.watchdog;
+  config.max_wall_time = spec.deadline_s;
+  return config;
+}
+
+JournalEntry make_entry(const CampaignItemResult& result) {
+  JournalEntry entry;
+  entry.index = result.item.index;
+  entry.key = result.item.key();
+  entry.ok = result.ok();
+  entry.attempts = result.attempts;
+  if (entry.ok) {
+    entry.metrics = result.metrics;
+  } else {
+    entry.failure_class = result.status == ItemStatus::kFailedTransient
+                              ? FailureClass::kTransient
+                              : FailureClass::kPermanent;
+    entry.failure_kind = result.failure_kind;
+    entry.error = result.error;
+  }
+  return entry;
+}
+
+}  // namespace
+
+ItemOutcome run_campaign_item(const CampaignSpec& spec, const CampaignItem& item,
+                              std::uint64_t seed) {
+  ItemOutcome outcome;
+  if (spec.kind == CampaignKind::kShortTrace) {
+    ShortTraceOptions opt;
+    opt.connections = 1;
+    opt.duration = spec.duration;
+    opt.seed = seed;
+    opt.forward_faults = item.scenario.forward;
+    opt.reverse_faults = item.scenario.reverse;
+    opt.enable_watchdog = true;
+    opt.watchdog = supervised_watchdog(spec);
+    ShortTraceRecord rec = run_one_short_trace(item.profile, opt, 0);
+    outcome.metrics.packets_sent = rec.packets_sent;
+    outcome.metrics.send_rate =
+        static_cast<double>(rec.packets_sent) / spec.duration;
+    outcome.metrics.p = rec.params.p;
+    outcome.metrics.rtt = rec.params.rtt;
+    outcome.metrics.t0 = rec.params.t0;
+    outcome.metrics.predicted = rec.predicted[model_index(item.model)];
+    outcome.metrics.forward_faults = rec.forward_faults;
+    outcome.metrics.reverse_faults = rec.reverse_faults;
+    outcome.short_trace = std::move(rec);
+  } else {
+    HourTraceOptions opt;
+    opt.duration = spec.duration;
+    opt.interval_length = spec.interval_length;
+    opt.seed = seed;
+    opt.forward_faults = item.scenario.forward;
+    opt.reverse_faults = item.scenario.reverse;
+    opt.enable_watchdog = true;
+    opt.watchdog = supervised_watchdog(spec);
+    HourTraceResult result = run_hour_trace(item.profile, opt);
+    outcome.metrics.packets_sent = result.summary.packets_sent;
+    outcome.metrics.send_rate = result.measured_send_rate;
+    outcome.metrics.p = result.trace_params.p;
+    outcome.metrics.rtt = result.trace_params.rtt;
+    outcome.metrics.t0 = result.trace_params.t0;
+    outcome.metrics.predicted =
+        model::evaluate_model(item.model, result.trace_params) * spec.duration;
+    outcome.metrics.forward_faults = result.forward_faults;
+    outcome.metrics.reverse_faults = result.reverse_faults;
+    outcome.hour = std::move(result);
+  }
+  return outcome;
+}
+
+std::string CampaignResult::taxonomy_summary() const {
+  std::size_t transient = 0;
+  std::size_t permanent = 0;
+  std::map<FailureKind, std::size_t> by_kind;  // ordered -> stable rendering
+  for (const CampaignItemResult& result : items) {
+    if (result.ok()) {
+      continue;
+    }
+    (result.status == ItemStatus::kFailedTransient ? transient : permanent) += 1;
+    ++by_kind[result.failure_kind];
+  }
+  if (transient + permanent == 0) {
+    return "";
+  }
+  std::ostringstream os;
+  os << (transient + permanent) << "/" << items.size()
+     << " items lost: transient " << transient << ", permanent " << permanent
+     << " (";
+  bool first = true;
+  for (const auto& [kind, count] : by_kind) {
+    if (!first) {
+      os << ", ";
+    }
+    os << failure_kind_name(kind) << " " << count;
+    first = false;
+  }
+  os << ")";
+  return os.str();
+}
+
+CampaignRunner::CampaignRunner(CampaignSpec spec, CampaignRunnerOptions options)
+    : spec_(std::move(spec)), options_(std::move(options)) {
+  spec_.validate();
+  if (options_.threads < 1) {
+    throw std::invalid_argument("CampaignRunner: threads must be >= 1");
+  }
+  if (options_.resume && options_.journal_path.empty()) {
+    throw std::invalid_argument("CampaignRunner: resume requires a journal path");
+  }
+}
+
+CampaignResult CampaignRunner::run() {
+  const std::vector<CampaignItem> items = spec_.expand();
+  CampaignResult result;
+  result.items.resize(items.size());
+
+  // Replay the journal's ordered prefix; those items are already settled.
+  std::size_t first_pending = 0;
+  std::ofstream journal;
+  if (!options_.journal_path.empty()) {
+    if (options_.resume) {
+      const JournalReplay replay = replay_journal_file(options_.journal_path);
+      if (replay.entries.size() > items.size()) {
+        throw std::invalid_argument(
+            "journal does not match spec: " + std::to_string(replay.entries.size()) +
+            " entries for " + std::to_string(items.size()) + " items");
+      }
+      for (std::size_t i = 0; i < replay.entries.size(); ++i) {
+        const JournalEntry& entry = replay.entries[i];
+        if (entry.key != items[i].key()) {
+          throw std::invalid_argument("journal does not match spec at item " +
+                                      std::to_string(i) + ": journal '" + entry.key +
+                                      "' vs spec '" + items[i].key() + "'");
+        }
+        CampaignItemResult& replayed = result.items[i];
+        replayed.item = items[i];
+        replayed.from_journal = true;
+        replayed.attempts = entry.attempts;
+        if (entry.ok) {
+          replayed.status = ItemStatus::kOk;
+          replayed.metrics = entry.metrics;
+        } else {
+          replayed.status = entry.failure_class == FailureClass::kTransient
+                                ? ItemStatus::kFailedTransient
+                                : ItemStatus::kFailedPermanent;
+          replayed.failure_kind = entry.failure_kind;
+          replayed.error = entry.error;
+        }
+      }
+      first_pending = replay.entries.size();
+      result.resumed = first_pending;
+      // Drop any torn tail so appended lines butt against the valid
+      // prefix (a kill mid-append leaves a partial last line).
+      std::error_code ec;
+      if (std::filesystem::exists(options_.journal_path, ec) && !ec) {
+        std::filesystem::resize_file(options_.journal_path, replay.valid_bytes, ec);
+        if (ec) {
+          throw std::runtime_error("cannot truncate journal " +
+                                   options_.journal_path + ": " + ec.message());
+        }
+      }
+      journal.open(options_.journal_path, std::ios::binary | std::ios::app);
+    } else {
+      journal.open(options_.journal_path, std::ios::binary | std::ios::trunc);
+    }
+    if (!journal) {
+      throw std::invalid_argument("cannot open journal: " + options_.journal_path);
+    }
+  }
+
+  const ItemExecutor executor =
+      options_.executor
+          ? options_.executor
+          : ItemExecutor([this](const CampaignItem& item, std::uint64_t seed) {
+              return run_campaign_item(spec_, item, seed);
+            });
+  const std::function<void(std::chrono::milliseconds)> sleep_fn =
+      options_.sleep ? options_.sleep : [](std::chrono::milliseconds delay) {
+        if (delay.count() > 0) {
+          std::this_thread::sleep_for(delay);
+        }
+      };
+
+  // One supervised item: attempt / classify / backoff-retry loop.
+  const auto run_item = [&](const CampaignItem& item) {
+    CampaignItemResult settled;
+    settled.item = item;
+    for (int attempt = 0; attempt < spec_.retry.max_attempts; ++attempt) {
+      if (attempt > 0) {
+        sleep_fn(spec_.retry.backoff(attempt));
+      }
+      try {
+        ItemOutcome outcome = executor(item, perturbed_seed(item.seed, attempt));
+        settled.status = ItemStatus::kOk;
+        settled.failure_kind = FailureKind::kNone;
+        settled.attempts = attempt + 1;
+        settled.error.clear();
+        settled.metrics = outcome.metrics;
+        settled.hour = std::move(outcome.hour);
+        settled.short_trace = std::move(outcome.short_trace);
+        return settled;
+      } catch (const std::exception& ex) {
+        const FailureVerdict verdict = classify_failure(ex);
+        settled.attempts = attempt + 1;
+        settled.failure_kind = verdict.kind;
+        settled.error = ex.what();
+        if (!verdict.retryable()) {
+          settled.status = ItemStatus::kFailedPermanent;
+          return settled;
+        }
+        settled.status = ItemStatus::kFailedTransient;
+      }
+    }
+    return settled;  // transient, retry budget exhausted
+  };
+
+  // Ordered journal committer: workers settle items in completion order,
+  // the commit cursor writes+flushes them in spec order.
+  std::mutex commit_mu;
+  std::map<std::size_t, JournalEntry> pending;
+  std::size_t cursor = first_pending;
+  const auto settle = [&](std::size_t index, JournalEntry entry) {
+    std::lock_guard<std::mutex> lock(commit_mu);
+    pending.emplace(index, std::move(entry));
+    for (auto it = pending.find(cursor); it != pending.end();
+         it = pending.find(++cursor)) {
+      if (journal.is_open()) {
+        journal << it->second.to_json() << '\n';
+        journal.flush();
+        if (!journal) {
+          throw std::runtime_error("journal write failed: " + options_.journal_path);
+        }
+      }
+      pending.erase(it);
+    }
+  };
+
+  std::atomic<std::size_t> next{first_pending};
+  std::atomic<bool> abort{false};
+  std::mutex error_mu;
+  std::exception_ptr infra_error;
+  const auto worker = [&] {
+    while (!abort.load(std::memory_order_relaxed)) {
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= items.size()) {
+        return;
+      }
+      try {
+        CampaignItemResult settled = run_item(items[index]);
+        JournalEntry entry = make_entry(settled);
+        result.items[index] = std::move(settled);
+        settle(index, std::move(entry));
+      } catch (...) {
+        // Infrastructure fault (journal I/O, non-std exception): stop the
+        // pool and surface the first cause.
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!infra_error) {
+          infra_error = std::current_exception();
+        }
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  if (first_pending < items.size()) {
+    const int thread_count = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(options_.threads),
+                              items.size() - first_pending));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(thread_count));
+    for (int t = 0; t < thread_count; ++t) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& th : pool) {
+      th.join();
+    }
+    if (infra_error) {
+      std::rethrow_exception(infra_error);
+    }
+  }
+
+  // Aggregate RunReport, in deterministic spec order.
+  for (const CampaignItemResult& item_result : result.items) {
+    if (item_result.ok()) {
+      result.report.record_success();
+      result.report.forward_faults += item_result.metrics.forward_faults;
+      result.report.reverse_faults += item_result.metrics.reverse_faults;
+    } else {
+      result.report.record_failure(item_result.item.key(), item_result.error);
+    }
+  }
+  return result;
+}
+
+}  // namespace pftk::exp::campaign

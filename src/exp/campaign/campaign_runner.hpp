@@ -1,0 +1,127 @@
+// Supervised parallel execution of a CampaignSpec.
+//
+// The runner is the robustness backbone for paper-scale sweeps: it
+// expands the spec's grid, executes items on a bounded worker pool, and
+// supervises every run —
+//
+//   * deadline    — each attempt runs under a SimWatchdog carrying the
+//                   spec's event/stall budgets plus a per-attempt
+//                   wall-clock deadline;
+//   * taxonomy    — failures are classified transient (watchdog trip,
+//                   blackout stall, wall deadline, salvageable trace)
+//                   or permanent (invalid profile, NaN params) — see
+//                   failure_taxonomy.hpp;
+//   * retry       — transient failures retry with capped exponential
+//                   backoff and deterministic seed perturbation;
+//   * checkpoint  — every settled item is journaled (JSONL, spec order,
+//                   flushed) so an interrupted campaign resumes by
+//                   replaying the journal and skipping completed items;
+//   * determinism — results and journal bytes are identical at any
+//                   worker count, and a kill-then-resume run equals an
+//                   uninterrupted one (provided no wall-deadline trips,
+//                   which are inherently load-dependent).
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/campaign/campaign_journal.hpp"
+#include "exp/campaign/campaign_spec.hpp"
+#include "exp/campaign/failure_taxonomy.hpp"
+#include "exp/hour_trace_experiment.hpp"
+#include "exp/run_report.hpp"
+#include "exp/short_trace_experiment.hpp"
+
+namespace pftk::exp::campaign {
+
+/// What one successful attempt produced. Metrics are always filled;
+/// the experiment payloads are filled by the built-in executors (hour
+/// or short kind) and power the table/figure drivers.
+struct ItemOutcome {
+  ItemMetrics metrics;
+  std::optional<HourTraceResult> hour;
+  std::optional<ShortTraceRecord> short_trace;
+};
+
+/// Terminal state of one item.
+enum class ItemStatus {
+  kOk,
+  kFailedTransient,  ///< transient failure, retries exhausted
+  kFailedPermanent,  ///< permanent failure, recorded once
+};
+
+/// One item's supervised result, in spec order.
+struct CampaignItemResult {
+  CampaignItem item;
+  ItemStatus status = ItemStatus::kOk;
+  FailureKind failure_kind = FailureKind::kNone;
+  int attempts = 0;
+  std::string error;
+  bool from_journal = false;  ///< replayed from a checkpoint, not re-run
+  ItemMetrics metrics;
+  /// Payloads (absent for journal-replayed or failed items).
+  std::optional<HourTraceResult> hour;
+  std::optional<ShortTraceRecord> short_trace;
+
+  [[nodiscard]] bool ok() const noexcept { return status == ItemStatus::kOk; }
+};
+
+/// Whole-campaign outcome.
+struct CampaignResult {
+  std::vector<CampaignItemResult> items;  ///< spec expansion order
+  RunReport report;                       ///< aggregate over all items
+  std::size_t resumed = 0;                ///< items satisfied by the journal
+
+  [[nodiscard]] bool all_ok() const noexcept { return report.all_ok(); }
+
+  /// One-line failure-taxonomy roll-up for CLI footers / exit messages,
+  /// e.g. "3/20 items lost: transient 2 (watchdog 2), permanent 1
+  /// (invalid 1)". Empty when everything succeeded.
+  [[nodiscard]] std::string taxonomy_summary() const;
+};
+
+/// Executes one attempt of one item with the given (possibly perturbed)
+/// seed; throws to report failure.
+using ItemExecutor =
+    std::function<ItemOutcome(const CampaignItem&, std::uint64_t seed)>;
+
+/// Runner knobs. The executor and sleep hooks are injectable for tests
+/// (simulate failure sequences; capture backoff delays instead of
+/// actually sleeping).
+struct CampaignRunnerOptions {
+  int threads = 1;
+  std::string journal_path;  ///< empty = no checkpointing
+  bool resume = false;       ///< replay an existing journal first
+  ItemExecutor executor;     ///< empty = built-in simulation executor
+  std::function<void(std::chrono::milliseconds)> sleep;  ///< empty = real sleep
+};
+
+/// The built-in executor: runs item's simulation per spec.kind under the
+/// spec's watchdog + deadline and returns metrics + the experiment
+/// payload. Exposed for tests and custom drivers.
+[[nodiscard]] ItemOutcome run_campaign_item(const CampaignSpec& spec,
+                                            const CampaignItem& item,
+                                            std::uint64_t seed);
+
+/// Expands, supervises, and journals one campaign.
+class CampaignRunner {
+ public:
+  /// @throws std::invalid_argument on an invalid spec or options.
+  explicit CampaignRunner(CampaignSpec spec, CampaignRunnerOptions options = {});
+
+  /// Runs (or resumes) the campaign to completion. Item failures are
+  /// *not* exceptions — they land in the result; only infrastructure
+  /// faults (unwritable journal, journal/spec mismatch) throw.
+  [[nodiscard]] CampaignResult run();
+
+  [[nodiscard]] const CampaignSpec& spec() const noexcept { return spec_; }
+
+ private:
+  CampaignSpec spec_;
+  CampaignRunnerOptions options_;
+};
+
+}  // namespace pftk::exp::campaign

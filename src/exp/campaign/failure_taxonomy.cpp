@@ -1,0 +1,66 @@
+#include "exp/campaign/failure_taxonomy.hpp"
+
+#include "sim/sim_watchdog.hpp"
+
+namespace pftk::exp::campaign {
+
+FailureVerdict classify_failure(const std::exception& ex) {
+  if (const auto* wd = dynamic_cast<const sim::WatchdogError*>(&ex)) {
+    return {FailureClass::kTransient, wd->snapshot().wall_deadline
+                                          ? FailureKind::kWallDeadline
+                                          : FailureKind::kWatchdogStall};
+  }
+  if (dynamic_cast<const TransientCampaignError*>(&ex) != nullptr) {
+    return {FailureClass::kTransient, FailureKind::kMarkedTransient};
+  }
+  if (dynamic_cast<const std::invalid_argument*>(&ex) != nullptr ||
+      dynamic_cast<const std::domain_error*>(&ex) != nullptr) {
+    return {FailureClass::kPermanent, FailureKind::kInvalidInput};
+  }
+  // Lenient trace reads report truncation through generic runtime errors;
+  // a truncated capture grows on the next look, so the read is worth
+  // retrying.
+  const std::string_view what = ex.what();
+  if (what.find("truncated") != std::string_view::npos) {
+    return {FailureClass::kTransient, FailureKind::kTruncatedTrace};
+  }
+  return {FailureClass::kPermanent, FailureKind::kUnknown};
+}
+
+std::string_view failure_class_name(FailureClass cls) noexcept {
+  return cls == FailureClass::kTransient ? "transient" : "permanent";
+}
+
+std::string_view failure_kind_name(FailureKind kind) noexcept {
+  switch (kind) {
+    case FailureKind::kNone:
+      return "none";
+    case FailureKind::kWatchdogStall:
+      return "watchdog";
+    case FailureKind::kWallDeadline:
+      return "deadline";
+    case FailureKind::kTruncatedTrace:
+      return "truncated";
+    case FailureKind::kMarkedTransient:
+      return "transient";
+    case FailureKind::kInvalidInput:
+      return "invalid";
+    case FailureKind::kUnknown:
+      break;
+  }
+  return "unknown";
+}
+
+FailureKind failure_kind_from_name(std::string_view name) {
+  for (const FailureKind kind :
+       {FailureKind::kNone, FailureKind::kWatchdogStall, FailureKind::kWallDeadline,
+        FailureKind::kTruncatedTrace, FailureKind::kMarkedTransient,
+        FailureKind::kInvalidInput, FailureKind::kUnknown}) {
+    if (failure_kind_name(kind) == name) {
+      return kind;
+    }
+  }
+  throw std::invalid_argument("unknown failure kind token: " + std::string(name));
+}
+
+}  // namespace pftk::exp::campaign

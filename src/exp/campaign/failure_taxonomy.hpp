@@ -1,0 +1,79 @@
+// Structured classification of campaign-item failures.
+//
+// A supervised campaign must decide, per failure, whether re-running the
+// item can possibly help. The taxonomy splits failures into two classes:
+//
+//   transient  — the failure depends on the (perturbed) random path or on
+//                machine load: a watchdog trip (stall under an injected
+//                blackout, budget blowout, wall-clock deadline), or a
+//                salvageable truncated-trace read. Retried with backoff
+//                and a deterministically perturbed seed.
+//   permanent  — the failure is a property of the work item itself: an
+//                invalid profile or fault schedule, NaN/Inf model
+//                parameters, or any unrecognized error (retrying a
+//                deterministic simulation with the same inputs cannot
+//                change a structural failure). Recorded once, never
+//                retried.
+#pragma once
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace pftk::exp::campaign {
+
+/// Coarse retry decision.
+enum class FailureClass {
+  kTransient,  ///< retry with backoff + seed perturbation
+  kPermanent,  ///< record once, never retry
+};
+
+/// Fine-grained failure cause (for the taxonomy summary and journal).
+enum class FailureKind {
+  kNone,            ///< item succeeded
+  kWatchdogStall,   ///< SimWatchdog trip: stall / budget / invariant
+  kWallDeadline,    ///< SimWatchdog trip: per-run wall-clock deadline
+  kTruncatedTrace,  ///< salvageable truncated/partial trace input
+  kMarkedTransient, ///< code explicitly threw TransientCampaignError
+  kInvalidInput,    ///< invalid profile / schedule / ModelParams
+  kUnknown,         ///< anything else (treated as permanent)
+};
+
+/// Classification verdict for one caught exception.
+struct FailureVerdict {
+  FailureClass cls = FailureClass::kPermanent;
+  FailureKind kind = FailureKind::kUnknown;
+
+  [[nodiscard]] bool retryable() const noexcept {
+    return cls == FailureClass::kTransient;
+  }
+};
+
+/// Marker exception: throw this to tell the campaign runner a failure is
+/// salvageable even though its type alone does not say so (e.g. a trace
+/// file that was mid-write when sampled).
+class TransientCampaignError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Classifies a caught exception. Inspects the dynamic type first
+/// (WatchdogError, TransientCampaignError, std::invalid_argument /
+/// std::domain_error) and falls back to a message heuristic for
+/// truncated-trace reads surfaced through generic exception types.
+[[nodiscard]] FailureVerdict classify_failure(const std::exception& ex);
+
+/// Stable lowercase token for journals and summaries ("transient" /
+/// "permanent").
+[[nodiscard]] std::string_view failure_class_name(FailureClass cls) noexcept;
+
+/// Stable lowercase token ("watchdog", "deadline", "truncated",
+/// "transient", "invalid", "unknown", "none").
+[[nodiscard]] std::string_view failure_kind_name(FailureKind kind) noexcept;
+
+/// Inverse of failure_kind_name (used by journal replay).
+/// @throws std::invalid_argument on an unrecognized token.
+[[nodiscard]] FailureKind failure_kind_from_name(std::string_view name);
+
+}  // namespace pftk::exp::campaign

@@ -1,0 +1,58 @@
+#include "exp/campaign/retry_policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pftk::exp::campaign {
+
+namespace {
+
+/// splitmix64 finalizer (same construction as sim::Rng::derive).
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void RetryPolicy::validate() const {
+  if (max_attempts < 1) {
+    throw std::invalid_argument("RetryPolicy: max_attempts must be >= 1");
+  }
+  if (backoff_base.count() < 0) {
+    throw std::invalid_argument("RetryPolicy: backoff_base must be >= 0");
+  }
+  if (!(backoff_multiplier >= 1.0)) {
+    throw std::invalid_argument("RetryPolicy: backoff_multiplier must be >= 1");
+  }
+  if (backoff_cap < backoff_base) {
+    throw std::invalid_argument("RetryPolicy: backoff_cap must be >= backoff_base");
+  }
+}
+
+std::chrono::milliseconds RetryPolicy::backoff(int attempt) const {
+  if (attempt <= 0) {
+    return std::chrono::milliseconds{0};
+  }
+  double delay = static_cast<double>(backoff_base.count());
+  for (int k = 1; k < attempt; ++k) {
+    delay *= backoff_multiplier;
+    if (delay >= static_cast<double>(backoff_cap.count())) {
+      return backoff_cap;
+    }
+  }
+  const auto ms = static_cast<std::chrono::milliseconds::rep>(delay);
+  return std::min(std::chrono::milliseconds{ms}, backoff_cap);
+}
+
+std::uint64_t perturbed_seed(std::uint64_t seed, int attempt) noexcept {
+  if (attempt <= 0) {
+    return seed;
+  }
+  return mix(mix(seed) ^ mix(static_cast<std::uint64_t>(attempt) *
+                             0xda942042e4dd58b5ULL));
+}
+
+}  // namespace pftk::exp::campaign

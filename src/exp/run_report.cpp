@@ -4,6 +4,17 @@
 
 namespace pftk::exp {
 
+RunReport& RunReport::merge(const RunReport& other) {
+  attempted += other.attempted;
+  succeeded += other.succeeded;
+  failures.insert(failures.end(), other.failures.begin(), other.failures.end());
+  forward_faults += other.forward_faults;
+  reverse_faults += other.reverse_faults;
+  read_reports.insert(read_reports.end(), other.read_reports.begin(),
+                      other.read_reports.end());
+  return *this;
+}
+
 std::string RunReport::describe() const {
   std::ostringstream os;
   os << succeeded << "/" << attempted << " runs ok";

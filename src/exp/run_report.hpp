@@ -46,6 +46,13 @@ struct RunReport {
     failures.push_back(RunFailure{std::move(label), std::move(error)});
   }
 
+  /// Folds `other` into this report: counters sum, fault stats add, and
+  /// `other`'s failures and read reports are appended *after* ours in
+  /// their original order. Merging per-worker or per-scenario reports in
+  /// a fixed order therefore yields a deterministic combined report
+  /// regardless of how the work was scheduled.
+  RunReport& merge(const RunReport& other);
+
   /// Multi-line human-readable summary (for bench/CLI footers).
   [[nodiscard]] std::string describe() const;
 };

@@ -28,6 +28,7 @@ SimWatchdog::~SimWatchdog() { disarm(); }
 void SimWatchdog::arm() {
   last_una_ = sender_.snd_una();
   last_progress_ = queue_.now();
+  armed_at_ = std::chrono::steady_clock::now();
   queue_.set_inspector([this] { check(); }, std::max<std::uint64_t>(1, config_.check_every));
   armed_ = true;
 }
@@ -61,6 +62,17 @@ void SimWatchdog::check() {
   }
   if (config_.max_sim_time > 0.0 && queue_.now() > config_.max_sim_time) {
     throw WatchdogError(snapshot("simulated-time budget exceeded"));
+  }
+  if (config_.max_wall_time > 0.0) {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - armed_at_;
+    if (elapsed.count() > config_.max_wall_time) {
+      WatchdogSnapshot s = snapshot("wall-clock deadline exceeded (" +
+                                    std::to_string(config_.max_wall_time) +
+                                    "s budget)");
+      s.wall_deadline = true;
+      throw WatchdogError(std::move(s));
+    }
   }
 
   const SeqNo una = sender_.snd_una();

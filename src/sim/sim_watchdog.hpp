@@ -17,6 +17,7 @@
 //                   cumulative ACK.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -31,6 +32,12 @@ namespace pftk::sim {
 struct WatchdogConfig {
   std::uint64_t max_events = 0;   ///< cumulative executed-event budget
   Duration max_sim_time = 0.0;    ///< absolute simulated-clock budget, seconds
+  /// Wall-clock deadline for the run, in real seconds measured from
+  /// arm(); 0 disables. Unlike the simulated budgets this check is
+  /// inherently non-deterministic — it exists so a supervisor (e.g. the
+  /// campaign runner) can bound each run's real execution time and treat
+  /// the trip as a transient, retryable failure.
+  double max_wall_time = 0.0;
   double stall_rtos = 4.0;        ///< stall after this many backed-off RTOs
                                   ///< without cum-ACK progress; 0 disables
   Duration stall_floor = 1.0;     ///< minimum stall threshold, seconds
@@ -41,6 +48,10 @@ struct WatchdogConfig {
 /// State captured at the moment a check fails.
 struct WatchdogSnapshot {
   std::string reason;
+  /// True when the trip was the wall-clock deadline (a non-deterministic,
+  /// machine-load-dependent condition); supervisors classify these as
+  /// transient and retry.
+  bool wall_deadline = false;
   Time now = 0.0;
   std::uint64_t executed = 0;
   std::size_t pending = 0;
@@ -96,6 +107,7 @@ class SimWatchdog {
   WatchdogConfig config_;
   SeqNo last_una_ = 0;
   Time last_progress_ = 0.0;
+  std::chrono::steady_clock::time_point armed_at_{};
   bool armed_ = false;
 };
 

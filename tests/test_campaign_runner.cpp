@@ -1,0 +1,316 @@
+// The campaign runner's contract, straight from the issue:
+//   * same spec + seeds => byte-identical journal and result ordering at
+//     1, 4, and 8 worker threads;
+//   * a kill-then-resume run (journal replay) equals an uninterrupted
+//     run;
+//   * watchdog trips are transient: retried with backoff and a perturbed
+//     seed; invalid inputs are permanent: recorded once, never retried.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/campaign/campaign_runner.hpp"
+#include "sim/sim_watchdog.hpp"
+
+namespace pftk::exp::campaign {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "pftk_campaign_" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+PathProfile quick_profile(const std::string& sender, const std::string& receiver) {
+  PathProfile profile;
+  profile.sender = sender;
+  profile.receiver = receiver;
+  profile.one_way_delay = 0.05;
+  profile.loss_p = 0.02;
+  profile.advertised_window = 16.0;
+  return profile;
+}
+
+/// 2 profiles x 3 seeds x {clean, long blackout}: the blackout outlives
+/// the run, stalls the sender past the (tightened) stall horizon, and
+/// trips the watchdog — real transient failures, real retries.
+CampaignSpec mixed_spec() {
+  CampaignSpec spec;
+  spec.kind = CampaignKind::kShortTrace;
+  spec.duration = 300.0;
+  spec.profiles = {quick_profile("a", "b"), quick_profile("c", "d")};
+  spec.seeds = {11, 22, 33};
+  spec.scenarios = {{"clean", {}, {}},
+                    {"dark", sim::FaultSchedule::parse("blackout@5+600"), {}}};
+  spec.watchdog.stall_rtos = 1.0;
+  spec.retry.max_attempts = 2;
+  spec.retry.backoff_base = std::chrono::milliseconds{0};  // no real sleeping
+  return spec;
+}
+
+/// Status/attempts/metrics fingerprint for cross-run comparison.
+std::string fingerprint(const CampaignResult& result) {
+  std::ostringstream os;
+  for (const CampaignItemResult& item : result.items) {
+    JournalEntry entry;
+    entry.index = item.item.index;
+    entry.key = item.item.key();
+    entry.ok = item.ok();
+    entry.attempts = item.attempts;
+    if (item.ok()) {
+      entry.metrics = item.metrics;
+    } else {
+      entry.failure_class = item.status == ItemStatus::kFailedTransient
+                                ? FailureClass::kTransient
+                                : FailureClass::kPermanent;
+      entry.failure_kind = item.failure_kind;
+      entry.error = item.error;
+    }
+    os << entry.to_json() << "\n";
+  }
+  return os.str();
+}
+
+TEST(CampaignRunner, JournalAndResultsAreIdenticalAtAnyThreadCount) {
+  std::vector<std::string> journals;
+  std::vector<std::string> fingerprints;
+  for (const int threads : {1, 4, 8}) {
+    const std::string path = temp_path("det_" + std::to_string(threads) + ".jsonl");
+    std::remove(path.c_str());
+    CampaignRunnerOptions options;
+    options.threads = threads;
+    options.journal_path = path;
+    CampaignRunner runner(mixed_spec(), options);
+    const CampaignResult result = runner.run();
+    EXPECT_EQ(result.items.size(), 12u);
+    EXPECT_FALSE(result.all_ok());  // the dark scenario loses its items
+    journals.push_back(read_file(path));
+    fingerprints.push_back(fingerprint(result));
+  }
+  EXPECT_FALSE(journals[0].empty());
+  EXPECT_EQ(journals[0], journals[1]);
+  EXPECT_EQ(journals[0], journals[2]);
+  EXPECT_EQ(fingerprints[0], fingerprints[1]);
+  EXPECT_EQ(fingerprints[0], fingerprints[2]);
+}
+
+TEST(CampaignRunner, KillThenResumeEqualsUninterrupted) {
+  // Uninterrupted reference run.
+  const std::string full_path = temp_path("full.jsonl");
+  std::remove(full_path.c_str());
+  CampaignRunnerOptions options;
+  options.threads = 2;
+  options.journal_path = full_path;
+  const CampaignResult uninterrupted = CampaignRunner(mixed_spec(), options).run();
+  const std::string full_journal = read_file(full_path);
+  ASSERT_FALSE(full_journal.empty());
+
+  // Simulate a kill after 5 settled items, mid-append of the 6th.
+  std::istringstream lines(full_journal);
+  std::string line;
+  std::string prefix;
+  for (int i = 0; i < 5 && std::getline(lines, line); ++i) {
+    prefix += line + "\n";
+  }
+  const std::string resumed_path = temp_path("resumed.jsonl");
+  write_file(resumed_path, prefix + "{\"item\":5,\"key\":\"c-");
+
+  CampaignRunnerOptions resume_options;
+  resume_options.threads = 8;  // different worker count on the resumed leg
+  resume_options.journal_path = resumed_path;
+  resume_options.resume = true;
+  const CampaignResult resumed = CampaignRunner(mixed_spec(), resume_options).run();
+
+  EXPECT_EQ(resumed.resumed, 5u);
+  EXPECT_EQ(read_file(resumed_path), full_journal);
+  EXPECT_EQ(fingerprint(resumed), fingerprint(uninterrupted));
+  for (std::size_t i = 0; i < resumed.items.size(); ++i) {
+    EXPECT_EQ(resumed.items[i].from_journal, i < 5u);
+  }
+  EXPECT_EQ(resumed.report.describe(), uninterrupted.report.describe());
+}
+
+TEST(CampaignRunner, ResumeRejectsAJournalFromADifferentSpec) {
+  const std::string path = temp_path("mismatch.jsonl");
+  std::remove(path.c_str());
+  CampaignRunnerOptions options;
+  options.journal_path = path;
+  (void)CampaignRunner(mixed_spec(), options).run();
+
+  CampaignSpec other = mixed_spec();
+  other.seeds = {99, 98, 97};  // same shape, different items
+  options.resume = true;
+  CampaignRunner runner(other, options);
+  EXPECT_THROW((void)runner.run(), std::invalid_argument);
+}
+
+TEST(CampaignRunner, WatchdogTripIsTransientAndRetriedWithBackoff) {
+  CampaignSpec spec;
+  spec.profiles = {quick_profile("a", "b")};
+  spec.seeds = {5};
+  spec.retry.max_attempts = 3;
+  spec.retry.backoff_base = std::chrono::milliseconds{10};
+  spec.retry.backoff_multiplier = 2.0;
+
+  std::vector<std::uint64_t> seeds_seen;
+  std::vector<std::chrono::milliseconds> delays;
+  CampaignRunnerOptions options;
+  options.executor = [&](const CampaignItem&, std::uint64_t seed) -> ItemOutcome {
+    seeds_seen.push_back(seed);
+    if (seeds_seen.size() < 3) {
+      throw sim::WatchdogError(sim::WatchdogSnapshot{.reason = "stall"});
+    }
+    ItemOutcome outcome;
+    outcome.metrics.packets_sent = 42;
+    return outcome;
+  };
+  options.sleep = [&](std::chrono::milliseconds delay) { delays.push_back(delay); };
+
+  const CampaignResult result = CampaignRunner(spec, options).run();
+  ASSERT_EQ(result.items.size(), 1u);
+  EXPECT_EQ(result.items[0].status, ItemStatus::kOk);
+  EXPECT_EQ(result.items[0].attempts, 3);
+  EXPECT_TRUE(result.all_ok());
+
+  // Deterministic seed perturbation: attempt 0 keeps the base seed,
+  // retries use distinct derived seeds.
+  ASSERT_EQ(seeds_seen.size(), 3u);
+  EXPECT_EQ(seeds_seen[0], 5u);
+  EXPECT_NE(seeds_seen[1], seeds_seen[0]);
+  EXPECT_NE(seeds_seen[2], seeds_seen[1]);
+  EXPECT_EQ(seeds_seen[1], perturbed_seed(5, 1));
+  EXPECT_EQ(seeds_seen[2], perturbed_seed(5, 2));
+
+  // Capped exponential backoff before each retry.
+  ASSERT_EQ(delays.size(), 2u);
+  EXPECT_EQ(delays[0].count(), 10);
+  EXPECT_EQ(delays[1].count(), 20);
+}
+
+TEST(CampaignRunner, TransientFailureExhaustsRetriesAndIsRecordedOnce) {
+  CampaignSpec spec;
+  spec.profiles = {quick_profile("a", "b")};
+  spec.seeds = {5};
+  spec.retry.max_attempts = 3;
+  spec.retry.backoff_base = std::chrono::milliseconds{0};
+
+  int calls = 0;
+  CampaignRunnerOptions options;
+  options.executor = [&](const CampaignItem&, std::uint64_t) -> ItemOutcome {
+    ++calls;
+    throw sim::WatchdogError(sim::WatchdogSnapshot{.reason = "stall"});
+  };
+  const CampaignResult result = CampaignRunner(spec, options).run();
+  EXPECT_EQ(calls, 3);
+  ASSERT_EQ(result.items.size(), 1u);
+  EXPECT_EQ(result.items[0].status, ItemStatus::kFailedTransient);
+  EXPECT_EQ(result.items[0].failure_kind, FailureKind::kWatchdogStall);
+  EXPECT_EQ(result.items[0].attempts, 3);
+  ASSERT_EQ(result.report.failures.size(), 1u);
+  EXPECT_NE(result.taxonomy_summary().find("transient 1"), std::string::npos);
+}
+
+TEST(CampaignRunner, InvalidInputIsPermanentNeverRetried) {
+  CampaignSpec spec;
+  spec.profiles = {quick_profile("a", "b")};
+  spec.seeds = {5};
+  spec.retry.max_attempts = 5;
+
+  int calls = 0;
+  int sleeps = 0;
+  CampaignRunnerOptions options;
+  options.executor = [&](const CampaignItem&, std::uint64_t) -> ItemOutcome {
+    ++calls;
+    throw std::invalid_argument("ModelParams: p must be in [0, 1)");
+  };
+  options.sleep = [&](std::chrono::milliseconds) { ++sleeps; };
+  const CampaignResult result = CampaignRunner(spec, options).run();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(sleeps, 0);
+  ASSERT_EQ(result.items.size(), 1u);
+  EXPECT_EQ(result.items[0].status, ItemStatus::kFailedPermanent);
+  EXPECT_EQ(result.items[0].failure_kind, FailureKind::kInvalidInput);
+  EXPECT_EQ(result.items[0].attempts, 1);
+  ASSERT_EQ(result.report.failures.size(), 1u);
+  EXPECT_NE(result.taxonomy_summary().find("permanent 1"), std::string::npos);
+}
+
+TEST(CampaignRunner, InvalidProfileIsPermanentEndToEnd) {
+  // Through the real executor: a window of 0 is rejected by the sender
+  // config (std::invalid_argument) => permanent, one attempt, one row.
+  CampaignSpec spec;
+  spec.duration = 30.0;
+  PathProfile bad = quick_profile("bad", "host");
+  bad.advertised_window = 0.0;
+  spec.profiles = {quick_profile("a", "b"), bad};
+  spec.seeds = {7};
+  spec.retry.max_attempts = 4;
+  const CampaignResult result = CampaignRunner(spec, {}).run();
+  ASSERT_EQ(result.items.size(), 2u);
+  EXPECT_TRUE(result.items[0].ok());
+  EXPECT_EQ(result.items[1].status, ItemStatus::kFailedPermanent);
+  EXPECT_EQ(result.items[1].attempts, 1);
+  EXPECT_EQ(result.report.succeeded, 1u);
+  ASSERT_EQ(result.report.failures.size(), 1u);
+  EXPECT_EQ(result.report.failures[0].label, "bad->host/s7/clean/full");
+}
+
+TEST(CampaignRunner, ResultsKeepSpecOrderUnderConcurrency) {
+  CampaignSpec spec = mixed_spec();
+  CampaignRunnerOptions options;
+  options.threads = 8;
+  const CampaignResult result = CampaignRunner(spec, options).run();
+  const auto items = spec.expand();
+  ASSERT_EQ(result.items.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(result.items[i].item.key(), items[i].key());
+    EXPECT_EQ(result.items[i].item.index, i);
+  }
+}
+
+TEST(CampaignRunner, HourKindFillsPayloadAndMetrics) {
+  CampaignSpec spec;
+  spec.kind = CampaignKind::kHourTrace;
+  spec.duration = 60.0;
+  spec.interval_length = 20.0;
+  spec.profiles = {quick_profile("a", "b")};
+  spec.seeds = {3};
+  const CampaignResult result = CampaignRunner(spec, {}).run();
+  ASSERT_EQ(result.items.size(), 1u);
+  ASSERT_TRUE(result.items[0].ok());
+  ASSERT_TRUE(result.items[0].hour.has_value());
+  EXPECT_EQ(result.items[0].metrics.packets_sent,
+            result.items[0].hour->summary.packets_sent);
+  EXPECT_GT(result.items[0].metrics.packets_sent, 0u);
+  EXPECT_FALSE(result.items[0].hour->intervals.empty());
+}
+
+TEST(CampaignRunner, RejectsBadOptions) {
+  CampaignSpec spec = mixed_spec();
+  CampaignRunnerOptions options;
+  options.threads = 0;
+  EXPECT_THROW(CampaignRunner(spec, options), std::invalid_argument);
+  options.threads = 1;
+  options.resume = true;  // without a journal path
+  EXPECT_THROW(CampaignRunner(spec, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pftk::exp::campaign

@@ -1,0 +1,112 @@
+// Failure classification and retry arithmetic: the two pieces the
+// campaign runner composes into "retry transients with backoff,
+// record permanents once".
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "exp/campaign/failure_taxonomy.hpp"
+#include "exp/campaign/retry_policy.hpp"
+#include "sim/sim_watchdog.hpp"
+
+namespace pftk::exp::campaign {
+namespace {
+
+TEST(FailureTaxonomy, WatchdogStallIsTransient) {
+  const sim::WatchdogError err(sim::WatchdogSnapshot{.reason = "no progress"});
+  const FailureVerdict v = classify_failure(err);
+  EXPECT_EQ(v.cls, FailureClass::kTransient);
+  EXPECT_EQ(v.kind, FailureKind::kWatchdogStall);
+  EXPECT_TRUE(v.retryable());
+}
+
+TEST(FailureTaxonomy, WallDeadlineTripIsItsOwnKind) {
+  sim::WatchdogSnapshot snap{.reason = "wall-clock deadline exceeded"};
+  snap.wall_deadline = true;
+  const sim::WatchdogError err(std::move(snap));
+  const FailureVerdict v = classify_failure(err);
+  EXPECT_EQ(v.cls, FailureClass::kTransient);
+  EXPECT_EQ(v.kind, FailureKind::kWallDeadline);
+}
+
+TEST(FailureTaxonomy, MarkedTransientIsTransient) {
+  const TransientCampaignError err("trace file mid-write");
+  const FailureVerdict v = classify_failure(err);
+  EXPECT_EQ(v.cls, FailureClass::kTransient);
+  EXPECT_EQ(v.kind, FailureKind::kMarkedTransient);
+}
+
+TEST(FailureTaxonomy, InvalidInputIsPermanent) {
+  const std::invalid_argument bad_arg("ModelParams: p must be in [0, 1)");
+  EXPECT_EQ(classify_failure(bad_arg).cls, FailureClass::kPermanent);
+  EXPECT_EQ(classify_failure(bad_arg).kind, FailureKind::kInvalidInput);
+  const std::domain_error bad_domain("NaN model parameter");
+  EXPECT_EQ(classify_failure(bad_domain).kind, FailureKind::kInvalidInput);
+  EXPECT_FALSE(classify_failure(bad_domain).retryable());
+}
+
+TEST(FailureTaxonomy, TruncatedTraceMessageIsTransient) {
+  const std::runtime_error err("read salvaged 10 events, input truncated mid-record");
+  const FailureVerdict v = classify_failure(err);
+  EXPECT_EQ(v.cls, FailureClass::kTransient);
+  EXPECT_EQ(v.kind, FailureKind::kTruncatedTrace);
+}
+
+TEST(FailureTaxonomy, UnknownErrorsArePermanent) {
+  const std::runtime_error err("disk on fire");
+  const FailureVerdict v = classify_failure(err);
+  EXPECT_EQ(v.cls, FailureClass::kPermanent);
+  EXPECT_EQ(v.kind, FailureKind::kUnknown);
+  EXPECT_FALSE(v.retryable());
+}
+
+TEST(FailureTaxonomy, NamesRoundTrip) {
+  EXPECT_EQ(failure_class_name(FailureClass::kTransient), "transient");
+  EXPECT_EQ(failure_class_name(FailureClass::kPermanent), "permanent");
+  for (const FailureKind kind :
+       {FailureKind::kNone, FailureKind::kWatchdogStall, FailureKind::kWallDeadline,
+        FailureKind::kTruncatedTrace, FailureKind::kMarkedTransient,
+        FailureKind::kInvalidInput, FailureKind::kUnknown}) {
+    EXPECT_EQ(failure_kind_from_name(failure_kind_name(kind)), kind);
+  }
+  EXPECT_THROW((void)failure_kind_from_name("gremlins"), std::invalid_argument);
+}
+
+TEST(RetryPolicy, BackoffIsCappedExponential) {
+  RetryPolicy policy;
+  policy.backoff_base = std::chrono::milliseconds{25};
+  policy.backoff_multiplier = 2.0;
+  policy.backoff_cap = std::chrono::milliseconds{150};
+  EXPECT_EQ(policy.backoff(0).count(), 0);  // first attempt never waits
+  EXPECT_EQ(policy.backoff(1).count(), 25);
+  EXPECT_EQ(policy.backoff(2).count(), 50);
+  EXPECT_EQ(policy.backoff(3).count(), 100);
+  EXPECT_EQ(policy.backoff(4).count(), 150);  // capped
+  EXPECT_EQ(policy.backoff(20).count(), 150);
+}
+
+TEST(RetryPolicy, ValidateRejectsBadKnobs) {
+  RetryPolicy policy;
+  EXPECT_NO_THROW(policy.validate());
+  policy.max_attempts = 0;
+  EXPECT_THROW(policy.validate(), std::invalid_argument);
+  policy.max_attempts = 3;
+  policy.backoff_multiplier = 0.5;
+  EXPECT_THROW(policy.validate(), std::invalid_argument);
+  policy.backoff_multiplier = 2.0;
+  policy.backoff_base = std::chrono::milliseconds{-1};
+  EXPECT_THROW(policy.validate(), std::invalid_argument);
+}
+
+TEST(RetryPolicy, SeedPerturbationIsDeterministicAndIdentityOnAttemptZero) {
+  EXPECT_EQ(perturbed_seed(1998, 0), 1998u);  // clean run = unsupervised run
+  const std::uint64_t first = perturbed_seed(1998, 1);
+  const std::uint64_t second = perturbed_seed(1998, 2);
+  EXPECT_NE(first, 1998u);
+  EXPECT_NE(first, second);
+  EXPECT_EQ(first, perturbed_seed(1998, 1));  // reproducible
+  EXPECT_NE(perturbed_seed(1999, 1), first);  // base seed matters
+}
+
+}  // namespace
+}  // namespace pftk::exp::campaign

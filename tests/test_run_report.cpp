@@ -1,0 +1,83 @@
+// RunReport::merge folds batch reports deterministically: counters sum,
+// fault stats add, and the right-hand side's failures/read reports land
+// after ours in their original order.
+#include <gtest/gtest.h>
+
+#include "exp/run_report.hpp"
+
+namespace pftk::exp {
+namespace {
+
+TEST(RunReport, MergeSumsCountersAndFaultStats) {
+  RunReport a;
+  a.record_success();
+  a.record_success();
+  a.forward_faults.offered = 100;
+  a.forward_faults.dropped_blackout = 5;
+  a.reverse_faults.offered = 50;
+
+  RunReport b;
+  b.record_success();
+  b.record_failure("c->d/s2", "watchdog: stall");
+  b.forward_faults.offered = 10;
+  b.forward_faults.dropped_loss = 3;
+  b.reverse_faults.delayed = 2;
+
+  a.merge(b);
+  EXPECT_EQ(a.attempted, 4u);
+  EXPECT_EQ(a.succeeded, 3u);
+  EXPECT_EQ(a.forward_faults.offered, 110u);
+  EXPECT_EQ(a.forward_faults.dropped_blackout, 5u);
+  EXPECT_EQ(a.forward_faults.dropped_loss, 3u);
+  EXPECT_EQ(a.reverse_faults.offered, 50u);
+  EXPECT_EQ(a.reverse_faults.delayed, 2u);
+  EXPECT_FALSE(a.all_ok());
+}
+
+TEST(RunReport, MergeAppendsFailuresInStableOrder) {
+  RunReport a;
+  a.record_failure("first", "e1");
+  RunReport b;
+  b.record_failure("second", "e2");
+  b.record_failure("third", "e3");
+
+  a.merge(b);
+  ASSERT_EQ(a.failures.size(), 3u);
+  EXPECT_EQ(a.failures[0].label, "first");
+  EXPECT_EQ(a.failures[1].label, "second");
+  EXPECT_EQ(a.failures[2].label, "third");
+}
+
+TEST(RunReport, MergeAppendsReadReports) {
+  RunReport a;
+  trace::TraceReadReport ra;
+  ra.events_parsed = 10;
+  a.read_reports.push_back(ra);
+
+  RunReport b;
+  trace::TraceReadReport rb;
+  rb.events_parsed = 20;
+  rb.truncated = true;
+  b.read_reports.push_back(rb);
+
+  a.merge(b);
+  ASSERT_EQ(a.read_reports.size(), 2u);
+  EXPECT_EQ(a.read_reports[0].events_parsed, 10u);
+  EXPECT_EQ(a.read_reports[1].events_parsed, 20u);
+  EXPECT_TRUE(a.read_reports[1].truncated);
+}
+
+TEST(RunReport, MergeIsChainableAndEmptyMergeIsIdentity) {
+  RunReport a;
+  a.record_success();
+  RunReport b;
+  b.record_success();
+  RunReport empty;
+  a.merge(b).merge(empty);
+  EXPECT_EQ(a.attempted, 2u);
+  EXPECT_EQ(a.succeeded, 2u);
+  EXPECT_TRUE(a.all_ok());
+}
+
+}  // namespace
+}  // namespace pftk::exp

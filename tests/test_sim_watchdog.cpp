@@ -95,6 +95,30 @@ TEST(SimWatchdog, StallThresholdScalesWithBackoff) {
   EXPECT_GT(s.packets_delivered, 100u);  // recovered after the outage
 }
 
+TEST(SimWatchdog, WallClockDeadlineTrips) {
+  // An absurdly tight wall budget trips on the first inspector check, no
+  // matter how healthy the simulated connection is.
+  Connection conn(base_config());
+  WatchdogConfig wd;
+  wd.max_wall_time = 1e-9;
+  conn.enable_watchdog(wd);
+  try {
+    (void)conn.run_for(60.0);
+    FAIL() << "expected WatchdogError";
+  } catch (const WatchdogError& e) {
+    EXPECT_NE(std::string(e.what()).find("wall-clock deadline"), std::string::npos)
+        << e.what();
+    EXPECT_TRUE(e.snapshot().wall_deadline);
+  }
+}
+
+TEST(SimWatchdog, ZeroWallBudgetDisablesTheDeadline) {
+  Connection conn(base_config());
+  WatchdogConfig wd;  // max_wall_time defaults to 0 = off
+  conn.enable_watchdog(wd);
+  EXPECT_NO_THROW((void)conn.run_for(30.0));
+}
+
 TEST(SimWatchdog, DisarmedWatchdogNeverFires) {
   ConnectionConfig cfg = base_config();
   Connection conn(cfg);

@@ -10,6 +10,8 @@
 //   pftk analyze <trace-file> [dupack_threshold]   offline trace analysis
 //   pftk faultsim <sender> <receiver> <secs> <schedule> [seed] [trace-file]
 //                                                  run under injected faults
+//   pftk campaign <spec-file> [--threads N] [--journal FILE] [--resume]
+//                                                  supervised grid campaign
 //
 // The simulate/analyze pair mirrors the paper's tcpdump-then-postprocess
 // workflow: `simulate ... trace.tsv` writes a capture that `analyze`
@@ -17,16 +19,23 @@
 // declarative impairment schedule (see sim/fault_injector.hpp, e.g.
 // "blackout@120+5;loss@600+60:0.05") over the path's loss process and
 // runs with a watchdog armed, so pathological schedules fail with a
-// diagnostic instead of hanging.
+// diagnostic instead of hanging. `campaign` runs a declarative
+// profile x seed x scenario x model grid (see exp/campaign/) on a worker
+// pool with per-run deadlines, retry-with-backoff on transient failures,
+// and a resumable JSONL checkpoint journal; it exits nonzero with a
+// failure-taxonomy summary when items were lost.
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/markov_model.hpp"
 #include "core/model_registry.hpp"
 #include "core/inverse_model.hpp"
 #include "core/short_flow_model.hpp"
 #include "core/throughput_model.hpp"
+#include "exp/campaign/campaign_runner.hpp"
 #include "exp/hour_trace_experiment.hpp"
 #include "exp/table_format.hpp"
 #include "sim/fault_injector.hpp"
@@ -48,7 +57,10 @@ int usage() {
                "  pftk analyze <trace-file> [dupack_threshold]\n"
                "  pftk faultsim <sender> <receiver> <seconds> <schedule> [seed] [trace-file]\n"
                "      schedule: kind@start[+duration][#count][:rate[:magnitude]] ';'-separated\n"
-               "      kinds: blackout, loss, dup, reorder, delay  (e.g. blackout@120+5)\n";
+               "      kinds: blackout, loss, dup, reorder, delay  (e.g. blackout@120+5)\n"
+               "  pftk campaign <spec-file> [--threads N] [--journal FILE] [--resume]\n"
+               "      supervised grid campaign (see EXPERIMENTS.md for the spec and\n"
+               "      journal formats); exits 1 with a taxonomy summary on partial loss\n";
   return 2;
 }
 
@@ -207,6 +219,69 @@ int cmd_faultsim(int argc, char** argv) {
   return 0;
 }
 
+int cmd_campaign(int argc, char** argv) {
+  if (argc < 3) {
+    return usage();
+  }
+  const std::string spec_path = argv[2];
+  pftk::exp::campaign::CampaignRunnerOptions options;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      options.threads = std::atoi(argv[++i]);
+    } else if (arg == "--journal" && i + 1 < argc) {
+      options.journal_path = argv[++i];
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else {
+      std::cerr << "unknown campaign option: " << arg << "\n";
+      return usage();
+    }
+  }
+
+  const auto spec = pftk::exp::campaign::CampaignSpec::parse_file(spec_path);
+  pftk::exp::campaign::CampaignRunner runner(spec, options);
+  const auto result = runner.run();
+
+  std::cout << "campaign: " << result.items.size() << " items ("
+            << spec.profiles.size() << " profiles x " << spec.seeds.size()
+            << " seeds x " << std::max<std::size_t>(1, spec.scenarios.size())
+            << " scenarios x " << std::max<std::size_t>(1, spec.models.size())
+            << " models), " << options.threads << " worker(s)";
+  if (result.resumed > 0) {
+    std::cout << ", " << result.resumed << " replayed from journal";
+  }
+  std::cout << "\n\n";
+
+  pftk::exp::TextTable t(
+      {"item", "status", "tries", "packets", "rate", "predicted", "p", "rtt"});
+  for (const auto& item : result.items) {
+    using pftk::exp::campaign::ItemStatus;
+    const char* status = item.status == ItemStatus::kOk ? "ok"
+                         : item.status == ItemStatus::kFailedTransient
+                             ? "lost (transient)"
+                             : "lost (permanent)";
+    if (item.ok()) {
+      t.add_row({item.item.key(), status, std::to_string(item.attempts),
+                 pftk::exp::fmt_u(item.metrics.packets_sent),
+                 pftk::exp::fmt(item.metrics.send_rate, 2),
+                 pftk::exp::fmt(item.metrics.predicted, 0),
+                 pftk::exp::fmt(item.metrics.p, 4),
+                 pftk::exp::fmt(item.metrics.rtt, 3)});
+    } else {
+      t.add_row({item.item.key(), status, std::to_string(item.attempts)});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\n" << result.report.describe() << "\n";
+  if (!result.all_ok()) {
+    std::cout << result.taxonomy_summary() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_analyze(int argc, char** argv) {
   if (argc < 3) {
     return usage();
@@ -263,6 +338,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "faultsim") {
       return cmd_faultsim(argc, argv);
+    }
+    if (cmd == "campaign") {
+      return cmd_campaign(argc, argv);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
