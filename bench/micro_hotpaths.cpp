@@ -1,0 +1,61 @@
+// Hot-path micro-benchmarks with machine-readable output.
+//
+//   micro_hotpaths [--smoke] [--json FILE]
+//
+// Runs the exp/micro_bench harness (event-queue dispatch and cancel
+// churn, scalar vs. batched model evaluation, trace parsing), prints a
+// human-readable table, and — with --json — writes the schema-stable
+// BENCH_micro.json trajectory point. Exits nonzero if the batched model
+// path disagrees with the scalar path beyond 1e-12 relative error, so a
+// perf regression can never silently buy speed with wrong numbers.
+//
+// `pftk bench --json` is the same harness behind the main CLI.
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "exp/micro_bench.hpp"
+
+int main(int argc, char** argv) {
+  pftk::exp::MicroBenchConfig config;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      config = pftk::exp::MicroBenchConfig::smoke();
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: micro_hotpaths [--smoke] [--json FILE]\n";
+      return 2;
+    }
+  }
+
+  const auto report = pftk::exp::run_micro_bench(config);
+
+  std::cout << "micro_hotpaths (" << report.mode << ", best of " << report.repeats
+            << ")\n\n";
+  for (const auto& r : report.results) {
+    std::cout << "  " << std::left << std::setw(28) << r.name << std::right
+              << std::setw(12) << std::fixed << std::setprecision(2) << r.value << " "
+              << r.unit << "   (" << std::setprecision(0) << r.per_second << "/s over "
+              << r.items << " items)\n";
+  }
+  std::cout << std::setprecision(2) << "\n  batched speedup: approx " << std::fixed
+            << report.approx_batch_speedup << "x, full " << report.full_batch_speedup
+            << "x\n  batch vs scalar max rel err: " << std::scientific
+            << report.batch_max_rel_err << " (tolerance " << report.batch_tolerance
+            << ", " << (report.equivalence_ok ? "ok" : "FAILED") << ")\n";
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    pftk::exp::write_bench_json(os, report);
+    std::cout << "  json written to " << json_path << "\n";
+  }
+  return report.equivalence_ok ? 0 : 1;
+}

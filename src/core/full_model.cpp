@@ -1,5 +1,6 @@
 #include "core/full_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/model_terms.hpp"
@@ -41,7 +42,10 @@ FullModelBreakdown full_model_breakdown(const ModelParams& params, QHatMode q_mo
 
   if (!out.window_limited) {
     // Unconstrained branch of eq (32). Note E[X] = (b/2) E[Wu] via eq (11).
-    const double ew = ewu;
+    // For large b at high p, eq (13) dips below one packet; a congestion
+    // window cannot, so E[W] is floored at 1 (Qhat's domain starts there
+    // too). Only inputs that previously threw reach the clamp.
+    const double ew = std::max(1.0, ewu);
     const double qh = evaluate_q_hat(q_mode, p, ew);
     const double ex = b / 2.0 * ewu;
     out.expected_window = ew;

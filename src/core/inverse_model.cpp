@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/batch_eval.hpp"
 #include "core/full_model.hpp"
 
 namespace pftk::model {
@@ -18,25 +19,24 @@ void require_target(double target_rate) {
 }  // namespace
 
 double max_loss_for_rate(const ModelParams& params, double target_rate) {
-  ModelParams probe = params;
-  probe.p = 0.0;
-  probe.validate();
+  // The bisection evaluates B(p) at a fixed (RTT, T0, b, Wm) ~200 times;
+  // the prepared evaluator hoists those terms once up front (and
+  // validates them — this keeps the original error behaviour).
+  const PreparedModel rate_at(ModelKind::kFull, params);
   require_target(target_rate);
 
   // B(p) is monotone non-increasing in p; the ceiling is B(0) = Wm/RTT.
-  if (full_model_send_rate(probe) < target_rate) {
+  if (rate_at(0.0) < target_rate) {
     return 0.0;
   }
   double lo = 1e-12;  // rate >= target here (practically the ceiling)
   double hi = 0.999;  // rate < target here for any sane target
-  probe.p = hi;
-  if (full_model_send_rate(probe) >= target_rate) {
+  if (rate_at(hi) >= target_rate) {
     return hi;  // even near-certain loss sustains the target
   }
   for (int i = 0; i < 200; ++i) {
     const double mid = 0.5 * (lo + hi);
-    probe.p = mid;
-    (full_model_send_rate(probe) >= target_rate ? lo : hi) = mid;
+    (rate_at(mid) >= target_rate ? lo : hi) = mid;
   }
   return lo;
 }

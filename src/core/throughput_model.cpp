@@ -21,7 +21,9 @@ double throughput_model_rate(const ModelParams& params) {
   double ew = 0.0;
   double ex = 0.0;
   if (ewu < params.wm) {
-    ew = ewu;
+    // E[W] floored at one packet, matching full_model_breakdown: eq (13)
+    // drops below 1 for large b at high p, outside Qhat's domain.
+    ew = std::max(1.0, ewu);
     ex = b / 2.0 * ewu;  // eq (11)
   } else {
     ew = params.wm;

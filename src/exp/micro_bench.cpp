@@ -1,0 +1,335 @@
+#include "exp/micro_bench.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "core/approx_model.hpp"
+#include "core/batch_eval.hpp"
+#include "core/full_model.hpp"
+#include "sim/event_queue.hpp"
+#include "trace/trace_event.hpp"
+#include "trace/trace_io.hpp"
+
+namespace pftk::exp {
+
+namespace {
+
+/// Wall-clock seconds of the best of `repeats` runs of `body`.
+template <typename F>
+double best_seconds(int repeats, F&& body) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < std::max(1, repeats); ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const auto stop = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(stop - start).count());
+  }
+  return best;
+}
+
+/// Tiny deterministic generator for irregular-but-reproducible delays.
+struct Lcg {
+  std::uint64_t state;
+  std::uint64_t next() noexcept {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  }
+};
+
+/// Self-rescheduling chain event: the simulator's steady-state pattern
+/// (every executed event schedules its successor). Small enough to sit
+/// in the queue's inline callback storage.
+struct ChainEvent {
+  sim::EventQueue* q;
+  std::uint64_t* budget;
+  Lcg* rng;
+  void operator()() const {
+    if (*budget == 0) {
+      return;
+    }
+    --*budget;
+    const double gap = 1e-4 * static_cast<double>(1 + (rng->next() & 7));
+    q->schedule_in(gap, ChainEvent{q, budget, rng});
+  }
+};
+
+/// Chain event that also re-arms a long timer each firing, cancelling
+/// the previous one — the retransmission-timer pattern that makes
+/// fault-heavy runs cancel millions of entries.
+struct ChurnEvent {
+  sim::EventQueue* q;
+  std::uint64_t* budget;
+  sim::EventId* armed;
+  void operator()() const {
+    if (*budget == 0) {
+      return;
+    }
+    --*budget;
+    q->cancel(*armed);
+    *armed = q->schedule_in(50.0, [] {});
+    q->schedule_in(1e-3, ChurnEvent{q, budget, armed});
+  }
+};
+
+MicroBenchResult bench_queue_dispatch(const MicroBenchConfig& config) {
+  std::uint64_t executed = 0;
+  const double secs = best_seconds(config.repeats, [&] {
+    sim::EventQueue q;
+    std::uint64_t budget = config.queue_events;
+    Lcg rng{12345};
+    constexpr int kChains = 64;  // a realistic number of live timers
+    for (int c = 0; c < kChains; ++c) {
+      q.schedule_in(1e-4 * static_cast<double>(c + 1), ChainEvent{&q, &budget, &rng});
+    }
+    q.run_all();
+    executed = q.executed();
+  });
+  MicroBenchResult r;
+  r.name = "event_queue.dispatch";
+  r.unit = "ns/event";
+  r.items = executed;
+  r.value = secs * 1e9 / static_cast<double>(executed);
+  r.per_second = static_cast<double>(executed) / secs;
+  return r;
+}
+
+MicroBenchResult bench_queue_churn(const MicroBenchConfig& config) {
+  std::uint64_t executed = 0;
+  const double secs = best_seconds(config.repeats, [&] {
+    sim::EventQueue q;
+    std::uint64_t budget = config.churn_events;
+    sim::EventId armed = q.schedule_in(50.0, [] {});
+    q.schedule_in(1e-3, ChurnEvent{&q, &budget, &armed});
+    q.run_until(1e-3 * static_cast<double>(config.churn_events + 2));
+    executed = q.executed();
+  });
+  MicroBenchResult r;
+  r.name = "event_queue.cancel_churn";
+  r.unit = "ns/event";
+  r.items = executed;
+  r.value = secs * 1e9 / static_cast<double>(executed);
+  r.per_second = static_cast<double>(executed) / secs;
+  return r;
+}
+
+/// Log-spaced loss-probability grid over the models' practical domain.
+std::vector<double> make_p_grid(std::size_t n) {
+  std::vector<double> grid(n);
+  const double lo = std::log(1e-6);
+  const double hi = std::log(0.99);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = n > 1 ? static_cast<double>(i) / static_cast<double>(n - 1) : 0.0;
+    grid[i] = std::exp(lo + (hi - lo) * t);
+  }
+  return grid;
+}
+
+model::ModelParams bench_params() {
+  model::ModelParams mp;
+  mp.p = 0.01;
+  mp.rtt = 0.2;
+  mp.t0 = 2.0;
+  mp.b = 2;
+  mp.wm = 32.0;
+  return mp;
+}
+
+struct ModelBenchOutcome {
+  MicroBenchResult scalar;
+  MicroBenchResult batched;
+  double speedup = 0.0;
+  double max_rel_err = 0.0;
+};
+
+template <typename ScalarFn>
+ModelBenchOutcome bench_model(const MicroBenchConfig& config, model::ModelKind kind,
+                              const char* label, ScalarFn&& scalar_rate) {
+  const auto grid = make_p_grid(config.model_grid_points);
+  const auto base = bench_params();
+  std::vector<double> scalar_out(grid.size());
+  std::vector<double> batched_out(grid.size());
+
+  const double scalar_secs = best_seconds(config.repeats, [&] {
+    model::ModelParams mp = base;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      mp.p = grid[i];
+      scalar_out[i] = scalar_rate(mp);
+    }
+  });
+  const double batched_secs = best_seconds(config.repeats, [&] {
+    model::evaluate_batch_p(kind, base, grid, batched_out);
+  });
+
+  ModelBenchOutcome out;
+  const auto n = static_cast<double>(grid.size());
+  out.scalar.name = std::string("model.") + label + "_scalar";
+  out.scalar.unit = "ns/eval";
+  out.scalar.items = grid.size();
+  out.scalar.value = scalar_secs * 1e9 / n;
+  out.scalar.per_second = n / scalar_secs;
+  out.batched.name = std::string("model.") + label + "_batched";
+  out.batched.unit = "ns/eval";
+  out.batched.items = grid.size();
+  out.batched.value = batched_secs * 1e9 / n;
+  out.batched.per_second = n / batched_secs;
+  out.speedup = out.scalar.value / out.batched.value;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const double denom = std::max(std::abs(scalar_out[i]), 1e-300);
+    out.max_rel_err =
+        std::max(out.max_rel_err, std::abs(batched_out[i] - scalar_out[i]) / denom);
+  }
+  return out;
+}
+
+/// A synthetic but format-complete trace: send/ACK pairs with periodic
+/// retransmissions, timeouts and RTT samples, so the parser sees every
+/// record type at realistic field widths.
+std::string make_trace_text(std::size_t events) {
+  std::vector<trace::TraceEvent> trace;
+  trace.reserve(events);
+  sim::SeqNo seq = 0;
+  double t = 0.0;
+  for (std::size_t i = 0; i < events; ++i) {
+    trace::TraceEvent e;
+    t += 0.0125;
+    e.t = t;
+    switch (i % 8) {
+      case 6: {
+        e.type = trace::TraceEventType::kAckReceived;
+        e.seq = seq;
+        e.duplicate = (i % 24) == 6;
+        break;
+      }
+      case 7: {
+        if (i % 40 == 7) {
+          e.type = trace::TraceEventType::kTimeout;
+          e.seq = seq;
+          e.consecutive = 1;
+          e.value = 1.5;
+        } else {
+          e.type = trace::TraceEventType::kRttSample;
+          e.value = 0.21;
+          e.in_flight = 8;
+        }
+        break;
+      }
+      default: {
+        e.type = trace::TraceEventType::kSegmentSent;
+        e.seq = ++seq;
+        e.retransmission = (i % 32) == 5;
+        e.in_flight = 1 + i % 12;
+        e.cwnd = 2.0 + static_cast<double>(i % 24);
+        break;
+      }
+    }
+    trace.push_back(e);
+  }
+  std::ostringstream os;
+  trace::write_trace(os, trace);
+  return os.str();
+}
+
+MicroBenchResult bench_trace_parse(const MicroBenchConfig& config) {
+  const std::string text = make_trace_text(config.trace_events);
+  std::size_t parsed = 0;
+  const double secs = best_seconds(config.repeats, [&] {
+    std::istringstream is(text);
+    const auto events = trace::read_trace(is);
+    parsed = events.size();
+  });
+  MicroBenchResult r;
+  r.name = "trace.parse_strict";
+  r.unit = "MB/s";
+  r.items = parsed;
+  r.per_second = static_cast<double>(text.size()) / secs;
+  r.value = r.per_second / (1024.0 * 1024.0);
+  return r;
+}
+
+void write_result(std::ostream& os, const MicroBenchResult& r, bool last) {
+  os << "    {\"name\": \"" << r.name << "\", \"unit\": \"" << r.unit
+     << "\", \"value\": " << r.value << ", \"per_second\": " << r.per_second
+     << ", \"items\": " << r.items << "}" << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+MicroBenchConfig MicroBenchConfig::smoke() {
+  MicroBenchConfig config;
+  config.mode = "smoke";
+  config.repeats = 2;
+  config.queue_events = 50'000;
+  config.churn_events = 20'000;
+  config.model_grid_points = 10'000;  // full size: the equivalence grid is cheap
+  config.trace_events = 10'000;
+  return config;
+}
+
+const MicroBenchResult* MicroBenchReport::find(const std::string& name) const noexcept {
+  for (const auto& r : results) {
+    if (r.name == name) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+MicroBenchReport run_micro_bench(const MicroBenchConfig& config) {
+  MicroBenchReport report;
+  report.mode = config.mode;
+  report.repeats = config.repeats;
+
+  report.results.push_back(bench_queue_dispatch(config));
+  report.results.push_back(bench_queue_churn(config));
+
+  const auto approx =
+      bench_model(config, model::ModelKind::kApproximate, "approx",
+                  [](const model::ModelParams& mp) { return approx_model_send_rate(mp); });
+  const auto full =
+      bench_model(config, model::ModelKind::kFull, "full",
+                  [](const model::ModelParams& mp) { return full_model_send_rate(mp); });
+  report.results.push_back(approx.scalar);
+  report.results.push_back(approx.batched);
+  report.results.push_back(full.scalar);
+  report.results.push_back(full.batched);
+  report.approx_batch_speedup = approx.speedup;
+  report.full_batch_speedup = full.speedup;
+  report.batch_max_rel_err = std::max(approx.max_rel_err, full.max_rel_err);
+  report.equivalence_ok = report.batch_max_rel_err <= report.batch_tolerance;
+
+  report.results.push_back(bench_trace_parse(config));
+  return report;
+}
+
+void write_bench_json(std::ostream& os, const MicroBenchReport& report) {
+  const auto saved_precision = os.precision();
+  os << std::setprecision(12);
+  os << "{\n"
+     << "  \"schema\": \"pftk-bench-micro/1\",\n"
+     << "  \"mode\": \"" << report.mode << "\",\n"
+     << "  \"repeats\": " << report.repeats << ",\n"
+     << "  \"results\": [\n";
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    write_result(os, report.results[i], i + 1 == report.results.size());
+  }
+  os << "  ],\n"
+     << "  \"derived\": {\n"
+     << "    \"approx_batch_speedup\": " << report.approx_batch_speedup << ",\n"
+     << "    \"full_batch_speedup\": " << report.full_batch_speedup << "\n"
+     << "  },\n"
+     << "  \"equivalence\": {\n"
+     << "    \"batch_max_rel_err\": " << report.batch_max_rel_err << ",\n"
+     << "    \"tolerance\": " << report.batch_tolerance << ",\n"
+     << "    \"ok\": " << (report.equivalence_ok ? "true" : "false") << "\n"
+     << "  }\n"
+     << "}\n";
+  os << std::setprecision(static_cast<int>(saved_precision));
+}
+
+}  // namespace pftk::exp

@@ -1,0 +1,74 @@
+// Hot-path micro-benchmark harness — the source of BENCH_micro.json.
+//
+// Times the three inner loops that dominate paper-scale runs:
+//   * event-queue dispatch (schedule/execute and schedule/cancel churn),
+//     in ns per executed event;
+//   * model evaluation, scalar entry points vs. the PreparedModel
+//     batched fast path, in ns per evaluation over a 10k-point p grid;
+//   * trace parsing (strict read_trace), in MB/s.
+//
+// Each benchmark runs `repeats` times and reports the best repeat (the
+// standard way to suppress scheduler noise on a shared machine). The
+// batched-vs-scalar comparison doubles as a numerical equivalence check:
+// the report carries the max relative error over the grid and an ok flag
+// against the 1e-12 contract, which `pftk bench` turns into its exit
+// code so CI fails if the fast path ever drifts.
+//
+// The JSON schema is stable ("pftk-bench-micro/1"): fields are only ever
+// added, never renamed, so trajectory files from different commits can
+// be diffed mechanically. See EXPERIMENTS.md, "Micro-benchmarks".
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pftk::exp {
+
+/// Tunables for one harness run. Defaults are the full-fidelity sizes;
+/// smoke() shrinks everything for CI smoke jobs where only the schema
+/// and the equivalence check matter, not the absolute numbers.
+struct MicroBenchConfig {
+  std::string mode = "full";           ///< recorded verbatim in the JSON
+  int repeats = 5;                     ///< best-of-N timing repeats
+  std::uint64_t queue_events = 2'000'000;   ///< executed events per repeat
+  std::uint64_t churn_events = 500'000;     ///< executed events, cancel-heavy mix
+  std::size_t model_grid_points = 10'000;   ///< p-grid size for model benches
+  std::size_t trace_events = 200'000;       ///< synthetic trace records
+
+  /// Reduced-size configuration for CI smoke runs (~100x cheaper).
+  [[nodiscard]] static MicroBenchConfig smoke();
+};
+
+/// One timed series.
+struct MicroBenchResult {
+  std::string name;       ///< e.g. "event_queue.dispatch"
+  std::string unit;       ///< "ns/event", "ns/eval" or "MB/s"
+  double value = 0.0;     ///< best repeat, in `unit`
+  double per_second = 0.0;  ///< derived rate (events/s, evals/s, bytes/s)
+  std::uint64_t items = 0;  ///< work items timed per repeat
+};
+
+/// Everything `pftk bench --json` serializes.
+struct MicroBenchReport {
+  std::string mode;
+  int repeats = 0;
+  std::vector<MicroBenchResult> results;
+  double approx_batch_speedup = 0.0;  ///< scalar ns / batched ns, eq (33)
+  double full_batch_speedup = 0.0;    ///< scalar ns / batched ns, eq (32)
+  double batch_max_rel_err = 0.0;     ///< max over both models' grids
+  double batch_tolerance = 1e-12;
+  /// True when the batched path matched the scalar path within tolerance.
+  bool equivalence_ok = false;
+
+  [[nodiscard]] const MicroBenchResult* find(const std::string& name) const noexcept;
+};
+
+/// Runs every benchmark; deterministic workloads, wall-clock timings.
+[[nodiscard]] MicroBenchReport run_micro_bench(const MicroBenchConfig& config);
+
+/// Serializes the report as schema-stable JSON ("pftk-bench-micro/1").
+void write_bench_json(std::ostream& os, const MicroBenchReport& report);
+
+}  // namespace pftk::exp

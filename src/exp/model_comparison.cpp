@@ -2,21 +2,17 @@
 
 #include <cmath>
 
+#include "core/batch_eval.hpp"
 #include "stats/error_metrics.hpp"
 
 namespace pftk::exp {
 
 namespace {
 
-/// Predicted packets for one observation; NaN when the model is undefined
-/// there (TD-only at p == 0).
-double predict_packets(model::ModelKind kind, model::ModelParams params, double p,
-                       double seconds) {
-  params.p = p;
-  if (kind == model::ModelKind::kTdOnly && p == 0.0) {
-    return std::nan("");
-  }
-  return model::evaluate_model(kind, params) * seconds;
+/// TD-only (eq 20) diverges as p -> 0; those observations are skipped,
+/// matching the paper's treatment of loss-free intervals.
+bool model_defined_at(model::ModelKind kind, double p) {
+  return kind != model::ModelKind::kTdOnly || p > 0.0;
 }
 
 }  // namespace
@@ -28,21 +24,31 @@ ModelErrorRow score_hour_trace(const std::string& label, const model::ModelParam
   row.label = label;
   std::array<stats::AverageErrorMetric, 3> metrics;
 
+  // Hour traces share one (RTT, T0, b, Wm) bundle across intervals, with
+  // p measured per interval — exactly the batched fast path's shape.
+  std::vector<double> ps;
+  std::vector<double> observed;
+  ps.reserve(intervals.size());
+  observed.reserve(intervals.size());
   for (const trace::IntervalObservation& obs : intervals) {
     if (obs.packets_sent == 0) {
       continue;
     }
-    ++row.observations;
-    for (std::size_t m = 0; m < model::all_model_kinds.size(); ++m) {
-      const double predicted = predict_packets(model::all_model_kinds[m], base,
-                                               obs.observed_p, interval_length);
-      if (std::isnan(predicted)) {
+    ps.push_back(obs.observed_p);
+    observed.push_back(static_cast<double>(obs.packets_sent));
+  }
+  row.observations = ps.size();
+
+  std::vector<double> rates(ps.size());
+  for (std::size_t m = 0; m < model::all_model_kinds.size(); ++m) {
+    const model::ModelKind kind = model::all_model_kinds[m];
+    model::evaluate_batch_p(kind, base, ps, rates);
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      if (!model_defined_at(kind, ps[i])) {
         continue;
       }
-      metrics[m].add(predicted, static_cast<double>(obs.packets_sent));
+      metrics[m].add(rates[i] * interval_length, observed[i]);
     }
-  }
-  for (std::size_t m = 0; m < metrics.size(); ++m) {
     row.avg_error[m] = metrics[m].value();
   }
   return row;
@@ -55,21 +61,32 @@ ModelErrorRow score_short_traces(const std::string& label,
   row.label = label;
   std::array<stats::AverageErrorMetric, 3> metrics;
 
+  // Every short trace carries its own measured RTT/T0/p, so nothing can
+  // be hoisted across records; the general batched form still folds the
+  // whole series into one evaluation pass per model.
+  std::vector<model::ModelParams> bundles;
+  std::vector<double> observed;
+  bundles.reserve(records.size());
+  observed.reserve(records.size());
   for (const ShortTraceRecord& rec : records) {
     if (rec.packets_sent == 0) {
       continue;
     }
-    ++row.observations;
-    for (std::size_t m = 0; m < model::all_model_kinds.size(); ++m) {
-      const double predicted =
-          predict_packets(model::all_model_kinds[m], rec.params, rec.params.p, duration);
-      if (std::isnan(predicted)) {
+    bundles.push_back(rec.params);
+    observed.push_back(static_cast<double>(rec.packets_sent));
+  }
+  row.observations = bundles.size();
+
+  std::vector<double> rates(bundles.size());
+  for (std::size_t m = 0; m < model::all_model_kinds.size(); ++m) {
+    const model::ModelKind kind = model::all_model_kinds[m];
+    model::evaluate_batch(kind, bundles, rates);
+    for (std::size_t i = 0; i < bundles.size(); ++i) {
+      if (!model_defined_at(kind, bundles[i].p)) {
         continue;
       }
-      metrics[m].add(predicted, static_cast<double>(rec.packets_sent));
+      metrics[m].add(rates[i] * duration, observed[i]);
     }
-  }
-  for (std::size_t m = 0; m < metrics.size(); ++m) {
     row.avg_error[m] = metrics[m].value();
   }
   return row;

@@ -6,18 +6,51 @@
 
 namespace pftk::sim {
 
-EventId EventQueue::schedule_at(Time at, std::function<void()> action) {
+namespace {
+
+// EventIds pack (generation, slot + 1); the +1 keeps id 0 un-issuable so
+// callers can use 0 as a "no timer armed" sentinel.
+constexpr EventId make_id(std::uint32_t slot, std::uint32_t gen) noexcept {
+  return (static_cast<EventId>(gen) << 32) | (static_cast<EventId>(slot) + 1);
+}
+
+}  // namespace
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) noexcept {
+  Slot& s = slots_[slot];
+  s.action.reset();
+  s.live = false;
+  ++s.gen;  // invalidates every outstanding EventId/heap entry for the slot
+  s.next_free = free_head_;
+  free_head_ = slot;
+  --live_count_;
+}
+
+EventId EventQueue::schedule_at(Time at, EventCallback action) {
   if (at < now_) {
     throw std::invalid_argument("EventQueue::schedule_at: time in the past");
   }
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{at, id});
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.action = std::move(action);
+  s.live = true;
+  heap_.push_back(Entry{at, next_seq_++, slot, s.gen});
   std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
-  actions_.emplace(id, std::move(action));
-  return id;
+  ++live_count_;
+  return make_id(slot, s.gen);
 }
 
-EventId EventQueue::schedule_in(Duration delay, std::function<void()> action) {
+EventId EventQueue::schedule_in(Duration delay, EventCallback action) {
   if (delay < 0.0) {
     throw std::invalid_argument("EventQueue::schedule_in: negative delay");
   }
@@ -25,32 +58,38 @@ EventId EventQueue::schedule_in(Duration delay, std::function<void()> action) {
 }
 
 void EventQueue::cancel(EventId id) noexcept {
-  if (actions_.erase(id) > 0) {
-    ++cancelled_in_heap_;
-    compact_if_mostly_cancelled();
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) {
+    return;  // never issued (includes the id-0 sentinel)
   }
+  Slot& s = slots_[slot];
+  if (!s.live || s.gen != gen) {
+    return;  // already fired, already cancelled, or slot since reused
+  }
+  release_slot(slot);
+  ++cancelled_in_heap_;
+  compact_if_mostly_cancelled();
 }
 
 void EventQueue::compact_if_mostly_cancelled() noexcept {
   // Rebuild only when cancelled entries dominate, so the amortized cost
-  // per cancel stays O(log n) while memory stays O(live events).
+  // per cancel stays O(log n) while the heap stays O(live events).
   if (heap_.size() < 64 || cancelled_in_heap_ * 2 <= heap_.size()) {
     return;
   }
   heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
-                             [this](const Entry& e) {
-                               return actions_.find(e.id) == actions_.end();
-                             }),
+                             [this](const Entry& e) { return !entry_alive(e); }),
               heap_.end());
   std::make_heap(heap_.begin(), heap_.end(), EntryAfter{});
   cancelled_in_heap_ = 0;
 }
 
 bool EventQueue::peek_next(Entry& out) {
-  // Skip heap entries whose action was cancelled.
+  // Skip heap entries whose slot was cancelled (or recycled since).
   while (!heap_.empty()) {
     const Entry top = heap_.front();
-    if (actions_.find(top.id) == actions_.end()) {
+    if (!entry_alive(top)) {
       pop_heap_top();
       if (cancelled_in_heap_ > 0) {
         --cancelled_in_heap_;
@@ -70,9 +109,12 @@ void EventQueue::pop_heap_top() {
 
 void EventQueue::run_one(const Entry& entry) {
   pop_heap_top();
-  auto it = actions_.find(entry.id);
-  auto action = std::move(it->second);
-  actions_.erase(it);
+  // Move the action out and free the slot before invoking: the action
+  // may itself schedule events (reusing this slot is fine — the
+  // generation bump has already invalidated the old id) or cancel its
+  // own id (a harmless no-op for the same reason).
+  EventCallback action = std::move(slots_[entry.slot].action);
+  release_slot(entry.slot);
   now_ = entry.at;
   ++executed_;
   action();
@@ -113,7 +155,5 @@ void EventQueue::clear_inspector() noexcept {
   inspector_ = nullptr;
   inspect_every_ = 1;
 }
-
-std::size_t EventQueue::pending() const noexcept { return actions_.size(); }
 
 }  // namespace pftk::sim

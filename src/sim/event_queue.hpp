@@ -4,33 +4,155 @@
 // in scheduling order (FIFO tie-break via a monotone sequence number), so
 // a given seed always reproduces the same run byte-for-byte.
 //
+// Hot-path storage is allocation-free: callbacks live in a slab of
+// fixed-size slots recycled through a free list, each with small-buffer
+// storage sized for every timer lambda in the simulator (callables that
+// do not fit fall back to one heap allocation — none of the hot ones
+// do). Scheduling an event therefore touches the slab and the binary
+// heap only; there is no hash map and no per-event std::function
+// allocation. Memory is O(peak concurrent events): the slab and heap
+// retain their high-water capacity, exactly like the heap vector always
+// did.
+//
 // Cancellation is lazy (the heap entry stays until popped) but bounded:
 // when cancelled entries outnumber live ones the heap is compacted in
 // place, so fault-heavy runs that schedule and cancel millions of timers
-// keep O(live) memory.
+// keep the heap within a small factor of the live count.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/sim_time.hpp"
 
 namespace pftk::sim {
 
-/// Opaque handle for cancelling a scheduled event.
+/// Opaque handle for cancelling a scheduled event. 0 is never issued,
+/// so callers can use it as a "no timer armed" sentinel.
 using EventId = std::uint64_t;
+
+/// Move-only callable wrapper with inline small-buffer storage — the
+/// slab cell of the event queue. Unlike std::function it never
+/// type-erases through a copyable interface (timers are moved, not
+/// copied) and only heap-allocates when the callable exceeds the inline
+/// capacity.
+class EventCallback {
+ public:
+  /// Large enough for every simulator timer: the biggest hot-path
+  /// capture is Link's [this, item, arrival] at 40 bytes.
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  EventCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventCallback(F&& fn) {  // NOLINT(google-explicit-constructor): intended
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      vtable_ = &kInlineVTable<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
+      vtable_ = &kHeapVTable<D>;
+    }
+  }
+
+  EventCallback(EventCallback&& other) noexcept : vtable_(other.vtable_) {
+    if (vtable_ != nullptr) {
+      vtable_->relocate(other.storage_, storage_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vtable_ = other.vtable_;
+      if (vtable_ != nullptr) {
+        vtable_->relocate(other.storage_, storage_);
+        other.vtable_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() { reset(); }
+
+  /// Destroys the held callable (no-op when empty).
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  /// Invokes the callable. Precondition: non-empty.
+  void operator()() { vtable_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    /// Move-constructs dst from src, then destroys src.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineCapacity && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static D* inline_ptr(void* s) noexcept {
+    return std::launder(reinterpret_cast<D*>(s));
+  }
+  template <typename D>
+  static D*& heap_ptr(void* s) noexcept {
+    return *std::launder(reinterpret_cast<D**>(s));
+  }
+
+  template <typename D>
+  static constexpr VTable kInlineVTable{
+      [](void* s) { (*inline_ptr<D>(s))(); },
+      [](void* src, void* dst) noexcept {
+        D* from = inline_ptr<D>(src);
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* s) noexcept { inline_ptr<D>(s)->~D(); }};
+
+  template <typename D>
+  static constexpr VTable kHeapVTable{
+      [](void* s) { (*heap_ptr<D>(s))(); },
+      [](void* src, void* dst) noexcept { ::new (dst) D*(heap_ptr<D>(src)); },
+      [](void* s) noexcept { delete heap_ptr<D>(s); }};
+
+  alignas(std::max_align_t) std::byte storage_[kInlineCapacity];
+  const VTable* vtable_ = nullptr;
+};
 
 /// Time-ordered event queue driving a simulation run.
 class EventQueue {
  public:
   /// Schedules `action` to run at absolute time `at` (>= now()).
   /// @throws std::invalid_argument if `at` precedes the current time.
-  EventId schedule_at(Time at, std::function<void()> action);
+  EventId schedule_at(Time at, EventCallback action);
 
   /// Schedules `action` to run after `delay` (>= 0) seconds.
-  EventId schedule_in(Duration delay, std::function<void()> action);
+  EventId schedule_in(Duration delay, EventCallback action);
 
   /// Cancels a pending event; cancelling an already-fired or unknown id
   /// is a harmless no-op (timers are routinely cancelled late).
@@ -56,7 +178,7 @@ class EventQueue {
   [[nodiscard]] Time now() const noexcept { return now_; }
 
   /// Number of pending (uncancelled) events.
-  [[nodiscard]] std::size_t pending() const noexcept;
+  [[nodiscard]] std::size_t pending() const noexcept { return live_count_; }
 
   /// Total events executed so far.
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
@@ -65,22 +187,45 @@ class EventQueue {
   /// memory diagnostic; stays within a small factor of pending().
   [[nodiscard]] std::size_t heap_size() const noexcept { return heap_.size(); }
 
+  /// Callback slots currently allocated (live + free-listed): the
+  /// slab's high-water mark of concurrent events.
+  [[nodiscard]] std::size_t slab_size() const noexcept { return slots_.size(); }
+
  private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
   struct Entry {
     Time at;
-    EventId id;
-    // Min-heap on (at, id): id grows monotonically, giving FIFO order
-    // among same-time events.
+    std::uint64_t seq;  ///< monotone schedule order: the FIFO tie-break
+    std::uint32_t slot;
+    std::uint32_t gen;  ///< slot generation at schedule time
+    // Min-heap on (at, seq): seq grows monotonically, giving FIFO order
+    // among same-time events — the determinism contract.
     bool operator>(const Entry& other) const noexcept {
       if (at != other.at) {
         return at > other.at;
       }
-      return id > other.id;
+      return seq > other.seq;
     }
   };
   struct EntryAfter {
     bool operator()(const Entry& a, const Entry& b) const noexcept { return a > b; }
   };
+
+  /// A slab cell: the callback plus free-list/liveness bookkeeping.
+  struct Slot {
+    EventCallback action;
+    std::uint32_t gen = 0;         ///< bumped on every release
+    std::uint32_t next_free = kNoSlot;
+    bool live = false;
+  };
+
+  [[nodiscard]] bool entry_alive(const Entry& e) const noexcept {
+    const Slot& s = slots_[e.slot];
+    return s.live && s.gen == e.gen;
+  }
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot) noexcept;
 
   bool peek_next(Entry& out);
   void pop_heap_top();
@@ -88,10 +233,12 @@ class EventQueue {
   void run_one(const Entry& entry);
 
   Time now_ = 0.0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::vector<Entry> heap_;  ///< std::push_heap/pop_heap with EntryAfter
-  std::unordered_map<EventId, std::function<void()>> actions_;
+  std::vector<Slot> slots_;  ///< slab indexed by Entry::slot
+  std::uint32_t free_head_ = kNoSlot;
+  std::size_t live_count_ = 0;
   std::size_t cancelled_in_heap_ = 0;
   std::function<void()> inspector_;
   std::uint64_t inspect_every_ = 1;

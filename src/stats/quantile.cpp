@@ -12,8 +12,11 @@ double quantile_of_sorted(std::span<const double> sorted, double q) {
   if (sorted.empty()) {
     throw std::invalid_argument("quantile: empty sample");
   }
-  if (q < 0.0 || q > 1.0) {
-    throw std::invalid_argument("quantile: q must be in [0, 1]");
+  // The negated form catches NaN: `NaN < 0.0 || NaN > 1.0` is false, and
+  // a NaN q would otherwise reach floor() and the size_t cast below —
+  // undefined behaviour for a non-finite value.
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("quantile: q must be in [0, 1] and finite");
   }
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(pos));
@@ -22,17 +25,28 @@ double quantile_of_sorted(std::span<const double> sorted, double q) {
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
+/// Sorts a working copy, rejecting non-finite values: a NaN breaks
+/// strict-weak-ordering for std::sort (UB) and any NaN/Inf poisons the
+/// interpolation, so a corrupt sample fails loudly instead.
+std::vector<double> sorted_finite_copy(std::span<const double> sample) {
+  std::vector<double> copy(sample.begin(), sample.end());
+  for (const double x : copy) {
+    if (!std::isfinite(x)) {
+      throw std::invalid_argument("quantile: sample contains a non-finite value");
+    }
+  }
+  std::sort(copy.begin(), copy.end());
+  return copy;
+}
+
 }  // namespace
 
 double quantile(std::span<const double> sample, double q) {
-  std::vector<double> copy(sample.begin(), sample.end());
-  std::sort(copy.begin(), copy.end());
-  return quantile_of_sorted(copy, q);
+  return quantile_of_sorted(sorted_finite_copy(sample), q);
 }
 
 std::vector<double> quantiles(std::span<const double> sample, std::span<const double> qs) {
-  std::vector<double> copy(sample.begin(), sample.end());
-  std::sort(copy.begin(), copy.end());
+  const std::vector<double> copy = sorted_finite_copy(sample);
   std::vector<double> out;
   out.reserve(qs.size());
   for (const double q : qs) {

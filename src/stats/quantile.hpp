@@ -10,7 +10,8 @@ namespace pftk::stats {
 
 /// Returns the q-quantile (0 <= q <= 1) of the sample using linear
 /// interpolation between order statistics (Hyndman & Fan type 7).
-/// @throws std::invalid_argument if the sample is empty or q outside [0,1].
+/// @throws std::invalid_argument if the sample is empty or contains a
+/// non-finite value, or q is outside [0,1] (NaN q included).
 [[nodiscard]] double quantile(std::span<const double> sample, double q);
 
 /// Returns several quantiles at once; sorts a private copy of the sample

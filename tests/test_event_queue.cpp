@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -192,6 +195,134 @@ TEST(EventQueue, InspectorExceptionAbortsTheRunConsistently) {
 TEST(EventQueue, InspectorIntervalMustBePositive) {
   EventQueue q;
   EXPECT_THROW(q.set_inspector([] {}, 0), std::invalid_argument);
+}
+
+TEST(EventQueue, InspectorThrowMidRunLeavesCompactedQueueConsistent) {
+  // A watchdog aborting a fault-heavy run must leave the queue in a
+  // re-runnable state even when compaction has already run: pending(),
+  // the clock and FIFO order all stay coherent across the abort.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 500; ++i) {
+    doomed.push_back(q.schedule_at(1.0, [] {}));
+  }
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(2.0 + static_cast<double>(i), [&order, i] { order.push_back(i); });
+  }
+  for (const EventId id : doomed) {
+    q.cancel(id);  // drives cancelled_in_heap_ past the compaction trigger
+  }
+  EXPECT_LT(q.heap_size(), 64u);
+  EXPECT_EQ(q.pending(), 10u);
+
+  q.set_inspector([&] {
+    if (q.executed() == 3) {
+      throw std::runtime_error("deadline");
+    }
+  });
+  EXPECT_THROW(q.run_all(), std::runtime_error);
+  EXPECT_EQ(q.executed(), 3u);
+  EXPECT_EQ(q.pending(), 7u);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+
+  // The abort consumed nothing it shouldn't have: the rerun finishes the
+  // remaining events in the original FIFO/time order.
+  q.clear_inspector();
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, CancelFromInsideExecutingEventKeepsFifoOrder) {
+  // An executing event cancelling a *later* same-timestamp event must
+  // not disturb the FIFO order of the survivors.
+  EventQueue q;
+  std::vector<int> order;
+  EventId third = 0;
+  q.schedule_at(1.0, [&] {
+    order.push_back(0);
+    q.cancel(third);
+  });
+  q.schedule_at(1.0, [&order] { order.push_back(1); });
+  third = q.schedule_at(1.0, [&order] { order.push_back(2); });
+  q.schedule_at(1.0, [&order] { order.push_back(3); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, SelfCancelFromInsideExecutingEventIsHarmless) {
+  // Cancelling your own (already-firing) id is a late cancel: a no-op
+  // that must not corrupt the pending count or reclaim a reused slot.
+  EventQueue q;
+  int fired = 0;
+  EventId self = 0;
+  self = q.schedule_at(1.0, [&] {
+    ++fired;
+    q.cancel(self);                       // own id: already consumed
+    q.schedule_at(2.0, [&] { ++fired; }); // may reuse the freed slot
+    q.cancel(self);                       // still a no-op, even after reuse
+  });
+  q.run_all();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.executed(), 2u);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, CancelDuringExecutionKeepsCompactionCounterConsistent) {
+  // Heavy cancellation *from inside executing events* must keep the
+  // compaction accounting right: the heap stays bounded by the live
+  // count and every survivor still fires exactly once.
+  EventQueue q;
+  std::uint64_t cancelled = 0;
+  std::uint64_t fired = 0;
+  std::vector<EventId> batch;
+  constexpr int kRounds = 50;
+  constexpr int kPerRound = 200;
+  for (int r = 0; r < kRounds; ++r) {
+    q.schedule_at(static_cast<double>(r) + 1.0, [&] {
+      ++fired;
+      for (const EventId id : batch) {
+        q.cancel(id);
+        ++cancelled;
+      }
+      batch.clear();
+      for (int i = 0; i < kPerRound; ++i) {
+        batch.push_back(q.schedule_in(100.0, [&] { ++fired; }));
+      }
+    });
+  }
+  q.run_until(static_cast<double>(kRounds) + 1.0);
+  EXPECT_EQ(fired, static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(cancelled, static_cast<std::uint64_t>((kRounds - 1) * kPerRound));
+  // Only the final round's batch is still pending.
+  EXPECT_EQ(q.pending(), static_cast<std::size_t>(kPerRound));
+  EXPECT_LE(q.heap_size(), 2 * q.pending() + 64);
+  q.run_all();
+  EXPECT_EQ(fired, static_cast<std::uint64_t>(kRounds + kPerRound));
+}
+
+TEST(EventQueue, OversizedCallbackFallsBackToHeapCorrectly) {
+  // Captures beyond the inline small-buffer capacity take the heap
+  // fallback; behaviour (execution, cancellation, destruction) must be
+  // identical.
+  EventQueue q;
+  std::array<double, 16> big{};  // 128 bytes > kInlineCapacity
+  big[7] = 42.0;
+  double seen = 0.0;
+  q.schedule_at(1.0, [big, &seen] { seen = big[7]; });
+  auto shared = std::make_shared<int>(0);
+  std::array<double, 16> pad{};
+  const EventId cancelled =
+      q.schedule_at(1.0, [shared, pad, &seen] { seen = pad[0]; });
+  EXPECT_EQ(shared.use_count(), 2);
+  q.cancel(cancelled);
+  // Cancel destroys the stored callable immediately: the capture's
+  // shared_ptr must be released, not leaked until queue teardown.
+  EXPECT_EQ(shared.use_count(), 1);
+  q.run_all();
+  EXPECT_DOUBLE_EQ(seen, 42.0);
 }
 
 }  // namespace

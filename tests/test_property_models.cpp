@@ -3,13 +3,19 @@
 // space, not just at hand-picked values.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "core/approx_model.hpp"
+#include "core/batch_eval.hpp"
 #include "core/full_model.hpp"
+#include "core/model_registry.hpp"
 #include "core/model_terms.hpp"
+#include "core/short_flow_model.hpp"
 #include "core/td_only_model.hpp"
 #include "core/throughput_model.hpp"
 
@@ -161,6 +167,105 @@ INSTANTIATE_TEST_SUITE_P(TinyLoss, SmallPSweep,
                          [](const ::testing::TestParamInfo<double>& info) {
                            return "idx" + std::to_string(info.index);
                          });
+
+// ---------------------------------------------------------------------
+// Sweep 4: Inf/NaN audit. Every registered model (plus the throughput
+// and short-flow forms) must return a finite, non-negative rate at every
+// point of a [1e-6, 0.99] p-grid crossed with edge-case parameters —
+// including the corners that used to leak (b large enough that eq (13)
+// drops E[Wu] below one packet, Wm = 1, b = 1).
+// ---------------------------------------------------------------------
+class FiniteRateSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, double, double>> {
+ protected:
+  [[nodiscard]] ModelParams params(double p) const {
+    ModelParams mp;
+    mp.p = p;
+    mp.b = std::get<0>(GetParam());
+    mp.wm = std::get<1>(GetParam());
+    mp.rtt = std::get<2>(GetParam());
+    mp.t0 = std::get<3>(GetParam());
+    return mp;
+  }
+  /// Log-spaced [1e-6, 0.99] grid plus the exact endpoints.
+  [[nodiscard]] static std::vector<double> p_grid() {
+    std::vector<double> grid;
+    const double lo = std::log(1e-6);
+    const double hi = std::log(0.99);
+    constexpr int kPoints = 60;
+    for (int i = 0; i < kPoints; ++i) {
+      grid.push_back(std::exp(lo + (hi - lo) * i / (kPoints - 1)));
+    }
+    return grid;
+  }
+};
+
+TEST_P(FiniteRateSweep, RegisteredModelsStayFiniteAndNonNegative) {
+  for (const double p : p_grid()) {
+    const ModelParams mp = params(p);
+    for (const ModelKind kind : all_model_kinds) {
+      const double rate = evaluate_model(kind, mp);
+      EXPECT_TRUE(std::isfinite(rate)) << model_name(kind) << " @ " << mp.describe();
+      EXPECT_GE(rate, 0.0) << model_name(kind) << " @ " << mp.describe();
+    }
+  }
+}
+
+TEST_P(FiniteRateSweep, BatchedPathAgreesWithScalarEverywhere) {
+  const auto grid = p_grid();
+  std::vector<double> batched(grid.size());
+  for (const ModelKind kind : all_model_kinds) {
+    evaluate_batch_p(kind, params(0.5), grid, batched);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const double scalar = evaluate_model(kind, params(grid[i]));
+      EXPECT_NEAR(batched[i] / scalar, 1.0, 1e-12)
+          << model_name(kind) << " @ p=" << grid[i];
+    }
+  }
+}
+
+TEST_P(FiniteRateSweep, ThroughputAndShortFlowStayFinite) {
+  for (const double p : p_grid()) {
+    const ModelParams mp = params(p);
+    const double tput = throughput_model_rate(mp);
+    EXPECT_TRUE(std::isfinite(tput)) << "T(p) @ " << mp.describe();
+    EXPECT_GE(tput, 0.0) << "T(p) @ " << mp.describe();
+    for (const std::uint64_t d : {std::uint64_t{1}, std::uint64_t{100}}) {
+      const double latency = expected_transfer_latency(d, mp);
+      EXPECT_TRUE(std::isfinite(latency)) << "d=" << d << " @ " << mp.describe();
+      EXPECT_GT(latency, 0.0) << "d=" << d << " @ " << mp.describe();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeGrid, FiniteRateSweep,
+    ::testing::Combine(::testing::Values(1, 2, 8),      // b, incl. stretch ACKs
+                       ::testing::Values(1.0, 8.0, 64.0,
+                                         ModelParams::unlimited_window),  // Wm
+                       ::testing::Values(0.01, 0.2),    // RTT
+                       ::testing::Values(0.05, 2.0)),   // T0
+    [](const ::testing::TestParamInfo<std::tuple<int, double, double, double>>& info) {
+      return "b" + std::to_string(std::get<0>(info.param)) + "_wm" +
+             std::to_string(static_cast<int>(std::min(std::get<1>(info.param), 1e6))) +
+             "_rtt" + std::to_string(static_cast<int>(std::get<2>(info.param) * 100)) +
+             "_t0" + std::to_string(static_cast<int>(std::get<3>(info.param) * 100));
+    });
+
+TEST(NumericEdgeCases, LargeAckFactorAtHighLossNoLongerThrows) {
+  // Regression: eq (13) gives E[Wu] = 0.876 here, below Qhat's w >= 1
+  // domain, and the full model threw on perfectly valid params.
+  ModelParams mp;
+  mp.p = 0.9;
+  mp.rtt = 0.2;
+  mp.t0 = 2.0;
+  mp.b = 8;
+  mp.wm = 64.0;
+  const double rate = full_model_send_rate(mp);
+  EXPECT_TRUE(std::isfinite(rate));
+  EXPECT_GT(rate, 0.0);
+  EXPECT_TRUE(std::isfinite(throughput_model_rate(mp)));
+}
 
 }  // namespace
 }  // namespace pftk::model

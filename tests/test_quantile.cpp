@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -46,6 +48,33 @@ TEST(Quantile, OutOfRangeQThrows) {
   const std::vector<double> xs{1.0};
   EXPECT_THROW((void)quantile(xs, -0.1), std::invalid_argument);
   EXPECT_THROW((void)quantile(xs, 1.1), std::invalid_argument);
+}
+
+TEST(Quantile, NonFiniteQThrows) {
+  // Regression: NaN passed the old `q < 0.0 || q > 1.0` guard (every
+  // NaN comparison is false) and flowed into floor() + a size_t cast —
+  // undefined behaviour. Non-finite q must be rejected like any other
+  // out-of-domain q.
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)quantile(xs, std::nan("")), std::invalid_argument);
+  EXPECT_THROW((void)quantile(xs, std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW((void)quantile(xs, -std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  const std::vector<double> qs{0.5, std::nan("")};
+  EXPECT_THROW((void)quantiles(xs, qs), std::invalid_argument);
+}
+
+TEST(Quantile, NonFiniteSampleValueThrows) {
+  // A NaN inside the sample breaks std::sort's strict weak ordering and
+  // poisons the interpolation; corrupt input must fail loudly.
+  const std::vector<double> with_nan{1.0, std::nan(""), 3.0};
+  EXPECT_THROW((void)quantile(with_nan, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)median(with_nan), std::invalid_argument);
+  const std::vector<double> with_inf{1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW((void)quantile(with_inf, 0.5), std::invalid_argument);
+  const std::vector<double> qs{0.5};
+  EXPECT_THROW((void)quantiles(with_nan, qs), std::invalid_argument);
 }
 
 TEST(Quantile, BatchMatchesIndividual) {

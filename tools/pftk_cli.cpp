@@ -12,6 +12,7 @@
 //                                                  run under injected faults
 //   pftk campaign <spec-file> [--threads N] [--journal FILE] [--resume]
 //                                                  supervised grid campaign
+//   pftk bench [--smoke] [--json [FILE]]           hot-path micro-benchmarks
 //
 // The simulate/analyze pair mirrors the paper's tcpdump-then-postprocess
 // workflow: `simulate ... trace.tsv` writes a capture that `analyze`
@@ -23,9 +24,13 @@
 // profile x seed x scenario x model grid (see exp/campaign/) on a worker
 // pool with per-run deadlines, retry-with-backoff on transient failures,
 // and a resumable JSONL checkpoint journal; it exits nonzero with a
-// failure-taxonomy summary when items were lost.
+// failure-taxonomy summary when items were lost. `bench` times the
+// hot paths (event-queue dispatch, scalar vs. batched model evaluation,
+// trace parsing) and emits schema-stable BENCH_micro.json; it exits
+// nonzero if the batched path drifts from the scalar path beyond 1e-12.
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -37,6 +42,7 @@
 #include "core/throughput_model.hpp"
 #include "exp/campaign/campaign_runner.hpp"
 #include "exp/hour_trace_experiment.hpp"
+#include "exp/micro_bench.hpp"
 #include "exp/table_format.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/sim_watchdog.hpp"
@@ -60,7 +66,10 @@ int usage() {
                "      kinds: blackout, loss, dup, reorder, delay  (e.g. blackout@120+5)\n"
                "  pftk campaign <spec-file> [--threads N] [--journal FILE] [--resume]\n"
                "      supervised grid campaign (see EXPERIMENTS.md for the spec and\n"
-               "      journal formats); exits 1 with a taxonomy summary on partial loss\n";
+               "      journal formats); exits 1 with a taxonomy summary on partial loss\n"
+               "  pftk bench [--smoke] [--json [FILE]]\n"
+               "      hot-path micro-benchmarks; --json writes BENCH_micro.json (or\n"
+               "      FILE); exits 1 if batched model evaluation drifts from scalar\n";
   return 2;
 }
 
@@ -282,6 +291,54 @@ int cmd_campaign(int argc, char** argv) {
   return 0;
 }
 
+int cmd_bench(int argc, char** argv) {
+  pftk::exp::MicroBenchConfig config;
+  bool want_json = false;
+  std::string json_path = "BENCH_micro.json";
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      config = pftk::exp::MicroBenchConfig::smoke();
+    } else if (arg == "--json") {
+      want_json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        json_path = argv[++i];
+      }
+    } else {
+      std::cerr << "unknown bench option: " << arg << "\n";
+      return usage();
+    }
+  }
+
+  const auto report = pftk::exp::run_micro_bench(config);
+
+  pftk::exp::TextTable t({"benchmark", "best", "unit", "per second"});
+  for (const auto& r : report.results) {
+    t.add_row({r.name, pftk::exp::fmt(r.value, 2), r.unit,
+               pftk::exp::fmt(r.per_second, 0)});
+  }
+  std::cout << "micro-benchmarks, mode " << report.mode << ", best of "
+            << report.repeats << " repeats\n\n";
+  t.print(std::cout);
+  std::cout << "\nbatched vs scalar speedup: approx "
+            << pftk::exp::fmt(report.approx_batch_speedup, 2) << "x, full "
+            << pftk::exp::fmt(report.full_batch_speedup, 2) << "x\n"
+            << "batched max relative error " << report.batch_max_rel_err
+            << " (tolerance " << report.batch_tolerance << "): "
+            << (report.equivalence_ok ? "ok" : "FAIL") << "\n";
+
+  if (want_json) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::cerr << "error: cannot open " << json_path << " for writing\n";
+      return 1;
+    }
+    pftk::exp::write_bench_json(os, report);
+    std::cout << "json written to " << json_path << "\n";
+  }
+  return report.equivalence_ok ? 0 : 1;
+}
+
 int cmd_analyze(int argc, char** argv) {
   if (argc < 3) {
     return usage();
@@ -341,6 +398,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "campaign") {
       return cmd_campaign(argc, argv);
+    }
+    if (cmd == "bench") {
+      return cmd_bench(argc, argv);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
