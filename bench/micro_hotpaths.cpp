@@ -1,33 +1,72 @@
 // Hot-path micro-benchmarks with machine-readable output.
 //
-//   micro_hotpaths [--smoke] [--json FILE]
+//   micro_hotpaths [--smoke] [--gate] [--json FILE] [--baseline FILE]
 //
-// Runs the exp/micro_bench harness (event-queue dispatch and cancel
-// churn, scalar vs. batched model evaluation, trace parsing), prints a
-// human-readable table, and — with --json — writes the schema-stable
-// BENCH_micro.json trajectory point. Exits nonzero if the batched model
-// path disagrees with the scalar path beyond 1e-12 relative error, so a
-// perf regression can never silently buy speed with wrong numbers.
+// Runs the exp/micro_bench harness (event-queue dispatch bare and with
+// an observability sink attached, cancel churn, scalar vs. batched
+// model evaluation, trace parsing), prints a human-readable table, and
+// — with --json — writes the schema-stable BENCH_micro.json trajectory
+// point. Exits nonzero if the batched model path disagrees with the
+// scalar path beyond 1e-12 relative error, so a perf regression can
+// never silently buy speed with wrong numbers.
+//
+// --gate additionally fails the run when the event-loop obs overhead
+// (dispatch_obs / dispatch) exceeds 1.10x — the contract that keeps the
+// stats sink cheap enough to leave compiled into the hot path.
+// --baseline FILE compares this run's dispatch numbers against an
+// earlier BENCH_micro.json and prints the relative drift (informational:
+// cross-machine wall-clock deltas are too noisy to gate on; the
+// obs-overhead ratio, measured within one process, is the gated number).
 //
 // `pftk bench --json` is the same harness behind the main CLI.
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "exp/micro_bench.hpp"
 
+namespace {
+
+/// Pulls `"value": <num>` for the named result out of a BENCH_micro.json
+/// text. Minimal scraping, not a JSON parser: the writer's layout is
+/// schema-stable and each result object sits on one line.
+double baseline_value(const std::string& text, const std::string& name) {
+  const std::string needle = "\"name\": \"" + name + "\"";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) {
+    return 0.0;
+  }
+  const std::string key = "\"value\": ";
+  const std::size_t v = text.find(key, at);
+  if (v == std::string::npos) {
+    return 0.0;
+  }
+  return std::atof(text.c_str() + v + key.size());
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   pftk::exp::MicroBenchConfig config;
   std::string json_path;
+  std::string baseline_path;
+  bool gate_obs = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       config = pftk::exp::MicroBenchConfig::smoke();
+    } else if (arg == "--gate") {
+      gate_obs = true;
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
     } else {
-      std::cerr << "usage: micro_hotpaths [--smoke] [--json FILE]\n";
+      std::cerr << "usage: micro_hotpaths [--smoke] [--gate] [--json FILE]"
+                   " [--baseline FILE]\n";
       return 2;
     }
   }
@@ -46,7 +85,39 @@ int main(int argc, char** argv) {
             << report.approx_batch_speedup << "x, full " << report.full_batch_speedup
             << "x\n  batch vs scalar max rel err: " << std::scientific
             << report.batch_max_rel_err << " (tolerance " << report.batch_tolerance
-            << ", " << (report.equivalence_ok ? "ok" : "FAILED") << ")\n";
+            << ", " << (report.equivalence_ok ? "ok" : "FAILED") << ")\n"
+            << std::fixed << std::setprecision(3) << "  obs overhead on dispatch: "
+            << report.obs_overhead_ratio << "x (tolerance " << std::setprecision(2)
+            << report.obs_overhead_tolerance << "x, "
+            << (report.obs_overhead_ok() ? "ok" : (gate_obs ? "FAILED" : "high"))
+            << ")\n";
+
+  if (!baseline_path.empty()) {
+    std::ifstream is(baseline_path);
+    if (!is) {
+      std::cerr << "cannot read baseline " << baseline_path << "\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string text = buf.str();
+    std::cout << "\n  vs baseline " << baseline_path << ":\n";
+    for (const char* name : {"event_queue.dispatch", "event_queue.dispatch_obs",
+                             "event_queue.cancel_churn"}) {
+      const double base = baseline_value(text, name);
+      const auto* cur = report.find(name);
+      if (base <= 0.0 || cur == nullptr) {
+        std::cout << "    " << std::left << std::setw(28) << name
+                  << "  (absent from baseline)\n";
+        continue;
+      }
+      const double delta = (cur->value - base) / base * 100.0;
+      std::cout << "    " << std::left << std::setw(28) << name << std::right
+                << std::showpos << std::fixed << std::setprecision(1) << delta
+                << std::noshowpos << "%  (" << std::setprecision(2) << base << " -> "
+                << cur->value << " ns/event)\n";
+    }
+  }
 
   if (!json_path.empty()) {
     std::ofstream os(json_path);
@@ -57,5 +128,13 @@ int main(int argc, char** argv) {
     pftk::exp::write_bench_json(os, report);
     std::cout << "  json written to " << json_path << "\n";
   }
-  return report.equivalence_ok ? 0 : 1;
+  if (!report.equivalence_ok) {
+    return 1;
+  }
+  if (gate_obs && !report.obs_overhead_ok()) {
+    std::cerr << "obs overhead gate failed: " << report.obs_overhead_ratio << "x > "
+              << report.obs_overhead_tolerance << "x\n";
+    return 1;
+  }
+  return 0;
 }

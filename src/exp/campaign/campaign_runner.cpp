@@ -14,6 +14,8 @@
 
 #include "core/model_registry.hpp"
 #include "exp/campaign/retry_policy.hpp"
+#include "obs/metrics.hpp"
+#include "obs/standard_metrics.hpp"
 
 namespace pftk::exp::campaign {
 
@@ -148,6 +150,12 @@ CampaignResult CampaignRunner::run() {
   CampaignResult result;
   result.items.resize(items.size());
 
+  // Per-worker metric shards: counters sum and gauges max on merge, so
+  // the snapshot is independent of which worker ran which item.
+  obs::MetricsRegistry registry;
+  const obs::StandardMetrics met = obs::StandardMetrics::register_on(registry);
+  registry.freeze(static_cast<std::size_t>(options_.threads));
+
   // Replay the journal's ordered prefix; those items are already settled.
   std::size_t first_pending = 0;
   std::ofstream journal;
@@ -170,6 +178,9 @@ CampaignResult CampaignRunner::run() {
         replayed.item = items[i];
         replayed.from_journal = true;
         replayed.attempts = entry.attempts;
+        replayed.span.name = entry.key;
+        replayed.span.outcome = "replayed";
+        replayed.span.attempts = entry.attempts;
         if (entry.ok) {
           replayed.status = ItemStatus::kOk;
           replayed.metrics = entry.metrics;
@@ -215,36 +226,71 @@ CampaignResult CampaignRunner::run() {
         }
       };
 
-  // One supervised item: attempt / classify / backoff-retry loop.
-  const auto run_item = [&](const CampaignItem& item) {
+  // One supervised item: attempt / classify / backoff-retry loop. The
+  // span records wall timings per phase — diagnostics only, never fed
+  // back into scheduling or the journal.
+  const auto run_item = [&](const CampaignItem& item, obs::MetricsShard& shard) {
     CampaignItemResult settled;
     settled.item = item;
+    settled.span.name = item.key();
+    const auto span_start = std::chrono::steady_clock::now();
+    const auto close_span = [&](const char* outcome) {
+      settled.span.outcome = outcome;
+      settled.span.total_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - span_start)
+              .count();
+    };
     for (int attempt = 0; attempt < spec_.retry.max_attempts; ++attempt) {
       if (attempt > 0) {
-        sleep_fn(spec_.retry.backoff(attempt));
+        const std::chrono::milliseconds delay = spec_.retry.backoff(attempt);
+        const double delay_s = static_cast<double>(delay.count()) / 1000.0;
+        sleep_fn(delay);
+        settled.span.backoff_seconds += delay_s;
+        settled.span.phases.push_back(obs::SpanPhase{
+            "backoff", delay_s, "before attempt " + std::to_string(attempt + 1)});
+        shard.observe(met.backoff_seconds, delay_s);
+        shard.add(met.retries);
       }
+      const auto attempt_start = std::chrono::steady_clock::now();
+      const auto attempt_seconds = [&attempt_start] {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             attempt_start)
+            .count();
+      };
       try {
         ItemOutcome outcome = executor(item, perturbed_seed(item.seed, attempt));
+        const double secs = attempt_seconds();
+        shard.observe(met.attempt_seconds, secs);
+        settled.span.phases.push_back(obs::SpanPhase{"attempt", secs, "ok"});
         settled.status = ItemStatus::kOk;
         settled.failure_kind = FailureKind::kNone;
         settled.attempts = attempt + 1;
+        settled.span.attempts = attempt + 1;
         settled.error.clear();
         settled.metrics = outcome.metrics;
         settled.hour = std::move(outcome.hour);
         settled.short_trace = std::move(outcome.short_trace);
+        close_span("ok");
         return settled;
       } catch (const std::exception& ex) {
         const FailureVerdict verdict = classify_failure(ex);
+        const double secs = attempt_seconds();
+        shard.observe(met.attempt_seconds, secs);
+        settled.span.phases.push_back(obs::SpanPhase{
+            "attempt", secs, std::string(failure_kind_name(verdict.kind))});
         settled.attempts = attempt + 1;
+        settled.span.attempts = attempt + 1;
         settled.failure_kind = verdict.kind;
         settled.error = ex.what();
         if (!verdict.retryable()) {
           settled.status = ItemStatus::kFailedPermanent;
+          close_span("failed_permanent");
           return settled;
         }
         settled.status = ItemStatus::kFailedTransient;
       }
     }
+    close_span("failed_transient");
     return settled;  // transient, retry budget exhausted
   };
 
@@ -259,11 +305,20 @@ CampaignResult CampaignRunner::run() {
     for (auto it = pending.find(cursor); it != pending.end();
          it = pending.find(++cursor)) {
       if (journal.is_open()) {
-        journal << it->second.to_json() << '\n';
+        const std::string line = it->second.to_json();
+        journal << line << '\n';
         journal.flush();
         if (!journal) {
           throw std::runtime_error("journal write failed: " + options_.journal_path);
         }
+        // Checkpoint I/O accounting: charged both to the campaign totals
+        // and to the committed item's span. Safe to touch the item here:
+        // its worker stored it before enqueueing, ordered by commit_mu.
+        ++result.journal_io.writes;
+        ++result.journal_io.flushes;
+        result.journal_io.bytes += line.size() + 1;
+        result.items[it->first].span.journal_writes += 1;
+        result.items[it->first].span.journal_bytes += line.size() + 1;
       }
       pending.erase(it);
     }
@@ -273,14 +328,15 @@ CampaignResult CampaignRunner::run() {
   std::atomic<bool> abort{false};
   std::mutex error_mu;
   std::exception_ptr infra_error;
-  const auto worker = [&] {
+  const auto worker = [&](std::size_t worker_id) {
+    obs::MetricsShard& shard = registry.shard(worker_id);
     while (!abort.load(std::memory_order_relaxed)) {
       const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
       if (index >= items.size()) {
         return;
       }
       try {
-        CampaignItemResult settled = run_item(items[index]);
+        CampaignItemResult settled = run_item(items[index], shard);
         JournalEntry entry = make_entry(settled);
         result.items[index] = std::move(settled);
         settle(index, std::move(entry));
@@ -304,7 +360,7 @@ CampaignResult CampaignRunner::run() {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(thread_count));
     for (int t = 0; t < thread_count; ++t) {
-      pool.emplace_back(worker);
+      pool.emplace_back(worker, static_cast<std::size_t>(t));
     }
     for (std::thread& th : pool) {
       th.join();
@@ -314,16 +370,39 @@ CampaignResult CampaignRunner::run() {
     }
   }
 
-  // Aggregate RunReport, in deterministic spec order.
+  // Aggregate RunReport, in deterministic spec order. Campaign-level
+  // roll-up metrics land on shard 0 (the pool is quiescent by now).
+  result.journal_io.replayed = static_cast<std::uint64_t>(first_pending);
+  obs::MetricsShard& shard0 = registry.shard(0);
+  shard0.add(met.journal_writes, static_cast<double>(result.journal_io.writes));
+  shard0.add(met.journal_bytes, static_cast<double>(result.journal_io.bytes));
+  shard0.add(met.journal_flushes, static_cast<double>(result.journal_io.flushes));
+  shard0.add(met.journal_replayed, static_cast<double>(result.journal_io.replayed));
   for (const CampaignItemResult& item_result : result.items) {
+    shard0.add(met.items_total);
     if (item_result.ok()) {
+      shard0.add(met.items_ok);
+      shard0.add(met.packets_sent,
+                 static_cast<double>(item_result.metrics.packets_sent));
+      const sim::FaultStats& fwd = item_result.metrics.forward_faults;
+      const sim::FaultStats& rev = item_result.metrics.reverse_faults;
+      shard0.add(met.fault_offered, static_cast<double>(fwd.offered + rev.offered));
+      shard0.add(met.fault_dropped,
+                 static_cast<double>(fwd.total_dropped() + rev.total_dropped()));
+      shard0.add(met.fault_duplicated,
+                 static_cast<double>(fwd.duplicated + rev.duplicated));
+      shard0.add(met.fault_reordered,
+                 static_cast<double>(fwd.reordered + rev.reordered));
+      shard0.add(met.fault_delayed, static_cast<double>(fwd.delayed + rev.delayed));
       result.report.record_success();
       result.report.forward_faults += item_result.metrics.forward_faults;
       result.report.reverse_faults += item_result.metrics.reverse_faults;
     } else {
       result.report.record_failure(item_result.item.key(), item_result.error);
     }
+    result.report.spans.push_back(item_result.span);
   }
+  result.report.metrics = registry.snapshot();
   return result;
 }
 

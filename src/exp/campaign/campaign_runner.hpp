@@ -34,6 +34,7 @@
 #include "exp/hour_trace_experiment.hpp"
 #include "exp/run_report.hpp"
 #include "exp/short_trace_experiment.hpp"
+#include "obs/span.hpp"
 
 namespace pftk::exp::campaign {
 
@@ -65,6 +66,9 @@ struct CampaignItemResult {
   /// Payloads (absent for journal-replayed or failed items).
   std::optional<HourTraceResult> hour;
   std::optional<ShortTraceRecord> short_trace;
+  /// Supervision span: attempt/backoff wall timings, retry taxonomy,
+  /// journal I/O charged to this item. Wall-clock, diagnostics only.
+  obs::SpanRecord span;
 
   [[nodiscard]] bool ok() const noexcept { return status == ItemStatus::kOk; }
 };
@@ -72,8 +76,9 @@ struct CampaignItemResult {
 /// Whole-campaign outcome.
 struct CampaignResult {
   std::vector<CampaignItemResult> items;  ///< spec expansion order
-  RunReport report;                       ///< aggregate over all items
+  RunReport report;  ///< aggregate over all items, incl. spans + metrics
   std::size_t resumed = 0;                ///< items satisfied by the journal
+  obs::CheckpointIoStats journal_io;      ///< checkpoint-journal I/O totals
 
   [[nodiscard]] bool all_ok() const noexcept { return report.all_ok(); }
 

@@ -12,6 +12,7 @@
 #include "core/approx_model.hpp"
 #include "core/batch_eval.hpp"
 #include "core/full_model.hpp"
+#include "obs/event_loop_stats.hpp"
 #include "sim/event_queue.hpp"
 #include "trace/trace_event.hpp"
 #include "trace/trace_io.hpp"
@@ -92,6 +93,34 @@ MicroBenchResult bench_queue_dispatch(const MicroBenchConfig& config) {
   });
   MicroBenchResult r;
   r.name = "event_queue.dispatch";
+  r.unit = "ns/event";
+  r.items = executed;
+  r.value = secs * 1e9 / static_cast<double>(executed);
+  r.per_second = static_cast<double>(executed) / secs;
+  return r;
+}
+
+/// The dispatch workload again, with an EventLoopStats sink attached —
+/// exactly what `--metrics-out` costs the inner loop. Paired with
+/// bench_queue_dispatch it yields the obs overhead ratio the CI gate
+/// holds at <= 1.10.
+MicroBenchResult bench_queue_dispatch_obs(const MicroBenchConfig& config) {
+  std::uint64_t executed = 0;
+  const double secs = best_seconds(config.repeats, [&] {
+    sim::EventQueue q;
+    obs::EventLoopStats stats;
+    q.set_stats_sink(&stats);
+    std::uint64_t budget = config.queue_events;
+    Lcg rng{12345};
+    constexpr int kChains = 64;
+    for (int c = 0; c < kChains; ++c) {
+      q.schedule_in(1e-4 * static_cast<double>(c + 1), ChainEvent{&q, &budget, &rng});
+    }
+    q.run_all();
+    executed = stats.executed;
+  });
+  MicroBenchResult r;
+  r.name = "event_queue.dispatch_obs";
   r.unit = "ns/event";
   r.items = executed;
   r.value = secs * 1e9 / static_cast<double>(executed);
@@ -286,7 +315,9 @@ MicroBenchReport run_micro_bench(const MicroBenchConfig& config) {
   report.repeats = config.repeats;
 
   report.results.push_back(bench_queue_dispatch(config));
+  report.results.push_back(bench_queue_dispatch_obs(config));
   report.results.push_back(bench_queue_churn(config));
+  report.obs_overhead_ratio = report.results[1].value / report.results[0].value;
 
   const auto approx =
       bench_model(config, model::ModelKind::kApproximate, "approx",
@@ -321,7 +352,11 @@ void write_bench_json(std::ostream& os, const MicroBenchReport& report) {
   os << "  ],\n"
      << "  \"derived\": {\n"
      << "    \"approx_batch_speedup\": " << report.approx_batch_speedup << ",\n"
-     << "    \"full_batch_speedup\": " << report.full_batch_speedup << "\n"
+     << "    \"full_batch_speedup\": " << report.full_batch_speedup << ",\n"
+     << "    \"obs_overhead_ratio\": " << report.obs_overhead_ratio << ",\n"
+     << "    \"obs_overhead_tolerance\": " << report.obs_overhead_tolerance << ",\n"
+     << "    \"obs_overhead_ok\": " << (report.obs_overhead_ok() ? "true" : "false")
+     << "\n"
      << "  },\n"
      << "  \"equivalence\": {\n"
      << "    \"batch_max_rel_err\": " << report.batch_max_rel_err << ",\n"

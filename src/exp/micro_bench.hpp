@@ -2,7 +2,9 @@
 //
 // Times the three inner loops that dominate paper-scale runs:
 //   * event-queue dispatch (schedule/execute and schedule/cancel churn),
-//     in ns per executed event;
+//     in ns per executed event — once bare and once with an
+//     obs::EventLoopStats sink attached, so the observability layer's
+//     hot-path cost is a measured ratio, not a promise;
 //   * model evaluation, scalar entry points vs. the PreparedModel
 //     batched fast path, in ns per evaluation over a 10k-point p grid;
 //   * trace parsing (strict read_trace), in MB/s.
@@ -61,6 +63,15 @@ struct MicroBenchReport {
   double batch_tolerance = 1e-12;
   /// True when the batched path matched the scalar path within tolerance.
   bool equivalence_ok = false;
+  /// event_queue.dispatch_obs ns over event_queue.dispatch ns: what an
+  /// attached EventLoopStats sink costs per dispatched event. `--gate`
+  /// runs fail when this exceeds obs_overhead_tolerance.
+  double obs_overhead_ratio = 0.0;
+  double obs_overhead_tolerance = 1.10;
+
+  [[nodiscard]] bool obs_overhead_ok() const noexcept {
+    return obs_overhead_ratio <= obs_overhead_tolerance;
+  }
 
   [[nodiscard]] const MicroBenchResult* find(const std::string& name) const noexcept;
 };

@@ -1,10 +1,21 @@
 #include "exp/run_report.hpp"
 
 #include <sstream>
+#include <stdexcept>
 
 namespace pftk::exp {
 
 RunReport& RunReport::merge(const RunReport& other) {
+  if (&other == this) {
+    // Self-merge: vector self-insertion is UB under reallocation, so
+    // double through a copy instead. Every additive field doubles.
+    const RunReport copy = other;
+    return merge(copy);
+  }
+  if (obs_schema != other.obs_schema) {
+    throw std::invalid_argument("RunReport::merge: obs schema mismatch ('" +
+                                obs_schema + "' vs '" + other.obs_schema + "')");
+  }
   attempted += other.attempted;
   succeeded += other.succeeded;
   failures.insert(failures.end(), other.failures.begin(), other.failures.end());
@@ -12,6 +23,8 @@ RunReport& RunReport::merge(const RunReport& other) {
   reverse_faults += other.reverse_faults;
   read_reports.insert(read_reports.end(), other.read_reports.begin(),
                       other.read_reports.end());
+  spans.insert(spans.end(), other.spans.begin(), other.spans.end());
+  metrics.merge(other.metrics);
   return *this;
 }
 

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/fault_injector.hpp"
 #include "trace/trace_io.hpp"
 
@@ -34,6 +36,15 @@ struct RunReport {
   /// Per-file salvage reports from lenient trace reads, in input order
   /// (only filled by the file-analysis drivers).
   std::vector<trace::TraceReadReport> read_reports;
+  /// Observability schema the spans/metrics below follow. Reports from
+  /// different schema generations refuse to merge (the fields would
+  /// silently mean different things).
+  std::string obs_schema = obs::kObsSchema;
+  /// Per-item campaign spans (wall-clock; populated by supervised
+  /// drivers with observability enabled), in settle order.
+  std::vector<obs::SpanRecord> spans;
+  /// Merged metrics snapshot (empty when observability was off).
+  obs::MetricsSnapshot metrics;
 
   [[nodiscard]] bool all_ok() const noexcept { return failures.empty(); }
 
@@ -46,11 +57,13 @@ struct RunReport {
     failures.push_back(RunFailure{std::move(label), std::move(error)});
   }
 
-  /// Folds `other` into this report: counters sum, fault stats add, and
-  /// `other`'s failures and read reports are appended *after* ours in
-  /// their original order. Merging per-worker or per-scenario reports in
-  /// a fixed order therefore yields a deterministic combined report
-  /// regardless of how the work was scheduled.
+  /// Folds `other` into this report: counters sum, fault stats add,
+  /// metrics merge by name, and `other`'s failures, read reports, and
+  /// spans are appended *after* ours in their original order. Merging
+  /// per-worker or per-scenario reports in a fixed order therefore
+  /// yields a deterministic combined report regardless of how the work
+  /// was scheduled. Self-merge doubles every additive field (and is
+  /// safe). @throws std::invalid_argument on an obs-schema mismatch.
   RunReport& merge(const RunReport& other);
 
   /// Multi-line human-readable summary (for bench/CLI footers).

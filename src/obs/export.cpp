@@ -1,0 +1,361 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pftk::obs {
+
+namespace {
+
+/// Stable double rendering: round-trip precision, locale-free.
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+// ---- minimal key-based JSON field extraction -------------------------
+//
+// The reader only ever consumes lines this module wrote, so a targeted
+// scanner is enough: find `"key":` at object level and parse the value
+// after it. Failures throw std::invalid_argument; the lenient line loop
+// converts them into dropped-line accounting.
+
+std::size_t find_key(const std::string& line, const std::string& key,
+                     std::size_t from = 0) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = line.find(needle, from);
+  if (pos == std::string::npos) {
+    throw std::invalid_argument("missing field '" + key + "'");
+  }
+  return pos + needle.size();
+}
+
+std::string get_string(const std::string& line, const std::string& key,
+                       std::size_t from = 0) {
+  std::size_t pos = find_key(line, key, from);
+  if (pos >= line.size() || line[pos] != '"') {
+    throw std::invalid_argument("field '" + key + "' is not a string");
+  }
+  std::string out;
+  for (++pos; pos < line.size(); ++pos) {
+    const char c = line[pos];
+    if (c == '\\' && pos + 1 < line.size()) {
+      const char next = line[++pos];
+      out += next == 'n' ? '\n' : next == 't' ? '\t' : next == 'r' ? '\r' : next;
+    } else if (c == '"') {
+      return out;
+    } else {
+      out += c;
+    }
+  }
+  throw std::invalid_argument("unterminated string for '" + key + "'");
+}
+
+double get_number(const std::string& line, const std::string& key,
+                  std::size_t from = 0) {
+  const std::size_t pos = find_key(line, key, from);
+  std::size_t consumed = 0;
+  const double v = std::stod(line.substr(pos), &consumed);
+  if (consumed == 0) {
+    throw std::invalid_argument("field '" + key + "' is not a number");
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const std::string& line, const std::string& key,
+                      std::size_t from = 0) {
+  const double v = get_number(line, key, from);
+  if (!(v >= 0.0)) {
+    throw std::invalid_argument("field '" + key + "' is negative");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+/// Parses `"key":[n, n, ...]` of plain numbers.
+template <typename T>
+std::vector<T> get_number_array(const std::string& line, const std::string& key,
+                                std::size_t from = 0) {
+  std::size_t pos = find_key(line, key, from);
+  if (pos >= line.size() || line[pos] != '[') {
+    throw std::invalid_argument("field '" + key + "' is not an array");
+  }
+  std::vector<T> out;
+  ++pos;
+  while (pos < line.size() && line[pos] != ']') {
+    std::size_t consumed = 0;
+    out.push_back(static_cast<T>(std::stod(line.substr(pos), &consumed)));
+    pos += consumed;
+    if (pos < line.size() && line[pos] == ',') {
+      ++pos;
+    }
+  }
+  if (pos >= line.size()) {
+    throw std::invalid_argument("unterminated array for '" + key + "'");
+  }
+  return out;
+}
+
+// ---- record writers --------------------------------------------------
+
+void write_metric_line(std::ostream& os, const MetricValue& mv) {
+  os << "{\"kind\":\"metric\",\"type\":\""
+     << (mv.kind == MetricKind::kCounter    ? "counter"
+         : mv.kind == MetricKind::kGauge    ? "gauge"
+                                            : "histogram")
+     << "\",\"name\":\"" << json_escape(mv.name) << "\",\"help\":\""
+     << json_escape(mv.help) << "\"";
+  if (mv.kind == MetricKind::kHistogram) {
+    os << ",\"bounds\":[";
+    for (std::size_t i = 0; i < mv.bounds.size(); ++i) {
+      os << (i ? "," : "") << fmt_double(mv.bounds[i]);
+    }
+    os << "],\"buckets\":[";
+    for (std::size_t i = 0; i < mv.buckets.size(); ++i) {
+      os << (i ? "," : "") << mv.buckets[i];
+    }
+    os << "],\"count\":" << mv.count << ",\"sum\":" << fmt_double(mv.sum)
+       << ",\"rejected\":" << mv.rejected;
+  } else {
+    os << ",\"value\":" << fmt_double(mv.value);
+  }
+  os << "}\n";
+}
+
+void write_event_line(std::ostream& os, const ConnEvent& event) {
+  os << "{\"kind\":\"event\",\"t\":" << fmt_double(event.t) << ",\"event\":\""
+     << conn_event_name(event.kind) << "\",\"value\":" << fmt_double(event.value)
+     << ",\"aux\":" << fmt_double(event.aux) << "}\n";
+}
+
+void write_span_line(std::ostream& os, const SpanRecord& span) {
+  os << "{\"kind\":\"span\",\"name\":\"" << json_escape(span.name)
+     << "\",\"outcome\":\"" << json_escape(span.outcome)
+     << "\",\"attempts\":" << span.attempts
+     << ",\"total_s\":" << fmt_double(span.total_seconds)
+     << ",\"backoff_s\":" << fmt_double(span.backoff_seconds)
+     << ",\"journal_writes\":" << span.journal_writes
+     << ",\"journal_bytes\":" << span.journal_bytes << ",\"phases\":[";
+  for (std::size_t i = 0; i < span.phases.size(); ++i) {
+    const SpanPhase& phase = span.phases[i];
+    os << (i ? "," : "") << "{\"phase\":\"" << json_escape(phase.name)
+       << "\",\"s\":" << fmt_double(phase.seconds) << ",\"detail\":\""
+       << json_escape(phase.detail) << "\"}";
+  }
+  os << "]}\n";
+}
+
+MetricValue parse_metric_line(const std::string& line) {
+  MetricValue mv;
+  const std::string type = get_string(line, "type");
+  mv.kind = type == "counter"     ? MetricKind::kCounter
+            : type == "gauge"     ? MetricKind::kGauge
+            : type == "histogram" ? MetricKind::kHistogram
+                                  : throw std::invalid_argument(
+                                        "unknown metric type '" + type + "'");
+  mv.name = get_string(line, "name");
+  mv.help = get_string(line, "help");
+  if (mv.kind == MetricKind::kHistogram) {
+    mv.bounds = get_number_array<double>(line, "bounds");
+    mv.buckets = get_number_array<std::uint64_t>(line, "buckets");
+    mv.count = get_u64(line, "count");
+    mv.sum = get_number(line, "sum");
+    mv.rejected = get_u64(line, "rejected");
+    if (mv.buckets.size() != mv.bounds.size() + 1) {
+      throw std::invalid_argument("histogram bucket/bound count mismatch");
+    }
+  } else {
+    mv.value = get_number(line, "value");
+  }
+  return mv;
+}
+
+ConnEvent parse_event_line(const std::string& line) {
+  ConnEvent event;
+  event.t = get_number(line, "t");
+  event.kind = conn_event_from_name(get_string(line, "event"));
+  event.value = get_number(line, "value");
+  event.aux = get_number(line, "aux");
+  return event;
+}
+
+SpanRecord parse_span_line(const std::string& line) {
+  SpanRecord span;
+  span.name = get_string(line, "name");
+  span.outcome = get_string(line, "outcome");
+  span.attempts = static_cast<int>(get_number(line, "attempts"));
+  span.total_seconds = get_number(line, "total_s");
+  span.backoff_seconds = get_number(line, "backoff_s");
+  span.journal_writes = get_u64(line, "journal_writes");
+  span.journal_bytes = get_u64(line, "journal_bytes");
+  // Phases: scan the objects of the "phases" array in order.
+  std::size_t pos = find_key(line, "phases");
+  while (true) {
+    const std::size_t obj = line.find("{\"phase\":", pos);
+    if (obj == std::string::npos) {
+      break;
+    }
+    SpanPhase phase;
+    phase.name = get_string(line, "phase", obj);
+    phase.seconds = get_number(line, "s", obj);
+    phase.detail = get_string(line, "detail", obj);
+    span.phases.push_back(std::move(phase));
+    pos = obj + 1;
+  }
+  return span;
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snapshot) {
+  for (const MetricValue& mv : snapshot.metrics) {
+    os << "# HELP " << mv.name << " " << mv.help << "\n"
+       << "# TYPE " << mv.name << " "
+       << (mv.kind == MetricKind::kCounter    ? "counter"
+           : mv.kind == MetricKind::kGauge    ? "gauge"
+                                              : "histogram")
+       << "\n";
+    if (mv.kind == MetricKind::kHistogram) {
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < mv.bounds.size(); ++i) {
+        cumulative += mv.buckets[i];
+        os << mv.name << "_bucket{le=\"" << fmt_double(mv.bounds[i]) << "\"} "
+           << cumulative << "\n";
+      }
+      cumulative += mv.buckets.back();
+      os << mv.name << "_bucket{le=\"+Inf\"} " << cumulative << "\n"
+         << mv.name << "_sum " << fmt_double(mv.sum) << "\n"
+         << mv.name << "_count " << mv.count << "\n";
+      if (mv.rejected > 0) {
+        os << mv.name << "_rejected " << mv.rejected << "\n";
+      }
+    } else {
+      os << mv.name << " " << fmt_double(mv.value) << "\n";
+    }
+  }
+}
+
+void write_obs_jsonl(std::ostream& os, const ObsBundle& bundle) {
+  os << "{\"schema\":\"" << kObsSchema << "\",\"kind\":\"header\",\"source\":\""
+     << json_escape(bundle.source) << "\",\"events_dropped\":" << bundle.events_dropped
+     << "}\n";
+  for (const MetricValue& mv : bundle.metrics.metrics) {
+    write_metric_line(os, mv);
+  }
+  for (const ConnEvent& event : bundle.events) {
+    write_event_line(os, event);
+  }
+  for (const SpanRecord& span : bundle.spans) {
+    write_span_line(os, span);
+  }
+}
+
+ObsBundle read_obs_jsonl(std::istream& is, ObsReadReport* report) {
+  ObsBundle bundle;
+  ObsReadReport local;
+  ObsReadReport& rr = report != nullptr ? *report : local;
+  rr = ObsReadReport{};
+
+  std::string line;
+  bool have_header = false;
+  while (std::getline(is, line)) {
+    ++rr.lines_total;
+    if (line.empty()) {
+      continue;
+    }
+    try {
+      if (!have_header) {
+        // The first non-empty line must be the header; anything else
+        // means this is not an obs file at all.
+        const std::string schema = get_string(line, "schema");
+        if (schema != kObsSchema) {
+          throw std::invalid_argument("unsupported obs schema '" + schema + "'");
+        }
+        bundle.source = get_string(line, "source");
+        bundle.events_dropped = get_u64(line, "events_dropped");
+        have_header = true;
+        ++rr.records_parsed;
+        continue;
+      }
+      const std::string kind = get_string(line, "kind");
+      if (kind == "metric") {
+        bundle.metrics.metrics.push_back(parse_metric_line(line));
+      } else if (kind == "event") {
+        bundle.events.push_back(parse_event_line(line));
+      } else if (kind == "span") {
+        bundle.spans.push_back(parse_span_line(line));
+      } else {
+        throw std::invalid_argument("unknown record kind '" + kind + "'");
+      }
+      ++rr.records_parsed;
+    } catch (const std::exception& ex) {
+      if (!have_header) {
+        throw std::invalid_argument(std::string("not a pftk-obs/1 file: ") +
+                                    ex.what());
+      }
+      ++rr.lines_dropped;
+      if (rr.first_error.empty()) {
+        rr.first_error = "line " + std::to_string(rr.lines_total) + ": " + ex.what();
+      }
+    }
+  }
+  if (!have_header) {
+    throw std::invalid_argument("not a pftk-obs/1 file: no header line");
+  }
+  return bundle;
+}
+
+bool is_prometheus_path(const std::string& path) noexcept {
+  constexpr std::string_view kSuffix = ".prom";
+  return path.size() >= kSuffix.size() &&
+         path.compare(path.size() - kSuffix.size(), kSuffix.size(), kSuffix) == 0;
+}
+
+void save_obs_file(const std::string& path, const ObsBundle& bundle) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw std::invalid_argument("cannot open " + path + " for writing");
+  }
+  if (is_prometheus_path(path)) {
+    write_prometheus(os, bundle.metrics);
+  } else {
+    write_obs_jsonl(os, bundle);
+  }
+  os.flush();
+  if (!os) {
+    throw std::invalid_argument("write failed: " + path);
+  }
+}
+
+ObsBundle load_obs_file(const std::string& path, ObsReadReport* report) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::invalid_argument("cannot open " + path);
+  }
+  return read_obs_jsonl(is, report);
+}
+
+}  // namespace pftk::obs

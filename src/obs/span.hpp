@@ -1,0 +1,55 @@
+// Campaign-level spans: where one supervised work item spent its time
+// and what its retry ladder looked like.
+//
+// A span is the campaign runner's answer to "why did this row take 40 s
+// and 3 attempts": named phases with wall durations, the per-attempt
+// failure taxonomy, backoff waits, and the checkpoint-journal I/O the
+// item caused. Spans carry wall-clock durations, so they are *not* part
+// of the byte-identical contract — they ride in RunReport and the
+// `--metrics-out` JSONL, never in the journal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pftk::obs {
+
+/// One named, timed phase inside a span ("attempt", "backoff", ...).
+struct SpanPhase {
+  std::string name;
+  double seconds = 0.0;  ///< wall time
+  /// Free-form detail: attempt number, failure kind token, etc.
+  std::string detail;
+};
+
+/// One work item's supervised execution record.
+struct SpanRecord {
+  std::string name;        ///< item key, e.g. "manic->ganef/s1998/clean/full"
+  std::string outcome;     ///< "ok", "failed_transient", "failed_permanent"
+  int attempts = 0;
+  double total_seconds = 0.0;    ///< wall time across attempts + backoffs
+  double backoff_seconds = 0.0;  ///< wall time spent waiting between attempts
+  std::vector<SpanPhase> phases; ///< chronological
+  // Checkpoint I/O charged to this item.
+  std::uint64_t journal_writes = 0;
+  std::uint64_t journal_bytes = 0;
+};
+
+/// Aggregate checkpoint-journal I/O for a whole campaign.
+struct CheckpointIoStats {
+  std::uint64_t writes = 0;   ///< journal lines written
+  std::uint64_t bytes = 0;    ///< bytes appended (incl. newlines)
+  std::uint64_t flushes = 0;  ///< explicit flushes issued
+  std::uint64_t replayed = 0; ///< items satisfied from an existing journal
+
+  CheckpointIoStats& operator+=(const CheckpointIoStats& other) noexcept {
+    writes += other.writes;
+    bytes += other.bytes;
+    flushes += other.flushes;
+    replayed += other.replayed;
+    return *this;
+  }
+};
+
+}  // namespace pftk::obs

@@ -1,0 +1,80 @@
+#include "obs/standard_metrics.hpp"
+
+namespace pftk::obs {
+
+StandardMetrics StandardMetrics::register_on(MetricsRegistry& r) {
+  StandardMetrics m;
+  m.packets_sent = r.counter("pftk_packets_sent_total",
+                             "Segments transmitted, incl. retransmissions");
+  m.retransmissions =
+      r.counter("pftk_retransmissions_total", "Fast + timeout retransmissions");
+  m.td_indications = r.counter("pftk_td_indications_total",
+                               "Triple-duplicate-ACK loss indications (TD)");
+  m.timeouts =
+      r.counter("pftk_timeouts_total", "Individual retransmission-timer expirations");
+  m.acks = r.counter("pftk_acks_received_total", "Cumulative ACKs processed");
+  m.dup_acks = r.counter("pftk_dup_acks_received_total", "Duplicate ACKs processed");
+  m.events_scheduled =
+      r.counter("pftk_events_scheduled_total", "Event-queue schedule calls");
+  m.events_executed =
+      r.counter("pftk_events_executed_total", "Event-queue callbacks executed");
+  m.events_cancelled =
+      r.counter("pftk_events_cancelled_total", "Live events cancelled");
+  m.heap_compactions = r.counter("pftk_event_heap_compactions_total",
+                                 "Lazy-cancel heap compaction passes");
+  m.heap_peak = r.gauge("pftk_event_heap_peak",
+                        "High-water heap entries (incl. cancelled)");
+  m.slab_peak = r.gauge("pftk_event_slab_peak", "High-water callback slots");
+  m.conn_events =
+      r.counter("pftk_conn_events_recorded_total", "Connection events recorded");
+  m.conn_events_dropped = r.counter("pftk_conn_events_dropped_total",
+                                    "Connection events overwritten in the ring");
+  m.fault_offered = r.counter("pftk_fault_offered_total",
+                              "Packets inspected by fault injectors");
+  m.fault_dropped =
+      r.counter("pftk_fault_dropped_total", "Packets dropped by injected faults");
+  m.fault_duplicated =
+      r.counter("pftk_fault_duplicated_total", "Packets duplicated by faults");
+  m.fault_reordered =
+      r.counter("pftk_fault_reordered_total", "Packets held back by faults");
+  m.fault_delayed =
+      r.counter("pftk_fault_delayed_total", "Packets given spike delay");
+  m.trace_lines_dropped = r.counter("pftk_trace_lines_dropped_total",
+                                    "Malformed trace lines skipped by lenient reads");
+  m.trace_bytes_dropped = r.counter("pftk_trace_bytes_dropped_total",
+                                    "Bytes of dropped trace lines");
+  m.trace_files_dirty = r.counter("pftk_trace_files_dirty_total",
+                                  "Trace files that needed lenient salvage");
+  m.watchdog_trips = r.counter("pftk_watchdog_trips_total", "Watchdog aborts");
+  m.rtt_seconds = r.histogram(
+      "pftk_rtt_seconds", "Karn-valid RTT samples (simulated seconds)",
+      {0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0});
+  m.attempt_seconds = r.histogram(
+      "pftk_attempt_seconds", "Campaign attempt wall time",
+      {0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0});
+  m.backoff_seconds = r.histogram(
+      "pftk_backoff_seconds", "Retry backoff waits (wall seconds)",
+      {0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0});
+  m.items_total = r.counter("pftk_campaign_items_total", "Campaign items settled");
+  m.items_ok = r.counter("pftk_campaign_items_ok_total", "Campaign items succeeded");
+  m.retries = r.counter("pftk_campaign_retries_total",
+                        "Attempts beyond each item's first");
+  m.journal_writes = r.counter("pftk_journal_writes_total", "Journal lines written");
+  m.journal_bytes = r.counter("pftk_journal_bytes_total", "Journal bytes appended");
+  m.journal_flushes = r.counter("pftk_journal_flushes_total", "Journal flushes");
+  m.journal_replayed = r.counter("pftk_journal_replayed_total",
+                                 "Items satisfied from an existing journal");
+  return m;
+}
+
+void StandardMetrics::record_event_loop(MetricsShard& shard,
+                                        const EventLoopStats& stats) const {
+  shard.add(events_scheduled, static_cast<double>(stats.scheduled));
+  shard.add(events_executed, static_cast<double>(stats.executed));
+  shard.add(events_cancelled, static_cast<double>(stats.cancelled));
+  shard.add(heap_compactions, static_cast<double>(stats.compactions));
+  shard.set(heap_peak, static_cast<double>(stats.heap_peak));
+  shard.set(slab_peak, static_cast<double>(stats.slab_peak));
+}
+
+}  // namespace pftk::obs

@@ -74,8 +74,26 @@ void Connection::set_observer(SenderObserver* observer) noexcept {
   sender_->set_observer(observer);
 }
 
+void Connection::attach_observability(obs::ConnEventTrace* trace,
+                                      obs::EventLoopStats* loop_stats) noexcept {
+  etrace_ = trace;
+  sender_->set_event_trace(trace);
+  receiver_->set_event_trace(trace);
+  if (FaultInjector* faults = forward_->mutable_faults()) {
+    faults->set_event_trace(trace, /*direction=*/0.0);
+  }
+  if (FaultInjector* faults = reverse_->mutable_faults()) {
+    faults->set_event_trace(trace, /*direction=*/1.0);
+  }
+  if (watchdog_) {
+    watchdog_->set_event_trace(trace);
+  }
+  queue_.set_stats_sink(loop_stats);
+}
+
 void Connection::enable_watchdog(const WatchdogConfig& config) {
   watchdog_ = std::make_unique<SimWatchdog>(queue_, *sender_, config);
+  watchdog_->set_event_trace(etrace_);
   watchdog_->arm();
 }
 

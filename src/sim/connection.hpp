@@ -10,6 +10,8 @@
 #include <memory>
 #include <variant>
 
+#include "obs/conn_event_trace.hpp"
+#include "obs/event_loop_stats.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/link.hpp"
@@ -105,6 +107,14 @@ class Connection {
   /// before run_for(); may be nullptr.
   void set_observer(SenderObserver* observer) noexcept;
 
+  /// Attaches observability sinks to every layer at once: the sender,
+  /// receiver, watchdog (now or when later enabled), and both links'
+  /// fault injectors record into `trace`; the event queue counts into
+  /// `loop_stats`. Either may be nullptr to skip/detach. Attaching is
+  /// purely passive — fixed-seed runs stay byte-identical.
+  void attach_observability(obs::ConnEventTrace* trace,
+                            obs::EventLoopStats* loop_stats = nullptr) noexcept;
+
   /// Arms a watchdog over this connection's queue and sender. Subsequent
   /// run_for() calls throw WatchdogError (with a diagnostic snapshot)
   /// instead of hanging or corrupting state when a budget, stall, or
@@ -129,6 +139,8 @@ class Connection {
   std::unique_ptr<Link<Segment>> forward_;
   std::unique_ptr<Link<Ack>> reverse_;
   std::unique_ptr<SimWatchdog> watchdog_;
+  obs::ConnEventTrace* etrace_ = nullptr;  ///< reapplied if the watchdog is
+                                           ///< enabled after attachment
   bool started_ = false;
 };
 

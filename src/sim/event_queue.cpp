@@ -47,6 +47,15 @@ EventId EventQueue::schedule_at(Time at, EventCallback action) {
   heap_.push_back(Entry{at, next_seq_++, slot, s.gen});
   std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
   ++live_count_;
+  if (stats_ != nullptr) {
+    ++stats_->scheduled;
+    if (heap_.size() > stats_->heap_peak) {
+      stats_->heap_peak = heap_.size();
+    }
+    if (slots_.size() > stats_->slab_peak) {
+      stats_->slab_peak = slots_.size();
+    }
+  }
   return make_id(slot, s.gen);
 }
 
@@ -69,6 +78,9 @@ void EventQueue::cancel(EventId id) noexcept {
   }
   release_slot(slot);
   ++cancelled_in_heap_;
+  if (stats_ != nullptr) {
+    ++stats_->cancelled;
+  }
   compact_if_mostly_cancelled();
 }
 
@@ -83,6 +95,9 @@ void EventQueue::compact_if_mostly_cancelled() noexcept {
               heap_.end());
   std::make_heap(heap_.begin(), heap_.end(), EntryAfter{});
   cancelled_in_heap_ = 0;
+  if (stats_ != nullptr) {
+    ++stats_->compactions;
+  }
 }
 
 bool EventQueue::peek_next(Entry& out) {
@@ -117,6 +132,9 @@ void EventQueue::run_one(const Entry& entry) {
   release_slot(entry.slot);
   now_ = entry.at;
   ++executed_;
+  if (stats_ != nullptr) {
+    ++stats_->executed;
+  }
   action();
   if (inspector_ && executed_ % inspect_every_ == 0) {
     inspector_();

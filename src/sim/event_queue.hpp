@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/event_loop_stats.hpp"
 #include "sim/sim_time.hpp"
 
 namespace pftk::sim {
@@ -174,6 +175,13 @@ class EventQueue {
   /// Removes the inspector hook.
   void clear_inspector() noexcept;
 
+  /// Attaches an observability sink (nullptr detaches). The queue then
+  /// counts schedules/executions/cancellations and tracks heap/slab
+  /// high-water marks into it — one predictable branch per operation,
+  /// cheap enough for the hot path (the micro_hotpaths gate enforces
+  /// <= 10% dispatch overhead). The sink must outlive the attachment.
+  void set_stats_sink(obs::EventLoopStats* sink) noexcept { stats_ = sink; }
+
   /// Current simulation clock.
   [[nodiscard]] Time now() const noexcept { return now_; }
 
@@ -242,6 +250,7 @@ class EventQueue {
   std::size_t cancelled_in_heap_ = 0;
   std::function<void()> inspector_;
   std::uint64_t inspect_every_ = 1;
+  obs::EventLoopStats* stats_ = nullptr;
 };
 
 }  // namespace pftk::sim

@@ -244,11 +244,13 @@ FaultVerdict FaultInjector::on_packet(Time at) {
         }
         ++stats_.dropped_blackout;
         verdict.drop = true;
+        emit(at, obs::ConnEventKind::kFaultDrop, 0.0);
         return verdict;  // dropped: later faults are moot
       case FaultKind::kLoss:
         if (rng_.bernoulli(spec.rate)) {
           ++stats_.dropped_loss;
           verdict.drop = true;
+          emit(at, obs::ConnEventKind::kFaultDrop, 1.0);
           return verdict;
         }
         break;
@@ -257,6 +259,7 @@ FaultVerdict FaultInjector::on_packet(Time at) {
           ++stats_.duplicated;
           ++verdict.extra_copies;
           verdict.duplicate_lag = std::max(verdict.duplicate_lag, spec.magnitude);
+          emit(at, obs::ConnEventKind::kFaultDuplicate, spec.magnitude);
         }
         break;
       case FaultKind::kReorder:
@@ -264,11 +267,13 @@ FaultVerdict FaultInjector::on_packet(Time at) {
           ++stats_.reordered;
           verdict.extra_delay += spec.magnitude;
           verdict.exempt_fifo = true;
+          emit(at, obs::ConnEventKind::kFaultReorder, spec.magnitude);
         }
         break;
       case FaultKind::kDelaySpike:
         ++stats_.delayed;
         verdict.extra_delay += spec.magnitude;
+        emit(at, obs::ConnEventKind::kFaultDelay, spec.magnitude);
         break;
     }
   }

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/conn_event_trace.hpp"
 #include "sim/rng.hpp"
 #include "sim/sim_time.hpp"
 
@@ -120,13 +121,29 @@ class FaultInjector {
   [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const FaultSchedule& schedule() const noexcept { return schedule_; }
 
+  /// Attaches a connection-event trace (nullptr detaches). `direction`
+  /// tags every emitted event's aux field (0 = forward/data path,
+  /// 1 = reverse/ACK path) so a merged timeline stays attributable.
+  void set_event_trace(obs::ConnEventTrace* trace, double direction = 0.0) noexcept {
+    etrace_ = trace;
+    direction_ = direction;
+  }
+
  private:
   [[nodiscard]] bool active(const FaultSpec& spec, std::size_t index, Time at) const;
+
+  void emit(Time at, obs::ConnEventKind kind, double value) {
+    if (etrace_ != nullptr) {
+      etrace_->record(at, kind, value, direction_);
+    }
+  }
 
   FaultSchedule schedule_;
   std::vector<std::uint64_t> remaining_;  ///< per-fault packet budgets
   Rng rng_;
   FaultStats stats_;
+  obs::ConnEventTrace* etrace_ = nullptr;
+  double direction_ = 0.0;
 };
 
 }  // namespace pftk::sim

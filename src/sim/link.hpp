@@ -173,6 +173,9 @@ class Link {
   /// The attached fault injector, if any (for stats/introspection).
   [[nodiscard]] const FaultInjector* faults() const noexcept { return faults_.get(); }
 
+  /// Mutable access to the injector (for attaching an event trace).
+  [[nodiscard]] FaultInjector* mutable_faults() noexcept { return faults_.get(); }
+
   /// Resets loss-model/AQM/fault state and counters (not pending deliveries).
   void reset_processes() {
     if (loss_) {

@@ -56,12 +56,21 @@ WatchdogSnapshot SimWatchdog::snapshot(std::string reason) const {
   return s;
 }
 
+void SimWatchdog::trip(WatchdogSnapshot snapshot) const {
+  if (etrace_ != nullptr) {
+    etrace_->record(queue_.now(), obs::ConnEventKind::kWatchdogTrip,
+                    static_cast<double>(snapshot.executed),
+                    snapshot.wall_deadline ? 1.0 : 0.0);
+  }
+  throw WatchdogError(std::move(snapshot));
+}
+
 void SimWatchdog::check() {
   if (config_.max_events > 0 && queue_.executed() > config_.max_events) {
-    throw WatchdogError(snapshot("event budget exceeded"));
+    trip(snapshot("event budget exceeded"));
   }
   if (config_.max_sim_time > 0.0 && queue_.now() > config_.max_sim_time) {
-    throw WatchdogError(snapshot("simulated-time budget exceeded"));
+    trip(snapshot("simulated-time budget exceeded"));
   }
   if (config_.max_wall_time > 0.0) {
     const std::chrono::duration<double> elapsed =
@@ -71,21 +80,21 @@ void SimWatchdog::check() {
                                     std::to_string(config_.max_wall_time) +
                                     "s budget)");
       s.wall_deadline = true;
-      throw WatchdogError(std::move(s));
+      trip(std::move(s));
     }
   }
 
   const SeqNo una = sender_.snd_una();
   if (config_.check_invariants) {
     if (una < last_una_) {
-      throw WatchdogError(snapshot("cumulative ACK went backwards"));
+      trip(snapshot("cumulative ACK went backwards"));
     }
     if (sender_.cwnd() < 1.0) {
-      throw WatchdogError(snapshot("cwnd below one segment"));
+      trip(snapshot("cwnd below one segment"));
     }
     const double window = sender_.sender_config().advertised_window;
     if (static_cast<double>(sender_.in_flight()) > window) {
-      throw WatchdogError(snapshot("in-flight exceeds the advertised window"));
+      trip(snapshot("in-flight exceeds the advertised window"));
     }
   }
 
@@ -99,10 +108,9 @@ void SimWatchdog::check() {
     const Duration threshold =
         std::max(config_.stall_floor, config_.stall_rtos * sender_.backed_off_rto());
     if (queue_.now() - last_progress_ > threshold) {
-      throw WatchdogError(
-          snapshot("no cumulative-ACK progress for " +
-                   std::to_string(queue_.now() - last_progress_) + "s (threshold " +
-                   std::to_string(threshold) + "s)"));
+      trip(snapshot("no cumulative-ACK progress for " +
+                    std::to_string(queue_.now() - last_progress_) + "s (threshold " +
+                    std::to_string(threshold) + "s)"));
     }
   }
 }

@@ -22,6 +22,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/conn_event_trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/sim_time.hpp"
 #include "sim/tcp_reno_sender.hpp"
@@ -97,14 +98,23 @@ class SimWatchdog {
   /// One inspection pass. @throws WatchdogError on any violation.
   void check();
 
+  /// Attaches a connection-event trace (nullptr detaches): every trip is
+  /// recorded as kWatchdogTrip just before WatchdogError is thrown, so
+  /// aborted runs keep their last-gasp diagnostics.
+  void set_event_trace(obs::ConnEventTrace* trace) noexcept { etrace_ = trace; }
+
   [[nodiscard]] const WatchdogConfig& config() const noexcept { return config_; }
 
  private:
   [[nodiscard]] WatchdogSnapshot snapshot(std::string reason) const;
 
+  /// Records the trip into the event trace (if any), then throws.
+  [[noreturn]] void trip(WatchdogSnapshot snapshot) const;
+
   EventQueue& queue_;
   const TcpRenoSender& sender_;
   WatchdogConfig config_;
+  obs::ConnEventTrace* etrace_ = nullptr;
   SeqNo last_una_ = 0;
   Time last_progress_ = 0.0;
   std::chrono::steady_clock::time_point armed_at_{};

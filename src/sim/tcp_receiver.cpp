@@ -42,6 +42,8 @@ void TcpReceiver::on_segment(const Segment& segment, Time now) {
     if (filled_hole) {
       // A retransmission repaired the stream: ACK the new cumulative
       // point at once (RFC 2581 section 4.2).
+      emit(obs::ConnEventKind::kHoleFilled, static_cast<double>(next_expected_),
+           static_cast<double>(segment.seq));
       cancel_delack_timer();
       unacked_in_order_ = 0;
       emit_ack(now, segment.seq, /*duplicate=*/false);
@@ -61,6 +63,8 @@ void TcpReceiver::on_segment(const Segment& segment, Time now) {
   // Out of order: buffer and emit an immediate duplicate ACK. Dup-ACKs
   // are never delayed (footnote 1 of the paper / RFC 2581).
   out_of_order_.insert(segment.seq);
+  emit(obs::ConnEventKind::kOutOfOrderBuffered,
+       static_cast<double>(out_of_order_.size()), static_cast<double>(segment.seq));
   cancel_delack_timer();
   if (unacked_in_order_ > 0) {
     unacked_in_order_ = 0;  // fold the pending delayed ACK into this one
@@ -101,6 +105,7 @@ void TcpReceiver::arm_delack_timer() {
     delack_armed_ = false;
     if (unacked_in_order_ > 0) {
       unacked_in_order_ = 0;
+      emit(obs::ConnEventKind::kDelayedAckFire, static_cast<double>(next_expected_));
       emit_ack(queue_.now(), next_expected_ > 0 ? next_expected_ - 1 : 0,
                /*duplicate=*/false);
     }

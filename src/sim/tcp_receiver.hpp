@@ -13,6 +13,7 @@
 #include <functional>
 #include <set>
 
+#include "obs/conn_event_trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/packet.hpp"
 #include "sim/sim_time.hpp"
@@ -49,6 +50,9 @@ class TcpReceiver {
   /// Sets the ACK transmission callback (must be set before traffic flows).
   void set_send_ack(SendAckFn fn) { send_ack_ = std::move(fn); }
 
+  /// Attaches a connection-event trace (nullptr detaches); purely passive.
+  void set_event_trace(obs::ConnEventTrace* trace) noexcept { etrace_ = trace; }
+
   /// Handles one arriving data segment.
   void on_segment(const Segment& segment, Time now);
 
@@ -65,9 +69,16 @@ class TcpReceiver {
   void arm_delack_timer();
   void cancel_delack_timer();
 
+  void emit(obs::ConnEventKind kind, double value = 0.0, double aux = 0.0) {
+    if (etrace_ != nullptr) {
+      etrace_->record(queue_.now(), kind, value, aux);
+    }
+  }
+
   EventQueue& queue_;
   TcpReceiverConfig config_;
   SendAckFn send_ack_;
+  obs::ConnEventTrace* etrace_ = nullptr;
   SeqNo next_expected_ = 0;
   std::set<SeqNo> out_of_order_;
   int unacked_in_order_ = 0;

@@ -42,7 +42,27 @@ void TcpRenoSender::start() {
   if (!send_segment_) {
     throw std::logic_error("TcpRenoSender::start: no transmission callback set");
   }
+  emit(cwnd_ < ssthresh_ ? obs::ConnEventKind::kSlowStartEnter
+                         : obs::ConnEventKind::kCongAvoidEnter,
+       cwnd_, ssthresh_);
   try_send_new();
+}
+
+void TcpRenoSender::note_window_state() {
+  if (etrace_ == nullptr) {
+    return;
+  }
+  const bool clamped = cwnd_ > config_.advertised_window;
+  if (clamped != rwnd_clamped_) {
+    rwnd_clamped_ = clamped;
+    etrace_->record(queue_.now(),
+                    clamped ? obs::ConnEventKind::kRwndClamp
+                            : obs::ConnEventKind::kRwndRelease,
+                    cwnd_, config_.advertised_window);
+  }
+  if (etrace_->verbosity() == obs::TraceVerbosity::kDetail) {
+    etrace_->record(queue_.now(), obs::ConnEventKind::kCwndUpdate, cwnd_, ssthresh_);
+  }
 }
 
 double TcpRenoSender::effective_window() const {
@@ -147,6 +167,7 @@ void TcpRenoSender::on_ack(const Ack& ack, Time now) {
         // NewReno partial ACK: the window still has holes. Retransmit the
         // next one, deflate by the amount acknowledged, stay in recovery.
         cwnd_ = std::max(ssthresh_, cwnd_ - static_cast<double>(newly_acked) + 1.0);
+        note_window_state();
         transmit(snd_una_, /*retransmission=*/true);
         restart_rtx_timer();
         try_send_new();
@@ -155,14 +176,19 @@ void TcpRenoSender::on_ack(const Ack& ack, Time now) {
       // Classic Reno (or a NewReno full ACK): deflate and leave recovery.
       in_fast_recovery_ = false;
       cwnd_ = ssthresh_;
+      emit(obs::ConnEventKind::kFastRecoveryExit, cwnd_, ssthresh_);
     } else if (cwnd_ < ssthresh_) {
       cwnd_ += 1.0;  // slow start: one increment per ACK event
       if (cwnd_ > ssthresh_) {
         cwnd_ = ssthresh_;
       }
+      if (cwnd_ >= ssthresh_) {
+        emit(obs::ConnEventKind::kCongAvoidEnter, cwnd_, ssthresh_);
+      }
     } else {
       cwnd_ += 1.0 / cwnd_;  // congestion avoidance: 1/W per ACK
     }
+    note_window_state();
 
     if (in_flight() == 0) {
       stop_rtx_timer();
@@ -181,6 +207,7 @@ void TcpRenoSender::on_ack(const Ack& ack, Time now) {
     }
     if (in_fast_recovery_) {
       cwnd_ += 1.0;  // window inflation per extra dup-ACK
+      note_window_state();
       try_send_new();
       return;
     }
@@ -197,6 +224,9 @@ void TcpRenoSender::enter_fast_retransmit() {
   ++stats_.fast_retransmits;
   const double flight = static_cast<double>(in_flight());
   ssthresh_ = std::max(flight / 2.0, 2.0);
+  emit(obs::ConnEventKind::kFastRetransmit, static_cast<double>(dupacks_),
+       static_cast<double>(snd_una_));
+  emit(obs::ConnEventKind::kSsthreshUpdate, ssthresh_, flight);
   if (observer_ != nullptr) {
     observer_->on_fast_retransmit(queue_.now(), snd_una_);
   }
@@ -205,6 +235,8 @@ void TcpRenoSender::enter_fast_retransmit() {
     // resending the whole flight go-back-N — a timeout without the wait.
     cwnd_ = 1.0;
     dupacks_ = 0;
+    emit(obs::ConnEventKind::kSlowStartEnter, cwnd_, ssthresh_);
+    note_window_state();
     next_seq_ = snd_una_;
     try_send_new();
     restart_rtx_timer();
@@ -213,6 +245,8 @@ void TcpRenoSender::enter_fast_retransmit() {
   in_fast_recovery_ = true;
   recover_ = highest_sent_;  // NewReno: recovery covers this flight
   cwnd_ = ssthresh_ + static_cast<double>(config_.dupack_threshold);
+  emit(obs::ConnEventKind::kFastRecoveryEnter, cwnd_, ssthresh_);
+  note_window_state();
   transmit(snd_una_, /*retransmission=*/true);
   restart_rtx_timer();
 }
@@ -237,6 +271,11 @@ void TcpRenoSender::handle_timeout() {
   cwnd_ = 1.0;
   in_fast_recovery_ = false;
   dupacks_ = 0;
+  emit(obs::ConnEventKind::kRtoFire, static_cast<double>(consecutive_timeouts_),
+       rto_used);
+  emit(obs::ConnEventKind::kSsthreshUpdate, ssthresh_, flight);
+  emit(obs::ConnEventKind::kSlowStartEnter, cwnd_, ssthresh_);
+  note_window_state();
 
   if (observer_ != nullptr) {
     observer_->on_timeout(queue_.now(), snd_una_, consecutive_timeouts_, rto_used);

@@ -24,6 +24,7 @@
 #include <deque>
 #include <functional>
 
+#include "obs/conn_event_trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/packet.hpp"
 #include "sim/sender_observer.hpp"
@@ -87,6 +88,11 @@ class TcpRenoSender {
   /// Attaches a passive observer (may be nullptr to detach).
   void set_observer(SenderObserver* observer) noexcept { observer_ = observer; }
 
+  /// Attaches a connection-event trace (nullptr detaches). Recording is
+  /// passive — it reads state already computed, consumes no randomness,
+  /// and schedules nothing, so attaching it cannot change a run.
+  void set_event_trace(obs::ConnEventTrace* trace) noexcept { etrace_ = trace; }
+
   /// Opens the flood gates: transmits the initial window and arms timers.
   /// @throws std::logic_error if no transmission callback is set.
   void start();
@@ -140,10 +146,21 @@ class TcpRenoSender {
   [[nodiscard]] double effective_window() const;
   [[nodiscard]] FlightRecord* record_for(SeqNo seq);
 
+  void emit(obs::ConnEventKind kind, double value = 0.0, double aux = 0.0) {
+    if (etrace_ != nullptr) {
+      etrace_->record(queue_.now(), kind, value, aux);
+    }
+  }
+  /// Records kRwndClamp/kRwndRelease transitions and, at detail
+  /// verbosity, every cwnd change. No-op with no trace attached.
+  void note_window_state();
+
   EventQueue& queue_;
   TcpRenoSenderConfig config_;
   SendSegmentFn send_segment_;
   SenderObserver* observer_ = nullptr;
+  obs::ConnEventTrace* etrace_ = nullptr;
+  bool rwnd_clamped_ = false;  ///< last reported clamp state (trace only)
 
   SeqNo next_seq_ = 0;
   SeqNo snd_una_ = 0;

@@ -95,6 +95,9 @@ void TfrcSender::recompute_rate() {
     rate_ = std::clamp(std::min(x_calc, cap), config_.min_rate_pps, config_.max_rate_pps);
   }
   rate_history_.push_back(rate_);
+  if (etrace_ != nullptr) {
+    etrace_->record(queue_.now(), obs::ConnEventKind::kTfrcRateUpdate, rate_, p_);
+  }
 }
 
 void TfrcSender::arm_no_feedback_timer() {
@@ -108,6 +111,9 @@ void TfrcSender::arm_no_feedback_timer() {
     ++stats_.no_feedback_halvings;
     rate_ = std::max(config_.min_rate_pps, rate_ / 2.0);
     rate_history_.push_back(rate_);
+    if (etrace_ != nullptr) {
+      etrace_->record(queue_.now(), obs::ConnEventKind::kTfrcNoFeedback, rate_, p_);
+    }
     arm_no_feedback_timer();
   });
 }

@@ -18,6 +18,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/conn_event_trace.hpp"
 #include "sim/event_queue.hpp"
 #include "tfrc/tfrc_packets.hpp"
 
@@ -51,6 +52,10 @@ class TfrcSender {
   /// Sets the packet transmission callback (required before start()).
   void set_send_packet(SendPacketFn fn) { send_packet_ = std::move(fn); }
 
+  /// Attaches a connection-event trace (nullptr detaches); rate changes
+  /// are recorded as kTfrcRateUpdate / kTfrcNoFeedback, purely passively.
+  void set_event_trace(obs::ConnEventTrace* trace) noexcept { etrace_ = trace; }
+
   /// Starts pacing packets.
   /// @throws std::logic_error if no transmission callback is set.
   void start();
@@ -76,6 +81,7 @@ class TfrcSender {
   sim::EventQueue& queue_;
   TfrcSenderConfig config_;
   SendPacketFn send_packet_;
+  obs::ConnEventTrace* etrace_ = nullptr;
 
   double rate_ = 1.0;
   double srtt_ = 0.0;

@@ -302,6 +302,105 @@ TEST(CampaignRunner, HourKindFillsPayloadAndMetrics) {
   EXPECT_FALSE(result.items[0].hour->intervals.empty());
 }
 
+TEST(CampaignRunner, SpansCoverEveryItemInSpecOrder) {
+  CampaignSpec spec = mixed_spec();
+  const std::string path = temp_path("spans.jsonl");
+  std::remove(path.c_str());
+  CampaignRunnerOptions options;
+  options.threads = 4;
+  options.journal_path = path;
+  const CampaignResult result = CampaignRunner(spec, options).run();
+
+  const auto items = spec.expand();
+  ASSERT_EQ(result.report.spans.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const obs::SpanRecord& span = result.report.spans[i];
+    EXPECT_EQ(span.name, items[i].key());  // spec order, regardless of workers
+    EXPECT_EQ(span.attempts, result.items[i].attempts);
+    EXPECT_GE(span.total_seconds, 0.0);
+    EXPECT_EQ(span.outcome, result.items[i].ok() ? "ok"
+              : result.items[i].status == ItemStatus::kFailedTransient
+                  ? "failed_transient"
+                  : "failed_permanent");
+    // Every attempt leaves a phase; retried items also have backoff phases.
+    EXPECT_GE(span.phases.size(), static_cast<std::size_t>(span.attempts));
+    // Each settled item is checkpointed exactly once.
+    EXPECT_EQ(span.journal_writes, 1u);
+    EXPECT_GT(span.journal_bytes, 0u);
+  }
+}
+
+TEST(CampaignRunner, JournalIoTotalsMatchTheFileAndTheMetrics) {
+  CampaignSpec spec = mixed_spec();
+  const std::string path = temp_path("journal_io.jsonl");
+  std::remove(path.c_str());
+  CampaignRunnerOptions options;
+  options.threads = 2;
+  options.journal_path = path;
+  const CampaignResult result = CampaignRunner(spec, options).run();
+
+  EXPECT_EQ(result.journal_io.writes, result.items.size());
+  EXPECT_EQ(result.journal_io.flushes, result.items.size());
+  EXPECT_EQ(result.journal_io.replayed, 0u);
+  EXPECT_EQ(result.journal_io.bytes, read_file(path).size());
+
+  std::uint64_t span_bytes = 0;
+  for (const obs::SpanRecord& span : result.report.spans) {
+    span_bytes += span.journal_bytes;
+  }
+  EXPECT_EQ(span_bytes, result.journal_io.bytes);
+
+  const obs::MetricValue* writes =
+      result.report.metrics.find("pftk_journal_writes_total");
+  const obs::MetricValue* bytes = result.report.metrics.find("pftk_journal_bytes_total");
+  ASSERT_NE(writes, nullptr);
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_DOUBLE_EQ(writes->value, static_cast<double>(result.journal_io.writes));
+  EXPECT_DOUBLE_EQ(bytes->value, static_cast<double>(result.journal_io.bytes));
+}
+
+TEST(CampaignRunner, ReportMetricsCountItemsAndOutcomes) {
+  const CampaignResult result = CampaignRunner(mixed_spec(), {}).run();
+  const obs::MetricValue* total =
+      result.report.metrics.find("pftk_campaign_items_total");
+  const obs::MetricValue* ok = result.report.metrics.find("pftk_campaign_items_ok_total");
+  ASSERT_NE(total, nullptr);
+  ASSERT_NE(ok, nullptr);
+  EXPECT_DOUBLE_EQ(total->value, static_cast<double>(result.items.size()));
+  EXPECT_DOUBLE_EQ(ok->value, static_cast<double>(result.report.succeeded));
+  EXPECT_LT(ok->value, total->value);  // the dark scenario fails items
+  // Retries happened (transient watchdog trips), so attempt latencies and
+  // retry counters are populated.
+  const obs::MetricValue* attempts = result.report.metrics.find("pftk_attempt_seconds");
+  ASSERT_NE(attempts, nullptr);
+  EXPECT_GE(attempts->count, result.items.size());
+  const obs::MetricValue* retries =
+      result.report.metrics.find("pftk_campaign_retries_total");
+  ASSERT_NE(retries, nullptr);
+  EXPECT_GT(retries->value, 0.0);
+}
+
+TEST(CampaignRunner, ResumedItemsCarryReplayedSpans) {
+  const std::string path = temp_path("span_resume.jsonl");
+  std::remove(path.c_str());
+  CampaignRunnerOptions options;
+  options.journal_path = path;
+  (void)CampaignRunner(mixed_spec(), options).run();
+
+  options.resume = true;
+  const CampaignResult resumed = CampaignRunner(mixed_spec(), options).run();
+  EXPECT_EQ(resumed.resumed, resumed.items.size());
+  ASSERT_EQ(resumed.report.spans.size(), resumed.items.size());
+  for (const obs::SpanRecord& span : resumed.report.spans) {
+    EXPECT_EQ(span.outcome, "replayed");
+    EXPECT_EQ(span.journal_writes, 0u);  // nothing re-written on replay
+  }
+  const obs::MetricValue* replayed =
+      resumed.report.metrics.find("pftk_journal_replayed_total");
+  ASSERT_NE(replayed, nullptr);
+  EXPECT_DOUBLE_EQ(replayed->value, static_cast<double>(resumed.items.size()));
+}
+
 TEST(CampaignRunner, RejectsBadOptions) {
   CampaignSpec spec = mixed_spec();
   CampaignRunnerOptions options;

@@ -1,0 +1,202 @@
+// The exporters' contract: Prometheus text follows the exposition
+// conventions (cumulative le buckets, _sum/_count), the pftk-obs/1 JSONL
+// round-trips losslessly, and the lenient reader salvages damaged files
+// line by line — but refuses files that are not obs files at all.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace pftk::obs {
+namespace {
+
+/// A snapshot with one of each metric kind and interesting values.
+MetricsSnapshot sample_snapshot() {
+  MetricsRegistry registry;
+  const MetricId sent = registry.counter("pftk_sent_total", "segments sent");
+  const MetricId peak = registry.gauge("pftk_peak", "heap high-water");
+  // Exactly-representable bounds, so the exposition text is predictable.
+  const MetricId lat =
+      registry.histogram("pftk_lat_seconds", "latency", {0.25, 0.5, 1.0});
+  registry.freeze(1);
+  auto& shard = registry.shard(0);
+  shard.add(sent, 42.0);
+  shard.set(peak, 17.0);
+  shard.observe(lat, 0.125);
+  shard.observe(lat, 0.25);
+  shard.observe(lat, 0.75);
+  shard.observe(lat, 3.0);
+  return registry.snapshot();
+}
+
+ObsBundle sample_bundle() {
+  ObsBundle bundle;
+  bundle.source = "test";
+  bundle.metrics = sample_snapshot();
+  bundle.events.push_back({0.5, ConnEventKind::kSlowStartEnter, 1.0, 1e9});
+  bundle.events.push_back({1.25, ConnEventKind::kRtoFire, 2.0, 3.5});
+  bundle.events_dropped = 3;
+  SpanRecord span;
+  span.name = "a->b/s1";
+  span.outcome = "ok";
+  span.attempts = 2;
+  span.total_seconds = 0.25;
+  span.backoff_seconds = 0.125;
+  span.journal_writes = 1;
+  span.journal_bytes = 120;
+  span.phases.push_back({"backoff", 0.125, "before attempt 2"});
+  span.phases.push_back({"attempt", 0.1, "ok"});
+  bundle.spans.push_back(span);
+  return bundle;
+}
+
+TEST(ObsExport, PrometheusTextFollowsExpositionConventions) {
+  std::ostringstream os;
+  write_prometheus(os, sample_snapshot());
+  const std::string text = os.str();
+
+  EXPECT_NE(text.find("# HELP pftk_sent_total segments sent\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pftk_sent_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("pftk_sent_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pftk_peak gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("pftk_peak 17\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pftk_lat_seconds histogram\n"), std::string::npos);
+  // Buckets are cumulative: 2 at le=0.25 (0.125 and the inclusive edge
+  // 0.25), still 2 at le=0.5, 3 at le=1.0, 4 at +Inf.
+  EXPECT_NE(text.find("pftk_lat_seconds_bucket{le=\"0.25\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("pftk_lat_seconds_bucket{le=\"0.5\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("pftk_lat_seconds_bucket{le=\"1\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("pftk_lat_seconds_bucket{le=\"+Inf\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("pftk_lat_seconds_count 4\n"), std::string::npos);
+  EXPECT_NE(text.find("pftk_lat_seconds_sum "), std::string::npos);
+}
+
+TEST(ObsExport, JsonlRoundTripIsLossless) {
+  const ObsBundle original = sample_bundle();
+  std::stringstream stream;
+  write_obs_jsonl(stream, original);
+
+  ObsReadReport report;
+  const ObsBundle back = read_obs_jsonl(stream, &report);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(back.source, "test");
+  EXPECT_EQ(back.events_dropped, 3u);
+
+  ASSERT_EQ(back.metrics.metrics.size(), original.metrics.metrics.size());
+  for (std::size_t i = 0; i < original.metrics.metrics.size(); ++i) {
+    const MetricValue& a = original.metrics.metrics[i];
+    const MetricValue& b = back.metrics.metrics[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.help, b.help);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_DOUBLE_EQ(a.value, b.value);
+    EXPECT_EQ(a.bounds, b.bounds);
+    EXPECT_EQ(a.buckets, b.buckets);
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_DOUBLE_EQ(a.sum, b.sum);
+    EXPECT_EQ(a.rejected, b.rejected);
+  }
+
+  ASSERT_EQ(back.events.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.events[0].t, 0.5);
+  EXPECT_EQ(back.events[0].kind, ConnEventKind::kSlowStartEnter);
+  EXPECT_DOUBLE_EQ(back.events[0].aux, 1e9);
+  EXPECT_EQ(back.events[1].kind, ConnEventKind::kRtoFire);
+  EXPECT_DOUBLE_EQ(back.events[1].value, 2.0);
+
+  ASSERT_EQ(back.spans.size(), 1u);
+  const SpanRecord& span = back.spans[0];
+  EXPECT_EQ(span.name, "a->b/s1");
+  EXPECT_EQ(span.outcome, "ok");
+  EXPECT_EQ(span.attempts, 2);
+  EXPECT_DOUBLE_EQ(span.total_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(span.backoff_seconds, 0.125);
+  EXPECT_EQ(span.journal_writes, 1u);
+  EXPECT_EQ(span.journal_bytes, 120u);
+  ASSERT_EQ(span.phases.size(), 2u);
+  EXPECT_EQ(span.phases[0].name, "backoff");
+  EXPECT_EQ(span.phases[0].detail, "before attempt 2");
+  EXPECT_EQ(span.phases[1].name, "attempt");
+}
+
+TEST(ObsExport, LenientReaderSalvagesDamagedLines) {
+  std::stringstream stream;
+  write_obs_jsonl(stream, sample_bundle());
+  std::string text = stream.str();
+
+  // Corrupt one metric line and append a torn tail — both must be
+  // dropped and counted, everything else salvaged.
+  const std::size_t at = text.find("\"name\":\"pftk_peak\"");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 6, "\"nope\"");
+  text += "{\"kind\":\"event\",\"t\":9.9,\"even";
+
+  std::istringstream is(text);
+  ObsReadReport report;
+  const ObsBundle back = read_obs_jsonl(is, &report);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.lines_dropped, 2u);
+  EXPECT_FALSE(report.first_error.empty());
+  EXPECT_EQ(back.metrics.metrics.size(), 2u);  // the gauge line was lost
+  EXPECT_EQ(back.events.size(), 2u);
+  EXPECT_EQ(back.spans.size(), 1u);
+}
+
+TEST(ObsExport, RejectsFilesWithoutAValidHeader) {
+  std::istringstream empty("");
+  EXPECT_THROW((void)read_obs_jsonl(empty), std::invalid_argument);
+
+  std::istringstream garbage("this is a TSV trace\n1\t2\t3\n");
+  EXPECT_THROW((void)read_obs_jsonl(garbage), std::invalid_argument);
+
+  std::istringstream wrong_schema(
+      "{\"schema\":\"pftk-obs/999\",\"kind\":\"header\",\"source\":\"x\","
+      "\"events_dropped\":0}\n");
+  EXPECT_THROW((void)read_obs_jsonl(wrong_schema), std::invalid_argument);
+}
+
+TEST(ObsExport, UnknownRecordKindsAreSkippedNotFatal) {
+  // Forward compatibility: a future writer may add record kinds; today's
+  // reader must count them as dropped and keep going.
+  std::istringstream is(
+      "{\"schema\":\"pftk-obs/1\",\"kind\":\"header\",\"source\":\"x\","
+      "\"events_dropped\":0}\n"
+      "{\"kind\":\"hologram\",\"data\":1}\n"
+      "{\"kind\":\"event\",\"t\":1,\"event\":\"rto_fire\",\"value\":1,\"aux\":0}\n");
+  ObsReadReport report;
+  const ObsBundle back = read_obs_jsonl(is, &report);
+  EXPECT_EQ(report.lines_dropped, 1u);
+  ASSERT_EQ(back.events.size(), 1u);
+  EXPECT_EQ(back.events[0].kind, ConnEventKind::kRtoFire);
+}
+
+TEST(ObsExport, FileWrappersPickFormatBySuffix) {
+  EXPECT_TRUE(is_prometheus_path("metrics.prom"));
+  EXPECT_FALSE(is_prometheus_path("metrics.jsonl"));
+  EXPECT_FALSE(is_prometheus_path("prom"));
+
+  const std::string dir = ::testing::TempDir();
+  const std::string jsonl_path = dir + "pftk_obs_roundtrip.jsonl";
+  save_obs_file(jsonl_path, sample_bundle());
+  ObsReadReport report;
+  const ObsBundle back = load_obs_file(jsonl_path, &report);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(back.source, "test");
+  EXPECT_EQ(back.events.size(), 2u);
+
+  const std::string prom_path = dir + "pftk_obs_roundtrip.prom";
+  save_obs_file(prom_path, sample_bundle());
+  EXPECT_THROW((void)load_obs_file(prom_path), std::invalid_argument);
+
+  EXPECT_THROW(save_obs_file(dir + "no/such/dir/x.jsonl", sample_bundle()),
+               std::invalid_argument);
+  EXPECT_THROW((void)load_obs_file(dir + "pftk_obs_missing.jsonl"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pftk::obs

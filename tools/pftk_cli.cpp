@@ -12,7 +12,16 @@
 //                                                  run under injected faults
 //   pftk campaign <spec-file> [--threads N] [--journal FILE] [--resume]
 //                                                  supervised grid campaign
-//   pftk bench [--smoke] [--json [FILE]]           hot-path micro-benchmarks
+//   pftk bench [--smoke] [--gate] [--json [FILE]]  hot-path micro-benchmarks
+//   pftk obs summarize <obs-file> [--json [FILE]]  TD/TO loss-indication split
+//
+// simulate, faultsim, and campaign additionally accept
+//   --metrics-out FILE    write a pftk-obs/1 metrics+events bundle
+//                         (Prometheus text when FILE ends in .prom)
+//   --trace-events FILE   write the connection-event timeline as JSONL
+// Observability is passive: with the flags present, stdout and any trace
+// file stay byte-identical to a run without them (all obs notices go to
+// stderr), and a fixed seed yields a byte-identical event stream.
 //
 // The simulate/analyze pair mirrors the paper's tcpdump-then-postprocess
 // workflow: `simulate ... trace.tsv` writes a capture that `analyze`
@@ -44,6 +53,12 @@
 #include "exp/hour_trace_experiment.hpp"
 #include "exp/micro_bench.hpp"
 #include "exp/table_format.hpp"
+#include "obs/conn_event_trace.hpp"
+#include "obs/event_loop_stats.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/standard_metrics.hpp"
+#include "obs/summarize.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/sim_watchdog.hpp"
 #include "trace/trace_io.hpp"
@@ -67,10 +82,97 @@ int usage() {
                "  pftk campaign <spec-file> [--threads N] [--journal FILE] [--resume]\n"
                "      supervised grid campaign (see EXPERIMENTS.md for the spec and\n"
                "      journal formats); exits 1 with a taxonomy summary on partial loss\n"
-               "  pftk bench [--smoke] [--json [FILE]]\n"
+               "  pftk bench [--smoke] [--gate] [--json [FILE]]\n"
                "      hot-path micro-benchmarks; --json writes BENCH_micro.json (or\n"
-               "      FILE); exits 1 if batched model evaluation drifts from scalar\n";
+               "      FILE); exits 1 if batched model evaluation drifts from scalar,\n"
+               "      or (with --gate) if obs overhead on dispatch exceeds 1.10x\n"
+               "  pftk obs summarize <obs-file> [--json [FILE]]\n"
+               "      TD/TO loss-indication breakdown of a pftk-obs/1 event file\n"
+               "\n"
+               "simulate/faultsim/campaign also accept --metrics-out FILE (pftk-obs/1\n"
+               "bundle; Prometheus text if FILE ends in .prom) and --trace-events FILE\n"
+               "(connection-event JSONL); stdout stays byte-identical either way\n";
   return 2;
+}
+
+/// Observability outputs requested on the command line.
+struct ObsOptions {
+  std::string metrics_out;   ///< --metrics-out FILE
+  std::string trace_events;  ///< --trace-events FILE
+  [[nodiscard]] bool enabled() const noexcept {
+    return !metrics_out.empty() || !trace_events.empty();
+  }
+};
+
+/// Pulls --metrics-out/--trace-events out of argv in place (compacting
+/// the remainder) so the positional grammars stay untouched.
+ObsOptions extract_obs_flags(int& argc, char** argv) {
+  ObsOptions opts;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-out" && i + 1 < argc) {
+      opts.metrics_out = argv[++i];
+    } else if (arg == "--trace-events" && i + 1 < argc) {
+      opts.trace_events = argv[++i];
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return opts;
+}
+
+/// Mirrors a finished connection's counters into `shard`. Reads only
+/// already-computed state, so it is safe after a watchdog abort too.
+void record_run_metrics(const pftk::obs::StandardMetrics& met,
+                        pftk::obs::MetricsShard& shard,
+                        const pftk::sim::Connection& conn,
+                        const pftk::obs::ConnEventTrace& etrace,
+                        const pftk::obs::EventLoopStats& loop, double avg_rtt) {
+  const auto& s = conn.sender().stats();
+  shard.add(met.packets_sent, static_cast<double>(s.transmissions));
+  shard.add(met.retransmissions, static_cast<double>(s.retransmissions));
+  shard.add(met.td_indications, static_cast<double>(s.fast_retransmits));
+  shard.add(met.timeouts, static_cast<double>(s.timeouts));
+  shard.add(met.acks, static_cast<double>(s.acks_received));
+  shard.add(met.dup_acks, static_cast<double>(s.dup_acks_received));
+  met.record_event_loop(shard, loop);
+  shard.add(met.conn_events, static_cast<double>(etrace.recorded()));
+  shard.add(met.conn_events_dropped, static_cast<double>(etrace.dropped()));
+  pftk::sim::FaultStats faults;
+  if (const auto* f = conn.forward_link().faults()) {
+    faults += f->stats();
+  }
+  if (const auto* f = conn.reverse_link().faults()) {
+    faults += f->stats();
+  }
+  shard.add(met.fault_offered, static_cast<double>(faults.offered));
+  shard.add(met.fault_dropped, static_cast<double>(faults.total_dropped()));
+  shard.add(met.fault_duplicated, static_cast<double>(faults.duplicated));
+  shard.add(met.fault_reordered, static_cast<double>(faults.reordered));
+  shard.add(met.fault_delayed, static_cast<double>(faults.delayed));
+  if (avg_rtt > 0.0) {
+    shard.observe(met.rtt_seconds, avg_rtt);
+  }
+}
+
+/// Writes the requested obs files. Notices go to stderr so stdout stays
+/// byte-identical with and without the flags (CI compares them).
+void export_obs_outputs(const ObsOptions& opts, const pftk::obs::ObsBundle& bundle) {
+  if (!opts.metrics_out.empty()) {
+    pftk::obs::save_obs_file(opts.metrics_out, bundle);
+    std::cerr << "obs: metrics written to " << opts.metrics_out << "\n";
+  }
+  if (!opts.trace_events.empty()) {
+    pftk::obs::ObsBundle events_only;
+    events_only.source = bundle.source;
+    events_only.events = bundle.events;
+    events_only.events_dropped = bundle.events_dropped;
+    pftk::obs::save_obs_file(opts.trace_events, events_only);
+    std::cerr << "obs: " << events_only.events.size() << " connection events written to "
+              << opts.trace_events << "\n";
+  }
 }
 
 int cmd_model(int argc, char** argv) {
@@ -154,6 +256,7 @@ int cmd_list() {
 }
 
 int cmd_simulate(int argc, char** argv) {
+  const ObsOptions obs_opts = extract_obs_flags(argc, argv);
   if (argc < 5) {
     return usage();
   }
@@ -165,6 +268,11 @@ int cmd_simulate(int argc, char** argv) {
   pftk::sim::Connection conn(pftk::exp::make_connection_config(profile, seed));
   pftk::trace::TraceRecorder recorder;
   conn.set_observer(&recorder);
+  pftk::obs::ConnEventTrace etrace;
+  pftk::obs::EventLoopStats loop;
+  if (obs_opts.enabled()) {
+    conn.attach_observability(&etrace, &loop);
+  }
   const auto run = conn.run_for(duration);
 
   auto row = pftk::trace::summarize_trace(recorder.events(), profile.dupack_threshold());
@@ -180,10 +288,23 @@ int cmd_simulate(int argc, char** argv) {
     std::cout << "  trace written to " << trace_path << " (" << recorder.events().size()
               << " events)\n";
   }
+  if (obs_opts.enabled()) {
+    pftk::obs::MetricsRegistry registry;
+    const auto met = pftk::obs::StandardMetrics::register_on(registry);
+    registry.freeze(1);
+    record_run_metrics(met, registry.shard(0), conn, etrace, loop, row.avg_rtt);
+    pftk::obs::ObsBundle bundle;
+    bundle.source = "simulate";
+    bundle.metrics = registry.snapshot();
+    bundle.events = etrace.events();
+    bundle.events_dropped = etrace.dropped();
+    export_obs_outputs(obs_opts, bundle);
+  }
   return 0;
 }
 
 int cmd_faultsim(int argc, char** argv) {
+  const ObsOptions obs_opts = extract_obs_flags(argc, argv);
   if (argc < 6) {
     return usage();
   }
@@ -199,13 +320,21 @@ int cmd_faultsim(int argc, char** argv) {
   conn.enable_watchdog();
   pftk::trace::TraceRecorder recorder;
   conn.set_observer(&recorder);
+  pftk::obs::ConnEventTrace etrace;
+  pftk::obs::EventLoopStats loop;
+  if (obs_opts.enabled()) {
+    conn.attach_observability(&etrace, &loop);
+  }
 
   std::cout << profile.label() << ", " << duration << " s, seed " << seed
             << "\n  schedule: " << schedule.describe() << "\n";
+  int exit_code = 0;
+  double avg_rtt = 0.0;
   try {
     const auto run = conn.run_for(duration);
     auto row =
         pftk::trace::summarize_trace(recorder.events(), profile.dupack_threshold());
+    avg_rtt = row.avg_rtt;
     std::cout << "  packets sent " << row.packets_sent << ", loss indications "
               << row.loss_indications << " (p = " << pftk::exp::fmt(row.observed_p, 4)
               << "), send rate " << pftk::exp::fmt(run.send_rate, 2) << " pkts/s\n"
@@ -218,17 +347,49 @@ int cmd_faultsim(int argc, char** argv) {
               << run.forward_faults.offered << " offered\n";
   } catch (const pftk::sim::WatchdogError& e) {
     std::cerr << "watchdog tripped:\n" << e.snapshot().describe() << "\n";
-    return 1;
+    exit_code = 1;
   }
-  if (!trace_path.empty()) {
+
+  // Trace write + verification. The immediate lenient re-read catches
+  // torn writes (full disk, crashed filesystem) while the capture can
+  // still be regenerated instead of at analysis time weeks later.
+  pftk::trace::TraceReadReport trace_report;
+  if (exit_code == 0 && !trace_path.empty()) {
     pftk::trace::save_trace_file(trace_path, recorder.events());
     std::cout << "  trace written to " << trace_path << " (" << recorder.events().size()
               << " events)\n";
+    (void)pftk::trace::load_trace_file_lenient(trace_path, &trace_report);
+    if (!trace_report.clean()) {
+      std::cerr << "warning: " << trace_path << ": " << trace_report.describe() << "\n";
+    }
   }
-  return 0;
+
+  if (obs_opts.enabled()) {
+    pftk::obs::MetricsRegistry registry;
+    const auto met = pftk::obs::StandardMetrics::register_on(registry);
+    registry.freeze(1);
+    auto& shard = registry.shard(0);
+    record_run_metrics(met, shard, conn, etrace, loop, avg_rtt);
+    if (exit_code != 0) {
+      shard.add(met.watchdog_trips, 1.0);
+    }
+    shard.add(met.trace_lines_dropped, static_cast<double>(trace_report.lines_dropped));
+    shard.add(met.trace_bytes_dropped, static_cast<double>(trace_report.bytes_dropped));
+    if (!trace_report.clean()) {
+      shard.add(met.trace_files_dirty, 1.0);
+    }
+    pftk::obs::ObsBundle bundle;
+    bundle.source = "faultsim";
+    bundle.metrics = registry.snapshot();
+    bundle.events = etrace.events();
+    bundle.events_dropped = etrace.dropped();
+    export_obs_outputs(obs_opts, bundle);
+  }
+  return exit_code;
 }
 
 int cmd_campaign(int argc, char** argv) {
+  const ObsOptions obs_opts = extract_obs_flags(argc, argv);
   if (argc < 3) {
     return usage();
   }
@@ -284,6 +445,46 @@ int cmd_campaign(int argc, char** argv) {
   t.print(std::cout);
 
   std::cout << "\n" << result.report.describe() << "\n";
+
+  // Surface trace-salvage damage as one line, not a screenful: campaigns
+  // run unattended and the operator needs a single grep-able signal.
+  std::size_t dirty_files = 0;
+  std::size_t salvage_lines_dropped = 0;
+  for (const auto& rr : result.report.read_reports) {
+    if (!rr.clean()) {
+      ++dirty_files;
+      salvage_lines_dropped += rr.lines_dropped;
+    }
+  }
+  if (dirty_files > 0) {
+    std::cerr << "warning: trace salvage: " << dirty_files << " dirty file(s), "
+              << salvage_lines_dropped << " line(s) dropped (see report)\n";
+  }
+
+  if (obs_opts.enabled()) {
+    pftk::obs::ObsBundle bundle;
+    bundle.source = "campaign";
+    bundle.metrics = result.report.metrics;
+    bundle.spans = result.report.spans;
+    if (dirty_files > 0) {
+      // Fold the salvage damage into the exported snapshot so the
+      // counters match the warning above.
+      pftk::obs::MetricsRegistry salvage;
+      const auto met = pftk::obs::StandardMetrics::register_on(salvage);
+      salvage.freeze(1);
+      auto& shard = salvage.shard(0);
+      std::size_t salvage_bytes = 0;
+      for (const auto& rr : result.report.read_reports) {
+        salvage_bytes += rr.bytes_dropped;
+      }
+      shard.add(met.trace_files_dirty, static_cast<double>(dirty_files));
+      shard.add(met.trace_lines_dropped, static_cast<double>(salvage_lines_dropped));
+      shard.add(met.trace_bytes_dropped, static_cast<double>(salvage_bytes));
+      bundle.metrics.merge(salvage.snapshot());
+    }
+    export_obs_outputs(obs_opts, bundle);
+  }
+
   if (!result.all_ok()) {
     std::cout << result.taxonomy_summary() << "\n";
     return 1;
@@ -294,11 +495,14 @@ int cmd_campaign(int argc, char** argv) {
 int cmd_bench(int argc, char** argv) {
   pftk::exp::MicroBenchConfig config;
   bool want_json = false;
+  bool gate_obs = false;
   std::string json_path = "BENCH_micro.json";
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       config = pftk::exp::MicroBenchConfig::smoke();
+    } else if (arg == "--gate") {
+      gate_obs = true;
     } else if (arg == "--json") {
       want_json = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') {
@@ -325,7 +529,11 @@ int cmd_bench(int argc, char** argv) {
             << pftk::exp::fmt(report.full_batch_speedup, 2) << "x\n"
             << "batched max relative error " << report.batch_max_rel_err
             << " (tolerance " << report.batch_tolerance << "): "
-            << (report.equivalence_ok ? "ok" : "FAIL") << "\n";
+            << (report.equivalence_ok ? "ok" : "FAIL") << "\n"
+            << "event-loop obs overhead "
+            << pftk::exp::fmt(report.obs_overhead_ratio, 3) << "x (tolerance "
+            << pftk::exp::fmt(report.obs_overhead_tolerance, 2) << "x): "
+            << (report.obs_overhead_ok() ? "ok" : (gate_obs ? "FAIL" : "high")) << "\n";
 
   if (want_json) {
     std::ofstream os(json_path);
@@ -336,7 +544,67 @@ int cmd_bench(int argc, char** argv) {
     pftk::exp::write_bench_json(os, report);
     std::cout << "json written to " << json_path << "\n";
   }
-  return report.equivalence_ok ? 0 : 1;
+  if (!report.equivalence_ok) {
+    return 1;
+  }
+  if (gate_obs && !report.obs_overhead_ok()) {
+    std::cerr << "error: obs overhead gate failed ("
+              << pftk::exp::fmt(report.obs_overhead_ratio, 3) << "x > "
+              << pftk::exp::fmt(report.obs_overhead_tolerance, 2) << "x)\n";
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_obs(int argc, char** argv) {
+  if (argc < 4 || std::string(argv[2]) != "summarize") {
+    return usage();
+  }
+  const std::string path = argv[3];
+  bool want_json = false;
+  std::string json_path;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      want_json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        json_path = argv[++i];
+      }
+    } else {
+      std::cerr << "unknown obs option: " << arg << "\n";
+      return usage();
+    }
+  }
+
+  pftk::obs::ObsReadReport read_report;
+  const auto bundle = pftk::obs::load_obs_file(path, &read_report);
+  if (!read_report.clean()) {
+    std::cerr << "warning: " << path << ": salvaged " << read_report.records_parsed
+              << " of " << read_report.lines_total << " line(s), "
+              << read_report.lines_dropped << " dropped (first error: "
+              << read_report.first_error << ")\n";
+  }
+
+  const auto breakdown = pftk::obs::summarize_events(bundle.events);
+  if (want_json) {
+    if (json_path.empty()) {
+      pftk::obs::write_breakdown_json(std::cout, breakdown, bundle.source,
+                                      bundle.events_dropped);
+    } else {
+      std::ofstream os(json_path);
+      if (!os) {
+        std::cerr << "error: cannot open " << json_path << " for writing\n";
+        return 1;
+      }
+      pftk::obs::write_breakdown_json(os, breakdown, bundle.source,
+                                      bundle.events_dropped);
+      std::cout << "json written to " << json_path << "\n";
+    }
+  } else {
+    std::cout << pftk::obs::render_breakdown_text(breakdown, bundle.source,
+                                                  bundle.events_dropped);
+  }
+  return 0;
 }
 
 int cmd_analyze(int argc, char** argv) {
@@ -401,6 +669,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "bench") {
       return cmd_bench(argc, argv);
+    }
+    if (cmd == "obs") {
+      return cmd_obs(argc, argv);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
