@@ -90,6 +90,11 @@ int main(int argc, char** argv) {
             << report.obs_overhead_ratio << "x (tolerance " << std::setprecision(2)
             << report.obs_overhead_tolerance << "x, "
             << (report.obs_overhead_ok() ? "ok" : (gate_obs ? "FAILED" : "high"))
+            << ")\n" << std::setprecision(3)
+            << "  disarmed failpoint overhead: " << report.failpoint_overhead_ratio
+            << "x (tolerance " << std::setprecision(2)
+            << report.failpoint_overhead_tolerance << "x, "
+            << (report.failpoint_overhead_ok() ? "ok" : (gate_obs ? "FAILED" : "high"))
             << ")\n";
 
   if (!baseline_path.empty()) {
@@ -134,6 +139,11 @@ int main(int argc, char** argv) {
   if (gate_obs && !report.obs_overhead_ok()) {
     std::cerr << "obs overhead gate failed: " << report.obs_overhead_ratio << "x > "
               << report.obs_overhead_tolerance << "x\n";
+    return 1;
+  }
+  if (gate_obs && !report.failpoint_overhead_ok()) {
+    std::cerr << "failpoint overhead gate failed: " << report.failpoint_overhead_ratio
+              << "x > " << report.failpoint_overhead_tolerance << "x\n";
     return 1;
   }
   return 0;

@@ -4,9 +4,9 @@
 #include <atomic>
 #include <exception>
 #include <filesystem>
-#include <fstream>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -16,6 +16,7 @@
 #include "exp/campaign/retry_policy.hpp"
 #include "obs/metrics.hpp"
 #include "obs/standard_metrics.hpp"
+#include "robust/durable_file.hpp"
 
 namespace pftk::exp::campaign {
 
@@ -109,7 +110,7 @@ std::string CampaignResult::taxonomy_summary() const {
   std::size_t permanent = 0;
   std::map<FailureKind, std::size_t> by_kind;  // ordered -> stable rendering
   for (const CampaignItemResult& result : items) {
-    if (result.ok()) {
+    if (result.ok() || result.status == ItemStatus::kNotRun) {
       continue;
     }
     (result.status == ItemStatus::kFailedTransient ? transient : permanent) += 1;
@@ -158,7 +159,7 @@ CampaignResult CampaignRunner::run() {
 
   // Replay the journal's ordered prefix; those items are already settled.
   std::size_t first_pending = 0;
-  std::ofstream journal;
+  std::optional<robust::DurableAppender> journal;
   if (!options_.journal_path.empty()) {
     if (options_.resume) {
       const JournalReplay replay = replay_journal_file(options_.journal_path);
@@ -204,12 +205,18 @@ CampaignResult CampaignRunner::run() {
                                    options_.journal_path + ": " + ec.message());
         }
       }
-      journal.open(options_.journal_path, std::ios::binary | std::ios::app);
-    } else {
-      journal.open(options_.journal_path, std::ios::binary | std::ios::trunc);
     }
-    if (!journal) {
-      throw std::invalid_argument("cannot open journal: " + options_.journal_path);
+    // Durable fd-level appender: every committed record is written with
+    // checked write(2) + fsync(2) per the configured cadence, with
+    // journal.append / journal.flush failpoints live on the path.
+    robust::DurableAppender::Options append_options;
+    append_options.truncate = !options_.resume;
+    append_options.fsync_every = options_.fsync_every;
+    try {
+      journal.emplace(options_.journal_path, append_options);
+    } catch (const robust::IoError& ex) {
+      throw std::invalid_argument("cannot open journal: " +
+                                  options_.journal_path + " (" + ex.what() + ")");
     }
   }
 
@@ -225,6 +232,11 @@ CampaignResult CampaignRunner::run() {
           std::this_thread::sleep_for(delay);
         }
       };
+
+  const auto stop_requested = [this] {
+    return options_.stop != nullptr &&
+           options_.stop->load(std::memory_order_relaxed);
+  };
 
   // One supervised item: attempt / classify / backoff-retry loop. The
   // span records wall timings per phase — diagnostics only, never fed
@@ -274,6 +286,9 @@ CampaignResult CampaignRunner::run() {
         return settled;
       } catch (const std::exception& ex) {
         const FailureVerdict verdict = classify_failure(ex);
+        if (verdict.kind == FailureKind::kInvariantViolation) {
+          shard.add(met.invariant_violations);
+        }
         const double secs = attempt_seconds();
         shard.observe(met.attempt_seconds, secs);
         settled.span.phases.push_back(obs::SpanPhase{
@@ -288,6 +303,15 @@ CampaignResult CampaignRunner::run() {
           return settled;
         }
         settled.status = ItemStatus::kFailedTransient;
+        // Graceful shutdown mid-ladder: abandon instead of settling a
+        // short-changed retry budget. An abandoned item is never
+        // journaled, so a --resume re-runs the full ladder and the
+        // final journal matches an uninterrupted run byte for byte.
+        if (stop_requested()) {
+          settled.status = ItemStatus::kNotRun;
+          close_span("abandoned");
+          return settled;
+        }
       }
     }
     close_span("failed_transient");
@@ -304,18 +328,13 @@ CampaignResult CampaignRunner::run() {
     pending.emplace(index, std::move(entry));
     for (auto it = pending.find(cursor); it != pending.end();
          it = pending.find(++cursor)) {
-      if (journal.is_open()) {
+      if (journal.has_value() && journal->is_open()) {
         const std::string line = it->second.to_json();
-        journal << line << '\n';
-        journal.flush();
-        if (!journal) {
-          throw std::runtime_error("journal write failed: " + options_.journal_path);
-        }
+        journal->append_line(line);  // throws IoError; fsync per cadence
         // Checkpoint I/O accounting: charged both to the campaign totals
         // and to the committed item's span. Safe to touch the item here:
         // its worker stored it before enqueueing, ordered by commit_mu.
         ++result.journal_io.writes;
-        ++result.journal_io.flushes;
         result.journal_io.bytes += line.size() + 1;
         result.items[it->first].span.journal_writes += 1;
         result.items[it->first].span.journal_bytes += line.size() + 1;
@@ -331,12 +350,21 @@ CampaignResult CampaignRunner::run() {
   const auto worker = [&](std::size_t worker_id) {
     obs::MetricsShard& shard = registry.shard(worker_id);
     while (!abort.load(std::memory_order_relaxed)) {
+      if (stop_requested()) {
+        return;  // graceful shutdown: stop admitting items
+      }
       const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
       if (index >= items.size()) {
         return;
       }
       try {
         CampaignItemResult settled = run_item(items[index], shard);
+        if (settled.status == ItemStatus::kNotRun) {
+          // Abandoned by shutdown: record it, but never journal it —
+          // a partial retry ladder must not become a durable verdict.
+          result.items[index] = std::move(settled);
+          return;
+        }
         JournalEntry entry = make_entry(settled);
         result.items[index] = std::move(settled);
         settle(index, std::move(entry));
@@ -370,6 +398,26 @@ CampaignResult CampaignRunner::run() {
     }
   }
 
+  // A stop request may leave items unclaimed (no worker ever touched
+  // them): mark them kNotRun so the result names every item.
+  result.interrupted = stop_requested();
+  if (result.interrupted) {
+    for (std::size_t i = first_pending; i < items.size(); ++i) {
+      CampaignItemResult& item_result = result.items[i];
+      if (item_result.attempts == 0 && !item_result.from_journal) {
+        item_result.item = items[i];
+        item_result.status = ItemStatus::kNotRun;
+      }
+    }
+  }
+
+  // Final journal durability: flush whatever the cadence left pending
+  // and surface close errors instead of dropping them.
+  if (journal.has_value()) {
+    journal->close();
+    result.journal_io.flushes = journal->fsyncs();
+  }
+
   // Aggregate RunReport, in deterministic spec order. Campaign-level
   // roll-up metrics land on shard 0 (the pool is quiescent by now).
   result.journal_io.replayed = static_cast<std::uint64_t>(first_pending);
@@ -379,6 +427,13 @@ CampaignResult CampaignRunner::run() {
   shard0.add(met.journal_flushes, static_cast<double>(result.journal_io.flushes));
   shard0.add(met.journal_replayed, static_cast<double>(result.journal_io.replayed));
   for (const CampaignItemResult& item_result : result.items) {
+    if (item_result.status == ItemStatus::kNotRun) {
+      ++result.not_run;
+      if (!item_result.span.name.empty()) {
+        result.report.spans.push_back(item_result.span);
+      }
+      continue;  // abandoned, not attempted: resume picks it up
+    }
     shard0.add(met.items_total);
     if (item_result.ok()) {
       shard0.add(met.items_ok);
@@ -402,6 +457,7 @@ CampaignResult CampaignRunner::run() {
     }
     result.report.spans.push_back(item_result.span);
   }
+  result.report.interrupted = result.interrupted;
   result.report.metrics = registry.snapshot();
   return result;
 }

@@ -22,6 +22,7 @@
 //                   which are inherently load-dependent).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <optional>
@@ -52,6 +53,8 @@ enum class ItemStatus {
   kOk,
   kFailedTransient,  ///< transient failure, retries exhausted
   kFailedPermanent,  ///< permanent failure, recorded once
+  kNotRun,           ///< abandoned by graceful shutdown; never journaled,
+                     ///< so a --resume re-runs it from scratch
 };
 
 /// One item's supervised result, in spec order.
@@ -79,6 +82,8 @@ struct CampaignResult {
   RunReport report;  ///< aggregate over all items, incl. spans + metrics
   std::size_t resumed = 0;                ///< items satisfied by the journal
   obs::CheckpointIoStats journal_io;      ///< checkpoint-journal I/O totals
+  bool interrupted = false;  ///< a stop request cut the campaign short
+  std::size_t not_run = 0;   ///< items abandoned by the stop (resumable)
 
   [[nodiscard]] bool all_ok() const noexcept { return report.all_ok(); }
 
@@ -102,6 +107,16 @@ struct CampaignRunnerOptions {
   bool resume = false;       ///< replay an existing journal first
   ItemExecutor executor;     ///< empty = built-in simulation executor
   std::function<void(std::chrono::milliseconds)> sleep;  ///< empty = real sleep
+  /// fsync the journal after every N committed records (robust durable
+  /// appender). 1 = every record durable before the next commit (the
+  /// default, and what the crash-consistency guarantee assumes); 0 =
+  /// only on close.
+  std::uint64_t fsync_every = 1;
+  /// Cooperative stop flag (e.g. ShutdownGuard::stop_flag()). When it
+  /// goes true, workers stop claiming items, in-flight retry ladders are
+  /// abandoned after the current attempt (those items settle kNotRun and
+  /// are *not* journaled), and the result reports `interrupted`.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 /// The built-in executor: runs item's simulation per spec.kind under the

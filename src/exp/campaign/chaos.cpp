@@ -1,0 +1,205 @@
+#include "exp/campaign/chaos.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "robust/durable_file.hpp"
+#include "robust/failpoint.hpp"
+
+namespace pftk::exp::campaign {
+
+namespace {
+
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    return {};
+  }
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+CampaignResult run_once(const CampaignSpec& spec, const ChaosOptions& options,
+                        const std::string& journal_path, bool resume) {
+  CampaignRunnerOptions runner_options;
+  runner_options.threads = options.threads;
+  runner_options.journal_path = journal_path;
+  runner_options.resume = resume;
+  runner_options.fsync_every = options.fsync_every;
+  runner_options.executor = options.executor;
+  // Chaos campaigns must converge byte-for-byte, so never actually
+  // sleep through backoff — delays only stretch the wall clock.
+  runner_options.sleep = [](std::chrono::milliseconds) {};
+  CampaignRunner runner(spec, runner_options);
+  return runner.run();
+}
+
+/// First byte offset where the two strings differ (for diagnostics).
+std::string first_divergence(const std::string& a, const std::string& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t i = 0;
+  while (i < n && a[i] == b[i]) {
+    ++i;
+  }
+  std::ostringstream os;
+  os << "sizes " << a.size() << " vs " << b.size() << ", first differing byte at "
+     << i;
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<std::string> default_journal_crash_failpoints(
+    std::size_t item_count) {
+  const std::size_t mid = item_count / 2;
+  std::vector<std::string> specs;
+  // Crash before any byte of a record (torn tail of length 0), after a
+  // few bytes (a mid-record tear), and at the fsync after a full record
+  // — each at the first commit and mid-campaign.
+  for (const std::size_t after : {std::size_t{0}, mid}) {
+    specs.push_back("journal.append:after=" + std::to_string(after) +
+                    ":action=crash");
+    specs.push_back("journal.append:after=" + std::to_string(after) +
+                    ":action=crash:arg=8");
+    specs.push_back("journal.flush:after=" + std::to_string(after) +
+                    ":action=crash");
+  }
+  return specs;
+}
+
+std::string campaign_digest(const CampaignResult& result) {
+  std::ostringstream os;
+  os << "attempted=" << result.report.attempted
+     << ";succeeded=" << result.report.succeeded
+     << ";failures=" << result.report.failures.size()
+     << ";interrupted=" << (result.report.interrupted ? 1 : 0) << "\n";
+  for (const CampaignItemResult& item : result.items) {
+    os << item.item.index << ":" << item.item.key() << ":";
+    switch (item.status) {
+      case ItemStatus::kOk:
+        os << "ok";
+        break;
+      case ItemStatus::kFailedTransient:
+        os << "failed_transient";
+        break;
+      case ItemStatus::kFailedPermanent:
+        os << "failed_permanent";
+        break;
+      case ItemStatus::kNotRun:
+        os << "not_run";
+        break;
+    }
+    os << ":attempts=" << item.attempts << ":kind="
+       << failure_kind_name(item.failure_kind) << "\n";
+  }
+  return os.str();
+}
+
+ChaosReport run_chaos_matrix(const CampaignSpec& spec,
+                             const ChaosOptions& options) {
+  if (options.work_dir.empty()) {
+    throw std::invalid_argument("run_chaos_matrix: work_dir is required");
+  }
+  std::filesystem::create_directories(options.work_dir);
+
+  ChaosReport report;
+
+  // Uninterrupted reference: the byte/digest ground truth.
+  const std::string reference_journal = options.work_dir + "/reference.jsonl";
+  const CampaignResult reference =
+      run_once(spec, options, reference_journal, /*resume=*/false);
+  const std::string reference_bytes = read_file_bytes(reference_journal);
+  report.reference_digest = campaign_digest(reference);
+  report.reference_journal_bytes = reference_bytes.size();
+
+  const std::vector<std::string> specs =
+      options.failpoints.empty()
+          ? default_journal_crash_failpoints(spec.expand().size())
+          : options.failpoints;
+
+  int case_index = 0;
+  for (const std::string& failpoint_spec : specs) {
+    ChaosCaseResult chaos_case;
+    chaos_case.failpoint = failpoint_spec;
+    const std::string journal =
+        options.work_dir + "/chaos_" + std::to_string(case_index++) + ".jsonl";
+
+    // Child: arm the failpoint and run the same campaign. The armed
+    // crash action _Exits mid-write, leaving whatever bytes reached the
+    // kernel — a genuine torn journal, not a simulated one.
+    ::fflush(nullptr);  // don't duplicate buffered output into the child
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      throw std::runtime_error("run_chaos_matrix: fork failed");
+    }
+    if (pid == 0) {
+      int code = 0;
+      try {
+        robust::FailpointRegistry::instance().arm_specs(failpoint_spec);
+        (void)run_once(spec, options, journal, /*resume=*/false);
+      } catch (const std::exception&) {
+        // An injected error (non-crash action) surfaces here; the
+        // journal's committed prefix is still valid — resumable.
+        code = 9;
+      } catch (...) {
+        code = 10;
+      }
+      std::_Exit(code);
+    }
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0) {
+      throw std::runtime_error("run_chaos_matrix: waitpid failed");
+    }
+    chaos_case.child_exit = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    chaos_case.crashed = chaos_case.child_exit == robust::kCrashExitCode;
+
+    // Parent (disarmed): resume from whatever the crash left behind,
+    // then require byte/digest convergence with the reference.
+    try {
+      const CampaignResult resumed =
+          run_once(spec, options, journal, /*resume=*/true);
+      const std::string final_bytes = read_file_bytes(journal);
+      chaos_case.journal_identical = final_bytes == reference_bytes;
+      const std::string digest = campaign_digest(resumed);
+      chaos_case.report_identical = digest == report.reference_digest;
+      if (!chaos_case.journal_identical) {
+        chaos_case.detail =
+            "journal diverged: " + first_divergence(final_bytes, reference_bytes);
+      } else if (!chaos_case.report_identical) {
+        chaos_case.detail = "report digest diverged";
+      }
+    } catch (const std::exception& ex) {
+      chaos_case.detail = std::string("resume failed: ") + ex.what();
+    }
+    report.cases.push_back(std::move(chaos_case));
+  }
+  return report;
+}
+
+std::string describe(const ChaosReport& report) {
+  std::ostringstream os;
+  os << "chaos matrix: " << report.cases.size() << " cases against a "
+     << report.reference_journal_bytes << "-byte reference journal\n";
+  for (const ChaosCaseResult& c : report.cases) {
+    os << "  " << (c.ok() ? "PASS" : "FAIL") << "  " << c.failpoint
+       << "  (child exit " << c.child_exit
+       << (c.crashed ? ", crashed as injected" : "") << ")";
+    if (!c.detail.empty()) {
+      os << "  " << c.detail;
+    }
+    os << "\n";
+  }
+  os << (report.all_ok() ? "crash-consistency holds: every resumed journal and "
+                           "report matches the uninterrupted run"
+                         : "CRASH-CONSISTENCY VIOLATION: see failing cases above");
+  return os.str();
+}
+
+}  // namespace pftk::exp::campaign

@@ -1,5 +1,7 @@
 #include "exp/campaign/failure_taxonomy.hpp"
 
+#include "robust/durable_file.hpp"
+#include "sim/invariants.hpp"
 #include "sim/sim_watchdog.hpp"
 
 namespace pftk::exp::campaign {
@@ -9,6 +11,16 @@ FailureVerdict classify_failure(const std::exception& ex) {
     return {FailureClass::kTransient, wd->snapshot().wall_deadline
                                           ? FailureKind::kWallDeadline
                                           : FailureKind::kWatchdogStall};
+  }
+  if (dynamic_cast<const sim::InvariantViolation*>(&ex) != nullptr) {
+    // A broken protocol invariant is deterministic — the same inputs
+    // break it the same way, so retrying only re-proves the bug.
+    return {FailureClass::kPermanent, FailureKind::kInvariantViolation};
+  }
+  if (dynamic_cast<const robust::IoError*>(&ex) != nullptr) {
+    // Checked I/O failure (short write, ENOSPC, injected fault): a
+    // machine condition, not a property of the work item — retryable.
+    return {FailureClass::kTransient, FailureKind::kIoError};
   }
   if (dynamic_cast<const TransientCampaignError*>(&ex) != nullptr) {
     return {FailureClass::kTransient, FailureKind::kMarkedTransient};
@@ -45,6 +57,10 @@ std::string_view failure_kind_name(FailureKind kind) noexcept {
       return "transient";
     case FailureKind::kInvalidInput:
       return "invalid";
+    case FailureKind::kIoError:
+      return "io_error";
+    case FailureKind::kInvariantViolation:
+      return "invariant";
     case FailureKind::kUnknown:
       break;
   }
@@ -55,7 +71,8 @@ FailureKind failure_kind_from_name(std::string_view name) {
   for (const FailureKind kind :
        {FailureKind::kNone, FailureKind::kWatchdogStall, FailureKind::kWallDeadline,
         FailureKind::kTruncatedTrace, FailureKind::kMarkedTransient,
-        FailureKind::kInvalidInput, FailureKind::kUnknown}) {
+        FailureKind::kInvalidInput, FailureKind::kIoError,
+        FailureKind::kInvariantViolation, FailureKind::kUnknown}) {
     if (failure_kind_name(kind) == name) {
       return kind;
     }

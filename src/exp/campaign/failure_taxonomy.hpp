@@ -37,6 +37,8 @@ enum class FailureKind {
   kTruncatedTrace,  ///< salvageable truncated/partial trace input
   kMarkedTransient, ///< code explicitly threw TransientCampaignError
   kInvalidInput,    ///< invalid profile / schedule / ModelParams
+  kIoError,         ///< checked I/O failure (robust::IoError) — transient
+  kInvariantViolation, ///< broken protocol invariant — permanent bug
   kUnknown,         ///< anything else (treated as permanent)
 };
 
@@ -69,7 +71,7 @@ class TransientCampaignError : public std::runtime_error {
 [[nodiscard]] std::string_view failure_class_name(FailureClass cls) noexcept;
 
 /// Stable lowercase token ("watchdog", "deadline", "truncated",
-/// "transient", "invalid", "unknown", "none").
+/// "transient", "invalid", "io_error", "invariant", "unknown", "none").
 [[nodiscard]] std::string_view failure_kind_name(FailureKind kind) noexcept;
 
 /// Inverse of failure_kind_name (used by journal replay).

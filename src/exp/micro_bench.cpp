@@ -13,6 +13,7 @@
 #include "core/batch_eval.hpp"
 #include "core/full_model.hpp"
 #include "obs/event_loop_stats.hpp"
+#include "robust/failpoint.hpp"
 #include "sim/event_queue.hpp"
 #include "trace/trace_event.hpp"
 #include "trace/trace_io.hpp"
@@ -264,6 +265,60 @@ std::string make_trace_text(std::size_t events) {
   return os.str();
 }
 
+/// Formats one journal-shaped record into `buf` — the per-record work
+/// that surrounds every failpoint check on the campaign append path.
+void format_journal_record(std::string& buf, std::uint64_t i, double value) {
+  buf.clear();
+  buf += "{\"index\": ";
+  buf += std::to_string(i);
+  buf += ", \"status\": \"ok\", \"value\": ";
+  buf += std::to_string(value);
+  buf += "}";
+}
+
+MicroBenchResult bench_journal_serialize(const MicroBenchConfig& config) {
+  std::string buf;
+  std::uint64_t sink = 0;
+  const double secs = best_seconds(config.repeats, [&] {
+    sink = 0;
+    for (std::uint64_t i = 0; i < config.journal_records; ++i) {
+      format_journal_record(buf, i, 1e-3 * static_cast<double>(i & 1023));
+      sink += buf.size();
+    }
+  });
+  MicroBenchResult r;
+  r.name = "journal.serialize";
+  r.unit = "ns/record";
+  r.items = config.journal_records + (sink & 1);  // keep `sink` observable
+  r.value = secs * 1e9 / static_cast<double>(config.journal_records);
+  r.per_second = static_cast<double>(config.journal_records) / secs;
+  return r;
+}
+
+/// The same serialization loop with a disarmed failpoint evaluated per
+/// record — exactly what DurableAppender::append_line pays when no chaos
+/// spec is armed. Paired with bench_journal_serialize it yields the
+/// failpoint overhead ratio the CI gate holds at <= 1.10.
+MicroBenchResult bench_journal_serialize_failpoint(const MicroBenchConfig& config) {
+  std::string buf;
+  std::uint64_t sink = 0;
+  const double secs = best_seconds(config.repeats, [&] {
+    sink = 0;
+    for (std::uint64_t i = 0; i < config.journal_records; ++i) {
+      format_journal_record(buf, i, 1e-3 * static_cast<double>(i & 1023));
+      const robust::FailpointHit hit = robust::failpoint("journal.append");
+      sink += buf.size() + static_cast<std::uint64_t>(hit.fired());
+    }
+  });
+  MicroBenchResult r;
+  r.name = "journal.serialize_failpoint";
+  r.unit = "ns/record";
+  r.items = config.journal_records + (sink & 1);
+  r.value = secs * 1e9 / static_cast<double>(config.journal_records);
+  r.per_second = static_cast<double>(config.journal_records) / secs;
+  return r;
+}
+
 MicroBenchResult bench_trace_parse(const MicroBenchConfig& config) {
   const std::string text = make_trace_text(config.trace_events);
   std::size_t parsed = 0;
@@ -297,6 +352,7 @@ MicroBenchConfig MicroBenchConfig::smoke() {
   config.churn_events = 20'000;
   config.model_grid_points = 10'000;  // full size: the equivalence grid is cheap
   config.trace_events = 10'000;
+  config.journal_records = 50'000;
   return config;
 }
 
@@ -334,6 +390,12 @@ MicroBenchReport run_micro_bench(const MicroBenchConfig& config) {
   report.batch_max_rel_err = std::max(approx.max_rel_err, full.max_rel_err);
   report.equivalence_ok = report.batch_max_rel_err <= report.batch_tolerance;
 
+  report.results.push_back(bench_journal_serialize(config));
+  report.results.push_back(bench_journal_serialize_failpoint(config));
+  report.failpoint_overhead_ratio =
+      report.results[report.results.size() - 1].value /
+      report.results[report.results.size() - 2].value;
+
   report.results.push_back(bench_trace_parse(config));
   return report;
 }
@@ -356,7 +418,13 @@ void write_bench_json(std::ostream& os, const MicroBenchReport& report) {
      << "    \"obs_overhead_ratio\": " << report.obs_overhead_ratio << ",\n"
      << "    \"obs_overhead_tolerance\": " << report.obs_overhead_tolerance << ",\n"
      << "    \"obs_overhead_ok\": " << (report.obs_overhead_ok() ? "true" : "false")
-     << "\n"
+     << ",\n"
+     << "    \"failpoint_overhead_ratio\": " << report.failpoint_overhead_ratio
+     << ",\n"
+     << "    \"failpoint_overhead_tolerance\": "
+     << report.failpoint_overhead_tolerance << ",\n"
+     << "    \"failpoint_overhead_ok\": "
+     << (report.failpoint_overhead_ok() ? "true" : "false") << "\n"
      << "  },\n"
      << "  \"equivalence\": {\n"
      << "    \"batch_max_rel_err\": " << report.batch_max_rel_err << ",\n"

@@ -38,6 +38,7 @@ struct MicroBenchConfig {
   std::uint64_t churn_events = 500'000;     ///< executed events, cancel-heavy mix
   std::size_t model_grid_points = 10'000;   ///< p-grid size for model benches
   std::size_t trace_events = 200'000;       ///< synthetic trace records
+  std::uint64_t journal_records = 1'000'000;  ///< records for failpoint bench
 
   /// Reduced-size configuration for CI smoke runs (~100x cheaper).
   [[nodiscard]] static MicroBenchConfig smoke();
@@ -68,9 +69,19 @@ struct MicroBenchReport {
   /// runs fail when this exceeds obs_overhead_tolerance.
   double obs_overhead_ratio = 0.0;
   double obs_overhead_tolerance = 1.10;
+  /// journal.serialize_failpoint ns over journal.serialize ns: what the
+  /// disarmed failpoint check costs per journal record on the campaign
+  /// persistence path. Gated alongside the obs ratio — the chaos layer
+  /// must be free when it is not injecting.
+  double failpoint_overhead_ratio = 0.0;
+  double failpoint_overhead_tolerance = 1.10;
 
   [[nodiscard]] bool obs_overhead_ok() const noexcept {
     return obs_overhead_ratio <= obs_overhead_tolerance;
+  }
+
+  [[nodiscard]] bool failpoint_overhead_ok() const noexcept {
+    return failpoint_overhead_ratio <= failpoint_overhead_tolerance;
   }
 
   [[nodiscard]] const MicroBenchResult* find(const std::string& name) const noexcept;

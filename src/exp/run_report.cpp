@@ -25,12 +25,16 @@ RunReport& RunReport::merge(const RunReport& other) {
                       other.read_reports.end());
   spans.insert(spans.end(), other.spans.begin(), other.spans.end());
   metrics.merge(other.metrics);
+  interrupted = interrupted || other.interrupted;
   return *this;
 }
 
 std::string RunReport::describe() const {
   std::ostringstream os;
   os << succeeded << "/" << attempted << " runs ok";
+  if (interrupted) {
+    os << " (interrupted)";
+  }
   if (!failures.empty()) {
     os << "; " << failures.size() << " failed:";
     for (const RunFailure& failure : failures) {

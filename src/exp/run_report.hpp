@@ -45,6 +45,10 @@ struct RunReport {
   std::vector<obs::SpanRecord> spans;
   /// Merged metrics snapshot (empty when observability was off).
   obs::MetricsSnapshot metrics;
+  /// True when the run was cut short by SIGINT/SIGTERM: items not yet
+  /// settled were abandoned (not counted as attempted or failed) and the
+  /// journal remains valid for `--resume`.
+  bool interrupted = false;
 
   [[nodiscard]] bool all_ok() const noexcept { return failures.empty(); }
 

@@ -9,6 +9,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "robust/durable_file.hpp"
+
 namespace pftk::obs {
 
 namespace {
@@ -335,19 +337,20 @@ bool is_prometheus_path(const std::string& path) noexcept {
 }
 
 void save_obs_file(const std::string& path, const ObsBundle& bundle) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) {
-    throw std::invalid_argument("cannot open " + path + " for writing");
-  }
-  if (is_prometheus_path(path)) {
+  // Serialize in memory, then durably replace the target: write-temp +
+  // fsync + atomic rename. A crash (or injected export.* failpoint)
+  // mid-write never leaves a half-written export behind, and every
+  // write/flush/close error surfaces as robust::IoError — which the
+  // campaign failure taxonomy classifies instead of dropping.
+  std::ostringstream os;
+  const bool prometheus = is_prometheus_path(path);
+  if (prometheus) {
     write_prometheus(os, bundle.metrics);
   } else {
     write_obs_jsonl(os, bundle);
   }
-  os.flush();
-  if (!os) {
-    throw std::invalid_argument("write failed: " + path);
-  }
+  robust::atomic_write_file(
+      path, os.str(), prometheus ? "export.prom.write" : "export.jsonl.write");
 }
 
 ObsBundle load_obs_file(const std::string& path, ObsReadReport* report) {

@@ -55,6 +55,8 @@ StandardMetrics StandardMetrics::register_on(MetricsRegistry& r) {
   m.backoff_seconds = r.histogram(
       "pftk_backoff_seconds", "Retry backoff waits (wall seconds)",
       {0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0});
+  m.invariant_violations = r.counter("pftk_invariant_violations_total",
+                                     "Runtime TCP invariant violations");
   m.items_total = r.counter("pftk_campaign_items_total", "Campaign items settled");
   m.items_ok = r.counter("pftk_campaign_items_ok_total", "Campaign items succeeded");
   m.retries = r.counter("pftk_campaign_retries_total",

@@ -44,6 +44,7 @@ struct StandardMetrics {
   MetricId trace_files_dirty;    ///< pftk_trace_files_dirty_total
   // Supervision.
   MetricId watchdog_trips;  ///< pftk_watchdog_trips_total
+  MetricId invariant_violations;  ///< pftk_invariant_violations_total
   // Latency histograms (wall clock; profiling only).
   MetricId rtt_seconds;      ///< pftk_rtt_seconds (simulated RTT samples)
   MetricId attempt_seconds;  ///< pftk_attempt_seconds (campaign attempts)

@@ -1,0 +1,242 @@
+#include "robust/durable_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace pftk::robust {
+
+namespace {
+
+std::string errno_message(std::string_view what, std::string_view path,
+                          int err) {
+  std::string msg(what);
+  msg += " ";
+  msg += path;
+  msg += ": ";
+  msg += std::strerror(err);
+  return msg;
+}
+
+/// write(2) until done, retrying EINTR. Throws IoError (ENOSPC flagged).
+void write_all(int fd, const char* data, std::size_t len,
+               std::string_view path) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(fd, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw IoError(errno_message("write failed for", path, errno),
+                    errno == ENOSPC);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void fsync_checked(int fd, std::string_view path) {
+  if (::fsync(fd) != 0) {
+    throw IoError(errno_message("fsync failed for", path, errno),
+                  errno == ENOSPC);
+  }
+}
+
+/// fsyncs the directory holding `path` so a completed rename is durable.
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    // Some filesystems refuse opening directories read-only (or we lack
+    // permission); the rename itself already happened, so do not fail
+    // the write over a weaker durability guarantee we cannot obtain.
+    return;
+  }
+  const int rc = ::fsync(fd);
+  const int err = errno;
+  ::close(fd);
+  if (rc != 0 && err != EINVAL && err != ENOTSUP) {
+    throw IoError(errno_message("fsync failed for directory", dir, err),
+                  err == ENOSPC);
+  }
+}
+
+}  // namespace
+
+void apply_failpoint(const FailpointHit& hit, std::string_view site) {
+  switch (hit.action) {
+    case FailpointAction::kOff:
+    case FailpointAction::kDelay:  // consumed inside evaluate()
+      return;
+    case FailpointAction::kEnospc:
+      throw IoError("injected disk-full at " + std::string(site),
+                    /*disk_full=*/true);
+    case FailpointAction::kCrash:
+      crash_now();
+    case FailpointAction::kError:
+    case FailpointAction::kShortWrite:
+      throw IoError("injected I/O error at " + std::string(site));
+  }
+  throw IoError("injected I/O error at " + std::string(site));
+}
+
+void atomic_write_file(const std::string& path, std::string_view content,
+                       std::string_view write_failpoint) {
+  if (path.empty()) {
+    throw IoError("atomic_write_file: empty path");
+  }
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw IoError(errno_message("cannot open", tmp, errno), errno == ENOSPC);
+  }
+  try {
+    const FailpointHit hit = failpoint(write_failpoint);
+    if (hit.action == FailpointAction::kShortWrite ||
+        hit.action == FailpointAction::kCrash) {
+      // Honor the partial payload: `arg` bytes reach the temp file, then
+      // the write fails or the process dies. Either way the *target* is
+      // untouched — that is the atomicity being tested.
+      const std::size_t partial =
+          std::min<std::size_t>(hit.arg, content.size());
+      write_all(fd, content.data(), partial, tmp);
+      if (hit.action == FailpointAction::kCrash) {
+        crash_now();
+      }
+      throw IoError("injected short write at " + std::string(write_failpoint) +
+                    " (" + std::to_string(partial) + " of " +
+                    std::to_string(content.size()) + " bytes)");
+    }
+    apply_failpoint(hit, write_failpoint);
+    write_all(fd, content.data(), content.size(), tmp);
+    fsync_checked(fd, tmp);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw IoError(errno_message("close failed for", tmp, err), err == ENOSPC);
+  }
+  try {
+    apply_failpoint(failpoint("checkpoint.rename"), "checkpoint.rename");
+  } catch (...) {
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw IoError(errno_message("rename failed for", path, err),
+                  err == ENOSPC);
+  }
+  fsync_parent_dir(path);
+}
+
+DurableAppender::DurableAppender(std::string path, Options options)
+    : path_(std::move(path)), options_(std::move(options)) {
+  const int flags =
+      O_WRONLY | O_CREAT | (options_.truncate ? O_TRUNC : O_APPEND);
+  fd_ = ::open(path_.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    throw IoError(errno_message("cannot open", path_, errno), errno == ENOSPC);
+  }
+}
+
+DurableAppender::~DurableAppender() {
+  if (fd_ >= 0) {
+    ::close(fd_);  // best-effort; checked shutdown goes through close()
+    fd_ = -1;
+  }
+}
+
+void DurableAppender::fail_and_close(const std::string& what, bool disk_full) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  throw IoError(what, disk_full);
+}
+
+void DurableAppender::append_line(std::string_view line) {
+  if (fd_ < 0) {
+    throw IoError("append to closed file " + path_);
+  }
+  std::string buf;
+  buf.reserve(line.size() + 1);
+  buf.append(line);
+  buf.push_back('\n');
+
+  const FailpointHit hit = failpoint(options_.append_failpoint);
+  if (hit.action == FailpointAction::kShortWrite ||
+      hit.action == FailpointAction::kCrash) {
+    // Write only `arg` bytes of the record — the torn tail the replay
+    // layer must drop — then fail or die.
+    const std::size_t partial = std::min<std::size_t>(hit.arg, buf.size());
+    try {
+      write_all(fd_, buf.data(), partial, path_);
+    } catch (const IoError& ex) {
+      fail_and_close(ex.what(), ex.disk_full());
+    }
+    bytes_ += partial;
+    if (hit.action == FailpointAction::kCrash) {
+      crash_now();
+    }
+    fail_and_close("injected short write at " + options_.append_failpoint +
+                       " (" + std::to_string(partial) + " of " +
+                       std::to_string(buf.size()) + " bytes)",
+                   false);
+  }
+  try {
+    apply_failpoint(hit, options_.append_failpoint);
+    write_all(fd_, buf.data(), buf.size(), path_);
+  } catch (const IoError& ex) {
+    fail_and_close(ex.what(), ex.disk_full());
+  }
+  bytes_ += buf.size();
+  ++lines_;
+  ++lines_since_sync_;
+  if (options_.fsync_every != 0 && lines_since_sync_ >= options_.fsync_every) {
+    sync();
+  }
+}
+
+void DurableAppender::sync() {
+  if (fd_ < 0) {
+    throw IoError("sync on closed file " + path_);
+  }
+  try {
+    apply_failpoint(failpoint(options_.flush_failpoint),
+                    options_.flush_failpoint);
+    fsync_checked(fd_, path_);
+  } catch (const IoError& ex) {
+    fail_and_close(ex.what(), ex.disk_full());
+  }
+  ++fsyncs_;
+  lines_since_sync_ = 0;
+}
+
+void DurableAppender::close() {
+  if (fd_ < 0) {
+    return;
+  }
+  if (lines_since_sync_ > 0) {
+    sync();
+  }
+  const int rc = ::close(fd_);
+  const int err = errno;
+  fd_ = -1;
+  if (rc != 0) {
+    throw IoError(errno_message("close failed for", path_, err),
+                  err == ENOSPC);
+  }
+}
+
+}  // namespace pftk::robust

@@ -1,0 +1,104 @@
+// Durable file I/O for every persistence path.
+//
+// Two primitives, both fd-level so errors and durability are real, not
+// stream-buffer fiction:
+//
+//   * atomic_write_file — write-temp + fsync + rename + directory fsync.
+//     Readers see either the old file or the complete new one, never a
+//     partial write; a crash mid-write leaves the target untouched.
+//   * DurableAppender   — append-only writer (the campaign journal) with
+//     a configurable fsync cadence: fsync_every=1 (default) makes every
+//     journal record durable before the next is admitted, larger values
+//     trade the tail of the journal for throughput. A torn tail is
+//     already handled by replay_journal.
+//
+// Every failure surfaces as IoError (ENOSPC flagged), which the campaign
+// failure taxonomy classifies — no error is dropped or stderr-only.
+// Both primitives evaluate failpoints (failpoint.hpp) at their write,
+// flush, and rename steps.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "robust/failpoint.hpp"
+
+namespace pftk::robust {
+
+/// A checked I/O failure (real errno or injected).
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what, bool disk_full = false)
+      : std::runtime_error(what), disk_full_(disk_full) {}
+
+  /// True for ENOSPC (real or injected `action=enospc`).
+  [[nodiscard]] bool disk_full() const noexcept { return disk_full_; }
+
+ private:
+  bool disk_full_;
+};
+
+/// Applies a fired failpoint hit at a site with no byte-level write
+/// cooperation: error/enospc throw IoError, crash exits, short_write is
+/// treated as an error (the site cannot honor a partial payload). A
+/// non-fired hit is a no-op, so `apply_failpoint(failpoint(name), name)`
+/// is the whole pattern for read/rename/close sites.
+void apply_failpoint(const FailpointHit& hit, std::string_view site);
+
+/// Durably replaces `path` with `content`: temp file in the same
+/// directory, write + fsync + close, rename over the target, fsync the
+/// directory. Evaluates `write_failpoint` before writing and
+/// "checkpoint.rename" before the rename.
+/// @throws IoError on any step failing (the target is left untouched).
+void atomic_write_file(const std::string& path, std::string_view content,
+                       std::string_view write_failpoint);
+
+/// Append-only line writer with real fsync and failpoint hooks.
+class DurableAppender {
+ public:
+  struct Options {
+    bool truncate = false;          ///< start fresh instead of appending
+    std::uint64_t fsync_every = 1;  ///< fsync after every N lines; 0 = only on close
+    std::string append_failpoint = "journal.append";
+    std::string flush_failpoint = "journal.flush";
+  };
+
+  /// @throws IoError if the file cannot be opened.
+  DurableAppender(std::string path, Options options);
+  ~DurableAppender();  ///< best-effort close; errors swallowed (use close())
+
+  DurableAppender(const DurableAppender&) = delete;
+  DurableAppender& operator=(const DurableAppender&) = delete;
+
+  /// Appends `line` + '\n' and fsyncs per the cadence. A short_write /
+  /// crash failpoint writes only its `arg` bytes first — leaving the
+  /// genuine torn tail the replay layer must tolerate.
+  /// @throws IoError on failure (the appender is left closed).
+  void append_line(std::string_view line);
+
+  /// Forces an fsync now (also a failpoint site).
+  void sync();
+
+  /// Final sync + close, error-checked. Idempotent.
+  void close();
+
+  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] std::uint64_t lines_written() const noexcept { return lines_; }
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept { return bytes_; }
+  [[nodiscard]] std::uint64_t fsyncs() const noexcept { return fsyncs_; }
+
+ private:
+  void fail_and_close(const std::string& what, bool disk_full);
+
+  std::string path_;
+  Options options_;
+  int fd_ = -1;
+  std::uint64_t lines_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t fsyncs_ = 0;
+  std::uint64_t lines_since_sync_ = 0;
+};
+
+}  // namespace pftk::robust

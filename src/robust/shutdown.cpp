@@ -1,0 +1,63 @@
+#include "robust/shutdown.hpp"
+
+#include <csignal>
+#include <unistd.h>
+
+namespace pftk::robust {
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+std::atomic<int> g_signal_count{0};
+std::atomic<int> g_hard_exit_code{130};
+
+struct sigaction g_old_int;   // NOLINT: saved handlers, signal-safe POD
+struct sigaction g_old_term;  // NOLINT
+bool g_installed = false;
+
+extern "C" void shutdown_handler(int /*signo*/) {
+  // Only async-signal-safe operations: lock-free atomics and _exit.
+  const int count = g_signal_count.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (count >= 2) {
+    ::_exit(g_hard_exit_code.load(std::memory_order_relaxed));
+  }
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+ShutdownGuard::ShutdownGuard(int hard_exit_code) {
+  g_hard_exit_code.store(hard_exit_code, std::memory_order_relaxed);
+  struct sigaction action {};
+  action.sa_handler = shutdown_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt blocking sleeps
+  ::sigaction(SIGINT, &action, &g_old_int);
+  ::sigaction(SIGTERM, &action, &g_old_term);
+  g_installed = true;
+}
+
+ShutdownGuard::~ShutdownGuard() {
+  if (g_installed) {
+    ::sigaction(SIGINT, &g_old_int, nullptr);
+    ::sigaction(SIGTERM, &g_old_term, nullptr);
+    g_installed = false;
+  }
+}
+
+const std::atomic<bool>* ShutdownGuard::stop_flag() noexcept { return &g_stop; }
+
+bool ShutdownGuard::stop_requested() noexcept {
+  return g_stop.load(std::memory_order_relaxed);
+}
+
+int ShutdownGuard::signal_count() noexcept {
+  return g_signal_count.load(std::memory_order_relaxed);
+}
+
+void ShutdownGuard::reset() noexcept {
+  g_stop.store(false, std::memory_order_relaxed);
+  g_signal_count.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace pftk::robust

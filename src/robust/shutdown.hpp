@@ -1,0 +1,40 @@
+// Cooperative SIGINT/SIGTERM shutdown for long campaigns.
+//
+// First signal: sets a process-wide stop flag the campaign runner polls —
+// no new items are admitted, in-flight attempts finish (or trip their
+// watchdog deadline), the journal is flushed, and the CLI exits with the
+// dedicated `interrupted` code leaving a valid resumable journal.
+// Second signal: the operator means it — hard _exit immediately.
+//
+// The guard is RAII: construction installs handlers (saving the old
+// ones), destruction restores them. State is static because signal
+// handlers cannot capture; reset() re-arms it for tests.
+#pragma once
+
+#include <atomic>
+
+namespace pftk::robust {
+
+class ShutdownGuard {
+ public:
+  /// Installs SIGINT + SIGTERM handlers. `hard_exit_code` is used by the
+  /// second-signal immediate exit (default 130 = 128 + SIGINT).
+  explicit ShutdownGuard(int hard_exit_code = 130);
+  ~ShutdownGuard();  ///< restores the previous handlers
+
+  ShutdownGuard(const ShutdownGuard&) = delete;
+  ShutdownGuard& operator=(const ShutdownGuard&) = delete;
+
+  /// The flag workers poll. Stable address for the process lifetime.
+  [[nodiscard]] static const std::atomic<bool>* stop_flag() noexcept;
+
+  [[nodiscard]] static bool stop_requested() noexcept;
+
+  /// Number of shutdown signals received so far.
+  [[nodiscard]] static int signal_count() noexcept;
+
+  /// Clears the flag and counter (between tests).
+  static void reset() noexcept;
+};
+
+}  // namespace pftk::robust

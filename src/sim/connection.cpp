@@ -63,6 +63,14 @@ Connection::Connection(const ConnectionConfig& config) {
                                          make_loss_model(config.reverse_loss), nullptr,
                                          make_faults(config.reverse_faults, 4));
 
+  // Always-on invariant checking: the checker sits first in the observer
+  // chain so every simulation (and therefore every tier-1 sim test)
+  // verifies the Reno state machine; user observers hang off its `next`.
+  if (config.check_invariants) {
+    invariants_ = std::make_unique<InvariantChecker>(*sender_);
+    sender_->set_observer(invariants_.get());
+  }
+
   sender_->set_send_segment([this](const Segment& segment) { forward_->send(segment); });
   forward_->set_deliver(
       [this](const Segment& segment, Time at) { receiver_->on_segment(segment, at); });
@@ -71,7 +79,11 @@ Connection::Connection(const ConnectionConfig& config) {
 }
 
 void Connection::set_observer(SenderObserver* observer) noexcept {
-  sender_->set_observer(observer);
+  if (invariants_) {
+    invariants_->set_next(observer);
+  } else {
+    sender_->set_observer(observer);
+  }
 }
 
 void Connection::attach_observability(obs::ConnEventTrace* trace,

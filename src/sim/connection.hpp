@@ -14,6 +14,7 @@
 #include "obs/event_loop_stats.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/fault_injector.hpp"
+#include "sim/invariants.hpp"
 #include "sim/link.hpp"
 #include "sim/loss_model.hpp"
 #include "sim/queue_policy.hpp"
@@ -78,6 +79,10 @@ struct ConnectionConfig {
   FaultSchedule forward_faults;
   FaultSchedule reverse_faults;
   std::uint64_t seed = 1;
+  /// Interpose a runtime InvariantChecker (invariants.hpp) between the
+  /// sender and any user observer. On by default: checking is passive
+  /// and byte-invisible, and a violation is a bug worth a loud throw.
+  bool check_invariants = true;
 };
 
 /// End-of-run roll-up.
@@ -127,6 +132,10 @@ class Connection {
   ConnectionSummary run_for(Duration duration);
 
   [[nodiscard]] const TcpRenoSender& sender() const noexcept { return *sender_; }
+  /// The always-on invariant checker (nullptr when disabled via config).
+  [[nodiscard]] const InvariantChecker* invariants() const noexcept {
+    return invariants_.get();
+  }
   [[nodiscard]] const TcpReceiver& receiver() const noexcept { return *receiver_; }
   [[nodiscard]] const Link<Segment>& forward_link() const noexcept { return *forward_; }
   [[nodiscard]] const Link<Ack>& reverse_link() const noexcept { return *reverse_; }
@@ -135,6 +144,7 @@ class Connection {
  private:
   EventQueue queue_;
   std::unique_ptr<TcpRenoSender> sender_;
+  std::unique_ptr<InvariantChecker> invariants_;
   std::unique_ptr<TcpReceiver> receiver_;
   std::unique_ptr<Link<Segment>> forward_;
   std::unique_ptr<Link<Ack>> reverse_;

@@ -1,0 +1,132 @@
+#include "sim/invariants.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/tcp_reno_sender.hpp"
+
+namespace pftk::sim {
+
+namespace {
+// Float-compare slack: cwnd/ssthresh arithmetic is pure double math, so
+// violations of interest are gross (0.5, -1, inf), not last-ulp noise.
+constexpr double kEps = 1e-9;
+}  // namespace
+
+InvariantChecker::InvariantChecker(const TcpRenoSender& sender,
+                                   InvariantCheckerConfig config)
+    : sender_(sender), config_(config) {}
+
+void InvariantChecker::violate(const char* check, const std::string& detail) {
+  ++violations_;
+  if (first_violation_.empty()) {
+    first_violation_ = std::string(check) + ": " + detail;
+  }
+  if (config_.throw_on_violation) {
+    throw InvariantViolation(check, detail);
+  }
+}
+
+void InvariantChecker::check_state(Time t, const char* hook) {
+  ++checks_;
+  if (seen_event_ && t < last_time_) {
+    std::ostringstream os;
+    os << "event time ran backwards at " << hook << ": " << t << " < "
+       << last_time_;
+    violate("time_monotone", os.str());
+  }
+  last_time_ = t;
+  seen_event_ = true;
+
+  const TcpRenoSenderConfig& config = sender_.sender_config();
+  const double cwnd = sender_.cwnd();
+  if (!(cwnd >= 1.0 - kEps) || !std::isfinite(cwnd)) {
+    std::ostringstream os;
+    os << "cwnd = " << cwnd << " at " << hook << " (must be >= 1 packet)";
+    violate("cwnd_floor", os.str());
+  }
+  const double ssthresh = sender_.ssthresh();
+  if (!(ssthresh >= 2.0 - kEps)) {
+    std::ostringstream os;
+    os << "ssthresh = " << ssthresh << " at " << hook
+       << " (halving floor is max(flight/2, 2))";
+    violate("ssthresh_floor", os.str());
+  }
+  const double flight = static_cast<double>(sender_.in_flight());
+  if (flight > config.advertised_window + kEps) {
+    std::ostringstream os;
+    os << "in_flight = " << flight << " > advertised window Wm = "
+       << config.advertised_window << " at " << hook;
+    violate("rwnd_clamp", os.str());
+  }
+  const SeqNo una = sender_.snd_una();
+  if (una < last_una_) {
+    std::ostringstream os;
+    os << "snd_una retreated from " << last_una_ << " to " << una << " at "
+       << hook;
+    violate("cum_ack_monotone", os.str());
+  }
+  last_una_ = una;
+}
+
+void InvariantChecker::on_segment_sent(Time t, SeqNo seq, bool retransmission,
+                                       std::size_t in_flight, double cwnd) {
+  check_state(t, "on_segment_sent");
+  if (next_ != nullptr) {
+    next_->on_segment_sent(t, seq, retransmission, in_flight, cwnd);
+  }
+}
+
+void InvariantChecker::on_ack_received(Time t, SeqNo cumulative, bool duplicate) {
+  check_state(t, "on_ack_received");
+  if (next_ != nullptr) {
+    next_->on_ack_received(t, cumulative, duplicate);
+  }
+}
+
+void InvariantChecker::on_fast_retransmit(Time t, SeqNo seq) {
+  check_state(t, "on_fast_retransmit");
+  if (next_ != nullptr) {
+    next_->on_fast_retransmit(t, seq);
+  }
+}
+
+void InvariantChecker::on_timeout(Time t, SeqNo seq, int consecutive,
+                                  Duration rto_used) {
+  check_state(t, "on_timeout");
+  const TcpRenoSenderConfig& config = sender_.sender_config();
+  // Eq. 30's regime: the backoff multiplier is 2^min(k, max_exponent)
+  // and the sender additionally caps the delay at 64x its RTO ceiling.
+  const double cap = std::min(config.max_rto * std::ldexp(1.0, config.max_backoff_exponent),
+                              config.max_rto * 64.0);
+  if (rto_used > cap + kEps) {
+    std::ostringstream os;
+    os << "rto_used = " << rto_used << " exceeds the backoff cap " << cap
+       << " (max_rto = " << config.max_rto << ", 2^" << config.max_backoff_exponent
+       << ")";
+    violate("rto_backoff_cap", os.str());
+  }
+  if (consecutive < 1) {
+    std::ostringstream os;
+    os << "consecutive timeout count = " << consecutive << " (must be >= 1)";
+    violate("timeout_count", os.str());
+  }
+  if (next_ != nullptr) {
+    next_->on_timeout(t, seq, consecutive, rto_used);
+  }
+}
+
+void InvariantChecker::on_rtt_sample(Time t, Duration sample,
+                                     std::size_t in_flight) {
+  check_state(t, "on_rtt_sample");
+  if (!(sample >= 0.0) || !std::isfinite(sample)) {
+    std::ostringstream os;
+    os << "RTT sample = " << sample << " (must be finite and >= 0)";
+    violate("rtt_sample_range", os.str());
+  }
+  if (next_ != nullptr) {
+    next_->on_rtt_sample(t, sample, in_flight);
+  }
+}
+
+}  // namespace pftk::sim

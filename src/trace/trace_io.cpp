@@ -1,5 +1,6 @@
 #include "trace/trace_io.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <iomanip>
@@ -7,6 +8,8 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "robust/durable_file.hpp"
 
 namespace pftk::trace {
 
@@ -117,12 +120,24 @@ std::vector<TraceEvent> read_trace_impl(std::istream& is, ReadMode mode,
   std::string line;
   bool final_line_unterminated = false;
   bool final_line_bad = false;
-  while (std::getline(is, line)) {
+  bool injected_eof = false;
+  while (!injected_eof && std::getline(is, line)) {
     ++rep.lines_total;
     // A successful getline that also hit EOF read a line with no trailing
     // newline — on the last line that is the truncation signature.
     final_line_unterminated = is.eof();
     final_line_bad = false;
+    // Failpoint: simulate a read fault on this line. short_write clips
+    // the line to `arg` bytes and ends the file there (a torn tail);
+    // error/enospc throw robust::IoError; crash kills the process.
+    const robust::FailpointHit hit = robust::failpoint("trace.read.line");
+    if (hit.action == robust::FailpointAction::kShortWrite) {
+      line.resize(std::min<std::size_t>(hit.arg, line.size()));
+      final_line_unterminated = true;
+      injected_eof = true;
+    } else {
+      robust::apply_failpoint(hit, "trace.read.line");
+    }
     if (!line.empty() && line.back() == '\r') {
       line.pop_back();  // tolerate CRLF captures
     }
@@ -206,11 +221,13 @@ std::vector<TraceEvent> read_trace_lenient(std::istream& is, TraceReadReport* re
 }
 
 void save_trace_file(const std::string& path, std::span<const TraceEvent> events) {
-  std::ofstream os(path);
-  if (!os) {
-    throw std::invalid_argument("save_trace_file: cannot open " + path);
-  }
+  // Serialize in memory, then durably replace the target (write-temp +
+  // fsync + atomic rename): a crash mid-save never corrupts an existing
+  // trace, and write/close failures throw robust::IoError instead of
+  // silently reporting success from an unflushed stream buffer.
+  std::ostringstream os;
   write_trace(os, events);
+  robust::atomic_write_file(path, os.str(), "trace.write");
 }
 
 std::vector<TraceEvent> load_trace_file(const std::string& path) {

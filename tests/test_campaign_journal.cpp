@@ -2,9 +2,12 @@
 // ordered valid prefix of a torn (killed mid-append) file.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
 
 #include "exp/campaign/campaign_journal.hpp"
+#include "robust/durable_file.hpp"
+#include "robust/failpoint.hpp"
 
 namespace pftk::exp::campaign {
 namespace {
@@ -103,6 +106,62 @@ TEST(CampaignJournal, ReplayDropsCompleteLineWithoutNewline) {
   ASSERT_EQ(replay.entries.size(), 1u);
   EXPECT_TRUE(replay.truncated_tail);
   EXPECT_EQ(replay.valid_bytes, good.size());
+}
+
+TEST(CampaignJournal, ReplayRecoversPrefixAtEveryTornByteOffset) {
+  // Exhaustive torn-tail sweep: truncate the last record (an ok entry and
+  // a failure entry with escapes) at every byte offset, including offset
+  // 0 (nothing of it hit disk) and full-length-minus-newline. Every
+  // truncation must replay to exactly the two complete leading entries.
+  const std::string good =
+      ok_entry(0).to_json() + "\n" + failed_entry(1).to_json() + "\n";
+  for (const JournalEntry& last : {ok_entry(2), failed_entry(2)}) {
+    const std::string last_line = last.to_json() + "\n";
+    for (std::size_t cut = 0; cut < last_line.size(); ++cut) {
+      std::istringstream in(good + last_line.substr(0, cut));
+      const JournalReplay replay = replay_journal(in);
+      ASSERT_EQ(replay.entries.size(), 2u) << "cut at byte " << cut;
+      EXPECT_EQ(replay.valid_bytes, good.size()) << "cut at byte " << cut;
+      EXPECT_EQ(replay.truncated_tail, cut != 0) << "cut at byte " << cut;
+      EXPECT_EQ(replay.entries[1].key, failed_entry(1).key);
+    }
+    // The un-truncated control: all three entries replay.
+    std::istringstream in(good + last_line);
+    EXPECT_EQ(replay_journal(in).entries.size(), 3u);
+  }
+}
+
+TEST(CampaignJournal, ReplayRecoversFromFailpointGeneratedTornTails) {
+  // The same sweep produced the way production produces it: a
+  // DurableAppender with an armed short_write failpoint emits `arg`
+  // bytes of the final record and fails — the replay result must match
+  // the hand-truncated fixture byte for byte.
+  const std::string good =
+      ok_entry(0).to_json() + "\n" + failed_entry(1).to_json() + "\n";
+  const std::string last_line = ok_entry(2).to_json() + "\n";
+  const std::string path = ::testing::TempDir() + "pftk_journal_failpoint.jsonl";
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{1},
+                                last_line.size() / 2, last_line.size() - 1}) {
+    std::remove(path.c_str());
+    robust::FailpointRegistry::instance().disarm_all();
+    robust::FailpointRegistry::instance().arm_specs(
+        "journal.append:after=2:action=short_write:arg=" + std::to_string(cut));
+    {
+      robust::DurableAppender::Options options;
+      options.truncate = true;
+      robust::DurableAppender appender(path, options);
+      appender.append_line(ok_entry(0).to_json());
+      appender.append_line(failed_entry(1).to_json());
+      EXPECT_THROW(appender.append_line(ok_entry(2).to_json()),
+                   robust::IoError);
+    }
+    robust::FailpointRegistry::instance().disarm_all();
+    const JournalReplay replay = replay_journal_file(path);
+    ASSERT_EQ(replay.entries.size(), 2u) << "cut at byte " << cut;
+    EXPECT_EQ(replay.valid_bytes, good.size()) << "cut at byte " << cut;
+    EXPECT_EQ(replay.truncated_tail, cut != 0) << "cut at byte " << cut;
+  }
+  std::remove(path.c_str());
 }
 
 TEST(CampaignJournal, ReplayRejectsOutOfOrderEntries) {

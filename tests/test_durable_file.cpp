@@ -1,0 +1,195 @@
+// Durable I/O primitives: appender bytes/fsync cadence, injected faults
+// (short write, disk full) surfacing as IoError, and atomic_write_file's
+// never-a-partial-target guarantee — including a failed rename step.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "robust/durable_file.hpp"
+#include "robust/failpoint.hpp"
+
+namespace pftk::robust {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "pftk_durable_" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool file_exists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return static_cast<bool>(in);
+}
+
+class DurableFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::instance().disarm_all(); }
+  void TearDown() override { FailpointRegistry::instance().disarm_all(); }
+};
+
+TEST_F(DurableFileTest, AppenderWritesLinesAndCountsBytes) {
+  const std::string path = temp_path("append.jsonl");
+  std::remove(path.c_str());
+  DurableAppender::Options options;
+  options.truncate = true;
+  DurableAppender appender(path, options);
+  appender.append_line("alpha");
+  appender.append_line("beta");
+  appender.close();
+  EXPECT_EQ(read_file(path), "alpha\nbeta\n");
+  EXPECT_EQ(appender.lines_written(), 2u);
+  EXPECT_EQ(appender.bytes_written(), 11u);
+  // Default cadence fsync_every=1: one fsync per line, none extra at close.
+  EXPECT_EQ(appender.fsyncs(), 2u);
+  EXPECT_FALSE(appender.is_open());
+}
+
+TEST_F(DurableFileTest, AppendModeExtendsExistingFile) {
+  const std::string path = temp_path("extend.jsonl");
+  std::remove(path.c_str());
+  {
+    DurableAppender::Options options;
+    options.truncate = true;
+    DurableAppender appender(path, options);
+    appender.append_line("first");
+    appender.close();
+  }
+  {
+    DurableAppender appender(path, DurableAppender::Options{});
+    appender.append_line("second");
+    appender.close();
+  }
+  EXPECT_EQ(read_file(path), "first\nsecond\n");
+}
+
+TEST_F(DurableFileTest, FsyncCadenceBatchesSyncs) {
+  const std::string path = temp_path("cadence.jsonl");
+  std::remove(path.c_str());
+  DurableAppender::Options options;
+  options.truncate = true;
+  options.fsync_every = 3;
+  DurableAppender appender(path, options);
+  for (int i = 0; i < 7; ++i) {
+    appender.append_line("line " + std::to_string(i));
+  }
+  EXPECT_EQ(appender.fsyncs(), 2u);  // after lines 3 and 6
+  appender.close();                  // the 7th line is still pending
+  EXPECT_EQ(appender.fsyncs(), 3u);
+}
+
+TEST_F(DurableFileTest, FsyncZeroSyncsOnlyAtClose) {
+  const std::string path = temp_path("cadence0.jsonl");
+  std::remove(path.c_str());
+  DurableAppender::Options options;
+  options.truncate = true;
+  options.fsync_every = 0;
+  DurableAppender appender(path, options);
+  appender.append_line("a");
+  appender.append_line("b");
+  EXPECT_EQ(appender.fsyncs(), 0u);
+  appender.close();
+  EXPECT_EQ(appender.fsyncs(), 1u);
+}
+
+TEST_F(DurableFileTest, OpenFailureThrowsIoError) {
+  EXPECT_THROW(DurableAppender("/nonexistent-dir/x.jsonl",
+                               DurableAppender::Options{}),
+               IoError);
+}
+
+TEST_F(DurableFileTest, InjectedShortWriteLeavesTornTailAndCloses) {
+  const std::string path = temp_path("torn.jsonl");
+  std::remove(path.c_str());
+  FailpointRegistry::instance().arm_specs(
+      "journal.append:after=1:action=short_write:arg=4");
+  DurableAppender::Options options;
+  options.truncate = true;
+  DurableAppender appender(path, options);
+  appender.append_line("complete record");
+  EXPECT_THROW(appender.append_line("truncated record"), IoError);
+  // Exactly 4 bytes of the second record reached the file; the appender
+  // closed itself so no further writes can silently succeed.
+  EXPECT_EQ(read_file(path), "complete record\ntrun");
+  EXPECT_FALSE(appender.is_open());
+  EXPECT_THROW(appender.append_line("after failure"), IoError);
+}
+
+TEST_F(DurableFileTest, InjectedEnospcIsFlaggedDiskFull) {
+  const std::string path = temp_path("enospc.jsonl");
+  std::remove(path.c_str());
+  FailpointRegistry::instance().arm_specs("journal.append:after=0:action=enospc");
+  DurableAppender::Options options;
+  options.truncate = true;
+  DurableAppender appender(path, options);
+  try {
+    appender.append_line("never lands");
+    FAIL() << "expected IoError";
+  } catch (const IoError& ex) {
+    EXPECT_TRUE(ex.disk_full());
+  }
+  EXPECT_EQ(read_file(path), "");
+}
+
+TEST_F(DurableFileTest, InjectedFlushErrorSurfaces) {
+  const std::string path = temp_path("flusherr.jsonl");
+  std::remove(path.c_str());
+  FailpointRegistry::instance().arm_specs("journal.flush:after=0:action=error");
+  DurableAppender::Options options;
+  options.truncate = true;
+  DurableAppender appender(path, options);
+  EXPECT_THROW(appender.append_line("record"), IoError);  // cadence=1 syncs
+  EXPECT_FALSE(appender.is_open());
+}
+
+TEST_F(DurableFileTest, AtomicWriteReplacesContentDurably) {
+  const std::string path = temp_path("atomic.txt");
+  std::remove(path.c_str());
+  atomic_write_file(path, "version 1\n", "export.jsonl.write");
+  EXPECT_EQ(read_file(path), "version 1\n");
+  atomic_write_file(path, "version 2\n", "export.jsonl.write");
+  EXPECT_EQ(read_file(path), "version 2\n");
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+}
+
+TEST_F(DurableFileTest, AtomicWriteShortWriteLeavesTargetUntouched) {
+  const std::string path = temp_path("atomic_short.txt");
+  std::remove(path.c_str());
+  atomic_write_file(path, "old content\n", "export.prom.write");
+  FailpointRegistry::instance().arm_specs(
+      "export.prom.write:after=0:action=short_write:arg=3");
+  EXPECT_THROW(atomic_write_file(path, "new content\n", "export.prom.write"),
+               IoError);
+  // The target still holds the previous version; the temp file is gone.
+  EXPECT_EQ(read_file(path), "old content\n");
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+}
+
+TEST_F(DurableFileTest, AtomicWriteRenameFailpointLeavesTargetUntouched) {
+  const std::string path = temp_path("atomic_rename.txt");
+  std::remove(path.c_str());
+  atomic_write_file(path, "old content\n", "export.prom.write");
+  FailpointRegistry::instance().arm_specs(
+      "checkpoint.rename:after=0:action=error");
+  EXPECT_THROW(atomic_write_file(path, "new content\n", "export.prom.write"),
+               IoError);
+  EXPECT_EQ(read_file(path), "old content\n");
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+}
+
+TEST_F(DurableFileTest, AtomicWriteBadPathThrows) {
+  EXPECT_THROW(atomic_write_file("/nonexistent-dir/out.txt", "x", "export.jsonl.write"),
+               IoError);
+  EXPECT_THROW(atomic_write_file("", "x", "export.jsonl.write"), IoError);
+}
+
+}  // namespace
+}  // namespace pftk::robust

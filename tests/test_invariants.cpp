@@ -1,0 +1,145 @@
+// Runtime invariant checker: clean simulations run violation-free with
+// the checker interposed (the Connection default), a deliberately broken
+// invariant is caught and classified permanent/"invariant", and counting
+// mode records without throwing.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "exp/campaign/failure_taxonomy.hpp"
+#include "sim/connection.hpp"
+#include "sim/invariants.hpp"
+#include "sim/tcp_reno_sender.hpp"
+
+namespace pftk::sim {
+namespace {
+
+ConnectionConfig lossy_config() {
+  ConnectionConfig cfg;
+  cfg.sender.advertised_window = 16.0;
+  cfg.forward_link.propagation_delay = 0.05;
+  cfg.reverse_link.propagation_delay = 0.05;
+  cfg.forward_loss = BernoulliLossSpec{0.05};
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Invariants, CleanLossyRunHasZeroViolations) {
+  Connection conn(lossy_config());
+  ASSERT_NE(conn.invariants(), nullptr);  // installed by default
+  const ConnectionSummary s = conn.run_for(300.0);
+  EXPECT_GT(s.packets_sent, 0u);
+  EXPECT_EQ(conn.invariants()->violations(), 0u);
+  // The checker actually saw the run: one check per observable event.
+  EXPECT_GT(conn.invariants()->checks_run(), 1000u);
+  EXPECT_EQ(conn.invariants()->first_violation(), "");
+}
+
+TEST(Invariants, CheckerCanBeDisabled) {
+  ConnectionConfig cfg = lossy_config();
+  cfg.check_invariants = false;
+  Connection conn(cfg);
+  EXPECT_EQ(conn.invariants(), nullptr);
+  EXPECT_GT(conn.run_for(60.0).packets_sent, 0u);
+}
+
+TEST(Invariants, CheckerForwardsToDownstreamObserver) {
+  struct CountingObserver final : SenderObserver {
+    std::uint64_t events = 0;
+    void on_segment_sent(Time, SeqNo, bool, std::size_t, double) override { ++events; }
+    void on_ack_received(Time, SeqNo, bool) override { ++events; }
+    void on_fast_retransmit(Time, SeqNo) override { ++events; }
+    void on_timeout(Time, SeqNo, int, Duration) override { ++events; }
+    void on_rtt_sample(Time, Duration, std::size_t) override { ++events; }
+  };
+  CountingObserver downstream;
+  Connection conn(lossy_config());
+  conn.set_observer(&downstream);
+  conn.run_for(60.0);
+  // Interposition is invisible: the downstream observer sees every event
+  // the checker checked.
+  EXPECT_EQ(downstream.events, conn.invariants()->checks_run());
+}
+
+/// Harness for driving the checker's hooks with corrupt event streams:
+/// a healthy sender supplies valid cwnd/ssthresh state, while the hook
+/// arguments (time, RTO, counts, samples) are forged.
+struct CheckerFixture {
+  EventQueue queue;
+  TcpRenoSenderConfig config;
+  std::unique_ptr<TcpRenoSender> sender;
+
+  explicit CheckerFixture() {
+    config.advertised_window = 16.0;
+    sender = std::make_unique<TcpRenoSender>(queue, config);
+    sender->set_send_segment([](const Segment&) {});
+    sender->start();
+  }
+};
+
+TEST(Invariants, BackwardsTimeThrowsAndIsClassifiedPermanent) {
+  CheckerFixture f;
+  InvariantChecker checker(*f.sender);
+  checker.on_ack_received(1.0, 0, false);
+  try {
+    checker.on_ack_received(0.5, 0, false);
+    FAIL() << "expected InvariantViolation";
+  } catch (const InvariantViolation& ex) {
+    EXPECT_EQ(ex.check(), "time_monotone");
+    const auto verdict = exp::campaign::classify_failure(ex);
+    EXPECT_EQ(verdict.cls, exp::campaign::FailureClass::kPermanent);
+    EXPECT_EQ(verdict.kind, exp::campaign::FailureKind::kInvariantViolation);
+    EXPECT_FALSE(verdict.retryable());
+    EXPECT_EQ(exp::campaign::failure_kind_name(verdict.kind), "invariant");
+  }
+  EXPECT_EQ(checker.violations(), 1u);
+}
+
+TEST(Invariants, RtoBeyondBackoffCapIsCaught) {
+  CheckerFixture f;
+  InvariantChecker checker(*f.sender);
+  const double cap = f.config.max_rto * 64.0;
+  // At the cap: fine. Beyond it: eq. 30's backoff regime is broken.
+  EXPECT_NO_THROW(checker.on_timeout(1.0, 0, 1, f.config.max_rto));
+  try {
+    checker.on_timeout(2.0, 0, 1, cap * 2.0);
+    FAIL() << "expected InvariantViolation";
+  } catch (const InvariantViolation& ex) {
+    EXPECT_EQ(ex.check(), "rto_backoff_cap");
+  }
+}
+
+TEST(Invariants, NonPositiveTimeoutCountIsCaught) {
+  CheckerFixture f;
+  InvariantChecker checker(*f.sender);
+  EXPECT_THROW(checker.on_timeout(1.0, 0, 0, f.config.min_rto),
+               InvariantViolation);
+}
+
+TEST(Invariants, NegativeRttSampleIsCaught) {
+  CheckerFixture f;
+  InvariantChecker checker(*f.sender);
+  try {
+    checker.on_rtt_sample(1.0, -0.25, 1);
+    FAIL() << "expected InvariantViolation";
+  } catch (const InvariantViolation& ex) {
+    EXPECT_EQ(ex.check(), "rtt_sample_range");
+  }
+}
+
+TEST(Invariants, CountingModeRecordsWithoutThrowing) {
+  CheckerFixture f;
+  InvariantCheckerConfig config;
+  config.throw_on_violation = false;
+  InvariantChecker checker(*f.sender, config);
+  checker.on_ack_received(5.0, 0, false);
+  EXPECT_NO_THROW(checker.on_ack_received(1.0, 0, false));  // backwards
+  EXPECT_NO_THROW(checker.on_rtt_sample(6.0, -1.0, 1));     // negative
+  EXPECT_EQ(checker.violations(), 2u);
+  // The earliest breakage is preserved for reports.
+  EXPECT_NE(checker.first_violation().find("time_monotone"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pftk::sim

@@ -10,6 +10,7 @@
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "robust/durable_file.hpp"
 
 namespace pftk::obs {
 namespace {
@@ -193,7 +194,7 @@ TEST(ObsExport, FileWrappersPickFormatBySuffix) {
   EXPECT_THROW((void)load_obs_file(prom_path), std::invalid_argument);
 
   EXPECT_THROW(save_obs_file(dir + "no/such/dir/x.jsonl", sample_bundle()),
-               std::invalid_argument);
+               pftk::robust::IoError);
   EXPECT_THROW((void)load_obs_file(dir + "pftk_obs_missing.jsonl"),
                std::invalid_argument);
 }

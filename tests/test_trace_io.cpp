@@ -8,6 +8,7 @@
 #include "trace/trace_io.hpp"
 #include "trace/trace_recorder.hpp"
 #include "trace/trace_validator.hpp"
+#include "robust/durable_file.hpp"
 
 namespace pftk::trace {
 namespace {
@@ -88,7 +89,7 @@ TEST(TraceIo, MalformedLinesAreRejectedWithLineNumbers) {
 TEST(TraceIo, FileWrappersRejectBadPaths) {
   EXPECT_THROW((void)load_trace_file("/nonexistent/dir/trace.txt"),
                std::invalid_argument);
-  EXPECT_THROW(save_trace_file("/nonexistent/dir/trace.txt", {}), std::invalid_argument);
+  EXPECT_THROW(save_trace_file("/nonexistent/dir/trace.txt", {}), pftk::robust::IoError);
   EXPECT_THROW((void)load_trace_file_lenient("/nonexistent/dir/trace.txt"),
                std::invalid_argument);
 }

@@ -50,6 +50,7 @@
 #include "core/short_flow_model.hpp"
 #include "core/throughput_model.hpp"
 #include "exp/campaign/campaign_runner.hpp"
+#include "exp/campaign/chaos.hpp"
 #include "exp/hour_trace_experiment.hpp"
 #include "exp/micro_bench.hpp"
 #include "exp/table_format.hpp"
@@ -59,6 +60,8 @@
 #include "obs/metrics.hpp"
 #include "obs/standard_metrics.hpp"
 #include "obs/summarize.hpp"
+#include "robust/failpoint.hpp"
+#include "robust/shutdown.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/sim_watchdog.hpp"
 #include "trace/trace_io.hpp"
@@ -80,8 +83,16 @@ int usage() {
                "      schedule: kind@start[+duration][#count][:rate[:magnitude]] ';'-separated\n"
                "      kinds: blackout, loss, dup, reorder, delay  (e.g. blackout@120+5)\n"
                "  pftk campaign <spec-file> [--threads N] [--journal FILE] [--resume]\n"
+               "                [--fsync-every N]\n"
                "      supervised grid campaign (see EXPERIMENTS.md for the spec and\n"
-               "      journal formats); exits 1 with a taxonomy summary on partial loss\n"
+               "      journal formats); exits 1 with a taxonomy summary on partial\n"
+               "      loss, 3 when interrupted by SIGINT/SIGTERM (journal stays\n"
+               "      resumable; a second signal hard-exits with 130)\n"
+               "  pftk chaos <spec-file> [--threads N] [--dir DIR] [--fsync-every N]\n"
+               "             [--failpoint SPEC]...\n"
+               "      crash-recovery matrix: fork, crash at each journal failpoint,\n"
+               "      resume, and verify byte-identical convergence; exits 1 on any\n"
+               "      divergence\n"
                "  pftk bench [--smoke] [--gate] [--json [FILE]]\n"
                "      hot-path micro-benchmarks; --json writes BENCH_micro.json (or\n"
                "      FILE); exits 1 if batched model evaluation drifts from scalar,\n"
@@ -91,7 +102,11 @@ int usage() {
                "\n"
                "simulate/faultsim/campaign also accept --metrics-out FILE (pftk-obs/1\n"
                "bundle; Prometheus text if FILE ends in .prom) and --trace-events FILE\n"
-               "(connection-event JSONL); stdout stays byte-identical either way\n";
+               "(connection-event JSONL); stdout stays byte-identical either way\n"
+               "\n"
+               "every command accepts --failpoints \"name:after=N:action=A[:arg=K];...\"\n"
+               "(actions: error, short_write, enospc, delay, crash) to inject faults\n"
+               "on persistence paths; disarmed failpoints are byte-invisible\n";
   return 2;
 }
 
@@ -403,11 +418,20 @@ int cmd_campaign(int argc, char** argv) {
       options.journal_path = argv[++i];
     } else if (arg == "--resume") {
       options.resume = true;
+    } else if (arg == "--fsync-every" && i + 1 < argc) {
+      options.fsync_every =
+          static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
     } else {
       std::cerr << "unknown campaign option: " << arg << "\n";
       return usage();
     }
   }
+
+  // Graceful shutdown: first SIGINT/SIGTERM stops admitting items and
+  // drains; the second hard-exits. The runner flushes the journal on the
+  // way out, so an interrupted campaign is always resumable.
+  pftk::robust::ShutdownGuard shutdown(/*hard_exit_code=*/130);
+  options.stop = pftk::robust::ShutdownGuard::stop_flag();
 
   const auto spec = pftk::exp::campaign::CampaignSpec::parse_file(spec_path);
   pftk::exp::campaign::CampaignRunner runner(spec, options);
@@ -428,6 +452,7 @@ int cmd_campaign(int argc, char** argv) {
   for (const auto& item : result.items) {
     using pftk::exp::campaign::ItemStatus;
     const char* status = item.status == ItemStatus::kOk ? "ok"
+                         : item.status == ItemStatus::kNotRun ? "not run"
                          : item.status == ItemStatus::kFailedTransient
                              ? "lost (transient)"
                              : "lost (permanent)";
@@ -485,11 +510,51 @@ int cmd_campaign(int argc, char** argv) {
     export_obs_outputs(obs_opts, bundle);
   }
 
+  if (result.interrupted) {
+    // Dedicated exit code so supervisors can tell "stopped on request,
+    // resume me" apart from "lost items". The journal was flushed and
+    // contains only fully-settled records.
+    std::cout << "interrupted: " << result.not_run
+              << " item(s) not run; resume with --resume\n";
+    if (!result.all_ok()) {
+      std::cout << result.taxonomy_summary() << "\n";
+    }
+    return 3;
+  }
   if (!result.all_ok()) {
     std::cout << result.taxonomy_summary() << "\n";
     return 1;
   }
   return 0;
+}
+
+int cmd_chaos(int argc, char** argv) {
+  if (argc < 3) {
+    return usage();
+  }
+  const std::string spec_path = argv[2];
+  pftk::exp::campaign::ChaosOptions options;
+  options.work_dir = "pftk-chaos";
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      options.threads = std::atoi(argv[++i]);
+    } else if (arg == "--dir" && i + 1 < argc) {
+      options.work_dir = argv[++i];
+    } else if (arg == "--fsync-every" && i + 1 < argc) {
+      options.fsync_every =
+          static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--failpoint" && i + 1 < argc) {
+      options.failpoints.emplace_back(argv[++i]);
+    } else {
+      std::cerr << "unknown chaos option: " << arg << "\n";
+      return usage();
+    }
+  }
+  const auto spec = pftk::exp::campaign::CampaignSpec::parse_file(spec_path);
+  const auto report = pftk::exp::campaign::run_chaos_matrix(spec, options);
+  std::cout << pftk::exp::campaign::describe(report) << "\n";
+  return report.all_ok() ? 0 : 1;
 }
 
 int cmd_bench(int argc, char** argv) {
@@ -533,7 +598,12 @@ int cmd_bench(int argc, char** argv) {
             << "event-loop obs overhead "
             << pftk::exp::fmt(report.obs_overhead_ratio, 3) << "x (tolerance "
             << pftk::exp::fmt(report.obs_overhead_tolerance, 2) << "x): "
-            << (report.obs_overhead_ok() ? "ok" : (gate_obs ? "FAIL" : "high")) << "\n";
+            << (report.obs_overhead_ok() ? "ok" : (gate_obs ? "FAIL" : "high")) << "\n"
+            << "disarmed failpoint overhead "
+            << pftk::exp::fmt(report.failpoint_overhead_ratio, 3) << "x (tolerance "
+            << pftk::exp::fmt(report.failpoint_overhead_tolerance, 2) << "x): "
+            << (report.failpoint_overhead_ok() ? "ok" : (gate_obs ? "FAIL" : "high"))
+            << "\n";
 
   if (want_json) {
     std::ofstream os(json_path);
@@ -551,6 +621,12 @@ int cmd_bench(int argc, char** argv) {
     std::cerr << "error: obs overhead gate failed ("
               << pftk::exp::fmt(report.obs_overhead_ratio, 3) << "x > "
               << pftk::exp::fmt(report.obs_overhead_tolerance, 2) << "x)\n";
+    return 1;
+  }
+  if (gate_obs && !report.failpoint_overhead_ok()) {
+    std::cerr << "error: failpoint overhead gate failed ("
+              << pftk::exp::fmt(report.failpoint_overhead_ratio, 3) << "x > "
+              << pftk::exp::fmt(report.failpoint_overhead_tolerance, 2) << "x)\n";
     return 1;
   }
   return 0;
@@ -638,6 +714,25 @@ int cmd_analyze(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Global fault-injection flag: pulled out before dispatch so every
+  // subcommand's persistence path can be chaos-tested. Disarmed (the
+  // default), the failpoint checks are a single relaxed atomic load.
+  {
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--failpoints" && i + 1 < argc) {
+        try {
+          pftk::robust::FailpointRegistry::instance().arm_specs(argv[++i]);
+        } catch (const std::exception& e) {
+          std::cerr << "error: " << e.what() << "\n";
+          return 2;
+        }
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    argc = out;
+  }
   if (argc < 2) {
     return usage();
   }
@@ -666,6 +761,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "campaign") {
       return cmd_campaign(argc, argv);
+    }
+    if (cmd == "chaos") {
+      return cmd_chaos(argc, argv);
     }
     if (cmd == "bench") {
       return cmd_bench(argc, argv);
