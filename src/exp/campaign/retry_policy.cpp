@@ -3,19 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/rng.hpp"
+
 namespace pftk::exp::campaign {
-
-namespace {
-
-/// splitmix64 finalizer (same construction as sim::Rng::derive).
-std::uint64_t mix(std::uint64_t x) noexcept {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
 
 void RetryPolicy::validate() const {
   if (max_attempts < 1) {
@@ -51,8 +41,9 @@ std::uint64_t perturbed_seed(std::uint64_t seed, int attempt) noexcept {
   if (attempt <= 0) {
     return seed;
   }
-  return mix(mix(seed) ^ mix(static_cast<std::uint64_t>(attempt) *
-                             0xda942042e4dd58b5ULL));
+  // Retry seeds are child streams of the item seed, on the same audited
+  // derivation path as every other stream in the simulator.
+  return sim::derive_stream_seed(seed, static_cast<std::uint64_t>(attempt));
 }
 
 }  // namespace pftk::exp::campaign

@@ -1,0 +1,532 @@
+#include "mc/explorer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "core/full_model.hpp"
+#include "core/model_terms.hpp"
+#include "core/tcp_model_params.hpp"
+#include "sim/connection.hpp"
+
+namespace pftk::mc {
+
+namespace {
+
+/// Control-flow signal: the finite transfer completed; stop the branch.
+struct BranchDone {};
+
+/// Control-flow signal used only during frontier expansion: the branch
+/// reached the split depth and becomes a parallel job.
+struct BranchCut {};
+
+/// digest -> largest remaining depth budget seen at that state. A
+/// revisit with no more remaining depth than recorded cannot reach
+/// anything new (bounded-DFS soundness condition for visited-state
+/// pruning).
+using VisitedTable = std::unordered_map<McDigest, std::uint32_t, McDigestHash>;
+
+void require(bool ok, const char* message) {
+  if (!ok) {
+    throw std::invalid_argument(message);
+  }
+}
+
+/// Assumption checks from the paper's model (MODELS.md maps each to the
+/// equation that needs it), verified at the end of every branch.
+void builtin_assumption_checks(const BranchContext& ctx) {
+  const sim::TcpRenoSender& sender = ctx.conn.sender();
+  const auto& st = sender.stats();
+
+  // Every transmission is a first send or a retransmission — the split
+  // the loss-indication estimate p = indications/sent relies on.
+  if (st.transmissions != st.new_segments + st.retransmissions) {
+    std::ostringstream os;
+    os << "transmissions=" << st.transmissions << " != new=" << st.new_segments
+       << " + rtx=" << st.retransmissions;
+    throw PropertyViolation("acct.transmissions", os.str());
+  }
+
+  // Each TD (fast retransmit) and TO (timer expiration) loss indication
+  // causes at least one retransmission — the TD/TO classification both
+  // validation pipelines count on.
+  if (st.retransmissions < st.fast_retransmits + st.timeouts) {
+    std::ostringstream os;
+    os << "rtx=" << st.retransmissions << " < td=" << st.fast_retransmits
+       << " + to=" << st.timeouts;
+    throw PropertyViolation("acct.loss_indications", os.str());
+  }
+
+  // Cumulative ACKs cannot acknowledge data the receiver never had.
+  if (sender.snd_una() > ctx.conn.receiver().next_expected()) {
+    std::ostringstream os;
+    os << "snd_una=" << sender.snd_una()
+       << " > receiver next_expected=" << ctx.conn.receiver().next_expected();
+    throw PropertyViolation("acct.cumulative_ack", os.str());
+  }
+
+  // The receiver-window clamp of eqs 20/24: never more than Wm unacked.
+  if (static_cast<double>(sender.in_flight()) > ctx.config.window + 1e-9) {
+    std::ostringstream os;
+    os << "in_flight=" << sender.in_flight() << " > Wm=" << ctx.config.window;
+    throw PropertyViolation("window.flight_cap", os.str());
+  }
+
+  if (ctx.completed) {
+    // A finished transfer delivered each packet exactly once as a first
+    // transmission and acknowledged all of them.
+    if (st.new_segments != ctx.config.packets ||
+        sender.snd_una() != ctx.config.packets ||
+        ctx.conn.receiver().next_expected() != ctx.config.packets) {
+      std::ostringstream os;
+      os << "completed transfer accounting off: new=" << st.new_segments
+         << " snd_una=" << sender.snd_una()
+         << " delivered=" << ctx.conn.receiver().next_expected()
+         << " expected=" << ctx.config.packets;
+      throw PropertyViolation("complete.delivery", os.str());
+    }
+  }
+
+  // Model evaluability at the observed loss rate: the full model's E[W]
+  // floor (eq 13 feeding eqs 20/24 through max(E[W], 1)) must hold and
+  // the send rate must come out finite and positive for every loss rate
+  // this branch can exhibit.
+  const double indications = static_cast<double>(st.fast_retransmits + st.timeouts);
+  if (indications > 0.0 && st.transmissions > 0) {
+    model::ModelParams params;
+    params.p = std::min(0.95, indications / static_cast<double>(st.transmissions));
+    params.rtt = 2.0 * ctx.config.one_way_delay;
+    params.t0 = ctx.config.min_rto;
+    params.b = ctx.config.ack_every;
+    params.wm = ctx.config.window;
+    const double ew = model::expected_unconstrained_window(params.p, params.b);
+    if (!(ew >= 1.0)) {
+      std::ostringstream os;
+      os << "E[Wu](p=" << params.p << ", b=" << params.b << ") = " << ew << " < 1";
+      throw PropertyViolation("model.window_floor", os.str());
+    }
+    const double rate = model::full_model_send_rate(params);
+    if (!std::isfinite(rate) || !(rate > 0.0)) {
+      std::ostringstream os;
+      os << "full model not evaluable at observed p=" << params.p << ": rate=" << rate;
+      throw PropertyViolation("model.evaluable", os.str());
+    }
+  }
+}
+
+}  // namespace
+
+void ExploreConfig::validate() const {
+  require(packets >= 1 && packets <= 64, "ExploreConfig: packets must be in [1, 64]");
+  require(window >= 1.0 && std::isfinite(window),
+          "ExploreConfig: window must be >= 1");
+  require(ack_every >= 1, "ExploreConfig: ack_every must be >= 1");
+  require(one_way_delay > 0.0 && std::isfinite(one_way_delay),
+          "ExploreConfig: one_way_delay must be > 0");
+  require(min_rto > 0.0 && std::isfinite(min_rto),
+          "ExploreConfig: min_rto must be > 0");
+  require(time_cap > 0.0 && std::isfinite(time_cap),
+          "ExploreConfig: time_cap must be > 0");
+  require(tie_width != 1, "ExploreConfig: tie_width must be 0 (off) or >= 2");
+  require(tie_width <= sim::EventQueue::kMaxTieFanout,
+          "ExploreConfig: tie_width exceeds the event queue's tie fanout");
+  require(depth >= 1, "ExploreConfig: depth must be >= 1");
+  require(threads >= 1, "ExploreConfig: threads must be >= 1");
+  if (!fault_schedule.empty()) {
+    sim::FaultSchedule::parse(fault_schedule).validate();  // throws on bad spec
+  }
+}
+
+std::string ExploreConfig::describe() const {
+  std::ostringstream os;
+  os << "packets=" << packets << " window=" << window << " ack_every=" << ack_every
+     << " loss_choices=" << loss_choices << " ack_loss=" << (ack_loss ? 1 : 0)
+     << " tie_width=" << tie_width << " tie_choices=" << tie_choices
+     << " faults=" << (fault_schedule.empty() ? "-" : fault_schedule)
+     << " depth=" << depth << " prune=" << (prune_visited ? 1 : 0)
+     << " split_depth=" << split_depth << " seed=" << seed;
+  return os.str();
+}
+
+ExploreStats& ExploreStats::operator+=(const ExploreStats& other) noexcept {
+  states += other.states;
+  branches += other.branches;
+  terminals += other.terminals;
+  pruned += other.pruned;
+  truncated += other.truncated;
+  violations += other.violations;
+  return *this;
+}
+
+Explorer::Explorer(ExploreConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+void Explorer::add_property(std::string name, Property property) {
+  if (!property) {
+    throw std::invalid_argument("Explorer::add_property: property must be callable");
+  }
+  properties_.emplace_back(std::move(name), std::move(property));
+}
+
+Explorer::BranchEnd Explorer::execute_branch(
+    ChoiceSource& source, const std::function<void(sim::Connection&)>& on_ready) {
+  const ExploreConfig& cfg = config_;
+  std::uint32_t loss_used = 0;
+  std::uint32_t ties_used = 0;
+
+  sim::ConnectionConfig conn_cfg;
+  conn_cfg.sender.initial_cwnd = 1.0;
+  conn_cfg.sender.advertised_window = cfg.window;
+  conn_cfg.sender.initial_rto = cfg.min_rto;
+  conn_cfg.sender.min_rto = cfg.min_rto;
+  conn_cfg.sender.timer_tick = 0.0;  // exact timers: no tick rounding noise
+  conn_cfg.sender.total_packets = cfg.packets;
+  conn_cfg.receiver.ack_every = cfg.ack_every;
+  conn_cfg.forward_link.propagation_delay = cfg.one_way_delay;
+  conn_cfg.reverse_link.propagation_delay = cfg.one_way_delay;
+  conn_cfg.seed = cfg.seed;
+  conn_cfg.check_invariants = true;  // the live Reno state-machine checker
+
+  // Loss nondeterminism: each offered packet is one binary choice point
+  // until the branch's budget runs out; after that the oracle delivers
+  // deterministically, so every branch is finite by construction.
+  conn_cfg.forward_loss = sim::OracleLossSpec{[&source, &loss_used, &cfg](sim::Time) {
+    if (loss_used >= cfg.loss_choices) {
+      return false;
+    }
+    ++loss_used;
+    return source.choose(ChoiceKind::kForwardLoss, 2) == 1;
+  }};
+  if (cfg.ack_loss) {
+    conn_cfg.reverse_loss = sim::OracleLossSpec{[&source, &loss_used, &cfg](sim::Time) {
+      if (loss_used >= cfg.loss_choices) {
+        return false;
+      }
+      ++loss_used;
+      return source.choose(ChoiceKind::kAckLoss, 2) == 1;
+    }};
+  }
+  if (!cfg.fault_schedule.empty()) {
+    conn_cfg.forward_faults = sim::FaultSchedule::parse(cfg.fault_schedule);
+  }
+
+  sim::Connection conn(conn_cfg);
+
+  // Fault-order nondeterminism: when several specs are active at once,
+  // branch on which rotation applies them.
+  if (!cfg.fault_schedule.empty()) {
+    if (sim::FaultInjector* faults = conn.mutable_forward_link().mutable_faults()) {
+      faults->set_order_oracle([&source](std::size_t active) -> std::size_t {
+        if (active < 2) {
+          return 0;
+        }
+        return source.choose(ChoiceKind::kFaultOrder, active);
+      });
+    }
+  }
+
+  // Timing nondeterminism: branch on the dispatch order of tied events.
+  if (cfg.tie_width >= 2) {
+    conn.event_queue().set_tie_breaker(
+        [&source, &ties_used, &cfg](std::size_t tied) -> std::size_t {
+          if (ties_used >= cfg.tie_choices) {
+            return 0;  // budget spent: FIFO
+          }
+          const std::size_t arity = std::min<std::size_t>(tied, cfg.tie_width);
+          if (arity < 2) {
+            return 0;
+          }
+          ++ties_used;
+          return source.choose(ChoiceKind::kTieBreak, arity);
+        });
+  }
+
+  // Stop as soon as the transfer completes (run_for would idle through
+  // the remaining delayed-ACK heartbeats otherwise).
+  const sim::TcpRenoSender& sender = conn.sender();
+  conn.event_queue().set_inspector([&sender] {
+    if (sender.complete()) {
+      throw BranchDone{};
+    }
+  });
+
+  if (on_ready) {
+    on_ready(conn);
+  }
+
+  BranchEnd end;
+  try {
+    (void)conn.run_for(cfg.time_cap);
+  } catch (const BranchDone&) {
+    // Finite transfer finished — the normal way out.
+  } catch (const sim::InvariantViolation& e) {
+    end.violated = true;
+    end.check = e.check();
+    end.message = e.what();
+  }
+  end.completed = conn.sender().complete();
+
+  if (!end.violated) {
+    const BranchContext ctx{conn, cfg, end.completed};
+    try {
+      builtin_assumption_checks(ctx);
+      for (const auto& [name, property] : properties_) {
+        property(ctx);
+      }
+    } catch (const PropertyViolation& e) {
+      end.violated = true;
+      end.check = e.check();
+      end.message = e.what();
+    }
+  }
+
+  // Digest of wherever the branch stopped (completion, time cap, or the
+  // violation point) — what a replay must reproduce bit-for-bit.
+  end.digest = digest_connection(conn);
+  return end;
+}
+
+Explorer::ExpansionOutcome Explorer::expand_frontier(
+    const std::atomic<bool>* stop, std::atomic<bool>& abort,
+    std::atomic<std::uint64_t>& states_seen) {
+  ExpansionOutcome out;
+  std::vector<Choice> current;
+  while (true) {
+    if (stop != nullptr && stop->load()) {
+      out.interrupted = true;
+      return out;
+    }
+    if (config_.max_states != 0 &&
+        states_seen.load(std::memory_order_relaxed) >= config_.max_states) {
+      out.incomplete = true;
+      return out;
+    }
+    ScriptedChoices source(current);
+    // No pruning above the frontier: the partition must be a fixed
+    // function of the config so state counts are thread-count-invariant.
+    source.set_hook([this, &out, &states_seen](ChoiceKind, std::size_t,
+                                               std::size_t depth) -> NodeVerdict {
+      // The depth budget applies above the frontier too — a split_depth
+      // larger than the budget must not smuggle extra enumeration in.
+      if (depth >= config_.depth) {
+        return NodeVerdict::kTruncate;
+      }
+      if (depth >= config_.split_depth) {
+        throw BranchCut{};
+      }
+      ++out.stats.states;
+      states_seen.fetch_add(1, std::memory_order_relaxed);
+      return NodeVerdict::kExplore;
+    });
+    bool cut = false;
+    try {
+      const BranchEnd end = execute_branch(source, nullptr);
+      ++out.stats.branches;
+      ++out.stats.terminals;
+      if (source.truncated()) {
+        ++out.stats.truncated;
+        out.incomplete = true;
+      }
+      if (end.violated) {
+        ++out.stats.violations;
+        out.violations.push_back(
+            Violation{source.path(), end.check, end.message, end.digest});
+        abort.store(true, std::memory_order_relaxed);
+        return out;
+      }
+    } catch (const BranchCut&) {
+      cut = true;
+      out.jobs.push_back(source.path());
+    }
+    (void)cut;
+
+    // Backtrack: bump the deepest incrementable choice.
+    std::vector<Choice> path = source.path();
+    std::size_t i = path.size();
+    while (i > 0) {
+      Choice& c = path[i - 1];
+      if (static_cast<std::size_t>(c.chosen) + 1 < c.arity) {
+        ++c.chosen;
+        path.resize(i);
+        break;
+      }
+      --i;
+    }
+    if (i == 0) {
+      return out;  // frontier fully enumerated
+    }
+    current = std::move(path);
+  }
+}
+
+Explorer::SubtreeOutcome Explorer::explore_subtree(
+    const std::vector<Choice>& root, const std::atomic<bool>* stop,
+    std::atomic<bool>& abort, std::atomic<std::uint64_t>& states_seen) {
+  SubtreeOutcome out;
+  VisitedTable visited;
+  std::vector<Choice> current = root;
+  const std::size_t root_len = root.size();
+  while (true) {
+    if (stop != nullptr && stop->load()) {
+      out.interrupted = true;
+      return out;
+    }
+    if (abort.load(std::memory_order_relaxed)) {
+      return out;  // another job already found a counterexample
+    }
+    if (config_.max_states != 0 &&
+        states_seen.load(std::memory_order_relaxed) >= config_.max_states) {
+      out.incomplete = true;
+      return out;
+    }
+    ScriptedChoices source(current);
+    auto on_ready = [this, &source, &out, &visited, &states_seen](sim::Connection& conn) {
+      source.set_hook([this, &conn, &out, &visited, &states_seen](
+                          ChoiceKind, std::size_t, std::size_t depth) -> NodeVerdict {
+        if (depth >= config_.depth) {
+          return NodeVerdict::kTruncate;
+        }
+        if (config_.prune_visited) {
+          const McDigest digest = digest_connection(conn);
+          const auto remaining = static_cast<std::uint32_t>(config_.depth - depth);
+          auto [it, inserted] = visited.try_emplace(digest, remaining);
+          if (!inserted) {
+            if (it->second >= remaining) {
+              return NodeVerdict::kPrune;
+            }
+            it->second = remaining;  // revisit with more headroom: go deeper
+          }
+        }
+        ++out.stats.states;
+        states_seen.fetch_add(1, std::memory_order_relaxed);
+        return NodeVerdict::kExplore;
+      });
+    };
+    try {
+      const BranchEnd end = execute_branch(source, on_ready);
+      ++out.stats.branches;
+      ++out.stats.terminals;
+      if (source.truncated()) {
+        ++out.stats.truncated;
+        out.incomplete = true;
+      }
+      if (end.violated) {
+        ++out.stats.violations;
+        out.violations.push_back(
+            Violation{source.path(), end.check, end.message, end.digest});
+        abort.store(true, std::memory_order_relaxed);
+        return out;
+      }
+    } catch (const BranchPruned&) {
+      ++out.stats.branches;
+      ++out.stats.pruned;
+    }
+
+    std::vector<Choice> path = source.path();
+    std::size_t i = path.size();
+    while (i > root_len) {
+      Choice& c = path[i - 1];
+      if (static_cast<std::size_t>(c.chosen) + 1 < c.arity) {
+        ++c.chosen;
+        path.resize(i);
+        break;
+      }
+      --i;
+    }
+    if (i <= root_len) {
+      return out;  // subtree exhausted
+    }
+    current = std::move(path);
+  }
+}
+
+ExploreResult Explorer::run(const std::atomic<bool>* stop) {
+  ExploreResult result;
+  std::atomic<bool> abort{false};
+  std::atomic<std::uint64_t> states_seen{0};
+
+  // Phase 1: single-threaded expansion to the fixed split frontier. The
+  // job list depends only on the config, never on the thread count.
+  ExpansionOutcome expansion = expand_frontier(stop, abort, states_seen);
+  result.stats += expansion.stats;
+  for (auto& violation : expansion.violations) {
+    result.violations.push_back(std::move(violation));
+  }
+  bool incomplete = expansion.incomplete;
+  bool interrupted = expansion.interrupted;
+  result.jobs = expansion.jobs.size();
+
+  // Phase 2: explore each frontier subtree (own visited table each);
+  // merge in job order so results are scheduling-independent.
+  if (!abort.load() && !interrupted && !expansion.jobs.empty()) {
+    const auto& jobs = expansion.jobs;
+    std::vector<SubtreeOutcome> outcomes(jobs.size());
+    const auto worker_count = static_cast<std::size_t>(
+        std::min<std::size_t>(static_cast<std::size_t>(config_.threads), jobs.size()));
+    if (worker_count <= 1) {
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        outcomes[i] = explore_subtree(jobs[i], stop, abort, states_seen);
+      }
+    } else {
+      std::atomic<std::size_t> next{0};
+      std::vector<std::thread> workers;
+      workers.reserve(worker_count);
+      for (std::size_t w = 0; w < worker_count; ++w) {
+        workers.emplace_back([this, &jobs, &outcomes, &next, stop, &abort, &states_seen] {
+          while (true) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size()) {
+              return;
+            }
+            outcomes[i] = explore_subtree(jobs[i], stop, abort, states_seen);
+          }
+        });
+      }
+      for (std::thread& worker : workers) {
+        worker.join();
+      }
+    }
+    for (auto& outcome : outcomes) {
+      result.stats += outcome.stats;
+      for (auto& violation : outcome.violations) {
+        result.violations.push_back(std::move(violation));
+      }
+      incomplete = incomplete || outcome.incomplete;
+      interrupted = interrupted || outcome.interrupted;
+    }
+  }
+
+  result.interrupted = interrupted;
+  result.complete = !incomplete && !interrupted && result.violations.empty();
+  return result;
+}
+
+ReplayOutcome Explorer::replay(const std::vector<Choice>& choices) {
+  ReplayOutcome outcome;
+  ReplayChoices source(choices);
+  try {
+    const BranchEnd end = execute_branch(source, nullptr);
+    if (!source.done()) {
+      std::ostringstream os;
+      os << "choice divergence: " << choices.size() - source.consumed()
+         << " recorded choice(s) never consumed";
+      outcome.diverged = true;
+      outcome.message = os.str();
+      return outcome;
+    }
+    outcome.violated = end.violated;
+    outcome.check = end.check;
+    outcome.message = end.message;
+    outcome.digest = end.digest;
+  } catch (const ChoiceDivergence& e) {
+    outcome.diverged = true;
+    outcome.message = e.what();
+  }
+  return outcome;
+}
+
+}  // namespace pftk::mc

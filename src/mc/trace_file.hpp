@@ -1,0 +1,48 @@
+// Replayable counterexample traces (format "pftk-mc/1").
+//
+// A trace is self-contained: it echoes the full explore config (so
+// `pftk explore --replay FILE` needs no other flags), the violated
+// check, the end-state digest, and the compact choice-token path. Plain
+// line-oriented key=value text so a human can read the failing schedule
+// off the file.
+//
+// Writes go through robust::atomic_write_file under the failpoint site
+// "mc.trace.write": a counterexample that took minutes of exploration to
+// find is never lost to a torn write.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mc/choice.hpp"
+#include "mc/digest.hpp"
+#include "mc/explorer.hpp"
+
+namespace pftk::mc {
+
+/// Everything persisted about one counterexample.
+struct CounterexampleTrace {
+  ExploreConfig config;
+  std::vector<Choice> choices;
+  std::string check;    ///< stable token of the violated check
+  std::string message;  ///< one-line human diagnostic
+  McDigest digest;      ///< end-state digest replay must reproduce
+};
+
+/// Renders a trace in the pftk-mc/1 format (newline-terminated).
+[[nodiscard]] std::string serialize_trace(const CounterexampleTrace& trace);
+
+/// Inverse of serialize_trace.
+/// @throws std::invalid_argument on bad magic, unknown keys, or
+///         malformed values (a trace must parse exactly or not at all).
+[[nodiscard]] CounterexampleTrace parse_trace(const std::string& content);
+
+/// Durably writes `trace` to `path` (tmp + fsync + rename).
+/// @throws robust::IoError on I/O failure.
+void save_trace_file(const std::string& path, const CounterexampleTrace& trace);
+
+/// Loads and parses a trace file.
+/// @throws robust::IoError / std::invalid_argument on failure.
+[[nodiscard]] CounterexampleTrace load_trace_file(const std::string& path);
+
+}  // namespace pftk::mc

@@ -66,6 +66,12 @@ StandardMetrics StandardMetrics::register_on(MetricsRegistry& r) {
   m.journal_flushes = r.counter("pftk_journal_flushes_total", "Journal flushes");
   m.journal_replayed = r.counter("pftk_journal_replayed_total",
                                  "Items satisfied from an existing journal");
+  m.mc_explored_states = r.counter("pftk_mc_explored_states_total",
+                                   "Model-checker choice points explored");
+  m.mc_pruned = r.counter("pftk_mc_pruned_total",
+                          "Model-checker branches pruned at visited states");
+  m.mc_violations = r.counter("pftk_mc_violations_total",
+                              "Model-checker violations found");
   return m;
 }
 

@@ -57,6 +57,10 @@ struct StandardMetrics {
   MetricId journal_bytes;    ///< pftk_journal_bytes_total
   MetricId journal_flushes;  ///< pftk_journal_flushes_total
   MetricId journal_replayed; ///< pftk_journal_replayed_total
+  // Model-checker exploration (`pftk explore`).
+  MetricId mc_explored_states;  ///< pftk_mc_explored_states_total
+  MetricId mc_pruned;           ///< pftk_mc_pruned_total (branches)
+  MetricId mc_violations;       ///< pftk_mc_violations_total
 
   /// Registers the full set on `registry` (which must not be frozen).
   [[nodiscard]] static StandardMetrics register_on(MetricsRegistry& registry);

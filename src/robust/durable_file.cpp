@@ -142,6 +142,12 @@ void atomic_write_file(const std::string& path, std::string_view content,
 
 DurableAppender::DurableAppender(std::string path, Options options)
     : path_(std::move(path)), options_(std::move(options)) {
+  // Custom site names become discoverable via --list-failpoints; the
+  // defaults are pre-seeded, so this only adds for renamed sites.
+  FailpointRegistry::instance().register_site(options_.append_failpoint,
+                                              "durable appender write");
+  FailpointRegistry::instance().register_site(options_.flush_failpoint,
+                                              "durable appender fsync");
   const int flags =
       O_WRONLY | O_CREAT | (options_.truncate ? O_TRUNC : O_APPEND);
   fd_ = ::open(path_.c_str(), flags, 0644);

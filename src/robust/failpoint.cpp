@@ -25,11 +25,32 @@ struct ArmedEntry {
   bool fired = false;
 };
 
+/// Canonical failpoint sites baked into the binary. Sites with
+/// configurable names (DurableAppender's append/flush) register their
+/// custom names at construction on top of these.
+constexpr std::array<std::pair<std::string_view, std::string_view>, 8> kBuiltinSites{{
+    {"checkpoint.rename", "campaign checkpoint atomic-rename commit"},
+    {"export.jsonl.write", "metrics JSONL export write"},
+    {"export.prom.write", "Prometheus textfile export write"},
+    {"journal.append", "campaign journal record append"},
+    {"journal.flush", "campaign journal fsync"},
+    {"mc.trace.write", "model-checker counterexample trace write"},
+    {"trace.read.line", "trace file line read"},
+    {"trace.write", "trace file write"},
+}};
+
 struct RegistryState {
   std::mutex mu;
   std::vector<ArmedEntry> entries;
   std::map<std::string, std::uint64_t, std::less<>> evaluations;
   std::map<std::string, std::uint64_t, std::less<>> fired;
+  std::map<std::string, std::string, std::less<>> sites;
+
+  RegistryState() {
+    for (const auto& [name, description] : kBuiltinSites) {
+      sites.emplace(std::string(name), std::string(description));
+    }
+  }
 };
 
 RegistryState& state() {
@@ -248,6 +269,28 @@ FailpointHit FailpointRegistry::evaluate(std::string_view name) {
     return {};
   }
   return hit;
+}
+
+void FailpointRegistry::register_site(std::string_view name,
+                                      std::string_view description) {
+  if (name.empty()) {
+    throw std::invalid_argument("failpoint site: empty name");
+  }
+  RegistryState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.sites.emplace(std::string(name), std::string(description));
+}
+
+std::vector<std::pair<std::string, std::string>> FailpointRegistry::known_sites()
+    const {
+  RegistryState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(s.sites.size());
+  for (const auto& [name, description] : s.sites) {
+    out.emplace_back(name, description);  // std::map: already sorted
+  }
+  return out;
 }
 
 void crash_now() {

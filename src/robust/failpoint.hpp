@@ -95,6 +95,15 @@ class FailpointRegistry {
   /// first eligible un-fired spec for `name`, consuming it.
   [[nodiscard]] FailpointHit evaluate(std::string_view name);
 
+  /// Records a failpoint site so `pftk faultsim --list-failpoints` can
+  /// enumerate every place a fault can be injected. Idempotent (the
+  /// first description for a name wins); call sites register at
+  /// construction/first use. The built-in sites are pre-seeded.
+  void register_site(std::string_view name, std::string_view description);
+
+  /// Every known site, sorted by name.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> known_sites() const;
+
  private:
   FailpointRegistry() = default;
 };

@@ -15,6 +15,8 @@ std::unique_ptr<LossModel> make_loss_model(const LossSpec& spec) {
         } else if constexpr (std::is_same_v<S, MixedBurstLossSpec>) {
           return std::make_unique<MixedBurstLoss>(s.p, s.single_fraction, s.episode_mean,
                                                   s.episode_min);
+        } else if constexpr (std::is_same_v<S, OracleLossSpec>) {
+          return std::make_unique<OracleLoss>(s.oracle);
         } else {
           return std::make_unique<GilbertElliottLoss>(s.p_good_to_bad, s.p_bad_to_good,
                                                       s.loss_in_bad);

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <variant>
 
@@ -45,8 +46,16 @@ struct GilbertElliottLossSpec {
   double p_bad_to_good = 0.5;
   double loss_in_bad = 1.0;
 };
+/// Externally decided loss (see OracleLoss): the callback is consulted
+/// once per offered packet and the link's Rng is never touched. Not
+/// plain data — only programmatic clients (the model-checking explorer,
+/// tests) construct it; profile parsing never produces one.
+struct OracleLossSpec {
+  std::function<bool(Time)> oracle;
+};
 using LossSpec = std::variant<NoLossSpec, BernoulliLossSpec, BurstLossSpec,
-                              MixedBurstLossSpec, GilbertElliottLossSpec>;
+                              MixedBurstLossSpec, GilbertElliottLossSpec,
+                              OracleLossSpec>;
 
 /// Builds a concrete loss model from a spec (nullptr for NoLossSpec).
 [[nodiscard]] std::unique_ptr<LossModel> make_loss_model(const LossSpec& spec);
@@ -139,7 +148,12 @@ class Connection {
   [[nodiscard]] const TcpReceiver& receiver() const noexcept { return *receiver_; }
   [[nodiscard]] const Link<Segment>& forward_link() const noexcept { return *forward_; }
   [[nodiscard]] const Link<Ack>& reverse_link() const noexcept { return *reverse_; }
+  /// Mutable link access (the explorer installs fault-order oracles and
+  /// loss choice points after construction).
+  [[nodiscard]] Link<Segment>& mutable_forward_link() noexcept { return *forward_; }
+  [[nodiscard]] Link<Ack>& mutable_reverse_link() noexcept { return *reverse_; }
   [[nodiscard]] EventQueue& event_queue() noexcept { return queue_; }
+  [[nodiscard]] const EventQueue& event_queue() const noexcept { return queue_; }
 
  private:
   EventQueue queue_;

@@ -122,8 +122,7 @@ void EventQueue::pop_heap_top() {
   heap_.pop_back();
 }
 
-void EventQueue::run_one(const Entry& entry) {
-  pop_heap_top();
+void EventQueue::dispatch(const Entry& entry) {
   // Move the action out and free the slot before invoking: the action
   // may itself schedule events (reusing this slot is fine — the
   // generation bump has already invalidated the old id) or cancel its
@@ -141,13 +140,54 @@ void EventQueue::run_one(const Entry& entry) {
   }
 }
 
+void EventQueue::run_one(const Entry& entry) {
+  pop_heap_top();
+  dispatch(entry);
+}
+
+void EventQueue::run_one_tied(const Entry& top) {
+  // Collect every live event tied at the top timestamp (bounded by
+  // kMaxTieFanout), in FIFO order: the heap pops them smallest-seq
+  // first. Entries are PODs — the slab cells stay live while popped.
+  tie_buffer_.clear();
+  pop_heap_top();
+  tie_buffer_.push_back(top);
+  Entry next{};
+  while (tie_buffer_.size() < kMaxTieFanout && peek_next(next) && next.at == top.at) {
+    pop_heap_top();
+    tie_buffer_.push_back(next);
+  }
+  std::size_t chosen = 0;
+  if (tie_buffer_.size() > 1) {
+    chosen = tie_breaker_(tie_buffer_.size());
+    if (chosen >= tie_buffer_.size()) {
+      chosen = tie_buffer_.size() - 1;
+    }
+  }
+  // Re-push the losers with their original seqs: FIFO order among them
+  // is preserved, and each later pop at this timestamp is a fresh
+  // tie-break decision (so a chooser can realize any permutation).
+  for (std::size_t i = 0; i < tie_buffer_.size(); ++i) {
+    if (i == chosen) {
+      continue;
+    }
+    heap_.push_back(tie_buffer_[i]);
+    std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
+  }
+  dispatch(tie_buffer_[chosen]);
+}
+
 void EventQueue::run_until(Time end_time) {
   Entry entry{};
   while (peek_next(entry)) {
     if (entry.at > end_time) {
       break;
     }
-    run_one(entry);
+    if (tie_breaker_) {
+      run_one_tied(entry);
+    } else {
+      run_one(entry);
+    }
   }
   if (now_ < end_time) {
     now_ = end_time;
@@ -157,7 +197,11 @@ void EventQueue::run_until(Time end_time) {
 void EventQueue::run_all() {
   Entry entry{};
   while (peek_next(entry)) {
-    run_one(entry);
+    if (tie_breaker_) {
+      run_one_tied(entry);
+    } else {
+      run_one(entry);
+    }
   }
 }
 
@@ -172,6 +216,20 @@ void EventQueue::set_inspector(std::function<void()> inspector, std::uint64_t ev
 void EventQueue::clear_inspector() noexcept {
   inspector_ = nullptr;
   inspect_every_ = 1;
+}
+
+void EventQueue::set_tie_breaker(std::function<std::size_t(std::size_t)> chooser) {
+  tie_breaker_ = std::move(chooser);
+}
+
+void EventQueue::pending_times(std::vector<Time>& out) const {
+  const std::size_t base = out.size();
+  for (const Entry& entry : heap_) {
+    if (entry_alive(entry)) {
+      out.push_back(entry.at);
+    }
+  }
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end());
 }
 
 }  // namespace pftk::sim

@@ -175,6 +175,29 @@ class EventQueue {
   /// Removes the inspector hook.
   void clear_inspector() noexcept;
 
+  /// Installs a tie-break chooser consulted whenever two or more live
+  /// events share the next timestamp: it receives the number of tied
+  /// events (>= 2, capped at kMaxTieFanout, in FIFO order) and returns
+  /// the index of the event to run first; the rest keep their original
+  /// FIFO order among themselves and each subsequent pop at the same
+  /// timestamp is a fresh decision, so the chooser can realize any
+  /// permutation of a tie group. Returning 0 reproduces the default
+  /// FIFO order exactly. nullptr detaches; with no chooser installed the
+  /// dispatch path is the unconditional FIFO fast path (one predictable
+  /// branch, same cost contract as the stats sink). The model-checking
+  /// explorer is the intended client — production runs never set this.
+  void set_tie_breaker(std::function<std::size_t(std::size_t)> chooser);
+
+  /// Largest tie group a chooser is offered in one decision; ties beyond
+  /// the cap stay behind in FIFO order (a bounded-reordering budget, not
+  /// a correctness limit).
+  static constexpr std::size_t kMaxTieFanout = 16;
+
+  /// Appends the timestamps of every pending (uncancelled) event to
+  /// `out`, sorted ascending — a canonical view of the timer wheel for
+  /// state digests. O(heap) — diagnostics/digest use only.
+  void pending_times(std::vector<Time>& out) const;
+
   /// Attaches an observability sink (nullptr detaches). The queue then
   /// counts schedules/executions/cancellations and tracks heap/slab
   /// high-water marks into it — one predictable branch per operation,
@@ -239,6 +262,8 @@ class EventQueue {
   void pop_heap_top();
   void compact_if_mostly_cancelled() noexcept;
   void run_one(const Entry& entry);
+  void dispatch(const Entry& entry);
+  void run_one_tied(const Entry& top);
 
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 1;
@@ -251,6 +276,8 @@ class EventQueue {
   std::function<void()> inspector_;
   std::uint64_t inspect_every_ = 1;
   obs::EventLoopStats* stats_ = nullptr;
+  std::function<std::size_t(std::size_t)> tie_breaker_;
+  std::vector<Entry> tie_buffer_;  ///< reused scratch for tie collection
 };
 
 }  // namespace pftk::sim

@@ -229,52 +229,83 @@ bool FaultInjector::active(const FaultSpec& spec, std::size_t index, Time at) co
   return remaining_[index] > 0;  // packet-scoped blackout
 }
 
+bool FaultInjector::apply(std::size_t i, Time at, FaultVerdict& verdict) {
+  const FaultSpec& spec = schedule_.faults[i];
+  switch (spec.kind) {
+    case FaultKind::kBlackout:
+      if (remaining_[i] > 0) {
+        --remaining_[i];
+      }
+      ++stats_.dropped_blackout;
+      verdict.drop = true;
+      emit(at, obs::ConnEventKind::kFaultDrop, 0.0);
+      return true;  // dropped: later faults are moot
+    case FaultKind::kLoss:
+      if (rng_.bernoulli(spec.rate)) {
+        ++stats_.dropped_loss;
+        verdict.drop = true;
+        emit(at, obs::ConnEventKind::kFaultDrop, 1.0);
+        return true;
+      }
+      break;
+    case FaultKind::kDuplicate:
+      if (rng_.bernoulli(spec.rate)) {
+        ++stats_.duplicated;
+        ++verdict.extra_copies;
+        verdict.duplicate_lag = std::max(verdict.duplicate_lag, spec.magnitude);
+        emit(at, obs::ConnEventKind::kFaultDuplicate, spec.magnitude);
+      }
+      break;
+    case FaultKind::kReorder:
+      if (rng_.bernoulli(spec.rate)) {
+        ++stats_.reordered;
+        verdict.extra_delay += spec.magnitude;
+        verdict.exempt_fifo = true;
+        emit(at, obs::ConnEventKind::kFaultReorder, spec.magnitude);
+      }
+      break;
+    case FaultKind::kDelaySpike:
+      ++stats_.delayed;
+      verdict.extra_delay += spec.magnitude;
+      emit(at, obs::ConnEventKind::kFaultDelay, spec.magnitude);
+      break;
+  }
+  return false;
+}
+
 FaultVerdict FaultInjector::on_packet(Time at) {
   FaultVerdict verdict;
   ++stats_.offered;
+  if (order_oracle_) {
+    // Choice-point path: collect the active specs, let the oracle pick a
+    // rotation, apply in rotated order. A rotation (rather than a full
+    // permutation) keeps the decision arity linear in the active count
+    // while still exposing every "who fires first" outcome that can
+    // change the verdict.
+    active_scratch_.clear();
+    for (std::size_t i = 0; i < schedule_.faults.size(); ++i) {
+      if (active(schedule_.faults[i], i, at)) {
+        active_scratch_.push_back(i);
+      }
+    }
+    const std::size_t n = active_scratch_.size();
+    std::size_t offset = n > 1 ? order_oracle_(n) : 0;
+    if (n > 0 && offset >= n) {
+      offset = n - 1;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      if (apply(active_scratch_[(offset + k) % n], at, verdict)) {
+        return verdict;
+      }
+    }
+    return verdict;
+  }
   for (std::size_t i = 0; i < schedule_.faults.size(); ++i) {
-    const FaultSpec& spec = schedule_.faults[i];
-    if (!active(spec, i, at)) {
+    if (!active(schedule_.faults[i], i, at)) {
       continue;
     }
-    switch (spec.kind) {
-      case FaultKind::kBlackout:
-        if (remaining_[i] > 0) {
-          --remaining_[i];
-        }
-        ++stats_.dropped_blackout;
-        verdict.drop = true;
-        emit(at, obs::ConnEventKind::kFaultDrop, 0.0);
-        return verdict;  // dropped: later faults are moot
-      case FaultKind::kLoss:
-        if (rng_.bernoulli(spec.rate)) {
-          ++stats_.dropped_loss;
-          verdict.drop = true;
-          emit(at, obs::ConnEventKind::kFaultDrop, 1.0);
-          return verdict;
-        }
-        break;
-      case FaultKind::kDuplicate:
-        if (rng_.bernoulli(spec.rate)) {
-          ++stats_.duplicated;
-          ++verdict.extra_copies;
-          verdict.duplicate_lag = std::max(verdict.duplicate_lag, spec.magnitude);
-          emit(at, obs::ConnEventKind::kFaultDuplicate, spec.magnitude);
-        }
-        break;
-      case FaultKind::kReorder:
-        if (rng_.bernoulli(spec.rate)) {
-          ++stats_.reordered;
-          verdict.extra_delay += spec.magnitude;
-          verdict.exempt_fifo = true;
-          emit(at, obs::ConnEventKind::kFaultReorder, spec.magnitude);
-        }
-        break;
-      case FaultKind::kDelaySpike:
-        ++stats_.delayed;
-        verdict.extra_delay += spec.magnitude;
-        emit(at, obs::ConnEventKind::kFaultDelay, spec.magnitude);
-        break;
+    if (apply(i, at, verdict)) {
+      return verdict;
     }
   }
   return verdict;

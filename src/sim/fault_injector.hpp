@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -121,6 +122,18 @@ class FaultInjector {
   [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const FaultSchedule& schedule() const noexcept { return schedule_; }
 
+  /// Installs an application-order oracle consulted when two or more
+  /// specs are active for the same packet: it receives the count of
+  /// active specs and returns a rotation offset in [0, count) — the
+  /// active specs are then applied starting from that offset (wrapping),
+  /// which decides e.g. which of two overlapping blackouts absorbs the
+  /// drop. Returning 0 reproduces the default schedule order exactly.
+  /// nullptr detaches; with no oracle the single-spec fast path is
+  /// untouched. This is the model checker's fault-interleaving seam.
+  void set_order_oracle(std::function<std::size_t(std::size_t)> oracle) {
+    order_oracle_ = std::move(oracle);
+  }
+
   /// Attaches a connection-event trace (nullptr detaches). `direction`
   /// tags every emitted event's aux field (0 = forward/data path,
   /// 1 = reverse/ACK path) so a merged timeline stays attributable.
@@ -131,6 +144,9 @@ class FaultInjector {
 
  private:
   [[nodiscard]] bool active(const FaultSpec& spec, std::size_t index, Time at) const;
+  /// Applies spec `i` to the verdict; returns true if the packet was
+  /// dropped (later specs are moot).
+  bool apply(std::size_t i, Time at, FaultVerdict& verdict);
 
   void emit(Time at, obs::ConnEventKind kind, double value) {
     if (etrace_ != nullptr) {
@@ -140,6 +156,8 @@ class FaultInjector {
 
   FaultSchedule schedule_;
   std::vector<std::uint64_t> remaining_;  ///< per-fault packet budgets
+  std::function<std::size_t(std::size_t)> order_oracle_;
+  std::vector<std::size_t> active_scratch_;  ///< reused active-spec index buffer
   Rng rng_;
   FaultStats stats_;
   obs::ConnEventTrace* etrace_ = nullptr;

@@ -170,6 +170,18 @@ class Link {
 
   [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
 
+  /// Arrival time of the latest FIFO-ordered delivery scheduled so far;
+  /// future deliveries are clamped to at least this (state-digest
+  /// introspection: two runs with equal frontiers behave identically).
+  [[nodiscard]] Time fifo_frontier() const noexcept { return last_delivery_; }
+
+  /// When the serialization stage frees up (0 when rate-unlimited).
+  [[nodiscard]] Time busy_until() const noexcept { return busy_until_; }
+
+  /// Mutable access to the loss model (the explorer swaps choice oracles
+  /// in; nullptr when the link is lossless).
+  [[nodiscard]] LossModel* mutable_loss() noexcept { return loss_.get(); }
+
   /// The attached fault injector, if any (for stats/introspection).
   [[nodiscard]] const FaultInjector* faults() const noexcept { return faults_.get(); }
 

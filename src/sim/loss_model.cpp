@@ -107,4 +107,12 @@ double GilbertElliottLoss::average_loss_rate() const noexcept {
   return stationary_bad_fraction() * loss_in_bad_;
 }
 
+OracleLoss::OracleLoss(Oracle oracle) : oracle_(std::move(oracle)) {
+  if (!oracle_) {
+    throw std::invalid_argument("OracleLoss: oracle must be callable");
+  }
+}
+
+bool OracleLoss::should_drop(Time at, Rng& /*rng*/) { return oracle_(at); }
+
 }  // namespace pftk::sim

@@ -14,6 +14,7 @@
 //  * GilbertElliottLoss — two-state Markov bursty loss (future-work knob).
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "sim/rng.hpp"
@@ -100,6 +101,25 @@ class MixedBurstLoss final : public LossModel {
   Duration episode_mean_;
   Duration episode_min_;
   Time burst_until_ = -1.0;
+};
+
+/// Externally decided per-packet loss: every drop/no-drop verdict comes
+/// from a caller-supplied oracle, and the link's Rng is never touched
+/// (adding or removing the oracle cannot perturb any other stream).
+/// This is the model checker's choice-point seam: the explorer installs
+/// an oracle that forwards each verdict to its ChoiceSource, turning
+/// "which packets are lost" into an exhaustively enumerable branch.
+class OracleLoss final : public LossModel {
+ public:
+  using Oracle = std::function<bool(Time)>;
+
+  /// @throws std::invalid_argument if `oracle` is empty.
+  explicit OracleLoss(Oracle oracle);
+
+  [[nodiscard]] bool should_drop(Time at, Rng& rng) override;
+
+ private:
+  Oracle oracle_;
 };
 
 /// Two-state Gilbert-Elliott channel: in Good state packets survive; in

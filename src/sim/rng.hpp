@@ -11,6 +11,20 @@
 
 namespace pftk::sim {
 
+/// splitmix64 finalizer: bijective 64-bit mixing whose outputs pass
+/// statistical tests even for sequential inputs. The single audited
+/// primitive behind every seed derivation in the tree (Rng::derive, the
+/// campaign's retry-seed perturbation, the explorer's state digests).
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) noexcept;
+
+/// Derives the seed of child stream `stream` from a master `seed`:
+/// nearby (seed, stream) pairs yield unrelated child seeds. This is the
+/// one derivation path shared by Rng::derive and the campaign
+/// seed-perturbation, so both stay in lockstep if the mixing ever
+/// changes.
+[[nodiscard]] std::uint64_t derive_stream_seed(std::uint64_t seed,
+                                               std::uint64_t stream) noexcept;
+
 /// A seeded mt19937_64 with convenience distributions.
 class Rng {
  public:

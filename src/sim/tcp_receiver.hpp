@@ -62,6 +62,17 @@ class TcpReceiver {
   /// Segments currently buffered out of order.
   [[nodiscard]] std::size_t buffered() const noexcept { return out_of_order_.size(); }
 
+  /// The out-of-order buffer itself (sorted) — state-digest introspection.
+  [[nodiscard]] const std::set<SeqNo>& out_of_order() const noexcept {
+    return out_of_order_;
+  }
+
+  /// In-order segments received since the last cumulative ACK.
+  [[nodiscard]] int unacked_in_order() const noexcept { return unacked_in_order_; }
+
+  /// Whether the delayed-ACK timer is currently armed.
+  [[nodiscard]] bool delack_armed() const noexcept { return delack_armed_; }
+
   [[nodiscard]] const TcpReceiverStats& stats() const noexcept { return stats_; }
 
  private:

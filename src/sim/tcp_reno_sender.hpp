@@ -109,6 +109,11 @@ class TcpRenoSender {
     return static_cast<std::size_t>(next_seq_ - snd_una_);
   }
   [[nodiscard]] bool in_fast_recovery() const noexcept { return in_fast_recovery_; }
+  /// Duplicate ACKs counted toward the current fast-retransmit decision.
+  [[nodiscard]] int dupacks() const noexcept { return dupacks_; }
+  /// One past the highest sequence ever transmitted (go-back-N pulls
+  /// next_seq() below this after a timeout).
+  [[nodiscard]] SeqNo highest_sent() const noexcept { return highest_sent_; }
 
   /// True once every packet of a finite transfer is acknowledged.
   [[nodiscard]] bool complete() const noexcept {
@@ -127,13 +132,29 @@ class TcpRenoSender {
   [[nodiscard]] Duration smoothed_rtt() const noexcept { return srtt_; }
   [[nodiscard]] const TcpRenoSenderStats& stats() const noexcept { return stats_; }
 
- private:
   /// Bookkeeping for one outstanding segment (Karn validity + timing).
   struct FlightRecord {
     Time first_sent = 0.0;
     std::size_t in_flight_at_send = 0;
     bool retransmitted = false;
   };
+
+  // Behavioral-state introspection for canonical state digests (the
+  // model checker's visited-state hashing): every field here feeds a
+  // future decision — RTT estimation (Jacobson/Karn), timer state, or
+  // retransmission bookkeeping — so two senders agreeing on all of them
+  // (plus the public window/sequence state above) behave identically.
+  [[nodiscard]] Duration rtt_var() const noexcept { return rttvar_; }
+  [[nodiscard]] bool rtt_timing_active() const noexcept { return timing_active_; }
+  [[nodiscard]] SeqNo rtt_timed_seq() const noexcept { return timed_seq_; }
+  [[nodiscard]] Time rtt_timing_started() const noexcept { return timing_started_; }
+  [[nodiscard]] bool rtx_timer_armed() const noexcept { return rtx_timer_armed_; }
+  /// Outstanding-segment records, front == snd_una() (Karn flags).
+  [[nodiscard]] const std::deque<FlightRecord>& flight() const noexcept {
+    return flight_;
+  }
+
+ private:
 
   void transmit(SeqNo seq, bool retransmission);
   void try_send_new();

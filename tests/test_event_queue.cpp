@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <memory>
@@ -323,6 +324,83 @@ TEST(EventQueue, OversizedCallbackFallsBackToHeapCorrectly) {
   EXPECT_EQ(shared.use_count(), 1);
   q.run_all();
   EXPECT_DOUBLE_EQ(seen, 42.0);
+}
+
+TEST(EventQueue, TieBreakerRealizesChosenPermutation) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  // Always dispatch the youngest tied event first: [0,1,2] -> 2 runs,
+  // [0,1] -> 1 runs, lone 0 runs without a decision.
+  q.set_tie_breaker([](std::size_t tied) { return tied - 1; });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 0}));
+}
+
+TEST(EventQueue, TieBreakerReturningZeroIsFifo) {
+  EventQueue q;
+  std::vector<int> fifo;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&fifo, i] { fifo.push_back(i); });
+  }
+  int decisions = 0;
+  q.set_tie_breaker([&decisions](std::size_t) {
+    ++decisions;
+    return std::size_t{0};
+  });
+  q.run_all();
+  EXPECT_EQ(fifo, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_GT(decisions, 0);
+}
+
+TEST(EventQueue, TieBreakerNotConsultedWithoutTies) {
+  EventQueue q;
+  int decisions = 0;
+  q.set_tie_breaker([&decisions](std::size_t) {
+    ++decisions;
+    return std::size_t{0};
+  });
+  for (int i = 0; i < 4; ++i) {
+    q.schedule_at(1.0 + i, [] {});
+  }
+  q.run_all();
+  EXPECT_EQ(decisions, 0);
+}
+
+TEST(EventQueue, TieGroupsAreCappedAtMaxFanout) {
+  EventQueue q;
+  std::size_t widest = 0;
+  q.set_tie_breaker([&widest](std::size_t tied) {
+    widest = std::max(widest, tied);
+    return std::size_t{0};
+  });
+  int fired = 0;
+  for (int i = 0; i < 40; ++i) {
+    q.schedule_at(1.0, [&fired] { ++fired; });
+  }
+  q.run_all();
+  EXPECT_EQ(fired, 40);
+  EXPECT_GE(widest, 2u);
+  EXPECT_LE(widest, EventQueue::kMaxTieFanout);
+}
+
+TEST(EventQueue, ClearedTieBreakerRestoresFifoFastPath) {
+  EventQueue q;
+  int decisions = 0;
+  q.set_tie_breaker([&decisions](std::size_t) {
+    ++decisions;
+    return std::size_t{0};
+  });
+  q.set_tie_breaker({});
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(decisions, 0);
 }
 
 }  // namespace

@@ -114,6 +114,42 @@ TEST_F(FailpointTest, DelayActionIsConsumedInsideEvaluate) {
   EXPECT_EQ(FailpointRegistry::instance().fired_count("d"), 1u);
 }
 
+TEST_F(FailpointTest, KnownSitesEnumeratesCanonicalTableSorted) {
+  const auto sites = FailpointRegistry::instance().known_sites();
+  ASSERT_GE(sites.size(), 8u);
+  for (std::size_t i = 1; i < sites.size(); ++i) {
+    EXPECT_LT(sites[i - 1].first, sites[i].first) << "not sorted at " << i;
+  }
+  for (const char* name :
+       {"checkpoint.rename", "export.jsonl.write", "export.prom.write",
+        "journal.append", "journal.flush", "mc.trace.write",
+        "trace.read.line", "trace.write"}) {
+    bool found = false;
+    for (const auto& [site, description] : sites) {
+      if (site == name) {
+        found = true;
+        EXPECT_FALSE(description.empty()) << name;
+      }
+    }
+    EXPECT_TRUE(found) << "missing canonical site " << name;
+  }
+}
+
+TEST_F(FailpointTest, RegisterSiteIsIdempotentFirstDescriptionWins) {
+  FailpointRegistry::instance().register_site("test.site.alpha", "original");
+  const std::size_t count = FailpointRegistry::instance().known_sites().size();
+  FailpointRegistry::instance().register_site("test.site.alpha", "usurper");
+  const auto sites = FailpointRegistry::instance().known_sites();
+  EXPECT_EQ(sites.size(), count);
+  for (const auto& [site, description] : sites) {
+    if (site == "test.site.alpha") {
+      EXPECT_EQ(description, "original");
+    }
+  }
+  EXPECT_THROW(FailpointRegistry::instance().register_site("", "x"),
+               std::invalid_argument);
+}
+
 TEST_F(FailpointTest, DisarmAllResetsState) {
   FailpointRegistry::instance().arm_specs("x:after=5:action=error");
   EXPECT_EQ(FailpointRegistry::instance().armed_count(), 1u);

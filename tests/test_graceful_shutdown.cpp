@@ -198,5 +198,27 @@ TEST(GracefulShutdown, SecondSignalHardExits) {
   EXPECT_EQ(WEXITSTATUS(status), 130);
 }
 
+TEST(GracefulShutdown, SecondSigintHardExits130) {
+  // Ctrl-C twice: the first SIGINT requests a cooperative stop, the
+  // second must not wait for it — immediate _exit with 128 + SIGINT.
+  ::fflush(nullptr);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    robust::ShutdownGuard::reset();
+    robust::ShutdownGuard guard(/*hard_exit_code=*/130);
+    (void)::raise(SIGINT);  // first: cooperative stop
+    if (!robust::ShutdownGuard::stop_requested()) {
+      ::_exit(8);  // the flag must already be up
+    }
+    (void)::raise(SIGINT);  // second: hard _exit(130)
+    ::_exit(7);             // unreachable if the guard works
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 130);
+}
+
 }  // namespace
 }  // namespace pftk::exp::campaign

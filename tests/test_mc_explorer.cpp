@@ -1,0 +1,272 @@
+// Bounded model checker end-to-end: exhaustive enumeration with
+// -j-independent deterministic state counts, visited-state pruning that
+// provably cuts work, counterexamples whose replay reproduces the
+// violation byte-for-byte, and the pftk-mc/1 trace format round-trip.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mc/explorer.hpp"
+#include "mc/trace_file.hpp"
+#include "sim/connection.hpp"
+#include "sim/tcp_reno_sender.hpp"
+
+namespace pftk::mc {
+namespace {
+
+/// The documented small config (EXPERIMENTS.md "Exploration"): one flow,
+/// six packets, loss branching on the first eight decisions.
+ExploreConfig documented_config() { return ExploreConfig{}; }
+
+/// A smaller tree for tests that run the explorer several times.
+ExploreConfig tiny_config() {
+  ExploreConfig cfg;
+  cfg.packets = 4;
+  cfg.loss_choices = 3;
+  return cfg;
+}
+
+bool stats_equal(const ExploreStats& a, const ExploreStats& b) {
+  return a.states == b.states && a.branches == b.branches &&
+         a.terminals == b.terminals && a.pruned == b.pruned &&
+         a.truncated == b.truncated && a.violations == b.violations;
+}
+
+TEST(Explorer, DocumentedConfigEnumeratesExactly) {
+  // The golden count for the documented config. If a protocol or
+  // harness change moves it, re-derive and update EXPERIMENTS.md too —
+  // the point is that the enumeration is exact and reproducible.
+  Explorer explorer(documented_config());
+  const ExploreResult result = explorer.run();
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.stats.states, 246u);
+  EXPECT_EQ(result.stats.branches, 247u);
+  EXPECT_EQ(result.stats.terminals, 247u);
+  EXPECT_EQ(result.stats.violations, 0u);
+}
+
+TEST(Explorer, StateCountsAreDeterministicAcrossRunsAndThreads) {
+  ExploreConfig cfg = tiny_config();
+  const ExploreResult first = Explorer(cfg).run();
+  const ExploreResult again = Explorer(cfg).run();
+  ASSERT_TRUE(first.complete);
+  EXPECT_TRUE(stats_equal(first.stats, again.stats));
+
+  for (const int threads : {2, 4}) {
+    ExploreConfig parallel_cfg = cfg;
+    parallel_cfg.threads = threads;
+    const ExploreResult parallel = Explorer(parallel_cfg).run();
+    EXPECT_TRUE(parallel.complete);
+    EXPECT_TRUE(stats_equal(first.stats, parallel.stats))
+        << "threads=" << threads << ": states " << parallel.stats.states
+        << " vs " << first.stats.states;
+    EXPECT_EQ(first.jobs, parallel.jobs);
+  }
+}
+
+TEST(Explorer, VisitedStatePruningCutsWorkWithoutChangingOutcomes) {
+  // Two identical overlapping blackouts: the fault-order rotation is a
+  // pure commuting choice (either order drops the same packet), so both
+  // rotations reach the same digest at the next choice point and the
+  // second subtree must be pruned.
+  ExploreConfig cfg;
+  cfg.packets = 4;
+  cfg.loss_choices = 2;
+  cfg.fault_schedule = "blackout@0+1;blackout@0+1";
+  cfg.split_depth = 0;  // whole tree in one job: the prune is visible
+
+  ExploreConfig unpruned_cfg = cfg;
+  unpruned_cfg.prune_visited = false;
+
+  const ExploreResult pruned = Explorer(cfg).run();
+  const ExploreResult unpruned = Explorer(unpruned_cfg).run();
+  ASSERT_TRUE(pruned.complete);
+  ASSERT_TRUE(unpruned.complete);
+  EXPECT_EQ(unpruned.stats.pruned, 0u);
+  EXPECT_GT(pruned.stats.pruned, 0u);
+  EXPECT_LT(pruned.stats.states, unpruned.stats.states);
+  EXPECT_LT(pruned.stats.terminals, unpruned.stats.terminals);
+  // Reduction only suppresses redundant work; neither run misreports.
+  EXPECT_EQ(pruned.stats.violations, 0u);
+  EXPECT_EQ(unpruned.stats.violations, 0u);
+}
+
+/// Deliberate test-only "bug": flags any branch that retransmitted.
+void no_retransmission_property(const BranchContext& ctx) {
+  const auto& stats = ctx.conn.sender().stats();
+  if (stats.retransmissions >= 1) {
+    throw PropertyViolation("test.no_rtx",
+                            "branch retransmitted " +
+                                std::to_string(stats.retransmissions) +
+                                " segment(s)");
+  }
+}
+
+TEST(Explorer, CounterexampleReplayReproducesViolationExactly) {
+  ExploreConfig cfg = tiny_config();
+  Explorer explorer(cfg);
+  explorer.add_property("test.no_rtx", no_retransmission_property);
+  const ExploreResult result = explorer.run();
+  ASSERT_FALSE(result.violations.empty());
+  EXPECT_GE(result.stats.violations, 1u);
+  const Violation& violation = result.violations.front();
+  EXPECT_EQ(violation.check, "test.no_rtx");
+  ASSERT_FALSE(violation.path.empty());
+
+  // A fresh explorer (same config + property) must replay the recorded
+  // path to the same violated check and a byte-identical state digest.
+  Explorer replayer(cfg);
+  replayer.add_property("test.no_rtx", no_retransmission_property);
+  const ReplayOutcome outcome = replayer.replay(violation.path);
+  EXPECT_FALSE(outcome.diverged) << outcome.message;
+  EXPECT_TRUE(outcome.violated);
+  EXPECT_EQ(outcome.check, violation.check);
+  EXPECT_EQ(outcome.digest.hex(), violation.digest.hex());
+}
+
+TEST(Explorer, ReplayDetectsDivergence) {
+  ExploreConfig cfg = tiny_config();
+  Explorer explorer(cfg);
+  explorer.add_property("test.no_rtx", no_retransmission_property);
+  const ExploreResult result = explorer.run();
+  ASSERT_FALSE(result.violations.empty());
+  const Violation& violation = result.violations.front();
+  ASSERT_GE(violation.path.size(), 2u);
+
+  // A truncated trace runs out of recorded choices mid-branch.
+  std::vector<Choice> truncated(violation.path.begin(),
+                                violation.path.end() - 1);
+  Explorer replayer(cfg);
+  const ReplayOutcome short_replay = replayer.replay(truncated);
+  EXPECT_TRUE(short_replay.diverged);
+
+  // The same trace against a different scenario either diverges or ends
+  // in a different state — it must not silently "reproduce".
+  ExploreConfig other = cfg;
+  other.packets = cfg.packets + 1;
+  Explorer mismatched(other);
+  const ReplayOutcome wrong_config = mismatched.replay(violation.path);
+  EXPECT_TRUE(wrong_config.diverged ||
+              wrong_config.digest.hex() != violation.digest.hex());
+}
+
+TEST(Explorer, CleanBranchReplaysClean) {
+  // The all-defaults branch (every packet delivered) replays without a
+  // violation and with every recorded choice consumed.
+  ExploreConfig cfg = tiny_config();
+  Explorer explorer(cfg);
+  std::vector<Choice> deliver_all(
+      cfg.loss_choices, Choice{ChoiceKind::kForwardLoss, 0, 2});
+  const ReplayOutcome outcome = explorer.replay(deliver_all);
+  EXPECT_FALSE(outcome.diverged) << outcome.message;
+  EXPECT_FALSE(outcome.violated);
+  EXPECT_TRUE(outcome.check.empty());
+}
+
+TEST(Explorer, DepthBudgetTruncatesAndReportsIncomplete) {
+  ExploreConfig cfg = tiny_config();
+  cfg.depth = 1;
+  const ExploreResult result = Explorer(cfg).run();
+  EXPECT_FALSE(result.complete);
+  EXPECT_GT(result.stats.truncated, 0u);
+}
+
+TEST(Explorer, MaxStatesBudgetReportsIncomplete) {
+  ExploreConfig cfg = tiny_config();
+  cfg.max_states = 1;
+  const ExploreResult result = Explorer(cfg).run();
+  EXPECT_FALSE(result.complete);
+}
+
+TEST(Explorer, StopFlagInterrupts) {
+  std::atomic<bool> stop{true};
+  Explorer explorer(tiny_config());
+  const ExploreResult result = explorer.run(&stop);
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_FALSE(result.complete);
+}
+
+TEST(Explorer, ConfigValidationRejectsBadFields) {
+  for (const auto& mutate : std::vector<void (*)(ExploreConfig&)>{
+           [](ExploreConfig& c) { c.packets = 0; },
+           [](ExploreConfig& c) { c.packets = 65; },
+           [](ExploreConfig& c) { c.window = 0.5; },
+           [](ExploreConfig& c) { c.ack_every = 0; },
+           [](ExploreConfig& c) { c.one_way_delay = 0.0; },
+           [](ExploreConfig& c) { c.min_rto = 0.0; },
+           [](ExploreConfig& c) { c.time_cap = 0.0; },
+           [](ExploreConfig& c) { c.tie_width = 1; },
+           [](ExploreConfig& c) { c.tie_width = 99; },
+           [](ExploreConfig& c) { c.depth = 0; },
+           [](ExploreConfig& c) { c.threads = 0; },
+           [](ExploreConfig& c) { c.fault_schedule = "bogus@@"; },
+       }) {
+    ExploreConfig cfg;
+    mutate(cfg);
+    EXPECT_THROW(Explorer{cfg}, std::invalid_argument);
+  }
+}
+
+TEST(TraceFile, SerializeParseRoundTrip) {
+  CounterexampleTrace trace;
+  trace.config.packets = 5;
+  trace.config.window = 6.0;
+  trace.config.ack_every = 1;
+  trace.config.ack_loss = true;
+  trace.config.fault_schedule = "blackout@0+1";
+  trace.config.tie_width = 3;
+  trace.config.tie_choices = 2;
+  trace.choices = {{ChoiceKind::kForwardLoss, 1, 2},
+                   {ChoiceKind::kTieBreak, 2, 3}};
+  trace.check = "test.no_rtx";
+  trace.message = "branch retransmitted 1 segment(s)";
+  DigestBuilder builder;
+  builder.add_u64(7);
+  trace.digest = builder.finish();
+
+  const std::string text = serialize_trace(trace);
+  const CounterexampleTrace parsed = parse_trace(text);
+  EXPECT_EQ(parsed.config.packets, trace.config.packets);
+  EXPECT_EQ(parsed.config.window, trace.config.window);
+  EXPECT_EQ(parsed.config.ack_every, trace.config.ack_every);
+  EXPECT_EQ(parsed.config.ack_loss, trace.config.ack_loss);
+  EXPECT_EQ(parsed.config.fault_schedule, trace.config.fault_schedule);
+  EXPECT_EQ(parsed.config.tie_width, trace.config.tie_width);
+  EXPECT_EQ(parsed.config.tie_choices, trace.config.tie_choices);
+  EXPECT_EQ(parsed.choices, trace.choices);
+  EXPECT_EQ(parsed.check, trace.check);
+  EXPECT_EQ(parsed.message, trace.message);
+  EXPECT_EQ(parsed.digest, trace.digest);
+}
+
+TEST(TraceFile, ParseRejectsMalformedInput) {
+  const CounterexampleTrace trace;  // digest present, empty path
+  const std::string good = serialize_trace(trace);
+  EXPECT_THROW((void)parse_trace("not-a-trace\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse_trace(good + "mystery=1\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse_trace("pftk-mc/1\n"), std::invalid_argument)
+      << "a trace without a digest must not parse";
+}
+
+TEST(TraceFile, SaveLoadRoundTripsOnDisk) {
+  CounterexampleTrace trace;
+  trace.choices = {{ChoiceKind::kForwardLoss, 1, 2}};
+  trace.check = "x";
+  trace.message = "m";
+  const std::string path = ::testing::TempDir() + "pftk_mc_trace_roundtrip";
+  std::remove(path.c_str());
+  save_trace_file(path, trace);
+  const CounterexampleTrace loaded = load_trace_file(path);
+  EXPECT_EQ(loaded.choices, trace.choices);
+  EXPECT_EQ(loaded.check, trace.check);
+  EXPECT_EQ(loaded.digest, trace.digest);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pftk::mc

@@ -12,6 +12,9 @@
 //                                                  run under injected faults
 //   pftk campaign <spec-file> [--threads N] [--journal FILE] [--resume]
 //                                                  supervised grid campaign
+//   pftk explore [options | --replay FILE]         bounded model checking:
+//                                                  exhaustive loss/timing
+//                                                  nondeterminism exploration
 //   pftk bench [--smoke] [--gate] [--json [FILE]]  hot-path micro-benchmarks
 //   pftk obs summarize <obs-file> [--json [FILE]]  TD/TO loss-indication split
 //
@@ -51,6 +54,8 @@
 #include "core/throughput_model.hpp"
 #include "exp/campaign/campaign_runner.hpp"
 #include "exp/campaign/chaos.hpp"
+#include "mc/explorer.hpp"
+#include "mc/trace_file.hpp"
 #include "exp/hour_trace_experiment.hpp"
 #include "exp/micro_bench.hpp"
 #include "exp/table_format.hpp"
@@ -82,6 +87,20 @@ int usage() {
                "  pftk faultsim <sender> <receiver> <seconds> <schedule> [seed] [trace-file]\n"
                "      schedule: kind@start[+duration][#count][:rate[:magnitude]] ';'-separated\n"
                "      kinds: blackout, loss, dup, reorder, delay  (e.g. blackout@120+5)\n"
+               "  pftk faultsim --list-failpoints\n"
+               "      enumerate every registered failpoint site, one per line\n"
+               "  pftk explore [--packets N] [--window W] [--ack-every B] [--ack-loss]\n"
+               "               [--loss-choices N] [--ties K] [--tie-choices N]\n"
+               "               [--faults SPEC] [--depth N] [--max-states N] [--no-prune]\n"
+               "               [--split-depth N] [--threads N|-j N] [--seed N] [--out FILE]\n"
+               "      exhaustive bounded exploration of loss/timing nondeterminism in a\n"
+               "      small finite transfer; every branch runs the live invariant\n"
+               "      checker plus model-assumption checks. exits 0 on a complete clean\n"
+               "      enumeration, 1 with a replayable counterexample written to --out\n"
+               "      on a violation, 3 when interrupted or a budget cut the search\n"
+               "  pftk explore --replay FILE\n"
+               "      re-execute a recorded counterexample under strict verification;\n"
+               "      exits 0 iff the trace reproduces (same checks, same end digest)\n"
                "  pftk campaign <spec-file> [--threads N] [--journal FILE] [--resume]\n"
                "                [--fsync-every N]\n"
                "      supervised grid campaign (see EXPERIMENTS.md for the spec and\n"
@@ -319,6 +338,14 @@ int cmd_simulate(int argc, char** argv) {
 }
 
 int cmd_faultsim(int argc, char** argv) {
+  // Site discovery: which code paths can be chaos-tested right now.
+  if (argc >= 3 && std::string(argv[2]) == "--list-failpoints") {
+    for (const auto& [name, description] :
+         pftk::robust::FailpointRegistry::instance().known_sites()) {
+      std::cout << name << "\t" << description << "\n";
+    }
+    return 0;
+  }
   const ObsOptions obs_opts = extract_obs_flags(argc, argv);
   if (argc < 6) {
     return usage();
@@ -526,6 +553,141 @@ int cmd_campaign(int argc, char** argv) {
     return 1;
   }
   return 0;
+}
+
+/// Re-executes a saved counterexample and verifies it reproduces: same
+/// divergence-free run, same violated check, same end-state digest.
+int explore_replay(const std::string& path) {
+  const auto trace = pftk::mc::load_trace_file(path);
+  pftk::mc::Explorer explorer(trace.config);
+  const auto outcome = explorer.replay(trace.choices);
+
+  std::cout << "replay: " << path << "\n  config: " << trace.config.describe()
+            << "\n  choices: " << pftk::mc::encode_choices(trace.choices) << "\n";
+  if (outcome.diverged) {
+    std::cout << "  DIVERGED: " << outcome.message << "\n";
+    return 1;
+  }
+  const bool check_matches = outcome.violated ? (outcome.check == trace.check)
+                                              : trace.check.empty();
+  const bool digest_matches = outcome.digest == trace.digest;
+  if (outcome.violated) {
+    std::cout << "  violation reproduced: [" << outcome.check << "] "
+              << outcome.message << "\n";
+  } else {
+    std::cout << "  branch ran clean\n";
+  }
+  std::cout << "  digest: " << outcome.digest.hex()
+            << (digest_matches ? " (matches trace)" : " (MISMATCH)") << "\n";
+  if (!check_matches) {
+    std::cout << "  check mismatch: trace recorded ["
+              << (trace.check.empty() ? "<none>" : trace.check) << "]\n";
+  }
+  return (check_matches && digest_matches) ? 0 : 1;
+}
+
+int cmd_explore(int argc, char** argv) {
+  const ObsOptions obs_opts = extract_obs_flags(argc, argv);
+  pftk::mc::ExploreConfig config;
+  std::string out_path = "counterexample.pftk-mc";
+  std::string replay_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--replay" && has_value) {
+      replay_path = argv[++i];
+    } else if (arg == "--packets" && has_value) {
+      config.packets = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--window" && has_value) {
+      config.window = std::atof(argv[++i]);
+    } else if (arg == "--ack-every" && has_value) {
+      config.ack_every = std::atoi(argv[++i]);
+    } else if (arg == "--ack-loss") {
+      config.ack_loss = true;
+    } else if (arg == "--loss-choices" && has_value) {
+      config.loss_choices = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--ties" && has_value) {
+      config.tie_width = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+      if (config.tie_choices == 0) {
+        config.tie_choices = 4;  // sensible default once ties are on
+      }
+    } else if (arg == "--tie-choices" && has_value) {
+      config.tie_choices = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--faults" && has_value) {
+      config.fault_schedule = argv[++i];
+    } else if (arg == "--depth" && has_value) {
+      config.depth = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--max-states" && has_value) {
+      config.max_states = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--no-prune") {
+      config.prune_visited = false;
+    } else if (arg == "--split-depth" && has_value) {
+      config.split_depth = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if ((arg == "--threads" || arg == "-j") && has_value) {
+      config.threads = std::atoi(argv[++i]);
+    } else if (arg == "--seed" && has_value) {
+      config.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--time-cap" && has_value) {
+      config.time_cap = std::atof(argv[++i]);
+    } else if (arg == "--out" && has_value) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "unknown explore option: " << arg << "\n";
+      return usage();
+    }
+  }
+  if (!replay_path.empty()) {
+    return explore_replay(replay_path);
+  }
+
+  // First SIGINT/SIGTERM stops between branches (partial counts are
+  // reported, exit 3); the second hard-exits with 130.
+  pftk::robust::ShutdownGuard shutdown(/*hard_exit_code=*/130);
+
+  pftk::mc::Explorer explorer(config);
+  const auto result = explorer.run(pftk::robust::ShutdownGuard::stop_flag());
+  const auto& st = result.stats;
+
+  std::cout << "explore: " << config.describe() << "\n"
+            << "  states " << st.states << ", branches " << st.branches
+            << " (terminal " << st.terminals << ", pruned " << st.pruned
+            << ", truncated " << st.truncated << "), jobs " << result.jobs << "\n"
+            << "  enumeration " << (result.complete ? "complete" : "INCOMPLETE")
+            << (result.interrupted ? " (interrupted)" : "") << ", violations "
+            << st.violations << "\n";
+
+  int exit_code = 0;
+  if (!result.violations.empty()) {
+    const auto& violation = result.violations.front();
+    pftk::mc::CounterexampleTrace trace;
+    trace.config = config;
+    trace.choices = violation.path;
+    trace.check = violation.check;
+    trace.message = violation.message;
+    trace.digest = violation.digest;
+    pftk::mc::save_trace_file(out_path, trace);
+    std::cout << "  VIOLATION [" << violation.check << "]: " << violation.message
+              << "\n  counterexample written to " << out_path
+              << " (replay with: pftk explore --replay " << out_path << ")\n";
+    exit_code = 1;
+  } else if (result.interrupted || !result.complete) {
+    exit_code = 3;
+  }
+
+  if (obs_opts.enabled()) {
+    pftk::obs::MetricsRegistry registry;
+    const auto met = pftk::obs::StandardMetrics::register_on(registry);
+    registry.freeze(1);
+    auto& shard = registry.shard(0);
+    shard.add(met.mc_explored_states, static_cast<double>(st.states));
+    shard.add(met.mc_pruned, static_cast<double>(st.pruned));
+    shard.add(met.mc_violations, static_cast<double>(st.violations));
+    pftk::obs::ObsBundle bundle;
+    bundle.source = "explore";
+    bundle.metrics = registry.snapshot();
+    export_obs_outputs(obs_opts, bundle);
+  }
+  return exit_code;
 }
 
 int cmd_chaos(int argc, char** argv) {
@@ -761,6 +923,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "campaign") {
       return cmd_campaign(argc, argv);
+    }
+    if (cmd == "explore") {
+      return cmd_explore(argc, argv);
     }
     if (cmd == "chaos") {
       return cmd_chaos(argc, argv);
