@@ -17,31 +17,31 @@ void ModelParams::validate() const {
   // summary would be reported as a range error (or, worse, p = NaN would
   // sail through a `!(p < 0)`-style check into the formulas).
   if (std::isnan(p) || std::isinf(p)) {
-    throw std::invalid_argument("ModelParams: p must be finite (got NaN/Inf)");
+    throw ParamError("ModelParams: p must be finite (got NaN/Inf)");
   }
   if (std::isnan(rtt) || std::isinf(rtt)) {
-    throw std::invalid_argument("ModelParams: rtt must be finite (got NaN/Inf)");
+    throw ParamError("ModelParams: rtt must be finite (got NaN/Inf)");
   }
   if (std::isnan(t0) || std::isinf(t0)) {
-    throw std::invalid_argument("ModelParams: t0 must be finite (got NaN/Inf)");
+    throw ParamError("ModelParams: t0 must be finite (got NaN/Inf)");
   }
   if (std::isnan(wm) || std::isinf(wm)) {
-    throw std::invalid_argument("ModelParams: wm must be finite (got NaN/Inf)");
+    throw ParamError("ModelParams: wm must be finite (got NaN/Inf)");
   }
   if (!(p >= 0.0 && p < 1.0)) {
-    throw std::invalid_argument("ModelParams: p must be in [0, 1)");
+    throw ParamError("ModelParams: p must be in [0, 1)");
   }
   if (!(rtt > 0.0)) {
-    throw std::invalid_argument("ModelParams: rtt must be positive");
+    throw ParamError("ModelParams: rtt must be positive");
   }
   if (!(t0 > 0.0)) {
-    throw std::invalid_argument("ModelParams: t0 must be positive");
+    throw ParamError("ModelParams: t0 must be positive");
   }
   if (b < 1) {
-    throw std::invalid_argument("ModelParams: b must be >= 1");
+    throw ParamError("ModelParams: b must be >= 1");
   }
   if (!(wm >= 1.0)) {
-    throw std::invalid_argument("ModelParams: wm must be >= 1");
+    throw ParamError("ModelParams: wm must be >= 1");
   }
 }
 

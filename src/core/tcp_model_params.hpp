@@ -5,9 +5,21 @@
 // second. This header defines the parameter bundle and its validity rules.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 
 namespace pftk::model {
+
+/// Typed rejection of an out-of-range or non-finite input parameter.
+/// Thrown by ModelParams::validate() and the CLI argument parsers so the
+/// front end can map bad *input* to the usage exit code (2) uniformly,
+/// instead of folding it into the generic runtime-failure code (1).
+/// Derives from std::invalid_argument, so existing catch sites keep
+/// working unchanged.
+class ParamError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
 
 /// Parameters of the PFTK TCP-Reno steady-state models.
 ///

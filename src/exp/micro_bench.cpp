@@ -14,6 +14,8 @@
 #include "core/full_model.hpp"
 #include "obs/event_loop_stats.hpp"
 #include "robust/failpoint.hpp"
+#include "serve/prepared_cache.hpp"
+#include "serve/protocol.hpp"
 #include "sim/event_queue.hpp"
 #include "trace/trace_event.hpp"
 #include "trace/trace_io.hpp"
@@ -319,6 +321,73 @@ MicroBenchResult bench_journal_serialize_failpoint(const MicroBenchConfig& confi
   return r;
 }
 
+/// A rotating pool of well-formed MODEL request lines: 4 parameter sets
+/// (so the PreparedCache sees realistic hit runs) x 16 p values.
+std::vector<std::string> make_request_lines() {
+  std::vector<std::string> lines;
+  for (int set = 0; set < 4; ++set) {
+    const double rtt = 0.05 + 0.05 * set;
+    const double t0 = 4.0 * rtt;
+    const double wm = static_cast<double>(8 << set);
+    for (int i = 0; i < 16; ++i) {
+      const double p = 0.001 * static_cast<double>(1 + i * 7 % 97);
+      std::ostringstream os;
+      os << "MODEL r" << set << "-" << i << " p=" << p << " rtt=" << rtt
+         << " t0=" << t0 << " wm=" << wm << " b=2 model="
+         << (set % 2 == 0 ? "full" : "approx");
+      lines.push_back(os.str());
+    }
+  }
+  return lines;
+}
+
+MicroBenchResult bench_serve_parse(const MicroBenchConfig& config) {
+  const auto lines = make_request_lines();
+  std::uint64_t sink = 0;
+  const double secs = best_seconds(config.repeats, [&] {
+    sink = 0;
+    for (std::uint64_t i = 0; i < config.serve_requests; ++i) {
+      const auto req = serve::parse_request(lines[i % lines.size()]);
+      sink += req.id.size();
+    }
+  });
+  MicroBenchResult r;
+  r.name = "serve.parse";
+  r.unit = "ns/request";
+  r.items = config.serve_requests + (sink & 1);
+  r.value = secs * 1e9 / static_cast<double>(config.serve_requests);
+  r.per_second = static_cast<double>(config.serve_requests) / secs;
+  return r;
+}
+
+/// The daemon worker's whole per-request CPU cost, socket I/O excluded:
+/// parse the line, hit the PreparedModel cache, evaluate, format the OK
+/// response. This is the number the serve capacity plan starts from.
+MicroBenchResult bench_serve_request_path(const MicroBenchConfig& config) {
+  const auto lines = make_request_lines();
+  serve::PreparedCache cache(32);
+  std::uint64_t sink = 0;
+  const double secs = best_seconds(config.repeats, [&] {
+    sink = 0;
+    for (std::uint64_t i = 0; i < config.serve_requests; ++i) {
+      const auto req = serve::parse_request(lines[i % lines.size()]);
+      const auto& prepared = cache.get(req.kind, req.params);
+      const double rate = prepared(req.params.p);
+      const std::string response = serve::format_ok(
+          req.id, {{"rate", serve::format_number(rate)},
+                   {"model", std::string(serve::model_kind_token(req.kind))}});
+      sink += response.size();
+    }
+  });
+  MicroBenchResult r;
+  r.name = "serve.request_path";
+  r.unit = "ns/request";
+  r.items = config.serve_requests + (sink & 1);
+  r.value = secs * 1e9 / static_cast<double>(config.serve_requests);
+  r.per_second = static_cast<double>(config.serve_requests) / secs;
+  return r;
+}
+
 MicroBenchResult bench_trace_parse(const MicroBenchConfig& config) {
   const std::string text = make_trace_text(config.trace_events);
   std::size_t parsed = 0;
@@ -353,6 +422,7 @@ MicroBenchConfig MicroBenchConfig::smoke() {
   config.model_grid_points = 10'000;  // full size: the equivalence grid is cheap
   config.trace_events = 10'000;
   config.journal_records = 50'000;
+  config.serve_requests = 20'000;
   return config;
 }
 
@@ -397,6 +467,8 @@ MicroBenchReport run_micro_bench(const MicroBenchConfig& config) {
       report.results[report.results.size() - 2].value;
 
   report.results.push_back(bench_trace_parse(config));
+  report.results.push_back(bench_serve_parse(config));
+  report.results.push_back(bench_serve_request_path(config));
   return report;
 }
 

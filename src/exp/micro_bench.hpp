@@ -7,7 +7,11 @@
 //     hot-path cost is a measured ratio, not a promise;
 //   * model evaluation, scalar entry points vs. the PreparedModel
 //     batched fast path, in ns per evaluation over a 10k-point p grid;
-//   * trace parsing (strict read_trace), in MB/s.
+//   * trace parsing (strict read_trace), in MB/s;
+//   * the `pftk serve` request path: wire-line parsing alone
+//     (serve.parse) and parse -> PreparedModel-cache evaluate -> response
+//     format (serve.request_path), in ns per request — what one daemon
+//     worker pays per MODEL request before any socket I/O.
 //
 // Each benchmark runs `repeats` times and reports the best repeat (the
 // standard way to suppress scheduler noise on a shared machine). The
@@ -39,6 +43,7 @@ struct MicroBenchConfig {
   std::size_t model_grid_points = 10'000;   ///< p-grid size for model benches
   std::size_t trace_events = 200'000;       ///< synthetic trace records
   std::uint64_t journal_records = 1'000'000;  ///< records for failpoint bench
+  std::uint64_t serve_requests = 200'000;     ///< request lines for serve benches
 
   /// Reduced-size configuration for CI smoke runs (~100x cheaper).
   [[nodiscard]] static MicroBenchConfig smoke();

@@ -1,5 +1,7 @@
 #include "obs/standard_metrics.hpp"
 
+#include <utility>
+
 namespace pftk::obs {
 
 StandardMetrics StandardMetrics::register_on(MetricsRegistry& r) {
@@ -72,6 +74,44 @@ StandardMetrics StandardMetrics::register_on(MetricsRegistry& r) {
                           "Model-checker branches pruned at visited states");
   m.mc_violations = r.counter("pftk_mc_violations_total",
                               "Model-checker violations found");
+  return m;
+}
+
+ServeMetrics ServeMetrics::register_on(MetricsRegistry& r,
+                                       std::vector<double> latency_bounds) {
+  ServeMetrics m;
+  m.requests = r.counter("pftk_serve_requests_total",
+                         "Requests admitted to a queueing decision");
+  m.served = r.counter("pftk_serve_served_total", "Requests answered OK");
+  m.shed = r.counter("pftk_serve_shed_total",
+                     "Requests shed with BUSY at the admission watermark");
+  m.deadline_missed = r.counter("pftk_serve_deadline_missed_total",
+                                "Requests shed after their deadline expired");
+  m.internal_errors = r.counter("pftk_serve_internal_errors_total",
+                                "Requests answered ERR INTERNAL");
+  m.protocol_errors = r.counter("pftk_serve_protocol_errors_total",
+                                "Lines rejected with BADREQ");
+  m.oversized = r.counter("pftk_serve_oversized_lines_total",
+                          "Lines rejected with TOOBIG at the byte cap");
+  m.pings = r.counter("pftk_serve_pings_total", "PING round trips");
+  m.connections = r.counter("pftk_serve_connections_total", "Clients accepted");
+  m.rejected_connections = r.counter("pftk_serve_rejected_connections_total",
+                                     "Clients turned away over the client cap");
+  m.disconnects = r.counter("pftk_serve_client_disconnects_total",
+                            "Clients lost on the response path");
+  m.batches = r.counter("pftk_serve_batches_total",
+                        "Same-key MODEL batches drained together");
+  m.batched_requests = r.counter("pftk_serve_batched_requests_total",
+                                 "Requests evaluated inside those batches");
+  m.calib_chunks = r.counter("pftk_serve_calib_chunks_total",
+                             "CALIB trace chunks parsed (deadline checkpoints)");
+  m.metrics_flushes = r.counter("pftk_serve_metrics_flushes_total",
+                                "Durable metrics snapshots written");
+  m.queue_peak = r.gauge("pftk_serve_queue_peak",
+                         "High-water queued requests over every shard");
+  m.latency_seconds = r.histogram("pftk_serve_latency_seconds",
+                                  "Admission-to-response latency (wall seconds)",
+                                  std::move(latency_bounds));
   return m;
 }
 

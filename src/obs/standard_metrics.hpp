@@ -69,4 +69,33 @@ struct StandardMetrics {
   void record_event_loop(MetricsShard& shard, const EventLoopStats& stats) const;
 };
 
+/// The canonical serving metric set (`pftk serve`). Registered
+/// separately from StandardMetrics: the daemon derives these from its
+/// own crash-safe atomic totals (src/serve/serve_metrics.hpp) rather
+/// than recording through single-writer shards, but the *names* live
+/// here so every exporter and dashboard agrees on them.
+struct ServeMetrics {
+  MetricId requests;          ///< pftk_serve_requests_total (admitted)
+  MetricId served;            ///< pftk_serve_served_total
+  MetricId shed;              ///< pftk_serve_shed_total (BUSY rejections)
+  MetricId deadline_missed;   ///< pftk_serve_deadline_missed_total
+  MetricId internal_errors;   ///< pftk_serve_internal_errors_total
+  MetricId protocol_errors;   ///< pftk_serve_protocol_errors_total
+  MetricId oversized;         ///< pftk_serve_oversized_lines_total
+  MetricId pings;             ///< pftk_serve_pings_total
+  MetricId connections;       ///< pftk_serve_connections_total
+  MetricId rejected_connections;  ///< pftk_serve_rejected_connections_total
+  MetricId disconnects;       ///< pftk_serve_client_disconnects_total
+  MetricId batches;           ///< pftk_serve_batches_total
+  MetricId batched_requests;  ///< pftk_serve_batched_requests_total
+  MetricId calib_chunks;      ///< pftk_serve_calib_chunks_total
+  MetricId metrics_flushes;   ///< pftk_serve_metrics_flushes_total
+  MetricId queue_peak;        ///< pftk_serve_queue_peak (gauge)
+  MetricId latency_seconds;   ///< pftk_serve_latency_seconds (histogram)
+
+  /// Registers the set with `latency_bounds` as the histogram edges.
+  [[nodiscard]] static ServeMetrics register_on(MetricsRegistry& registry,
+                                                std::vector<double> latency_bounds);
+};
+
 }  // namespace pftk::obs

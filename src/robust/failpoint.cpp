@@ -28,13 +28,17 @@ struct ArmedEntry {
 /// Canonical failpoint sites baked into the binary. Sites with
 /// configurable names (DurableAppender's append/flush) register their
 /// custom names at construction on top of these.
-constexpr std::array<std::pair<std::string_view, std::string_view>, 8> kBuiltinSites{{
+constexpr std::array<std::pair<std::string_view, std::string_view>, 12> kBuiltinSites{{
     {"checkpoint.rename", "campaign checkpoint atomic-rename commit"},
     {"export.jsonl.write", "metrics JSONL export write"},
     {"export.prom.write", "Prometheus textfile export write"},
     {"journal.append", "campaign journal record append"},
     {"journal.flush", "campaign journal fsync"},
     {"mc.trace.write", "model-checker counterexample trace write"},
+    {"serve.accept", "serve daemon connection accept"},
+    {"serve.enqueue", "serve daemon request admission (forced shed)"},
+    {"serve.read", "serve daemon client-socket read"},
+    {"serve.write", "serve daemon response write"},
     {"trace.read.line", "trace file line read"},
     {"trace.write", "trace file write"},
 }};

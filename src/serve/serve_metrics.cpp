@@ -1,0 +1,165 @@
+#include "serve/serve_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/standard_metrics.hpp"
+
+namespace pftk::serve {
+
+ConcurrentHistogram::ConcurrentHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (!std::isfinite(bounds_[i]) ||
+        (i > 0 && !(bounds_[i] > bounds_[i - 1]))) {
+      throw std::invalid_argument(
+          "ConcurrentHistogram: bounds must be finite and strictly increasing");
+    }
+  }
+}
+
+void ConcurrentHistogram::observe(double x) noexcept {
+  if (!std::isfinite(x)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Inclusive upper edges, like the obs registry: x == edge lands in
+  // that edge's bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> ConcurrentHistogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double ConcurrentHistogram::quantile(double q) const {
+  const auto counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const auto c : counts) {
+    total += c;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t next = cum + counts[i];
+    if (static_cast<double>(next) >= target && counts[i] > 0) {
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      // The +inf bucket has no width; clamp its estimate to the last
+      // finite edge rather than inventing an upper bound.
+      if (i >= bounds_.size()) {
+        return bounds_.empty() ? 0.0 : bounds_.back();
+      }
+      const double hi = bounds_[i];
+      const double into =
+          (target - static_cast<double>(cum)) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::clamp(into, 0.0, 1.0);
+    }
+    cum = next;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<double> default_latency_bounds() {
+  return {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2,
+          2.5e-2, 5e-2, 0.1,  0.25, 0.5,    1.0,  2.5};
+}
+
+ServeSummary summarize(const ServeTotals& totals,
+                       const ConcurrentHistogram& latency) {
+  ServeSummary s;
+  s.requests = totals.requests.load();
+  s.served = totals.served.load();
+  s.shed = totals.shed.load();
+  s.deadline_missed = totals.deadline_missed.load();
+  s.internal_errors = totals.internal_errors.load();
+  s.protocol_errors = totals.protocol_errors.load();
+  s.oversized = totals.oversized.load();
+  s.pings = totals.pings.load();
+  s.connections = totals.connections.load();
+  s.rejected_connections = totals.rejected_connections.load();
+  s.disconnects = totals.disconnects.load();
+  s.batches = totals.batches.load();
+  s.batched_requests = totals.batched_requests.load();
+  s.calib_chunks = totals.calib_chunks.load();
+  s.queue_peak = totals.queue_peak.load();
+  s.latency_p50_s = latency.quantile(0.50);
+  s.latency_p99_s = latency.quantile(0.99);
+  return s;
+}
+
+std::string ServeSummary::describe() const {
+  std::ostringstream os;
+  os << "requests " << requests << " = served " << served << " + shed " << shed
+     << " + deadline-missed " << deadline_missed << " + internal "
+     << internal_errors << (accounting_ok() ? "" : "  [ACCOUNTING MISMATCH]")
+     << "\n"
+     << "protocol errors " << protocol_errors << ", oversized " << oversized
+     << ", pings " << pings << ", connections " << connections << " (rejected "
+     << rejected_connections << ", lost " << disconnects << ")\n"
+     << "batches " << batches << " covering " << batched_requests
+     << " request(s), calib chunks " << calib_chunks << ", queue peak "
+     << queue_peak << "\n"
+     << "latency p50 " << latency_p50_s * 1e3 << " ms, p99 "
+     << latency_p99_s * 1e3 << " ms (histogram estimate)";
+  return os.str();
+}
+
+obs::ObsBundle make_bundle(const ServeTotals& totals,
+                           const ConcurrentHistogram& latency) {
+  obs::MetricsRegistry registry;
+  const auto met = obs::ServeMetrics::register_on(registry, latency.bounds());
+  registry.freeze(1);
+  auto& shard = registry.shard(0);
+  const auto add = [&shard](obs::MetricId id,
+                            const std::atomic<std::uint64_t>& v) {
+    shard.add(id, static_cast<double>(v.load(std::memory_order_relaxed)));
+  };
+  add(met.requests, totals.requests);
+  add(met.served, totals.served);
+  add(met.shed, totals.shed);
+  add(met.deadline_missed, totals.deadline_missed);
+  add(met.internal_errors, totals.internal_errors);
+  add(met.protocol_errors, totals.protocol_errors);
+  add(met.oversized, totals.oversized);
+  add(met.pings, totals.pings);
+  add(met.connections, totals.connections);
+  add(met.rejected_connections, totals.rejected_connections);
+  add(met.disconnects, totals.disconnects);
+  add(met.batches, totals.batches);
+  add(met.batched_requests, totals.batched_requests);
+  add(met.calib_chunks, totals.calib_chunks);
+  add(met.metrics_flushes, totals.metrics_flushes);
+  shard.set(met.queue_peak,
+            static_cast<double>(totals.queue_peak.load(std::memory_order_relaxed)));
+
+  obs::ObsBundle bundle;
+  bundle.source = "serve";
+  bundle.metrics = registry.snapshot();
+  // Splice the concurrent histogram into the snapshot slot the registry
+  // reserved for it: same name, same bounds, exact bucket counts.
+  for (auto& metric : bundle.metrics.metrics) {
+    if (metric.name == "pftk_serve_latency_seconds") {
+      metric.buckets = latency.bucket_counts();
+      metric.count = latency.count();
+      metric.sum = latency.sum();
+      metric.rejected = latency.rejected();
+    }
+  }
+  return bundle;
+}
+
+}  // namespace pftk::serve

@@ -1,0 +1,747 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "core/inverse_model.hpp"
+#include "core/model_registry.hpp"
+#include "robust/durable_file.hpp"
+#include "robust/failpoint.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_summary.hpp"
+
+namespace pftk::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kPollMs = 50;
+/// CALIB traces are parsed in line-chunks of this size with a deadline
+/// check between chunks, so a huge trace cannot pin a worker past the
+/// request's budget.
+constexpr std::size_t kCalibChunkLines = 4096;
+
+void spin_for_us(std::uint64_t us) {
+  const auto end = Clock::now() + std::chrono::microseconds(us);
+  while (Clock::now() < end) {
+  }
+}
+
+/// Response-field values must be single tokens; collapse whitespace so a
+/// diagnostic message cannot corrupt the line grammar.
+std::string sanitize_field(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      c = '_';
+    }
+  }
+  return out.empty() ? std::string("-") : out;
+}
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+void ServeConfig::validate() const {
+  if (socket_path.empty() || socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw model::ParamError("ServeConfig: socket_path must be non-empty and < " +
+                            std::to_string(sizeof(sockaddr_un{}.sun_path)) +
+                            " bytes");
+  }
+  if (shards < 1 || shards > 64) {
+    throw model::ParamError("ServeConfig: shards must be in [1, 64]");
+  }
+  if (queue_depth < 1) {
+    throw model::ParamError("ServeConfig: queue_depth must be >= 1");
+  }
+  if (batch_max < 1) {
+    throw model::ParamError("ServeConfig: batch_max must be >= 1");
+  }
+  if (max_line_bytes < 64) {
+    throw model::ParamError("ServeConfig: max_line_bytes must be >= 64");
+  }
+  if (max_clients < 1) {
+    throw model::ParamError("ServeConfig: max_clients must be >= 1");
+  }
+  if (!(default_deadline_ms >= 0.0) ||
+      default_deadline_ms != default_deadline_ms) {
+    throw model::ParamError(
+        "ServeConfig: default_deadline_ms must be finite and >= 0");
+  }
+}
+
+/// One connected client. Reference-counted so a response for a queued
+/// request can outlive the reader thread (and even the sessions list);
+/// the fd closes with the last reference. All writes serialize on
+/// write_mu_, and the first write failure (real or injected) latches
+/// dead_ so later responses for this client are dropped, not wedged.
+class Server::ClientSession {
+ public:
+  ClientSession(int fd, ServeTotals* totals) : fd_(fd), totals_(totals) {}
+  ~ClientSession() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+  ClientSession(const ClientSession&) = delete;
+  ClientSession& operator=(const ClientSession&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool dead() const noexcept {
+    return dead_.load(std::memory_order_relaxed);
+  }
+
+  void send_line(std::string line) {
+    line.push_back('\n');
+    std::lock_guard<std::mutex> lock(write_mu_);
+    if (dead()) {
+      return;
+    }
+    const auto hit = robust::failpoint("serve.write");
+    if (hit.fired()) {
+      switch (hit.action) {
+        case robust::FailpointAction::kDelay:
+          std::this_thread::sleep_for(std::chrono::milliseconds(hit.arg));
+          break;  // then write normally
+        case robust::FailpointAction::kCrash:
+          robust::crash_now();
+        default:
+          // error / short_write / enospc: the response never (fully)
+          // reaches the client — treat the connection as lost.
+          mark_dead();
+          return;
+      }
+    }
+    std::size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t n = ::send(fd_, line.data() + off, line.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        mark_dead();
+        return;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Reader-thread bookkeeping (no lock: single reader per session).
+  std::string buffer;
+  bool skipping_oversized = false;
+  std::atomic<bool> reader_done{false};
+
+ private:
+  void mark_dead() {
+    if (!dead_.exchange(true, std::memory_order_relaxed)) {
+      totals_->disconnects.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  int fd_;
+  std::mutex write_mu_;
+  std::atomic<bool> dead_{false};
+  ServeTotals* totals_;
+};
+
+Server::Server(ServeConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+Server::~Server() {
+  request_stop();
+  if (started_ && !joined_) {
+    wait();
+  }
+}
+
+void Server::start() {
+  if (started_) {
+    throw std::logic_error("Server::start: already started");
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw robust::IoError("serve: socket(AF_UNIX): " +
+                          std::string(std::strerror(errno)));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  // A stale socket file (previous crash) would fail the bind; replace it.
+  ::unlink(config_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw robust::IoError("serve: bind(" + config_.socket_path +
+                          "): " + std::strerror(err));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(config_.socket_path.c_str());
+    throw robust::IoError("serve: listen: " + std::string(std::strerror(err)));
+  }
+
+  shards_.reserve(static_cast<std::size_t>(config_.shards));
+  for (int i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
+  }
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+  started_ = true;
+}
+
+void Server::request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+ServeSummary Server::wait() {
+  if (!started_ || joined_) {
+    return summary();
+  }
+  request_stop();
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  // Readers poll stop_ at kPollMs cadence; wait for the last to exit so
+  // no enqueue can race the drain flag.
+  {
+    std::unique_lock<std::mutex> lock(readers_mu_);
+    readers_cv_.wait(lock, [this] { return readers_active_.load() == 0; });
+  }
+  draining_.store(true, std::memory_order_seq_cst);
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+    }
+    shard->cv.notify_all();
+    if (shard->worker.joinable()) {
+      shard->worker.join();
+    }
+  }
+  if (!config_.metrics_out.empty()) {
+    flush_metrics();
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(config_.socket_path.c_str());
+  joined_ = true;
+  return summary();
+}
+
+ServeSummary Server::summary() const { return summarize(totals_, latency_); }
+
+std::size_t Server::queue_size(int shard) const {
+  const auto& s = *shards_.at(static_cast<std::size_t>(shard));
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.queue.size();
+}
+
+void Server::acceptor_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, kPollMs);
+    if (rc <= 0) {
+      if (rc < 0 && errno != EINTR) {
+        break;
+      }
+      sweep_sessions();
+      continue;
+    }
+    const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == ECONNABORTED) {
+        continue;
+      }
+      break;
+    }
+    const auto hit = robust::failpoint("serve.accept");
+    if (hit.fired()) {
+      switch (hit.action) {
+        case robust::FailpointAction::kDelay:
+          std::this_thread::sleep_for(std::chrono::milliseconds(hit.arg));
+          break;
+        case robust::FailpointAction::kCrash:
+          robust::crash_now();
+        default:
+          // Injected accept failure: the client is turned away.
+          ::close(cfd);
+          totals_.rejected_connections.fetch_add(1, std::memory_order_relaxed);
+          continue;
+      }
+    }
+    sweep_sessions();
+    if (static_cast<std::size_t>(readers_active_.load()) >= config_.max_clients) {
+      // Over the client cap: say BUSY once, then close. Load shedding
+      // applies at the connection layer too — no silent accept backlog.
+      const std::string line = format_err("-", ErrCode::kBusy,
+                                          {{"retry_ms", "100"}}) + "\n";
+      (void)::send(cfd, line.data(), line.size(), MSG_NOSIGNAL);
+      ::close(cfd);
+      totals_.rejected_connections.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    totals_.connections.fetch_add(1, std::memory_order_relaxed);
+    auto session = std::make_shared<ClientSession>(cfd, &totals_);
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      sessions_.push_back(session);
+    }
+    readers_active_.fetch_add(1);
+    std::thread([this, session = std::move(session)]() mutable {
+      reader_loop(std::move(session));
+      {
+        std::lock_guard<std::mutex> lock(readers_mu_);
+        readers_active_.fetch_sub(1);
+      }
+      readers_cv_.notify_all();
+    }).detach();
+  }
+}
+
+void Server::sweep_sessions() {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::erase_if(sessions_, [](const std::shared_ptr<ClientSession>& s) {
+    // Reader gone and no queued request holds a reference: the fd can
+    // close now instead of at shutdown.
+    return s->reader_done.load(std::memory_order_relaxed) && s.use_count() == 1;
+  });
+}
+
+void Server::reader_loop(std::shared_ptr<ClientSession> session) {
+  while (!stop_.load(std::memory_order_relaxed) && !session->dead()) {
+    pollfd pfd{session->fd(), POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, kPollMs);
+    if (rc == 0) {
+      continue;
+    }
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    const auto hit = robust::failpoint("serve.read");
+    if (hit.fired()) {
+      switch (hit.action) {
+        case robust::FailpointAction::kDelay:
+          std::this_thread::sleep_for(std::chrono::milliseconds(hit.arg));
+          break;
+        case robust::FailpointAction::kCrash:
+          robust::crash_now();
+        default:
+          // Injected read failure: connection considered lost.
+          session->reader_done.store(true, std::memory_order_relaxed);
+          return;
+      }
+    }
+    char tmp[4096];
+    const ssize_t n = ::read(session->fd(), tmp, sizeof(tmp));
+    if (n == 0) {
+      break;  // clean EOF
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) {
+        continue;
+      }
+      break;
+    }
+    session->buffer.append(tmp, static_cast<std::size_t>(n));
+
+    std::size_t pos;
+    while ((pos = session->buffer.find('\n')) != std::string::npos) {
+      std::string line = session->buffer.substr(0, pos);
+      session->buffer.erase(0, pos + 1);
+      if (session->skipping_oversized) {
+        // Tail of a line already rejected with TOOBIG.
+        session->skipping_oversized = false;
+        continue;
+      }
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      if (line.empty()) {
+        continue;
+      }
+      if (line.size() > config_.max_line_bytes) {
+        totals_.oversized.fetch_add(1, std::memory_order_relaxed);
+        session->send_line(format_err(
+            recover_request_id(line), ErrCode::kTooBig,
+            {{"cap", std::to_string(config_.max_line_bytes)}}));
+        continue;
+      }
+      handle_line(session, line);
+    }
+    if (!session->skipping_oversized &&
+        session->buffer.size() > config_.max_line_bytes) {
+      // A line is still growing past the cap with no newline in sight:
+      // reject it now and discard bytes until the next newline, rather
+      // than buffering an unbounded amount.
+      totals_.oversized.fetch_add(1, std::memory_order_relaxed);
+      session->send_line(format_err(
+          recover_request_id(session->buffer), ErrCode::kTooBig,
+          {{"cap", std::to_string(config_.max_line_bytes)}}));
+      session->buffer.clear();
+      session->skipping_oversized = true;
+    }
+  }
+  session->reader_done.store(true, std::memory_order_relaxed);
+}
+
+void Server::handle_line(const std::shared_ptr<ClientSession>& session,
+                         std::string_view line) {
+  Request req;
+  try {
+    req = parse_request(line);
+  } catch (const ProtocolError& e) {
+    totals_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    session->send_line(
+        format_err(e.id(), e.code(), {{"msg", sanitize_field(e.what())}}));
+    return;
+  }
+  if (req.verb == Verb::kPing) {
+    totals_.pings.fetch_add(1, std::memory_order_relaxed);
+    session->send_line(format_ok(req.id, {{"pong", "1"}}));
+    return;
+  }
+  admit(session, std::move(req));
+}
+
+void Server::admit(const std::shared_ptr<ClientSession>& session, Request req) {
+  if (stop_.load(std::memory_order_relaxed)) {
+    // Draining: addressable refusal, not counted in the admission
+    // identity (the request never reached a queueing decision).
+    session->send_line(format_err(req.id, ErrCode::kShutdown));
+    return;
+  }
+  totals_.requests.fetch_add(1, std::memory_order_relaxed);
+
+  auto& shard = *shards_[rr_next_.fetch_add(1, std::memory_order_relaxed) %
+                         shards_.size()];
+  const auto hit = robust::failpoint("serve.enqueue");
+  if (hit.fired()) {
+    switch (hit.action) {
+      case robust::FailpointAction::kDelay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(hit.arg));
+        break;
+      case robust::FailpointAction::kCrash:
+        robust::crash_now();
+      default:
+        // Injected admission failure behaves as a forced shed: the
+        // accounting identity must still balance under chaos.
+        totals_.shed.fetch_add(1, std::memory_order_relaxed);
+        session->send_line(format_err(
+            req.id, ErrCode::kBusy,
+            {{"retry_ms", std::to_string(retry_hint_ms(shard))}}));
+        return;
+    }
+  }
+
+  const auto now = Clock::now();
+  QueuedRequest qr;
+  qr.admitted = now;
+  const double budget_ms =
+      req.has_deadline() ? req.deadline_ms : config_.default_deadline_ms;
+  qr.deadline = budget_ms > 0.0
+                    ? now + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double, std::milli>(
+                                    budget_ms))
+                    : Clock::time_point::max();
+  qr.client = session;
+  qr.req = std::move(req);
+
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.queue.size() >= config_.queue_depth) {
+      totals_.shed.fetch_add(1, std::memory_order_relaxed);
+      session->send_line(format_err(
+          qr.req.id, ErrCode::kBusy,
+          {{"retry_ms", std::to_string(retry_hint_ms(shard))}}));
+      return;
+    }
+    shard.queue.push_back(std::move(qr));
+    totals_.bump_queue_peak(shard.queue.size());
+  }
+  shard.cv.notify_one();
+}
+
+std::uint64_t Server::retry_hint_ms(const Shard& shard) const {
+  // Expected time to drain a full queue: depth × EWMA service time.
+  const double est = static_cast<double>(config_.queue_depth) *
+                     shard.service_ewma_s.load(std::memory_order_relaxed) *
+                     1e3;
+  if (est < 1.0) {
+    return 1;
+  }
+  if (est > 10'000.0) {
+    return 10'000;
+  }
+  return static_cast<std::uint64_t>(est);
+}
+
+void Server::worker_loop(Shard& shard) {
+  std::vector<QueuedRequest> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(shard.mu);
+      shard.cv.wait(lock, [&] {
+        return !shard.queue.empty() || draining_.load(std::memory_order_relaxed);
+      });
+      if (shard.queue.empty()) {
+        if (draining_.load(std::memory_order_relaxed)) {
+          return;
+        }
+        continue;
+      }
+      batch.push_back(std::move(shard.queue.front()));
+      shard.queue.pop_front();
+      if (batch.front().req.verb == Verb::kModel) {
+        // Drain the front-contiguous run sharing this PreparedModel key:
+        // FIFO order is preserved, and the whole run costs one prepare.
+        const auto key = PreparedCache::key_of(batch.front().req.kind,
+                                               batch.front().req.params);
+        while (batch.size() < config_.batch_max && !shard.queue.empty() &&
+               shard.queue.front().req.verb == Verb::kModel &&
+               PreparedCache::key_of(shard.queue.front().req.kind,
+                                     shard.queue.front().req.params) == key) {
+          batch.push_back(std::move(shard.queue.front()));
+          shard.queue.pop_front();
+        }
+      }
+    }
+    process_batch(shard, batch);
+  }
+}
+
+void Server::process_batch(Shard& shard, std::vector<QueuedRequest>& batch) {
+  const auto start = Clock::now();
+  // Dequeue-time deadline check: shed expired work before evaluating.
+  std::vector<QueuedRequest> live;
+  live.reserve(batch.size());
+  for (auto& qr : batch) {
+    if (start > qr.deadline) {
+      totals_.deadline_missed.fetch_add(1, std::memory_order_relaxed);
+      qr.client->send_line(format_err(qr.req.id, ErrCode::kDeadlineExceeded));
+    } else {
+      live.push_back(std::move(qr));
+    }
+  }
+  if (live.empty()) {
+    return;
+  }
+  if (live.size() > 1) {
+    totals_.batches.fetch_add(1, std::memory_order_relaxed);
+    totals_.batched_requests.fetch_add(live.size(), std::memory_order_relaxed);
+  }
+
+  std::uint64_t newly_served = 0;
+  if (live.front().req.verb == Verb::kModel) {
+    std::vector<double> ps(live.size());
+    std::vector<double> rates(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      ps[i] = live[i].req.params.p;
+    }
+    try {
+      const auto& prepared =
+          shard.cache.get(live.front().req.kind, live.front().req.params);
+      prepared.evaluate(std::span<const double>(ps), std::span<double>(rates));
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (config_.slow_us > 0) {
+          spin_for_us(config_.slow_us);
+        }
+        respond(live[i],
+                format_ok(live[i].req.id,
+                          {{"rate", format_number(rates[i])},
+                           {"model",
+                            std::string(model_kind_token(live[i].req.kind))}}),
+                /*count_served=*/true);
+        ++newly_served;
+      }
+    } catch (const std::exception& e) {
+      for (auto& qr : live) {
+        totals_.internal_errors.fetch_add(1, std::memory_order_relaxed);
+        qr.client->send_line(format_err(qr.req.id, ErrCode::kInternal,
+                                        {{"msg", sanitize_field(e.what())}}));
+      }
+    }
+  } else {
+    // INVERSE / CALIB are never batched (batch drain is MODEL-only).
+    const auto& qr = live.front();
+    if (config_.slow_us > 0) {
+      spin_for_us(config_.slow_us);
+    }
+    try {
+      if (qr.req.verb == Verb::kInverse) {
+        handle_inverse(qr);
+      } else {
+        handle_calib(qr);
+      }
+      ++newly_served;
+    } catch (const ProtocolError& e) {
+      if (e.code() == ErrCode::kDeadlineExceeded) {
+        totals_.deadline_missed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        totals_.internal_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      qr.client->send_line(format_err(qr.req.id, e.code(),
+                                      {{"msg", sanitize_field(e.what())}}));
+    } catch (const std::exception& e) {
+      totals_.internal_errors.fetch_add(1, std::memory_order_relaxed);
+      qr.client->send_line(format_err(qr.req.id, ErrCode::kInternal,
+                                      {{"msg", sanitize_field(e.what())}}));
+    }
+  }
+
+  const auto end = Clock::now();
+  const double per_request =
+      seconds_between(start, end) / static_cast<double>(live.size());
+  double ewma = shard.service_ewma_s.load(std::memory_order_relaxed);
+  shard.service_ewma_s.store(0.8 * ewma + 0.2 * per_request,
+                             std::memory_order_relaxed);
+  if (newly_served > 0) {
+    maybe_flush(newly_served);
+  }
+}
+
+void Server::respond(const QueuedRequest& qr, const std::string& line,
+                     bool count_served) {
+  qr.client->send_line(line);
+  if (count_served) {
+    totals_.served.fetch_add(1, std::memory_order_relaxed);
+    latency_.observe(seconds_between(qr.admitted, Clock::now()));
+  }
+}
+
+void Server::handle_inverse(const QueuedRequest& qr) {
+  const double max_p = model::max_loss_for_rate(qr.req.params, qr.req.target_rate);
+  const double wm_req =
+      model::required_window_for_rate(qr.req.params, qr.req.target_rate);
+  respond(qr,
+          format_ok(qr.req.id, {{"max_p", format_number(max_p)},
+                                {"wm_required", format_number(wm_req)}}),
+          /*count_served=*/true);
+}
+
+void Server::handle_calib(const QueuedRequest& qr) {
+  std::ifstream in(qr.req.trace_path);
+  if (!in) {
+    throw ProtocolError(ErrCode::kInternal, qr.req.id,
+                        "cannot open trace " + qr.req.trace_path);
+  }
+  std::vector<trace::TraceEvent> events;
+  trace::TraceReadReport agg;
+  std::string line;
+  bool more = true;
+  while (more) {
+    // Deadline checkpoint *before* each chunk: a huge trace is abandoned
+    // at a chunk boundary, not after the whole file is parsed.
+    if (Clock::now() > qr.deadline) {
+      throw ProtocolError(ErrCode::kDeadlineExceeded, qr.req.id,
+                          "deadline expired during trace parse");
+    }
+    std::ostringstream chunk;
+    std::size_t lines = 0;
+    while (lines < kCalibChunkLines && std::getline(in, line)) {
+      chunk << line << '\n';
+      ++lines;
+    }
+    more = lines == kCalibChunkLines;
+    if (lines == 0) {
+      break;
+    }
+    std::istringstream chunk_in(chunk.str());
+    trace::TraceReadReport report;
+    auto chunk_events = trace::read_trace_lenient(chunk_in, &report);
+    agg.lines_total += report.lines_total;
+    agg.events_parsed += report.events_parsed;
+    agg.lines_dropped += report.lines_dropped;
+    agg.bytes_dropped += report.bytes_dropped;
+    events.insert(events.end(), chunk_events.begin(), chunk_events.end());
+    totals_.calib_chunks.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const auto summary = trace::summarize_trace(events, qr.req.dupack_threshold);
+  std::vector<std::pair<std::string, std::string>> fields{
+      {"packets", std::to_string(summary.packets_sent)},
+      {"loss_indications", std::to_string(summary.loss_indications)},
+      {"p", format_number(summary.observed_p)},
+      {"rtt", format_number(summary.avg_rtt)},
+      {"t0", format_number(summary.avg_timeout)},
+      {"lines_dropped", std::to_string(agg.lines_dropped)},
+  };
+  model::ModelParams mp;
+  mp.p = summary.observed_p;
+  mp.rtt = summary.avg_rtt;
+  mp.t0 = summary.avg_timeout;
+  mp.b = qr.req.params.b;
+  mp.wm = model::ModelParams::unlimited_window;
+  if (mp.valid()) {
+    fields.emplace_back(
+        "rate_full",
+        format_number(model::evaluate_model(model::ModelKind::kFull, mp)));
+    fields.emplace_back(
+        "rate_approx",
+        format_number(model::evaluate_model(model::ModelKind::kApproximate, mp)));
+  }
+  respond(qr, format_ok(qr.req.id, fields), /*count_served=*/true);
+}
+
+void Server::maybe_flush(std::uint64_t newly_served) {
+  if (config_.metrics_out.empty() || config_.metrics_every == 0) {
+    return;
+  }
+  const std::uint64_t before =
+      flush_credit_.fetch_add(newly_served, std::memory_order_relaxed);
+  if ((before + newly_served) / config_.metrics_every >
+      before / config_.metrics_every) {
+    flush_metrics();
+  }
+}
+
+void Server::flush_metrics() {
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  try {
+    obs::save_obs_file(config_.metrics_out, make_bundle(totals_, latency_));
+    totals_.metrics_flushes.fetch_add(1, std::memory_order_relaxed);
+  } catch (const std::exception&) {
+    // A failed flush must not take down the serving path; the previous
+    // durable snapshot is still intact on disk.
+    totals_.metrics_flush_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::string default_socket_path() {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
+  if (!dir.empty() && dir.back() == '/') {
+    dir.pop_back();
+  }
+  return dir + "/pftk-serve-" + std::to_string(::getpid()) + ".sock";
+}
+
+}  // namespace pftk::serve

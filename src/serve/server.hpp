@@ -1,0 +1,171 @@
+// `pftk serve` — the overload-resilient throughput-prediction daemon.
+//
+// A single process listening on a local (unix-domain) stream socket,
+// speaking the line protocol of serve/protocol.hpp, designed
+// robustness-first around four rules:
+//
+//   * bounded everything — each worker shard owns a bounded request
+//     queue; once its depth reaches the admission watermark the request
+//     is *rejected now* with `BUSY retry_ms=<hint>` instead of buffered.
+//     Line buffers are capped (TOOBIG past the cap), client count is
+//     capped, and the PreparedModel cache is LRU-bounded, so offered
+//     load beyond capacity cannot grow resident memory.
+//   * deadlines over queues — a request's `deadline_ms` budget runs from
+//     admission; expiry is checked at dequeue (before any evaluation)
+//     and again between CALIB trace chunks, so stale work is shed, not
+//     finished late.
+//   * graceful drain — request_stop() (the CLI wires SIGINT/SIGTERM via
+//     robust::ShutdownGuard) stops accepting and reading, answers every
+//     already-admitted request, durably flushes metrics, and returns;
+//     the CLI exits 3 per the repo-wide interrupted contract.
+//   * exact accounting — every admitted request is answered exactly
+//     once: requests == served + shed + deadline_missed + internal
+//     (ServeTotals::accounting_ok, asserted under overload and chaos).
+//
+// Threading: one acceptor, one detached reader per client (bounded by
+// max_clients), `shards` worker threads. Readers parse and route to a
+// shard (round-robin); workers drain front-contiguous runs of MODEL
+// requests sharing a (kind, RTT, T0, b, Wm) key into one
+// PreparedModel::evaluate batch — the ROADMAP item-5 batching. Failpoint
+// sites `serve.accept`, `serve.read`, `serve.write`, `serve.enqueue`
+// make every I/O edge chaos-testable.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/prepared_cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/serve_metrics.hpp"
+
+namespace pftk::serve {
+
+struct ServeConfig {
+  /// Unix-domain socket path (< 100 bytes; a stale file is replaced).
+  std::string socket_path;
+  int shards = 2;                    ///< worker threads / request queues
+  std::size_t queue_depth = 64;      ///< admission watermark per shard
+  std::size_t batch_max = 16;        ///< max same-key MODEL batch drain
+  std::size_t max_line_bytes = 4096; ///< request-line cap (TOOBIG beyond)
+  std::size_t max_clients = 64;      ///< concurrent connections
+  /// Default relative deadline applied to requests that carry none;
+  /// 0 = requests without deadline_ms never expire.
+  double default_deadline_ms = 0.0;
+  std::string metrics_out;           ///< durable pftk-obs/1 snapshot path
+  /// Flush the metrics snapshot every N served requests (0 = only at
+  /// drain). Each flush is atomic_write_file-durable, so a crash between
+  /// flushes leaves the previous complete snapshot on disk.
+  std::uint64_t metrics_every = 0;
+  /// Deterministic per-request service-time inflation in microseconds
+  /// (busy-wait). Test/bench hook: makes "sustainable load" a chosen
+  /// number so overload behavior is reproducible. 0 in production.
+  std::uint64_t slow_us = 0;
+
+  /// @throws model::ParamError on out-of-range values.
+  void validate() const;
+};
+
+/// The daemon. start() spawns the threads; request_stop() begins a
+/// graceful drain; wait() joins everything, writes the final durable
+/// metrics snapshot, and returns the summary. The destructor stops and
+/// waits if the caller has not.
+class Server {
+ public:
+  explicit Server(ServeConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and launches acceptor + workers.
+  /// @throws robust::IoError when the socket cannot be created/bound.
+  void start();
+
+  /// Begins graceful drain: stop accepting and reading, finish every
+  /// admitted request. Idempotent, callable from any thread (not from a
+  /// signal handler — poll robust::ShutdownGuard and call this instead).
+  void request_stop();
+
+  /// Joins all threads (draining queues first), flushes metrics, closes
+  /// client fds. Idempotent; returns the final summary.
+  ServeSummary wait();
+
+  [[nodiscard]] bool running() const noexcept { return started_ && !joined_; }
+  [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
+  [[nodiscard]] ServeSummary summary() const;
+  [[nodiscard]] const ServeTotals& totals() const noexcept { return totals_; }
+
+  /// Current depth of one shard's queue (test observability).
+  [[nodiscard]] std::size_t queue_size(int shard) const;
+
+ private:
+  class ClientSession;
+  struct QueuedRequest {
+    Request req;
+    std::shared_ptr<ClientSession> client;
+    std::chrono::steady_clock::time_point admitted;
+    std::chrono::steady_clock::time_point deadline;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::deque<QueuedRequest> queue;
+    std::thread worker;
+    PreparedCache cache{32};
+    /// EWMA of per-request service seconds; feeds the BUSY retry hint.
+    std::atomic<double> service_ewma_s{1e-4};
+  };
+
+  void acceptor_loop();
+  void reader_loop(std::shared_ptr<ClientSession> session);
+  void worker_loop(Shard& shard);
+  void handle_line(const std::shared_ptr<ClientSession>& session,
+                   std::string_view line);
+  void admit(const std::shared_ptr<ClientSession>& session, Request req);
+  void process_batch(Shard& shard, std::vector<QueuedRequest>& batch);
+  void handle_inverse(const QueuedRequest& qr);
+  void handle_calib(const QueuedRequest& qr);
+  void respond(const QueuedRequest& qr, const std::string& line,
+               bool count_served);
+  [[nodiscard]] std::uint64_t retry_hint_ms(const Shard& shard) const;
+  void maybe_flush(std::uint64_t newly_served);
+  void flush_metrics();
+  void sweep_sessions();
+
+  ServeConfig config_;
+  ServeTotals totals_;
+  ConcurrentHistogram latency_{default_latency_bounds()};
+
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};      ///< no new connections/reads
+  std::atomic<bool> draining_{false};  ///< workers: exit once empty
+  bool started_ = false;
+  bool joined_ = false;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> rr_next_{0};
+  std::thread acceptor_;
+
+  mutable std::mutex sessions_mu_;
+  std::vector<std::shared_ptr<ClientSession>> sessions_;
+  std::atomic<int> readers_active_{0};
+  std::mutex readers_mu_;
+  std::condition_variable readers_cv_;
+
+  std::mutex flush_mu_;
+  std::atomic<std::uint64_t> flush_credit_{0};
+};
+
+/// A collision-safe default socket path under TMPDIR (or /tmp), short
+/// enough for sun_path.
+[[nodiscard]] std::string default_socket_path();
+
+}  // namespace pftk::serve

@@ -100,6 +100,108 @@ TEST_F(DurableFileTest, FsyncZeroSyncsOnlyAtClose) {
   EXPECT_EQ(appender.fsyncs(), 1u);
 }
 
+TEST_F(DurableFileTest, FsyncZeroExplicitSyncMakesCloseSyncFree) {
+  // With --fsync-every 0 the *caller* owns durability points: an
+  // explicit sync() is the flush, and a close() with nothing pending
+  // must not add another fsync.
+  const std::string path = temp_path("cadence0_sync.jsonl");
+  std::remove(path.c_str());
+  DurableAppender::Options options;
+  options.truncate = true;
+  options.fsync_every = 0;
+  DurableAppender appender(path, options);
+  appender.append_line("a");
+  appender.append_line("b");
+  appender.sync();
+  EXPECT_EQ(appender.fsyncs(), 1u);
+  appender.close();
+  EXPECT_EQ(appender.fsyncs(), 1u);  // nothing pending: no extra sync
+  EXPECT_EQ(read_file(path), "a\nb\n");
+}
+
+TEST_F(DurableFileTest, FsyncZeroDestructorStillLandsTheBytes) {
+  // The destructor is best-effort (no checked fsync), but appends are
+  // write-through — every byte reached the kernel before the fd closed,
+  // so an un-close()d appender never loses *content*, only the
+  // durability guarantee close() would have checked.
+  const std::string path = temp_path("cadence0_dtor.jsonl");
+  std::remove(path.c_str());
+  {
+    DurableAppender::Options options;
+    options.truncate = true;
+    options.fsync_every = 0;
+    DurableAppender appender(path, options);
+    appender.append_line("survives");
+    appender.append_line("the destructor");
+    EXPECT_EQ(appender.fsyncs(), 0u);
+  }
+  EXPECT_EQ(read_file(path), "survives\nthe destructor\n");
+}
+
+TEST_F(DurableFileTest, CadenceBoundaryLineCarriesItsOwnSync) {
+  // fsync_every=3: exactly 3 lines sync inside the 3rd append, so a
+  // close() right at the boundary has nothing pending and adds none.
+  const std::string path = temp_path("cadence_exact.jsonl");
+  std::remove(path.c_str());
+  DurableAppender::Options options;
+  options.truncate = true;
+  options.fsync_every = 3;
+  DurableAppender appender(path, options);
+  appender.append_line("one");
+  appender.append_line("two");
+  EXPECT_EQ(appender.fsyncs(), 0u);
+  appender.append_line("three");
+  EXPECT_EQ(appender.fsyncs(), 1u);
+  appender.close();
+  EXPECT_EQ(appender.fsyncs(), 1u);
+}
+
+TEST_F(DurableFileTest, ShortWriteAtCadenceBoundaryNeverReachesTheSync) {
+  // The boundary line itself tears: the two complete records before it
+  // survive, the torn tail holds only the injected byte count, and the
+  // boundary fsync never happened (fsyncs stays 0) — the exact shape a
+  // crash-at-cadence leaves for the replay layer.
+  const std::string path = temp_path("cadence_torn.jsonl");
+  std::remove(path.c_str());
+  FailpointRegistry::instance().arm_specs(
+      "journal.append:after=2:action=short_write:arg=2");
+  DurableAppender::Options options;
+  options.truncate = true;
+  options.fsync_every = 3;
+  DurableAppender appender(path, options);
+  appender.append_line("one");
+  appender.append_line("two");
+  EXPECT_THROW(appender.append_line("three"), IoError);
+  EXPECT_EQ(read_file(path), "one\ntwo\nth");
+  EXPECT_EQ(appender.fsyncs(), 0u);
+  EXPECT_FALSE(appender.is_open());
+
+  // Append mode recovers past the torn tail without touching it.
+  DurableAppender resumed(path, DurableAppender::Options{});
+  resumed.append_line("resumed");
+  resumed.close();
+  EXPECT_EQ(read_file(path), "one\ntwo\nthresumed\n");
+}
+
+TEST_F(DurableFileTest, FlushFailureAtCadenceBoundarySurfacesOnTheBoundaryLine) {
+  // The boundary line's bytes land, but its cadence sync fails: the
+  // error surfaces on that append (not silently at close) and the
+  // appender refuses further writes.
+  const std::string path = temp_path("cadence_flusherr.jsonl");
+  std::remove(path.c_str());
+  FailpointRegistry::instance().arm_specs("journal.flush:after=0:action=error");
+  DurableAppender::Options options;
+  options.truncate = true;
+  options.fsync_every = 3;
+  DurableAppender appender(path, options);
+  appender.append_line("one");
+  appender.append_line("two");
+  EXPECT_THROW(appender.append_line("three"), IoError);
+  EXPECT_EQ(read_file(path), "one\ntwo\nthree\n");  // bytes written, not durable
+  EXPECT_EQ(appender.fsyncs(), 0u);
+  EXPECT_FALSE(appender.is_open());
+}
+
 TEST_F(DurableFileTest, OpenFailureThrowsIoError) {
   EXPECT_THROW(DurableAppender("/nonexistent-dir/x.jsonl",
                                DurableAppender::Options{}),

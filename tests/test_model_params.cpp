@@ -42,6 +42,33 @@ TEST(ModelParams, RejectsBadAckFactorAndWindow) {
   EXPECT_THROW(p.validate(), std::invalid_argument);
 }
 
+// The rejection is *typed*: every validate() failure is a ParamError
+// (an invalid_argument subtype), which is what the CLI maps to exit 2
+// and the serve protocol maps to BADREQ — one validation authority.
+TEST(ModelParams, ValidateThrowsTheTypedParamError) {
+  ModelParams p;
+  p.b = -2;
+  EXPECT_THROW(p.validate(), ParamError);
+  p.b = 0;
+  EXPECT_THROW(p.validate(), ParamError);
+  p.b = 1;
+  p.t0 = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(p.validate(), ParamError);
+  p.t0 = 0.4;
+  p.rtt = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(p.validate(), ParamError);
+  p.rtt = 0.1;
+  EXPECT_NO_THROW(p.validate());
+  // ParamError stays catchable as the untyped base for old call sites.
+  p.p = -1.0;
+  try {
+    p.validate();
+    FAIL() << "negative p passed validate()";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(dynamic_cast<const ParamError*>(&e), nullptr);
+  }
+}
+
 TEST(ModelParams, RejectsNonFinite) {
   ModelParams p;
   p.p = std::numeric_limits<double>::quiet_NaN();

@@ -1,0 +1,238 @@
+// Chaos-under-load for the serve daemon: an injected crash mid-stream
+// must leave a complete, parseable durable metrics snapshot and a
+// restartable socket; graceful drain mid-load answers every admitted
+// request and keeps both accounting ledgers balanced; armed-but-never-
+// firing failpoints change nothing; a firing enqueue failpoint turns
+// into exactly one well-formed BUSY shed.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "obs/export.hpp"
+#include "robust/failpoint.hpp"
+#include "serve/load_client.hpp"
+#include "serve/server.hpp"
+
+namespace pftk::serve {
+namespace {
+
+std::string test_socket(const std::string& name) {
+  return "/tmp/pftk_tchs_" + name + "_" + std::to_string(::getpid()) + ".sock";
+}
+
+class ServeChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { robust::FailpointRegistry::instance().disarm_all(); }
+  void TearDown() override {
+    robust::FailpointRegistry::instance().disarm_all();
+  }
+};
+
+/// run_load with a few retries around the bind/listen race when the
+/// server lives in another process.
+LoadReport load_with_retry(const LoadConfig& config, int attempts = 20) {
+  for (int i = 0;; ++i) {
+    try {
+      return run_load(config);
+    } catch (const std::exception&) {
+      if (i + 1 >= attempts) {
+        throw;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+}
+
+TEST_F(ServeChaosTest, CrashUnderLoadLeavesParseableDurableMetricsAndRestarts) {
+  const std::string socket_path = test_socket("crash");
+  const std::string metrics_path =
+      "/tmp/pftk_tchs_crash_" + std::to_string(::getpid()) + ".jsonl";
+  std::remove(socket_path.c_str());
+  std::remove(metrics_path.c_str());
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Daemon process: crash on the 201st response write. metrics_every=50
+    // guarantees several durable flushes land first.
+    robust::FailpointRegistry::instance().arm_specs(
+        "serve.write:after=200:action=crash");
+    ServeConfig config;
+    config.socket_path = socket_path;
+    config.shards = 1;
+    config.metrics_out = metrics_path;
+    config.metrics_every = 50;
+    try {
+      Server server(config);
+      server.start();
+      for (;;) {
+        std::this_thread::sleep_for(std::chrono::seconds(1));
+      }
+    } catch (...) {
+      std::_Exit(99);
+    }
+  }
+
+  for (int i = 0; i < 200 && ::access(socket_path.c_str(), F_OK) != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  LoadConfig load;
+  load.socket_path = socket_path;
+  load.requests = 2000;
+  load.connections = 2;
+  load.pipeline = 32;
+  LoadReport report;
+  bool load_ran = false;
+  try {
+    report = load_with_retry(load);
+    load_ran = true;
+  } catch (const std::exception&) {
+    // The daemon can die before the client even connects cleanly; the
+    // crash-exit and durable-snapshot assertions below still apply.
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), robust::kCrashExitCode);
+  if (load_ran) {
+    // Connections died mid-flight; the client ledger still balances.
+    EXPECT_TRUE(report.accounting_ok()) << report.describe();
+    EXPECT_GT(report.lost, 0u);
+  }
+
+  // The snapshot on disk is from *before* the crash and must be a
+  // complete pftk-obs/1 bundle (atomic_write_file never leaves a torn
+  // file), with at least the first flush's worth of served requests.
+  const obs::ObsBundle bundle = obs::load_obs_file(metrics_path);
+  EXPECT_EQ(bundle.source, "serve");
+  const obs::MetricValue* served =
+      bundle.metrics.find("pftk_serve_served_total");
+  ASSERT_NE(served, nullptr);
+  EXPECT_GE(served->value, 50.0);
+
+  // Restart on the same path: the stale socket file is replaced and the
+  // fresh daemon passes a clean fixed-seed load end to end.
+  ServeConfig fresh;
+  fresh.socket_path = socket_path;
+  fresh.shards = 2;
+  Server server(fresh);
+  server.start();
+  LoadConfig verify;
+  verify.socket_path = socket_path;
+  verify.requests = 500;
+  verify.connections = 2;
+  verify.pipeline = 16;
+  const LoadReport clean = run_load(verify);
+  server.request_stop();
+  const ServeSummary summary = server.wait();
+  EXPECT_EQ(clean.ok, 500u);
+  EXPECT_EQ(clean.verify_failures, 0u);
+  EXPECT_TRUE(summary.accounting_ok());
+  std::remove(metrics_path.c_str());
+}
+
+TEST_F(ServeChaosTest, GracefulDrainMidLoadAnswersEveryAdmittedRequest) {
+  ServeConfig config;
+  config.socket_path = test_socket("drain");
+  config.shards = 1;
+  config.queue_depth = 64;
+  config.slow_us = 300;  // the load cannot finish before the stop lands
+  Server server(config);
+  server.start();
+
+  LoadConfig load;
+  load.socket_path = config.socket_path;
+  load.requests = 4000;
+  load.connections = 2;
+  load.pipeline = 32;
+  LoadReport report;
+  std::thread loader([&] { report = run_load(load); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server.request_stop();
+  const ServeSummary summary = server.wait();
+  loader.join();
+
+  // Both ledgers balance, and every request the server admitted was
+  // answered with a response the client actually received: drain means
+  // finish the work, not drop it.
+  EXPECT_TRUE(report.accounting_ok()) << report.describe();
+  EXPECT_TRUE(summary.accounting_ok()) << summary.describe();
+  EXPECT_EQ(report.ok, summary.served);
+  EXPECT_EQ(report.busy, summary.shed);
+  EXPECT_EQ(report.deadline, summary.deadline_missed);
+  EXPECT_GT(summary.served, 0u);
+  // Requests in flight when reading stopped are the client's `lost`.
+  EXPECT_GT(report.lost, 0u);
+  EXPECT_EQ(report.verify_failures, 0u);
+}
+
+TEST_F(ServeChaosTest, ArmedButNeverFiringFailpointsChangeNothing) {
+  robust::FailpointRegistry::instance().arm_specs(
+      "serve.accept:after=999999:action=error;"
+      "serve.read:after=999999:action=error;"
+      "serve.write:after=999999:action=error;"
+      "serve.enqueue:after=999999:action=error");
+  ServeConfig config;
+  config.socket_path = test_socket("disarmed");
+  Server server(config);
+  server.start();
+
+  LoadConfig load;
+  load.socket_path = config.socket_path;
+  load.requests = 1000;
+  load.connections = 2;
+  load.pipeline = 16;
+  const LoadReport report = run_load(load);
+  server.request_stop();
+  const ServeSummary summary = server.wait();
+
+  // The zero-overhead contract: armed-but-quiet failpoints must not
+  // shed, error, or drop a single request.
+  EXPECT_EQ(report.ok, 1000u);
+  EXPECT_EQ(report.busy, 0u);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_EQ(report.lost, 0u);
+  EXPECT_EQ(report.verify_failures, 0u);
+  EXPECT_TRUE(summary.accounting_ok());
+  EXPECT_EQ(summary.served, 1000u);
+}
+
+TEST_F(ServeChaosTest, EnqueueFailpointForcesExactlyOneWellFormedShed) {
+  // One-shot failpoint + strictly sequential load (pipeline 1, one
+  // connection) => deterministically the 6th request is force-shed as a
+  // BUSY the client can parse and retry; everything else is served.
+  robust::FailpointRegistry::instance().arm_specs(
+      "serve.enqueue:after=5:action=error");
+  ServeConfig config;
+  config.socket_path = test_socket("enqueue");
+  config.shards = 1;
+  Server server(config);
+  server.start();
+
+  LoadConfig load;
+  load.socket_path = config.socket_path;
+  load.requests = 20;
+  load.connections = 1;
+  load.pipeline = 1;
+  const LoadReport report = run_load(load);
+  server.request_stop();
+  const ServeSummary summary = server.wait();
+
+  EXPECT_EQ(report.sent, 20u);
+  EXPECT_EQ(report.busy, 1u);
+  EXPECT_EQ(report.ok, 19u);
+  EXPECT_EQ(report.protocol_errors, 0u);
+  EXPECT_EQ(summary.shed, 1u);
+  EXPECT_EQ(summary.served, 19u);
+  EXPECT_TRUE(summary.accounting_ok());
+}
+
+}  // namespace
+}  // namespace pftk::serve

@@ -1,0 +1,179 @@
+// Overload behavior under a fixed-seed replay load: bounded queues shed
+// with BUSY instead of buffering, deadlines shed stale work, and the
+// accounting identities hold to the unit on both sides of the socket —
+// client sent == ok + busy + deadline + errors + lost, server
+// requests == served + shed + deadline_missed + internal — with exact
+// cross-checks between them.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+
+#include "serve/load_client.hpp"
+#include "serve/server.hpp"
+
+namespace pftk::serve {
+namespace {
+
+std::string test_socket(const std::string& name) {
+  return "/tmp/pftk_tovl_" + name + "_" + std::to_string(::getpid()) + ".sock";
+}
+
+void expect_cross_checks(const LoadReport& client, const ServeSummary& server) {
+  EXPECT_TRUE(client.accounting_ok())
+      << "client identity violated: " << client.describe();
+  EXPECT_TRUE(server.accounting_ok())
+      << "server identity violated: " << server.describe();
+  // With zero lost responses the two ledgers must agree column by column.
+  if (client.lost == 0) {
+    EXPECT_EQ(client.sent, server.requests);
+    EXPECT_EQ(client.ok, server.served);
+    EXPECT_EQ(client.busy, server.shed);
+    EXPECT_EQ(client.deadline, server.deadline_missed);
+  }
+}
+
+TEST(ServeOverload, TwiceSustainableLoadShedsWithBusyAndExactAccounting) {
+  ServeConfig config;
+  config.socket_path = test_socket("shed");
+  config.shards = 1;
+  config.queue_depth = 8;
+  config.slow_us = 200;  // sustainable ~5k req/s; the load offers far more
+  Server server(config);
+  server.start();
+
+  LoadConfig load;
+  load.socket_path = config.socket_path;
+  load.requests = 3000;
+  load.connections = 4;
+  load.pipeline = 64;
+  load.seed = 1998;
+  const LoadReport report = run_load(load);
+
+  server.request_stop();
+  const ServeSummary summary = server.wait();
+
+  EXPECT_EQ(report.sent, 3000u);
+  EXPECT_EQ(report.lost, 0u);
+  EXPECT_EQ(report.protocol_errors, 0u);
+  EXPECT_EQ(report.verify_failures, 0u);
+  // Overload must shed — at this offered load a depth-8 queue cannot
+  // absorb everything — and sheds must be BUSY answers, never drops.
+  EXPECT_GT(report.busy, 0u);
+  expect_cross_checks(report, summary);
+
+  // Bounded everything: the queue never grew past its watermark, and
+  // the p99 of *accepted* requests stays inside the committed bound
+  // (depth x service time plus generous scheduling slack) — an
+  // unbounded queue would push this into seconds.
+  EXPECT_LE(summary.queue_peak, config.queue_depth);
+  EXPECT_GT(summary.served, 0u);
+  EXPECT_LT(summary.latency_p99_s, 0.5);
+}
+
+TEST(ServeOverload, DeadlinesShedStaleWorkAtDequeue) {
+  ServeConfig config;
+  config.socket_path = test_socket("deadline");
+  config.shards = 1;
+  config.queue_depth = 32;
+  config.slow_us = 500;  // full queue => ~16ms wait, far past the budget
+  Server server(config);
+  server.start();
+
+  LoadConfig load;
+  load.socket_path = config.socket_path;
+  load.requests = 1500;
+  load.connections = 2;
+  load.pipeline = 64;
+  load.deadline_ms = 2.0;
+  const LoadReport report = run_load(load);
+
+  server.request_stop();
+  const ServeSummary summary = server.wait();
+
+  EXPECT_EQ(report.lost, 0u);
+  EXPECT_EQ(report.protocol_errors, 0u);
+  EXPECT_EQ(report.verify_failures, 0u);
+  // Stale work is shed with DEADLINE_EXCEEDED instead of finished late.
+  EXPECT_GT(report.deadline, 0u);
+  expect_cross_checks(report, summary);
+}
+
+TEST(ServeOverload, DefaultDeadlineAppliesToRequestsWithoutOne) {
+  ServeConfig config;
+  config.socket_path = test_socket("defdl");
+  config.shards = 1;
+  config.queue_depth = 32;
+  config.slow_us = 500;
+  config.default_deadline_ms = 2.0;  // server-side policy, client sends none
+  Server server(config);
+  server.start();
+
+  LoadConfig load;
+  load.socket_path = config.socket_path;
+  load.requests = 1000;
+  load.connections = 2;
+  load.pipeline = 64;
+  const LoadReport report = run_load(load);
+
+  server.request_stop();
+  const ServeSummary summary = server.wait();
+  EXPECT_GT(report.deadline, 0u);
+  expect_cross_checks(report, summary);
+}
+
+TEST(ServeOverload, SustainableLoadServesEverythingWithBatching) {
+  ServeConfig config;
+  config.socket_path = test_socket("sustain");
+  config.shards = 2;
+  config.queue_depth = 256;  // pipeline never reaches the watermark
+  Server server(config);
+  server.start();
+
+  LoadConfig load;
+  load.socket_path = config.socket_path;
+  load.requests = 4000;
+  load.connections = 3;
+  load.pipeline = 32;
+  load.param_sets = 2;  // few keys => long front-contiguous MODEL runs
+  const LoadReport report = run_load(load);
+
+  server.request_stop();
+  const ServeSummary summary = server.wait();
+
+  EXPECT_EQ(report.ok, 4000u);
+  EXPECT_EQ(report.busy, 0u);
+  EXPECT_EQ(report.verify_failures, 0u);
+  expect_cross_checks(report, summary);
+  // The ROADMAP item-5 batching engaged: same-key runs were drained into
+  // PreparedModel::evaluate batches.
+  EXPECT_GT(summary.batches, 0u);
+  EXPECT_GT(summary.batched_requests, summary.batches);
+}
+
+TEST(ServeOverload, InverseMixVerifiesUnderLoad) {
+  ServeConfig config;
+  config.socket_path = test_socket("mix");
+  config.shards = 2;
+  config.queue_depth = 128;
+  Server server(config);
+  server.start();
+
+  LoadConfig load;
+  load.socket_path = config.socket_path;
+  load.requests = 2000;
+  load.connections = 2;
+  load.pipeline = 16;
+  load.inverse_every = 5;
+  const LoadReport report = run_load(load);
+
+  server.request_stop();
+  const ServeSummary summary = server.wait();
+  EXPECT_EQ(report.verify_failures, 0u);
+  EXPECT_EQ(report.protocol_errors, 0u);
+  expect_cross_checks(report, summary);
+}
+
+}  // namespace
+}  // namespace pftk::serve

@@ -15,6 +15,11 @@
 //   pftk explore [options | --replay FILE]         bounded model checking:
 //                                                  exhaustive loss/timing
 //                                                  nondeterminism exploration
+//   pftk serve [options]                           throughput-prediction daemon
+//                                                  with admission control and
+//                                                  load shedding (unix socket)
+//   pftk serve --selftest [options]                daemon + replay load client
+//                                                  in one process
 //   pftk bench [--smoke] [--gate] [--json [FILE]]  hot-path micro-benchmarks
 //   pftk obs summarize <obs-file> [--json [FILE]]  TD/TO loss-indication split
 //
@@ -41,10 +46,14 @@
 // trace parsing) and emits schema-stable BENCH_micro.json; it exits
 // nonzero if the batched path drifts from the scalar path beyond 1e-12.
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/markov_model.hpp"
@@ -67,6 +76,9 @@
 #include "obs/summarize.hpp"
 #include "robust/failpoint.hpp"
 #include "robust/shutdown.hpp"
+#include "serve/load_client.hpp"
+#include "serve/serve_metrics.hpp"
+#include "serve/server.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/sim_watchdog.hpp"
 #include "trace/trace_io.hpp"
@@ -112,6 +124,18 @@ int usage() {
                "      crash-recovery matrix: fork, crash at each journal failpoint,\n"
                "      resume, and verify byte-identical convergence; exits 1 on any\n"
                "      divergence\n"
+               "  pftk serve --socket PATH [--shards N] [--queue-depth N] [--batch-max N]\n"
+               "             [--max-line-bytes N] [--max-clients N] [--deadline-ms F]\n"
+               "             [--metrics-out FILE] [--metrics-every N] [--slow-us N]\n"
+               "      throughput-prediction daemon on a unix socket (line protocol:\n"
+               "      MODEL/INVERSE/CALIB/PING, see EXPERIMENTS.md). Sheds load with\n"
+               "      BUSY at the per-shard queue watermark, enforces per-request\n"
+               "      deadlines, and on SIGINT/SIGTERM drains in-flight work, flushes\n"
+               "      metrics durably, and exits 3 (second signal: 130)\n"
+               "  pftk serve --selftest [--requests N] [--connections N] [--pipeline N]\n"
+               "             [--seed N] [--slow-us N] [--queue-depth N] ...\n"
+               "      in-process daemon + deterministic replay load; verifies served\n"
+               "      rates against the library and both accounting identities\n"
                "  pftk bench [--smoke] [--gate] [--json [FILE]]\n"
                "      hot-path micro-benchmarks; --json writes BENCH_micro.json (or\n"
                "      FILE); exits 1 if batched model evaluation drifts from scalar,\n"
@@ -127,6 +151,68 @@ int usage() {
                "(actions: error, short_write, enospc, delay, crash) to inject faults\n"
                "on persistence paths; disarmed failpoints are byte-invisible\n";
   return 2;
+}
+
+// Typed numeric argument parsing, unified across subcommands: every
+// numeric argv goes through one of these, so "model 0.01 abc 2 8" or a
+// NaN deadline is a ParamError (exit 2, like any other usage error)
+// instead of atof's silent 0.0.
+double parse_number(const char* text, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !std::isfinite(v)) {
+    throw pftk::model::ParamError(std::string(what) +
+                                  " must be a finite number, got '" + text +
+                                  "'");
+  }
+  return v;
+}
+
+double parse_positive(const char* text, const char* what) {
+  const double v = parse_number(text, what);
+  if (!(v > 0.0)) {
+    throw pftk::model::ParamError(std::string(what) + " must be > 0, got '" +
+                                  text + "'");
+  }
+  return v;
+}
+
+double parse_nonnegative(const char* text, const char* what) {
+  const double v = parse_number(text, what);
+  if (!(v >= 0.0)) {
+    throw pftk::model::ParamError(std::string(what) + " must be >= 0, got '" +
+                                  text + "'");
+  }
+  return v;
+}
+
+long long parse_integer(const char* text, const char* what) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') {
+    throw pftk::model::ParamError(std::string(what) +
+                                  " must be an integer, got '" + text + "'");
+  }
+  return v;
+}
+
+int parse_positive_int(const char* text, const char* what) {
+  const long long v = parse_integer(text, what);
+  if (v <= 0 || v > std::numeric_limits<int>::max()) {
+    throw pftk::model::ParamError(std::string(what) +
+                                  " must be a positive integer, got '" + text +
+                                  "'");
+  }
+  return static_cast<int>(v);
+}
+
+std::uint64_t parse_u64(const char* text, const char* what) {
+  const long long v = parse_integer(text, what);
+  if (v < 0) {
+    throw pftk::model::ParamError(std::string(what) + " must be >= 0, got '" +
+                                  text + "'");
+  }
+  return static_cast<std::uint64_t>(v);
 }
 
 /// Observability outputs requested on the command line.
@@ -214,11 +300,11 @@ int cmd_model(int argc, char** argv) {
     return usage();
   }
   pftk::model::ModelParams params;
-  params.p = std::atof(argv[2]);
-  params.rtt = std::atof(argv[3]);
-  params.t0 = std::atof(argv[4]);
-  params.wm = std::atof(argv[5]);
-  params.b = argc > 6 ? std::atoi(argv[6]) : 2;
+  params.p = parse_nonnegative(argv[2], "p");
+  params.rtt = parse_positive(argv[3], "rtt_s");
+  params.t0 = parse_positive(argv[4], "t0_s");
+  params.wm = parse_positive(argv[5], "wm");
+  params.b = argc > 6 ? parse_positive_int(argv[6], "b") : 2;
   params.validate();
 
   std::cout << params.describe() << "\n";
@@ -239,12 +325,12 @@ int cmd_latency(int argc, char** argv) {
   if (argc < 7) {
     return usage();
   }
-  const auto d = static_cast<std::uint64_t>(std::atoll(argv[2]));
+  const std::uint64_t d = parse_u64(argv[2], "packets");
   pftk::model::ModelParams params;
-  params.p = std::atof(argv[3]);
-  params.rtt = std::atof(argv[4]);
-  params.t0 = std::atof(argv[5]);
-  params.wm = std::atof(argv[6]);
+  params.p = parse_nonnegative(argv[3], "p");
+  params.rtt = parse_positive(argv[4], "rtt_s");
+  params.t0 = parse_positive(argv[5], "t0_s");
+  params.wm = parse_positive(argv[6], "wm");
   const auto bd = pftk::model::short_flow_breakdown(d, params);
   std::cout << "transfer of " << d << " packets @ " << params.describe() << "\n"
             << "  slow start:    " << bd.slow_start_seconds << " s ("
@@ -260,11 +346,11 @@ int cmd_provision(int argc, char** argv) {
   if (argc < 6) {
     return usage();
   }
-  const double target = std::atof(argv[2]);
+  const double target = parse_positive(argv[2], "rate_pps");
   pftk::model::ModelParams params;
-  params.rtt = std::atof(argv[3]);
-  params.t0 = std::atof(argv[4]);
-  params.wm = std::atof(argv[5]);
+  params.rtt = parse_positive(argv[3], "rtt_s");
+  params.t0 = parse_positive(argv[4], "t0_s");
+  params.wm = parse_positive(argv[5], "wm");
   params.p = 0.01;  // placeholder; each inversion ignores one field
   const double max_p = pftk::model::max_loss_for_rate(params, target);
   std::cout << "target " << target << " pkts/s @ RTT " << params.rtt << " s, T0 "
@@ -289,15 +375,62 @@ int cmd_list() {
   return 0;
 }
 
+/// A long simulation run in SIGINT-checkable slices. Connection::run_for
+/// is resumable, so the run advances `kSliceSeconds` of simulated time at
+/// a time and polls the shutdown flag between slices: long `simulate` /
+/// `faultsim` runs honor the repo-wide interrupted contract (stop at an
+/// event boundary, still write trace/metrics, exit 3) instead of
+/// ignoring the first signal until the run completes.
+struct SlicedRun {
+  pftk::sim::ConnectionSummary total;
+  bool interrupted = false;
+};
+
+SlicedRun run_sliced(pftk::sim::Connection& conn, double duration) {
+  constexpr double kSliceSeconds = 5.0;
+  SlicedRun out;
+  double done = 0.0;
+  while (done < duration) {
+    if (pftk::robust::ShutdownGuard::stop_requested()) {
+      out.interrupted = true;
+      break;
+    }
+    const double step = std::min(kSliceSeconds, duration - done);
+    const auto slice = conn.run_for(step);
+    done += step;
+    out.total.duration += slice.duration;
+    out.total.packets_sent += slice.packets_sent;
+    out.total.packets_delivered += slice.packets_delivered;
+    // These come from cumulative sender/fault state; the last slice's
+    // values are the run totals.
+    out.total.retransmissions = slice.retransmissions;
+    out.total.fast_retransmits = slice.fast_retransmits;
+    out.total.timeouts = slice.timeouts;
+    out.total.forward_faults = slice.forward_faults;
+    out.total.reverse_faults = slice.reverse_faults;
+  }
+  if (out.total.duration > 0.0) {
+    out.total.send_rate =
+        static_cast<double>(out.total.packets_sent) / out.total.duration;
+    out.total.throughput =
+        static_cast<double>(out.total.packets_delivered) / out.total.duration;
+  }
+  return out;
+}
+
 int cmd_simulate(int argc, char** argv) {
   const ObsOptions obs_opts = extract_obs_flags(argc, argv);
   if (argc < 5) {
     return usage();
   }
   const auto profile = pftk::exp::profile_by_label(argv[2], argv[3]);
-  const double duration = std::atof(argv[4]);
-  const std::uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1998;
+  const double duration = parse_positive(argv[4], "seconds");
+  const std::uint64_t seed = argc > 5 ? parse_u64(argv[5], "seed") : 1998;
   const std::string trace_path = argc > 6 ? argv[6] : "";
+
+  // First SIGINT/SIGTERM stops at the next slice boundary (partial
+  // results + trace/metrics still written, exit 3); second hard-exits.
+  pftk::robust::ShutdownGuard shutdown(/*hard_exit_code=*/130);
 
   pftk::sim::Connection conn(pftk::exp::make_connection_config(profile, seed));
   pftk::trace::TraceRecorder recorder;
@@ -307,7 +440,8 @@ int cmd_simulate(int argc, char** argv) {
   if (obs_opts.enabled()) {
     conn.attach_observability(&etrace, &loop);
   }
-  const auto run = conn.run_for(duration);
+  const auto sliced = run_sliced(conn, duration);
+  const auto& run = sliced.total;
 
   auto row = pftk::trace::summarize_trace(recorder.events(), profile.dupack_threshold());
   std::cout << profile.label() << ", " << duration << " s, seed " << seed << "\n"
@@ -334,6 +468,12 @@ int cmd_simulate(int argc, char** argv) {
     bundle.events_dropped = etrace.dropped();
     export_obs_outputs(obs_opts, bundle);
   }
+  if (sliced.interrupted) {
+    std::cout << "interrupted: stopped after " << pftk::exp::fmt(run.duration, 1)
+              << " of " << pftk::exp::fmt(duration, 1)
+              << " simulated seconds; outputs above cover the partial run\n";
+    return 3;
+  }
   return 0;
 }
 
@@ -351,10 +491,14 @@ int cmd_faultsim(int argc, char** argv) {
     return usage();
   }
   const auto profile = pftk::exp::profile_by_label(argv[2], argv[3]);
-  const double duration = std::atof(argv[4]);
+  const double duration = parse_positive(argv[4], "seconds");
   const auto schedule = pftk::sim::FaultSchedule::parse(argv[5]);
-  const std::uint64_t seed = argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 1998;
+  const std::uint64_t seed = argc > 6 ? parse_u64(argv[6], "seed") : 1998;
   const std::string trace_path = argc > 7 ? argv[7] : "";
+
+  // Same interrupted contract as simulate: stop at a slice boundary,
+  // still write the trace/metrics, exit 3 (second signal: 130).
+  pftk::robust::ShutdownGuard shutdown(/*hard_exit_code=*/130);
 
   auto config = pftk::exp::make_connection_config(profile, seed);
   config.forward_faults = schedule;
@@ -372,8 +516,11 @@ int cmd_faultsim(int argc, char** argv) {
             << "\n  schedule: " << schedule.describe() << "\n";
   int exit_code = 0;
   double avg_rtt = 0.0;
+  bool interrupted = false;
   try {
-    const auto run = conn.run_for(duration);
+    const auto sliced = run_sliced(conn, duration);
+    const auto& run = sliced.total;
+    interrupted = sliced.interrupted;
     auto row =
         pftk::trace::summarize_trace(recorder.events(), profile.dupack_threshold());
     avg_rtt = row.avg_rtt;
@@ -396,7 +543,7 @@ int cmd_faultsim(int argc, char** argv) {
   // torn writes (full disk, crashed filesystem) while the capture can
   // still be regenerated instead of at analysis time weeks later.
   pftk::trace::TraceReadReport trace_report;
-  if (exit_code == 0 && !trace_path.empty()) {
+  if (exit_code != 1 && !trace_path.empty()) {
     pftk::trace::save_trace_file(trace_path, recorder.events());
     std::cout << "  trace written to " << trace_path << " (" << recorder.events().size()
               << " events)\n";
@@ -426,6 +573,10 @@ int cmd_faultsim(int argc, char** argv) {
     bundle.events = etrace.events();
     bundle.events_dropped = etrace.dropped();
     export_obs_outputs(obs_opts, bundle);
+  }
+  if (exit_code == 0 && interrupted) {
+    std::cout << "interrupted: partial run; outputs above cover what completed\n";
+    return 3;
   }
   return exit_code;
 }
@@ -719,6 +870,129 @@ int cmd_chaos(int argc, char** argv) {
   return report.all_ok() ? 0 : 1;
 }
 
+/// In-process selftest: start a daemon, replay a deterministic load
+/// against it, drain, and cross-check both accounting identities
+/// (client-side and server-side) against each other.
+int serve_selftest(pftk::serve::ServeConfig config,
+                   pftk::serve::LoadConfig load) {
+  config.validate();
+  pftk::serve::Server server(config);
+  server.start();
+  load.socket_path = config.socket_path;
+  const auto report = pftk::serve::run_load(load);
+  server.request_stop();
+  const auto summary = server.wait();
+
+  std::cout << "serve selftest @ " << config.socket_path << "\n"
+            << "client: " << report.describe() << "\n"
+            << "server: " << summary.describe() << "\n";
+
+  bool ok = true;
+  const auto check = [&ok](bool cond, const char* what) {
+    if (!cond) {
+      std::cout << "FAIL: " << what << "\n";
+      ok = false;
+    }
+  };
+  check(report.accounting_ok(), "client accounting identity");
+  check(summary.accounting_ok(), "server accounting identity");
+  check(report.protocol_errors == 0, "client saw protocol errors");
+  check(report.verify_failures == 0, "served rates diverged from the library");
+  check(report.lost == 0, "responses lost");
+  check(report.sent == summary.requests, "client sent != server admitted");
+  check(report.ok == summary.served, "client ok != server served");
+  check(report.busy == summary.shed, "client busy != server shed");
+  check(report.deadline == summary.deadline_missed,
+        "client deadline != server deadline-missed");
+  std::cout << (ok ? "selftest ok" : "selftest FAILED") << "\n";
+  return ok ? 0 : 1;
+}
+
+int cmd_serve(int argc, char** argv) {
+  pftk::serve::ServeConfig config;
+  config.socket_path = pftk::serve::default_socket_path();
+  pftk::serve::LoadConfig load;
+  load.requests = 5000;
+  bool selftest = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--socket" && has_value) {
+      config.socket_path = argv[++i];
+    } else if (arg == "--shards" && has_value) {
+      config.shards = parse_positive_int(argv[++i], "--shards");
+    } else if (arg == "--queue-depth" && has_value) {
+      config.queue_depth =
+          static_cast<std::size_t>(parse_positive_int(argv[++i], "--queue-depth"));
+    } else if (arg == "--batch-max" && has_value) {
+      config.batch_max =
+          static_cast<std::size_t>(parse_positive_int(argv[++i], "--batch-max"));
+    } else if (arg == "--max-line-bytes" && has_value) {
+      config.max_line_bytes = static_cast<std::size_t>(
+          parse_positive_int(argv[++i], "--max-line-bytes"));
+    } else if (arg == "--max-clients" && has_value) {
+      config.max_clients =
+          static_cast<std::size_t>(parse_positive_int(argv[++i], "--max-clients"));
+    } else if (arg == "--deadline-ms" && has_value) {
+      config.default_deadline_ms = parse_nonnegative(argv[++i], "--deadline-ms");
+      load.deadline_ms = config.default_deadline_ms;
+    } else if (arg == "--metrics-out" && has_value) {
+      config.metrics_out = argv[++i];
+    } else if (arg == "--metrics-every" && has_value) {
+      config.metrics_every = parse_u64(argv[++i], "--metrics-every");
+    } else if (arg == "--slow-us" && has_value) {
+      config.slow_us = parse_u64(argv[++i], "--slow-us");
+    } else if (arg == "--selftest") {
+      selftest = true;
+    } else if (arg == "--requests" && has_value) {
+      load.requests = parse_u64(argv[++i], "--requests");
+    } else if (arg == "--connections" && has_value) {
+      load.connections = parse_positive_int(argv[++i], "--connections");
+    } else if (arg == "--pipeline" && has_value) {
+      load.pipeline =
+          static_cast<std::uint64_t>(parse_positive_int(argv[++i], "--pipeline"));
+    } else if (arg == "--seed" && has_value) {
+      load.seed = parse_u64(argv[++i], "--seed");
+    } else if (arg == "--param-sets" && has_value) {
+      load.param_sets = parse_positive_int(argv[++i], "--param-sets");
+    } else if (arg == "--inverse-every" && has_value) {
+      load.inverse_every =
+          parse_positive_int(argv[++i], "--inverse-every");
+    } else {
+      std::cerr << "unknown serve option: " << arg << "\n";
+      return usage();
+    }
+  }
+
+  if (selftest) {
+    return serve_selftest(std::move(config), std::move(load));
+  }
+
+  config.validate();
+  // First SIGINT/SIGTERM: stop accepting, drain every admitted request,
+  // flush the durable metrics snapshot, exit 3. Second signal: 130.
+  pftk::robust::ShutdownGuard shutdown(/*hard_exit_code=*/130);
+  pftk::serve::Server server(config);
+  server.start();
+  std::cout << "serve: listening on " << config.socket_path << " ("
+            << config.shards << " shard(s), queue depth " << config.queue_depth
+            << ", batch max " << config.batch_max << ")" << std::endl;
+  while (!pftk::robust::ShutdownGuard::stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cout << "serve: draining..." << std::endl;
+  server.request_stop();
+  const auto summary = server.wait();
+  std::cout << summary.describe() << "\n";
+  if (!summary.accounting_ok()) {
+    std::cerr << "error: serve accounting identity violated\n";
+    return 1;
+  }
+  // The daemon only ever stops on request — the documented interrupted
+  // exit code is the *successful* outcome here.
+  return 3;
+}
+
 int cmd_bench(int argc, char** argv) {
   pftk::exp::MicroBenchConfig config;
   bool want_json = false;
@@ -930,12 +1204,21 @@ int main(int argc, char** argv) {
     if (cmd == "chaos") {
       return cmd_chaos(argc, argv);
     }
+    if (cmd == "serve") {
+      return cmd_serve(argc, argv);
+    }
     if (cmd == "bench") {
       return cmd_bench(argc, argv);
     }
     if (cmd == "obs") {
       return cmd_obs(argc, argv);
     }
+  } catch (const pftk::model::ParamError& e) {
+    // Bad parameter values are usage errors (exit 2), distinct from
+    // runtime failures (exit 1) — supervisors retry the latter, not the
+    // former.
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
