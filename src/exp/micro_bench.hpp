@@ -7,7 +7,11 @@
 //     hot-path cost is a measured ratio, not a promise;
 //   * model evaluation, scalar entry points vs. the PreparedModel
 //     batched fast path, in ns per evaluation over a 10k-point p grid;
-//   * trace parsing (strict read_trace), in MB/s;
+//   * trace parsing, in MB/s — the istream reference reader
+//     (trace.parse_strict) and the mmap + chunk-parallel fast path
+//     (trace.parse_mmap, timed through load_trace_file_lenient on a
+//     real temp file), with a bit-exact events-and-report parity
+//     cross-check between the two on every run;
 //   * the `pftk serve` request path: wire-line parsing alone
 //     (serve.parse) and parse -> PreparedModel-cache evaluate -> response
 //     format (serve.request_path), in ns per request — what one daemon
@@ -80,6 +84,23 @@ struct MicroBenchReport {
   /// must be free when it is not injecting.
   double failpoint_overhead_ratio = 0.0;
   double failpoint_overhead_tolerance = 1.10;
+  /// trace.parse_mmap bytes/s over trace.parse_strict bytes/s: what the
+  /// mmap + chunk-parallel fast path buys over the istream reference
+  /// reader on the same synthetic capture. `--gate` runs fail below
+  /// trace_mmap_min_speedup (set well under the steady-state ratio so
+  /// noisy CI boxes don't flake, but far above any regression to the
+  /// istream path).
+  double trace_mmap_speedup = 0.0;
+  double trace_mmap_min_speedup = 2.0;
+  /// True when the fast path produced bit-identical events and an
+  /// identical TraceReadReport to the reference reader over the bench
+  /// trace — re-checked on every bench run and enforced unconditionally
+  /// by `pftk bench`'s exit code, like equivalence_ok.
+  bool trace_parity_ok = false;
+
+  [[nodiscard]] bool trace_mmap_ok() const noexcept {
+    return trace_mmap_speedup >= trace_mmap_min_speedup;
+  }
 
   [[nodiscard]] bool obs_overhead_ok() const noexcept {
     return obs_overhead_ratio <= obs_overhead_tolerance;

@@ -1,7 +1,6 @@
 #include "trace/trace_io.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <istream>
@@ -10,23 +9,23 @@
 #include <stdexcept>
 
 #include "robust/durable_file.hpp"
+#include "robust/failpoint.hpp"
+#include "trace/trace_reader_fast.hpp"
 
 namespace pftk::trace {
 
 namespace {
 
-// Sanity bounds on decoded fields. A well-formed capture of any
-// simulatable length sits far inside these; values beyond them are the
-// signature of corruption (e.g. a negative number read into an unsigned
-// field wraps to ~1.8e19 and is caught here).
-constexpr double kMaxTime = 1e12;        // seconds
-constexpr double kMaxDurationValue = 1e6; // RTO/RTT sample, seconds
-constexpr std::uint64_t kMaxSeq = 1'000'000'000'000ULL;
-constexpr std::size_t kMaxInFlight = 1'000'000'000;
-constexpr double kMaxCwnd = 1e9;
+/// The classic-locale whitespace set — what `istream >>` skips.
+bool is_ws(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' ||
+         c == '\r';
+}
 
 /// Parses one non-comment line into `event`; returns false with a
-/// diagnostic in `error` if the line is malformed or out of range.
+/// diagnostic in `error` if the line is malformed, not fully consumed,
+/// or out of range. This is the reference parser; detail::parse_line_fast
+/// mirrors it token for token (parity is tested).
 bool parse_line(const std::string& line, TraceEvent& event, std::string& error) {
   if (line.find('\0') != std::string::npos) {
     error = "embedded NUL byte";
@@ -45,10 +44,6 @@ bool parse_line(const std::string& line, TraceEvent& event, std::string& error) 
         return false;
       }
       e.retransmission = flag != 0;
-      if (!(std::isfinite(e.cwnd) && e.cwnd >= 0.0 && e.cwnd <= kMaxCwnd)) {
-        error = "cwnd out of range";
-        return false;
-      }
       break;
     case 'A':
       e.type = TraceEventType::kAckReceived;
@@ -62,10 +57,6 @@ bool parse_line(const std::string& line, TraceEvent& event, std::string& error) 
       e.type = TraceEventType::kTimeout;
       if (!(ls >> e.t >> e.seq >> e.consecutive >> e.value)) {
         error = "malformed T record";
-        return false;
-      }
-      if (e.consecutive < 0 || e.consecutive > 64) {
-        error = "timeout depth out of range";
         return false;
       }
       break;
@@ -87,21 +78,17 @@ bool parse_line(const std::string& line, TraceEvent& event, std::string& error) 
       error = std::string("unknown record tag '") + tag + "'";
       return false;
   }
-  if (!(std::isfinite(e.t) && e.t >= 0.0 && e.t <= kMaxTime)) {
-    error = "timestamp out of range";
-    return false;
+  // The stream must be exhausted (whitespace-only tail allowed): a
+  // field-complete prefix followed by more text is trailing garbage or
+  // two records merged onto one line — corruption either way.
+  char tail = 0;
+  while (ls.get(tail)) {
+    if (!is_ws(tail)) {
+      error = "trailing garbage";
+      return false;
+    }
   }
-  if (e.seq > kMaxSeq) {
-    error = "sequence number out of range";
-    return false;
-  }
-  if (e.in_flight > kMaxInFlight) {
-    error = "in-flight count out of range";
-    return false;
-  }
-  if (!(std::isfinite(e.value) && e.value >= -kMaxDurationValue &&
-        e.value <= kMaxDurationValue)) {
-    error = "duration value out of range";
+  if (!detail::validate_event(e, error)) {
     return false;
   }
   event = e;
@@ -120,6 +107,7 @@ std::vector<TraceEvent> read_trace_impl(std::istream& is, ReadMode mode,
   std::string line;
   bool final_line_unterminated = false;
   bool final_line_bad = false;
+  bool final_line_event = false;
   bool injected_eof = false;
   while (!injected_eof && std::getline(is, line)) {
     ++rep.lines_total;
@@ -127,6 +115,7 @@ std::vector<TraceEvent> read_trace_impl(std::istream& is, ReadMode mode,
     // newline — on the last line that is the truncation signature.
     final_line_unterminated = is.eof();
     final_line_bad = false;
+    final_line_event = false;
     // Failpoint: simulate a read fault on this line. short_write clips
     // the line to `arg` bytes and ends the file there (a torn tail);
     // error/enospc throw robust::IoError; crash kills the process.
@@ -138,6 +127,10 @@ std::vector<TraceEvent> read_trace_impl(std::istream& is, ReadMode mode,
     } else {
       robust::apply_failpoint(hit, "trace.read.line");
     }
+    // On-disk bytes of this line: content incl. any '\r', plus the '\n'
+    // getline consumed unless the line was unterminated (EOF or an
+    // injected torn tail).
+    const std::size_t disk_bytes = line.size() + (final_line_unterminated ? 0 : 1);
     if (!line.empty() && line.back() == '\r') {
       line.pop_back();  // tolerate CRLF captures
     }
@@ -150,11 +143,12 @@ std::vector<TraceEvent> read_trace_impl(std::istream& is, ReadMode mode,
     if (parse_line(line, event, error)) {
       out.push_back(event);
       ++rep.events_parsed;
+      final_line_event = true;
       continue;
     }
     final_line_bad = true;
     ++rep.lines_dropped;
-    rep.bytes_dropped += line.size() + 1;
+    rep.bytes_dropped += disk_bytes;
     if (rep.first_error_line == 0) {
       rep.first_error_line = rep.lines_total;
       rep.first_error = error;
@@ -165,6 +159,7 @@ std::vector<TraceEvent> read_trace_impl(std::istream& is, ReadMode mode,
     }
   }
   rep.truncated = final_line_unterminated && final_line_bad;
+  rep.suspect_final_event = final_line_unterminated && final_line_event;
   return out;
 }
 
@@ -179,6 +174,9 @@ std::string TraceReadReport::describe() const {
   }
   if (truncated) {
     os << "; file appears truncated mid-record";
+  }
+  if (suspect_final_event) {
+    os << "; final line has no newline — last event may be a torn prefix";
   }
   if (clean()) {
     os << "; clean";
@@ -231,6 +229,15 @@ void save_trace_file(const std::string& path, std::span<const TraceEvent> events
 }
 
 std::vector<TraceEvent> load_trace_file(const std::string& path) {
+  // Fast path: mmap + chunk-parallel parse. Armed failpoints need the
+  // reference reader's per-line evaluation order, and pipes/devices
+  // cannot be mapped — both fall back below.
+  if (!robust::any_failpoint_armed()) {
+    MmapFile map;
+    if (map.open(path)) {
+      return read_trace_buffer_strict(map.view());
+    }
+  }
   std::ifstream is(path);
   if (!is) {
     throw std::invalid_argument("load_trace_file: cannot open " + path);
@@ -240,6 +247,12 @@ std::vector<TraceEvent> load_trace_file(const std::string& path) {
 
 std::vector<TraceEvent> load_trace_file_lenient(const std::string& path,
                                                 TraceReadReport* report) {
+  if (!robust::any_failpoint_armed()) {
+    MmapFile map;
+    if (map.open(path)) {
+      return read_trace_buffer(map.view(), report);
+    }
+  }
   std::ifstream is(path);
   if (!is) {
     throw std::invalid_argument("load_trace_file_lenient: cannot open " + path);

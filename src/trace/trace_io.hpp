@@ -22,6 +22,15 @@
 //   * lenient — skip malformed lines, recording what was dropped (and
 //     whether the file looks truncated) in a TraceReadReport, so batch
 //     experiments recover the valid prefix and report exact losses.
+// A record is only accepted when the whole line is consumed (trailing
+// whitespace aside): trailing garbage and two records merged onto one
+// line are corruption, not events.
+//
+// The istream readers here are the *reference* implementation. File
+// loads route through the mmap + chunk-parallel fast path in
+// trace_reader_fast.hpp (GB/s-class), which is held byte-identical to
+// these readers by the corruption-matrix parity tests and the
+// `pftk bench` parity gate.
 #pragma once
 
 #include <iosfwd>
@@ -39,15 +48,23 @@ struct TraceReadReport {
   std::size_t events_parsed = 0;    ///< records successfully decoded
   std::size_t comment_lines = 0;    ///< '#' and blank lines
   std::size_t lines_dropped = 0;    ///< malformed lines skipped
-  std::size_t bytes_dropped = 0;    ///< bytes of those skipped lines
+  /// On-disk bytes consumed by the skipped lines: content plus any '\r'
+  /// plus the '\n' terminator when one existed (a torn final line
+  /// contributes exactly its own bytes — there is no terminator).
+  std::size_t bytes_dropped = 0;
   std::size_t first_error_line = 0; ///< 1-based; 0 = no errors
   std::string first_error;          ///< diagnostic for the first bad line
   /// True when the file ends mid-record (no trailing newline and the
   /// final line failed to parse) — the signature of a truncated capture.
   bool truncated = false;
+  /// True when the final line has no newline yet parsed cleanly. The
+  /// event was salvaged, but a mid-record cut whose surviving prefix is
+  /// field-complete looks exactly like this, so the last event is
+  /// suspect and analyses that care about tail integrity should drop it.
+  bool suspect_final_event = false;
 
   [[nodiscard]] bool clean() const noexcept {
-    return lines_dropped == 0 && !truncated;
+    return lines_dropped == 0 && !truncated && !suspect_final_event;
   }
   /// One-line human-readable summary.
   [[nodiscard]] std::string describe() const;
@@ -67,7 +84,11 @@ void write_trace(std::ostream& os, std::span<const TraceEvent> events);
 [[nodiscard]] std::vector<TraceEvent> read_trace_lenient(std::istream& is,
                                                          TraceReadReport* report = nullptr);
 
-/// Convenience file wrappers.
+/// Convenience file wrappers. Loads take the mmap + chunk-parallel fast
+/// path (trace_reader_fast.hpp) when the input is a mappable regular
+/// file and no failpoints are armed; pipes, devices and armed-failpoint
+/// runs fall back to the istream reference reader above. Both paths
+/// produce byte-identical events and reports — a tested contract.
 /// @throws std::invalid_argument if the file cannot be opened.
 void save_trace_file(const std::string& path, std::span<const TraceEvent> events);
 [[nodiscard]] std::vector<TraceEvent> load_trace_file(const std::string& path);

@@ -1,0 +1,39 @@
+#include "trace/trace_scan.hpp"
+
+namespace pftk::trace {
+
+std::vector<std::pair<std::size_t, std::size_t>> split_line_aligned(
+    std::string_view data, std::size_t target_chunks) {
+  const std::size_t size = data.size();
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  if (target_chunks <= 1 || size == 0) {
+    chunks.emplace_back(0, size);
+    return chunks;
+  }
+  const std::size_t step = size / target_chunks;
+  std::size_t begin = 0;
+  for (std::size_t i = 1; i < target_chunks && begin < size; ++i) {
+    std::size_t tentative = i * step;
+    if (tentative <= begin) {
+      tentative = begin;  // tiny input: keep boundaries monotone
+    }
+    // Advance the boundary to one past the next '\n' so the chunk holds
+    // whole lines only. A chunk may absorb its successor entirely when
+    // lines are longer than `step`; such empty chunks are skipped.
+    const std::size_t nl = find_newline(data, tentative);
+    const std::size_t end = nl == std::string_view::npos ? size : nl + 1;
+    if (end > begin) {
+      chunks.emplace_back(begin, end);
+      begin = end;
+    }
+  }
+  if (begin < size) {
+    chunks.emplace_back(begin, size);
+  }
+  if (chunks.empty()) {
+    chunks.emplace_back(0, size);
+  }
+  return chunks;
+}
+
+}  // namespace pftk::trace

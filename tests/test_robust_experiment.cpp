@@ -179,7 +179,7 @@ TEST(RobustExperiment, OneCorruptFileOfThreeYieldsPartialResults) {
   EXPECT_EQ(salvage.lines_dropped, 3u);
   EXPECT_EQ(salvage.bytes_dropped,
             std::string("garbage line\n").size() + std::string("X\t1\t2\t3\n").size() +
-                std::string("S\t99.0\t12\n").size());
+                std::string("S\t99.0\t12").size());  // torn tail: no '\n' on disk
   EXPECT_TRUE(salvage.truncated);
   EXPECT_FALSE(salvage.clean());
 }

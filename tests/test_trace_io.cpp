@@ -151,21 +151,26 @@ TEST(TraceIo, LenientRecoversTheValidPrefixExactly) {
   }
   EXPECT_EQ(report.events_parsed, original.size());
   EXPECT_EQ(report.lines_dropped, 2u);
+  // The torn final line has no newline on disk, so exactly its own
+  // bytes are charged — no phantom terminator.
   EXPECT_EQ(report.bytes_dropped, std::string("%%% corrupted tail %%%\n").size() +
-                                      std::string("S\t99.0\t12\n").size());
+                                      std::string("S\t99.0\t12").size());
   EXPECT_TRUE(report.truncated);
 }
 
 TEST(TraceIo, TruncationRequiresAnUnterminatedBadFinalLine) {
   {
-    // Unterminated but parseable final line: a capture stopped between
-    // records, not mid-record — salvaged, not flagged.
+    // Unterminated but parseable final line: the event is salvaged and
+    // `truncated` stays false, but a mid-record cut whose surviving
+    // prefix is field-complete looks identical — so the report flags
+    // the last event as suspect and the read is not clean.
     std::istringstream is("S\t0.5\t0\t0\t1\t1.0\nA\t0.6\t1\t0");
     TraceReadReport report;
     const auto events = read_trace_lenient(is, &report);
     EXPECT_EQ(events.size(), 2u);
     EXPECT_FALSE(report.truncated);
-    EXPECT_TRUE(report.clean());
+    EXPECT_TRUE(report.suspect_final_event);
+    EXPECT_FALSE(report.clean());
   }
   {
     // Terminated bad line mid-file: corruption, but not truncation.

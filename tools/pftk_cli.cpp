@@ -138,8 +138,10 @@ int usage() {
                "      rates against the library and both accounting identities\n"
                "  pftk bench [--smoke] [--gate] [--json [FILE]]\n"
                "      hot-path micro-benchmarks; --json writes BENCH_micro.json (or\n"
-               "      FILE); exits 1 if batched model evaluation drifts from scalar,\n"
-               "      or (with --gate) if obs overhead on dispatch exceeds 1.10x\n"
+               "      FILE); exits 1 if batched model evaluation drifts from scalar\n"
+               "      or the mmap trace reader disagrees with the istream reference,\n"
+               "      or (with --gate) if obs/failpoint overhead exceeds 1.10x or the\n"
+               "      mmap-vs-istream trace speedup falls below its floor\n"
                "  pftk obs summarize <obs-file> [--json [FILE]]\n"
                "      TD/TO loss-indication breakdown of a pftk-obs/1 event file\n"
                "\n"
@@ -1039,7 +1041,13 @@ int cmd_bench(int argc, char** argv) {
             << pftk::exp::fmt(report.failpoint_overhead_ratio, 3) << "x (tolerance "
             << pftk::exp::fmt(report.failpoint_overhead_tolerance, 2) << "x): "
             << (report.failpoint_overhead_ok() ? "ok" : (gate_obs ? "FAIL" : "high"))
-            << "\n";
+            << "\n"
+            << "trace mmap vs istream speedup "
+            << pftk::exp::fmt(report.trace_mmap_speedup, 2) << "x (min "
+            << pftk::exp::fmt(report.trace_mmap_min_speedup, 2) << "x): "
+            << (report.trace_mmap_ok() ? "ok" : (gate_obs ? "FAIL" : "low")) << "\n"
+            << "trace fast-path parity (events + report): "
+            << (report.trace_parity_ok ? "ok" : "FAIL") << "\n";
 
   if (want_json) {
     std::ofstream os(json_path);
@@ -1051,6 +1059,20 @@ int cmd_bench(int argc, char** argv) {
     std::cout << "json written to " << json_path << "\n";
   }
   if (!report.equivalence_ok) {
+    return 1;
+  }
+  // Parity is a correctness contract, not a performance number: a fast
+  // path that disagrees with the reference reader fails every run,
+  // gated or not — exactly like the batched-model equivalence check.
+  if (!report.trace_parity_ok) {
+    std::cerr << "error: trace fast-path parity check failed (mmap reader "
+                 "disagrees with the istream reference)\n";
+    return 1;
+  }
+  if (gate_obs && !report.trace_mmap_ok()) {
+    std::cerr << "error: trace mmap speedup gate failed ("
+              << pftk::exp::fmt(report.trace_mmap_speedup, 2) << "x < "
+              << pftk::exp::fmt(report.trace_mmap_min_speedup, 2) << "x)\n";
     return 1;
   }
   if (gate_obs && !report.obs_overhead_ok()) {
