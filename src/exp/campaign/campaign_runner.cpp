@@ -14,6 +14,7 @@
 
 #include "core/model_registry.hpp"
 #include "exp/campaign/retry_policy.hpp"
+#include "obs/flight/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/standard_metrics.hpp"
 #include "robust/durable_file.hpp"
@@ -242,6 +243,10 @@ CampaignResult CampaignRunner::run() {
   // span records wall timings per phase — diagnostics only, never fed
   // back into scheduling or the journal.
   const auto run_item = [&](const CampaignItem& item, obs::MetricsShard& shard) {
+    // Flight-recorder scope for the whole item lifecycle; the
+    // per-phase SpanRecord below stays as the journaled pftk-obs/1
+    // summary, while these spans carry the ns-resolution timeline.
+    PFTK_SPAN("campaign.item", item.seed);
     CampaignItemResult settled;
     settled.item = item;
     settled.span.name = item.key();
@@ -256,7 +261,10 @@ CampaignResult CampaignRunner::run() {
       if (attempt > 0) {
         const std::chrono::milliseconds delay = spec_.retry.backoff(attempt);
         const double delay_s = static_cast<double>(delay.count()) / 1000.0;
-        sleep_fn(delay);
+        {
+          PFTK_SPAN("campaign.backoff", static_cast<std::uint64_t>(attempt));
+          sleep_fn(delay);
+        }
         settled.span.backoff_seconds += delay_s;
         settled.span.phases.push_back(obs::SpanPhase{
             "backoff", delay_s, "before attempt " + std::to_string(attempt + 1)});
@@ -269,9 +277,19 @@ CampaignResult CampaignRunner::run() {
                                              attempt_start)
             .count();
       };
+      const auto record_attempt = [&attempt_start, attempt] {
+        namespace flight = obs::flight;
+        if (flight::armed()) {
+          auto& recorder = flight::Recorder::instance();
+          recorder.record("campaign.attempt", recorder.to_ns(attempt_start),
+                          recorder.now_ns(),
+                          static_cast<std::uint64_t>(attempt + 1));
+        }
+      };
       try {
         ItemOutcome outcome = executor(item, perturbed_seed(item.seed, attempt));
         const double secs = attempt_seconds();
+        record_attempt();
         shard.observe(met.attempt_seconds, secs);
         settled.span.phases.push_back(obs::SpanPhase{"attempt", secs, "ok"});
         settled.status = ItemStatus::kOk;
@@ -290,6 +308,7 @@ CampaignResult CampaignRunner::run() {
           shard.add(met.invariant_violations);
         }
         const double secs = attempt_seconds();
+        record_attempt();
         shard.observe(met.attempt_seconds, secs);
         settled.span.phases.push_back(obs::SpanPhase{
             "attempt", secs, std::string(failure_kind_name(verdict.kind))});
@@ -330,7 +349,10 @@ CampaignResult CampaignRunner::run() {
          it = pending.find(++cursor)) {
       if (journal.has_value() && journal->is_open()) {
         const std::string line = it->second.to_json();
-        journal->append_line(line);  // throws IoError; fsync per cadence
+        {
+          PFTK_SPAN("campaign.journal_append", line.size());
+          journal->append_line(line);  // throws IoError; fsync per cadence
+        }
         // Checkpoint I/O accounting: charged both to the campaign totals
         // and to the committed item's span. Safe to touch the item here:
         // its worker stored it before enqueueing, ordered by commit_mu.

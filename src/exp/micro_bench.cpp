@@ -13,10 +13,17 @@
 #include <sstream>
 #include <vector>
 
+#include <thread>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
 #include "core/approx_model.hpp"
 #include "core/batch_eval.hpp"
 #include "core/full_model.hpp"
 #include "obs/event_loop_stats.hpp"
+#include "obs/flight/flight_recorder.hpp"
 #include "robust/failpoint.hpp"
 #include "serve/prepared_cache.hpp"
 #include "serve/protocol.hpp"
@@ -326,6 +333,56 @@ MicroBenchResult bench_journal_serialize_failpoint(const MicroBenchConfig& confi
   return r;
 }
 
+/// The serialization loop again with a disarmed PFTK_SPAN per record —
+/// the flight recorder's fixed per-site cost when no --trace-spans flag
+/// was given (one relaxed atomic load plus a dead branch). Paired with
+/// journal.serialize it yields the span overhead ratio the CI gate
+/// holds at <= 1.10. Must run while the recorder is disarmed.
+MicroBenchResult bench_span_record_disarmed(const MicroBenchConfig& config) {
+  std::string buf;
+  std::uint64_t sink = 0;
+  const double secs = best_seconds(config.repeats, [&] {
+    sink = 0;
+    for (std::uint64_t i = 0; i < config.journal_records; ++i) {
+      PFTK_SPAN("bench.span_site");
+      format_journal_record(buf, i, 1e-3 * static_cast<double>(i & 1023));
+      sink += buf.size();
+    }
+  });
+  MicroBenchResult r;
+  r.name = "span.record_disarmed";
+  r.unit = "ns/record";
+  r.items = config.journal_records + (sink & 1);
+  r.value = secs * 1e9 / static_cast<double>(config.journal_records);
+  r.per_second = static_cast<double>(config.journal_records) / secs;
+  return r;
+}
+
+/// The same loop armed: two clock reads, a name-cache lookup and one
+/// ring-slot write per record — what `--trace-spans` costs a hot loop
+/// that is instrumented at record granularity. Reported for the
+/// trajectory but not gated (arming is explicit opt-in). Must run while
+/// the recorder is armed.
+MicroBenchResult bench_span_record_armed(const MicroBenchConfig& config) {
+  std::string buf;
+  std::uint64_t sink = 0;
+  const double secs = best_seconds(config.repeats, [&] {
+    sink = 0;
+    for (std::uint64_t i = 0; i < config.journal_records; ++i) {
+      PFTK_SPAN("bench.span_site");
+      format_journal_record(buf, i, 1e-3 * static_cast<double>(i & 1023));
+      sink += buf.size();
+    }
+  });
+  MicroBenchResult r;
+  r.name = "span.record";
+  r.unit = "ns/record";
+  r.items = config.journal_records + (sink & 1);
+  r.value = secs * 1e9 / static_cast<double>(config.journal_records);
+  r.per_second = static_cast<double>(config.journal_records) / secs;
+  return r;
+}
+
 /// A rotating pool of well-formed MODEL request lines: 4 parameter sets
 /// (so the PreparedCache sees realistic hit runs) x 16 p values.
 std::vector<std::string> make_request_lines() {
@@ -486,6 +543,26 @@ TraceMmapOutcome bench_trace_parse_mmap(const MicroBenchConfig& config) {
   return out;
 }
 
+/// Minimal JSON string escaping for host strings (quotes, backslashes,
+/// control bytes — cpuinfo model names are ASCII but not guaranteed).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 void write_result(std::ostream& os, const MicroBenchResult& r, bool last) {
   os << "    {\"name\": \"" << r.name << "\", \"unit\": \"" << r.unit
      << "\", \"value\": " << r.value << ", \"per_second\": " << r.per_second
@@ -507,6 +584,32 @@ MicroBenchConfig MicroBenchConfig::smoke() {
   return config;
 }
 
+BenchHostInfo collect_host_info() {
+  BenchHostInfo info;
+  info.cores = std::thread::hardware_concurrency();
+#ifdef __unix__
+  info.page_size = sysconf(_SC_PAGESIZE);
+#endif
+  // First "model name" line of /proc/cpuinfo; absent on non-Linux (and
+  // some arm kernels), in which case the field stays "".
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const std::size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        std::size_t start = colon + 1;
+        while (start < line.size() && line[start] == ' ') {
+          ++start;
+        }
+        info.cpu_model = line.substr(start);
+      }
+      break;
+    }
+  }
+  return info;
+}
+
 const MicroBenchResult* MicroBenchReport::find(const std::string& name) const noexcept {
   for (const auto& r : results) {
     if (r.name == name) {
@@ -520,6 +623,7 @@ MicroBenchReport run_micro_bench(const MicroBenchConfig& config) {
   MicroBenchReport report;
   report.mode = config.mode;
   report.repeats = config.repeats;
+  report.host = collect_host_info();
 
   report.results.push_back(bench_queue_dispatch(config));
   report.results.push_back(bench_queue_dispatch_obs(config));
@@ -542,10 +646,33 @@ MicroBenchReport run_micro_bench(const MicroBenchConfig& config) {
   report.equivalence_ok = report.batch_max_rel_err <= report.batch_tolerance;
 
   report.results.push_back(bench_journal_serialize(config));
+  const double journal_ns = report.results.back().value;
   report.results.push_back(bench_journal_serialize_failpoint(config));
-  report.failpoint_overhead_ratio =
-      report.results[report.results.size() - 1].value /
-      report.results[report.results.size() - 2].value;
+  report.failpoint_overhead_ratio = report.results.back().value / journal_ns;
+
+  {
+    // The disarmed measurement must see a disarmed recorder and the
+    // armed one an armed recorder, whatever state the process is in
+    // (`pftk bench --trace-spans ...` arrives here armed). Restore the
+    // caller's state afterwards: a tracing run keeps the bench spans
+    // (the user asked to trace this process), otherwise the rings are
+    // cleared so a later arm starts empty.
+    auto& recorder = obs::flight::Recorder::instance();
+    const bool was_armed = obs::flight::armed();
+    if (was_armed) {
+      recorder.disarm();
+    }
+    report.results.push_back(bench_span_record_disarmed(config));
+    report.span_overhead_ratio = report.results.back().value / journal_ns;
+    recorder.arm();
+    report.results.push_back(bench_span_record_armed(config));
+    recorder.disarm();
+    if (was_armed) {
+      recorder.arm();
+    } else {
+      recorder.clear();
+    }
+  }
 
   report.results.push_back(bench_trace_parse(config));
   const TraceMmapOutcome mmap_outcome = bench_trace_parse_mmap(config);
@@ -567,6 +694,11 @@ void write_bench_json(std::ostream& os, const MicroBenchReport& report) {
      << "  \"schema\": \"pftk-bench-micro/1\",\n"
      << "  \"mode\": \"" << report.mode << "\",\n"
      << "  \"repeats\": " << report.repeats << ",\n"
+     << "  \"host\": {\n"
+     << "    \"cpu_model\": \"" << json_escape(report.host.cpu_model) << "\",\n"
+     << "    \"cores\": " << report.host.cores << ",\n"
+     << "    \"page_size\": " << report.host.page_size << "\n"
+     << "  },\n"
      << "  \"results\": [\n";
   for (std::size_t i = 0; i < report.results.size(); ++i) {
     write_result(os, report.results[i], i + 1 == report.results.size());
@@ -585,6 +717,11 @@ void write_bench_json(std::ostream& os, const MicroBenchReport& report) {
      << report.failpoint_overhead_tolerance << ",\n"
      << "    \"failpoint_overhead_ok\": "
      << (report.failpoint_overhead_ok() ? "true" : "false") << ",\n"
+     << "    \"span_overhead_ratio\": " << report.span_overhead_ratio << ",\n"
+     << "    \"span_overhead_tolerance\": " << report.span_overhead_tolerance
+     << ",\n"
+     << "    \"span_overhead_ok\": " << (report.span_overhead_ok() ? "true" : "false")
+     << ",\n"
      << "    \"trace_mmap_speedup\": " << report.trace_mmap_speedup << ",\n"
      << "    \"trace_mmap_min_speedup\": " << report.trace_mmap_min_speedup << ",\n"
      << "    \"trace_mmap_ok\": " << (report.trace_mmap_ok() ? "true" : "false")

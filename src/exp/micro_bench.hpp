@@ -53,6 +53,17 @@ struct MicroBenchConfig {
   [[nodiscard]] static MicroBenchConfig smoke();
 };
 
+/// Where the numbers came from — committed trajectory points are only
+/// comparable within a host, so the header records enough to tell.
+struct BenchHostInfo {
+  std::string cpu_model;      ///< /proc/cpuinfo "model name" ("" if unreadable)
+  unsigned cores = 0;         ///< std::thread::hardware_concurrency()
+  long page_size = 0;         ///< sysconf(_SC_PAGESIZE)
+};
+
+/// Best-effort host snapshot; never throws, blanks what it cannot read.
+[[nodiscard]] BenchHostInfo collect_host_info();
+
 /// One timed series.
 struct MicroBenchResult {
   std::string name;       ///< e.g. "event_queue.dispatch"
@@ -66,6 +77,7 @@ struct MicroBenchResult {
 struct MicroBenchReport {
   std::string mode;
   int repeats = 0;
+  BenchHostInfo host;
   std::vector<MicroBenchResult> results;
   double approx_batch_speedup = 0.0;  ///< scalar ns / batched ns, eq (33)
   double full_batch_speedup = 0.0;    ///< scalar ns / batched ns, eq (32)
@@ -84,6 +96,13 @@ struct MicroBenchReport {
   /// must be free when it is not injecting.
   double failpoint_overhead_ratio = 0.0;
   double failpoint_overhead_tolerance = 1.10;
+  /// span.record_disarmed ns over journal.serialize ns: what a disarmed
+  /// PFTK_SPAN site costs per record on the same serialization loop —
+  /// the flight recorder's "one relaxed load" contract as a measured
+  /// number. Gated alongside the obs and failpoint ratios. (The armed
+  /// cost is reported as span.record but not gated: arming is opt-in.)
+  double span_overhead_ratio = 0.0;
+  double span_overhead_tolerance = 1.10;
   /// trace.parse_mmap bytes/s over trace.parse_strict bytes/s: what the
   /// mmap + chunk-parallel fast path buys over the istream reference
   /// reader on the same synthetic capture. `--gate` runs fail below
@@ -108,6 +127,10 @@ struct MicroBenchReport {
 
   [[nodiscard]] bool failpoint_overhead_ok() const noexcept {
     return failpoint_overhead_ratio <= failpoint_overhead_tolerance;
+  }
+
+  [[nodiscard]] bool span_overhead_ok() const noexcept {
+    return span_overhead_ratio <= span_overhead_tolerance;
   }
 
   [[nodiscard]] const MicroBenchResult* find(const std::string& name) const noexcept;

@@ -10,6 +10,7 @@
 #include "core/full_model.hpp"
 #include "core/model_terms.hpp"
 #include "core/tcp_model_params.hpp"
+#include "obs/flight/flight_recorder.hpp"
 #include "sim/connection.hpp"
 
 namespace pftk::mc {
@@ -174,6 +175,7 @@ void Explorer::add_property(std::string name, Property property) {
 
 Explorer::BranchEnd Explorer::execute_branch(
     ChoiceSource& source, const std::function<void(sim::Connection&)>& on_ready) {
+  PFTK_SPAN("mc.branch");
   const ExploreConfig& cfg = config_;
   std::uint32_t loss_used = 0;
   std::uint32_t ties_used = 0;

@@ -78,7 +78,8 @@ StandardMetrics StandardMetrics::register_on(MetricsRegistry& r) {
 }
 
 ServeMetrics ServeMetrics::register_on(MetricsRegistry& r,
-                                       std::vector<double> latency_bounds) {
+                                       std::vector<double> latency_bounds,
+                                       std::vector<double> queue_wait_bounds) {
   ServeMetrics m;
   m.requests = r.counter("pftk_serve_requests_total",
                          "Requests admitted to a queueing decision");
@@ -112,6 +113,10 @@ ServeMetrics ServeMetrics::register_on(MetricsRegistry& r,
   m.latency_seconds = r.histogram("pftk_serve_latency_seconds",
                                   "Admission-to-response latency (wall seconds)",
                                   std::move(latency_bounds));
+  m.queue_wait_ms =
+      r.histogram("pftk_serve_queue_wait_ms",
+                  "Admission-to-dequeue wait (milliseconds, merged shards)",
+                  std::move(queue_wait_bounds));
   return m;
 }
 

@@ -92,10 +92,13 @@ struct ServeMetrics {
   MetricId metrics_flushes;   ///< pftk_serve_metrics_flushes_total
   MetricId queue_peak;        ///< pftk_serve_queue_peak (gauge)
   MetricId latency_seconds;   ///< pftk_serve_latency_seconds (histogram)
+  MetricId queue_wait_ms;     ///< pftk_serve_queue_wait_ms (histogram)
 
-  /// Registers the set with `latency_bounds` as the histogram edges.
-  [[nodiscard]] static ServeMetrics register_on(MetricsRegistry& registry,
-                                                std::vector<double> latency_bounds);
+  /// Registers the set; `latency_bounds` (seconds) and
+  /// `queue_wait_bounds` (milliseconds) become the histogram edges.
+  [[nodiscard]] static ServeMetrics register_on(
+      MetricsRegistry& registry, std::vector<double> latency_bounds,
+      std::vector<double> queue_wait_bounds);
 };
 
 }  // namespace pftk::obs

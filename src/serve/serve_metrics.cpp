@@ -9,6 +9,79 @@
 
 namespace pftk::serve {
 
+namespace {
+
+/// fetch_add that clamps at UINT64_MAX instead of wrapping to 0 — a
+/// wrapped bucket count would silently break every identity and
+/// quantile derived from it.
+void saturating_add(std::atomic<std::uint64_t>& a, std::uint64_t n) noexcept {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (cur != UINT64_MAX) {
+    const std::uint64_t next =
+        n > UINT64_MAX - cur ? UINT64_MAX : cur + n;
+    if (a.compare_exchange_weak(cur, next, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+std::uint64_t saturating_sum(std::uint64_t a, std::uint64_t b) noexcept {
+  return b > UINT64_MAX - a ? UINT64_MAX : a + b;
+}
+
+/// Shared quantile walk over plain bucket counts (the atomic histogram
+/// and the merged snapshot must agree on the estimate by construction).
+double quantile_from_counts(const std::vector<double>& bounds,
+                            const std::vector<std::uint64_t>& counts,
+                            double q) {
+  std::uint64_t total = 0;
+  for (const auto c : counts) {
+    total = saturating_sum(total, c);
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t next = saturating_sum(cum, counts[i]);
+    if (static_cast<double>(next) >= target && counts[i] > 0) {
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      // The +inf bucket has no width; clamp its estimate to the last
+      // finite edge rather than inventing an upper bound.
+      if (i >= bounds.size()) {
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double hi = bounds[i];
+      const double into =
+          (target - static_cast<double>(cum)) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::clamp(into, 0.0, 1.0);
+    }
+    cum = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+}  // namespace
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (bounds != other.bounds || buckets.size() != other.buckets.size()) {
+    throw std::invalid_argument(
+        "HistogramSnapshot::merge: bucket layouts differ");
+  }
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] = saturating_sum(buckets[i], other.buckets[i]);
+  }
+  count = saturating_sum(count, other.count);
+  sum += other.sum;
+  rejected = saturating_sum(rejected, other.rejected);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  return quantile_from_counts(bounds, buckets, q);
+}
+
 ConcurrentHistogram::ConcurrentHistogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
   for (std::size_t i = 0; i < bounds_.size(); ++i) {
@@ -20,18 +93,21 @@ ConcurrentHistogram::ConcurrentHistogram(std::vector<double> bounds)
   }
 }
 
-void ConcurrentHistogram::observe(double x) noexcept {
+void ConcurrentHistogram::observe_n(double x, std::uint64_t n) noexcept {
+  if (n == 0) {
+    return;
+  }
   if (!std::isfinite(x)) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    saturating_add(rejected_, n);
     return;
   }
   // Inclusive upper edges, like the obs registry: x == edge lands in
   // that edge's bucket.
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
   const auto idx = static_cast<std::size_t>(it - bounds_.begin());
-  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(x, std::memory_order_relaxed);
+  saturating_add(buckets_[idx], n);
+  saturating_add(count_, n);
+  sum_.fetch_add(x * static_cast<double>(n), std::memory_order_relaxed);
 }
 
 std::vector<std::uint64_t> ConcurrentHistogram::bucket_counts() const {
@@ -43,34 +119,17 @@ std::vector<std::uint64_t> ConcurrentHistogram::bucket_counts() const {
 }
 
 double ConcurrentHistogram::quantile(double q) const {
-  const auto counts = bucket_counts();
-  std::uint64_t total = 0;
-  for (const auto c : counts) {
-    total += c;
-  }
-  if (total == 0) {
-    return 0.0;
-  }
-  q = std::clamp(q, 0.0, 1.0);
-  const double target = q * static_cast<double>(total);
-  std::uint64_t cum = 0;
-  for (std::size_t i = 0; i < counts.size(); ++i) {
-    const std::uint64_t next = cum + counts[i];
-    if (static_cast<double>(next) >= target && counts[i] > 0) {
-      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
-      // The +inf bucket has no width; clamp its estimate to the last
-      // finite edge rather than inventing an upper bound.
-      if (i >= bounds_.size()) {
-        return bounds_.empty() ? 0.0 : bounds_.back();
-      }
-      const double hi = bounds_[i];
-      const double into =
-          (target - static_cast<double>(cum)) / static_cast<double>(counts[i]);
-      return lo + (hi - lo) * std::clamp(into, 0.0, 1.0);
-    }
-    cum = next;
-  }
-  return bounds_.empty() ? 0.0 : bounds_.back();
+  return quantile_from_counts(bounds_, bucket_counts(), q);
+}
+
+HistogramSnapshot ConcurrentHistogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets = bucket_counts();
+  snap.count = count();
+  snap.sum = sum();
+  snap.rejected = rejected();
+  return snap;
 }
 
 std::vector<double> default_latency_bounds() {
@@ -78,8 +137,14 @@ std::vector<double> default_latency_bounds() {
           2.5e-2, 5e-2, 0.1,  0.25, 0.5,    1.0,  2.5};
 }
 
+std::vector<double> default_queue_wait_bounds_ms() {
+  return {0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+          2.5,  5.0,   10.0, 25.0, 50.0, 100.0, 250.0, 1000.0};
+}
+
 ServeSummary summarize(const ServeTotals& totals,
-                       const ConcurrentHistogram& latency) {
+                       const ConcurrentHistogram& latency,
+                       const HistogramSnapshot& queue_wait) {
   ServeSummary s;
   s.requests = totals.requests.load();
   s.served = totals.served.load();
@@ -98,6 +163,8 @@ ServeSummary summarize(const ServeTotals& totals,
   s.queue_peak = totals.queue_peak.load();
   s.latency_p50_s = latency.quantile(0.50);
   s.latency_p99_s = latency.quantile(0.99);
+  s.queue_wait_p50_ms = queue_wait.quantile(0.50);
+  s.queue_wait_p99_ms = queue_wait.quantile(0.99);
   return s;
 }
 
@@ -114,14 +181,18 @@ std::string ServeSummary::describe() const {
      << " request(s), calib chunks " << calib_chunks << ", queue peak "
      << queue_peak << "\n"
      << "latency p50 " << latency_p50_s * 1e3 << " ms, p99 "
-     << latency_p99_s * 1e3 << " ms (histogram estimate)";
+     << latency_p99_s * 1e3 << " ms (histogram estimate)\n"
+     << "queue wait p50 " << queue_wait_p50_ms << " ms, p99 "
+     << queue_wait_p99_ms << " ms (merged shards, histogram estimate)";
   return os.str();
 }
 
 obs::ObsBundle make_bundle(const ServeTotals& totals,
-                           const ConcurrentHistogram& latency) {
+                           const ConcurrentHistogram& latency,
+                           const HistogramSnapshot& queue_wait) {
   obs::MetricsRegistry registry;
-  const auto met = obs::ServeMetrics::register_on(registry, latency.bounds());
+  const auto met = obs::ServeMetrics::register_on(registry, latency.bounds(),
+                                                  queue_wait.bounds);
   registry.freeze(1);
   auto& shard = registry.shard(0);
   const auto add = [&shard](obs::MetricId id,
@@ -157,6 +228,11 @@ obs::ObsBundle make_bundle(const ServeTotals& totals,
       metric.count = latency.count();
       metric.sum = latency.sum();
       metric.rejected = latency.rejected();
+    } else if (metric.name == "pftk_serve_queue_wait_ms") {
+      metric.buckets = queue_wait.buckets;
+      metric.count = queue_wait.count;
+      metric.sum = queue_wait.sum;
+      metric.rejected = queue_wait.rejected;
     }
   }
   return bundle;

@@ -26,16 +26,43 @@
 
 namespace pftk::serve {
 
+/// Plain-value capture of a histogram's counters. Mergeable, so the
+/// per-shard queue-wait histograms can be combined into one snapshot at
+/// summary/flush time without the workers ever sharing cache lines.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (+inf last)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  std::uint64_t rejected = 0;
+
+  /// Adds `other`'s counts into this snapshot (saturating).
+  /// @throws std::invalid_argument when the bounds differ.
+  void merge(const HistogramSnapshot& other);
+
+  /// Linear-interpolated quantile estimate (q in [0,1]) from the bucket
+  /// counts; 0 when empty. The +inf bucket clamps to the last edge.
+  [[nodiscard]] double quantile(double q) const;
+};
+
 /// Latency histogram with atomically-updated buckets: safe for any
 /// number of concurrent observers, mergeable into the obs snapshot
 /// format. Bounds follow the obs convention (inclusive `le` edges, an
 /// implicit +inf bucket); non-finite observations are rejected+counted.
+/// All counters saturate at UINT64_MAX instead of wrapping, so a
+/// pathological observation count degrades to a stuck ceiling rather
+/// than a silently small (and identity-violating) value.
 class ConcurrentHistogram {
  public:
   /// @throws std::invalid_argument on unsorted/non-finite bounds.
   explicit ConcurrentHistogram(std::vector<double> bounds);
 
-  void observe(double x) noexcept;
+  void observe(double x) noexcept { observe_n(x, 1); }
+
+  /// Observes `x` with weight `n` (n pre-bucketed identical samples).
+  /// Exists for bulk recording and so tests can reach the UINT64_MAX
+  /// saturation region without 2^64 calls.
+  void observe_n(double x, std::uint64_t n) noexcept;
 
   [[nodiscard]] const std::vector<double>& bounds() const noexcept {
     return bounds_;
@@ -56,6 +83,9 @@ class ConcurrentHistogram {
   /// counts; 0 when empty. The +inf bucket clamps to the last edge.
   [[nodiscard]] double quantile(double q) const;
 
+  /// Point-in-time copy of every counter (mergeable across shards).
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
  private:
   std::vector<double> bounds_;
   std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds + inf
@@ -66,6 +96,12 @@ class ConcurrentHistogram {
 
 /// The default request-latency edges, 100 µs to 2.5 s.
 [[nodiscard]] std::vector<double> default_latency_bounds();
+
+/// The default queue-wait edges in *milliseconds*, 10 µs to 1 s —
+/// finer at the bottom than the latency edges because queue wait is the
+/// overload signal: it inflates long before end-to-end latency blows
+/// through its buckets.
+[[nodiscard]] std::vector<double> default_queue_wait_bounds_ms();
 
 /// Every serving counter, updated with relaxed atomics from any thread.
 struct ServeTotals {
@@ -125,6 +161,8 @@ struct ServeSummary {
   std::uint64_t queue_peak = 0;
   double latency_p50_s = 0.0;  ///< histogram-estimated
   double latency_p99_s = 0.0;
+  double queue_wait_p50_ms = 0.0;  ///< admission-to-dequeue, merged shards
+  double queue_wait_p99_ms = 0.0;
 
   [[nodiscard]] bool accounting_ok() const noexcept {
     return requests == served + shed + deadline_missed + internal_errors;
@@ -132,12 +170,17 @@ struct ServeSummary {
   [[nodiscard]] std::string describe() const;
 };
 
+/// `queue_wait` is the merged snapshot of every shard's queue-wait
+/// histogram (Server::merged_queue_wait()).
 [[nodiscard]] ServeSummary summarize(const ServeTotals& totals,
-                                     const ConcurrentHistogram& latency);
+                                     const ConcurrentHistogram& latency,
+                                     const HistogramSnapshot& queue_wait);
 
-/// Renders totals + latency as a pftk-obs/1 bundle (source "serve") with
-/// the canonical pftk_serve_* names (obs/standard_metrics.hpp).
+/// Renders totals + latency + queue wait as a pftk-obs/1 bundle (source
+/// "serve") with the canonical pftk_serve_* names
+/// (obs/standard_metrics.hpp).
 [[nodiscard]] obs::ObsBundle make_bundle(const ServeTotals& totals,
-                                         const ConcurrentHistogram& latency);
+                                         const ConcurrentHistogram& latency,
+                                         const HistogramSnapshot& queue_wait);
 
 }  // namespace pftk::serve

@@ -15,6 +15,7 @@
 
 #include "core/inverse_model.hpp"
 #include "core/model_registry.hpp"
+#include "obs/flight/flight_recorder.hpp"
 #include "robust/durable_file.hpp"
 #include "robust/failpoint.hpp"
 #include "trace/trace_io.hpp"
@@ -22,6 +23,8 @@
 
 namespace pftk::serve {
 namespace {
+
+namespace flight = obs::flight;
 
 using Clock = std::chrono::steady_clock;
 
@@ -106,6 +109,7 @@ class Server::ClientSession {
 
   void send_line(std::string line) {
     line.push_back('\n');
+    PFTK_SPAN("serve.write", line.size());
     std::lock_guard<std::mutex> lock(write_mu_);
     if (dead()) {
       return;
@@ -253,7 +257,19 @@ ServeSummary Server::wait() {
   return summary();
 }
 
-ServeSummary Server::summary() const { return summarize(totals_, latency_); }
+ServeSummary Server::summary() const {
+  return summarize(totals_, latency_, merged_queue_wait());
+}
+
+HistogramSnapshot Server::merged_queue_wait() const {
+  HistogramSnapshot merged{default_queue_wait_bounds_ms(),
+                           std::vector<std::uint64_t>(
+                               default_queue_wait_bounds_ms().size() + 1)};
+  for (const auto& shard : shards_) {
+    merged.merge(shard->queue_wait_ms.snapshot());
+  }
+  return merged;
+}
 
 std::size_t Server::queue_size(int shard) const {
   const auto& s = *shards_.at(static_cast<std::size_t>(shard));
@@ -279,6 +295,9 @@ void Server::acceptor_loop() {
       }
       break;
     }
+    // One span per accepted connection: failpoint handling, session
+    // registration, and reader spawn (ends with this loop iteration).
+    PFTK_SPAN("serve.accept");
     const auto hit = robust::failpoint("serve.accept");
     if (hit.fired()) {
       switch (hit.action) {
@@ -370,6 +389,9 @@ void Server::reader_loop(std::shared_ptr<ClientSession> session) {
       }
       break;
     }
+    // Spans the parse/dispatch of this read chunk, so admitted-request
+    // markers recorded inside handle_line roll up under serve.read.
+    PFTK_SPAN("serve.read", static_cast<std::uint64_t>(n));
     session->buffer.append(tmp, static_cast<std::size_t>(n));
 
     std::size_t pos;
@@ -439,6 +461,11 @@ void Server::admit(const std::shared_ptr<ClientSession>& session, Request req) {
     return;
   }
   totals_.requests.fetch_add(1, std::memory_order_relaxed);
+  // Identity markers: one zero-length span per counter bump, at the
+  // exact bump site, so `pftk prof` can re-derive
+  //   requests == served + shed + deadline_missed + internal
+  // from span counts alone.
+  flight::Recorder::instance().record_marker("serve.req.admitted");
 
   auto& shard = *shards_[rr_next_.fetch_add(1, std::memory_order_relaxed) %
                          shards_.size()];
@@ -454,6 +481,7 @@ void Server::admit(const std::shared_ptr<ClientSession>& session, Request req) {
         // Injected admission failure behaves as a forced shed: the
         // accounting identity must still balance under chaos.
         totals_.shed.fetch_add(1, std::memory_order_relaxed);
+        flight::Recorder::instance().record_marker("serve.req.shed");
         session->send_line(format_err(
             req.id, ErrCode::kBusy,
             {{"retry_ms", std::to_string(retry_hint_ms(shard))}}));
@@ -478,6 +506,7 @@ void Server::admit(const std::shared_ptr<ClientSession>& session, Request req) {
     std::lock_guard<std::mutex> lock(shard.mu);
     if (shard.queue.size() >= config_.queue_depth) {
       totals_.shed.fetch_add(1, std::memory_order_relaxed);
+      flight::Recorder::instance().record_marker("serve.req.shed");
       session->send_line(format_err(
           qr.req.id, ErrCode::kBusy,
           {{"retry_ms", std::to_string(retry_hint_ms(shard))}}));
@@ -540,12 +569,26 @@ void Server::worker_loop(Shard& shard) {
 
 void Server::process_batch(Shard& shard, std::vector<QueuedRequest>& batch) {
   const auto start = Clock::now();
+  auto& recorder = flight::Recorder::instance();
   // Dequeue-time deadline check: shed expired work before evaluating.
   std::vector<QueuedRequest> live;
   live.reserve(batch.size());
   for (auto& qr : batch) {
+    // Queue wait (admission to dequeue) is the overload signal; record
+    // it for every dequeued request — including the ones about to miss
+    // their deadline, whose wait is exactly what killed them.
+    shard.queue_wait_ms.observe(seconds_between(qr.admitted, start) * 1e3);
+    if (flight::armed()) {
+      recorder.record("serve.queue_wait", recorder.to_ns(qr.admitted),
+                      recorder.to_ns(start));
+    }
     if (start > qr.deadline) {
       totals_.deadline_missed.fetch_add(1, std::memory_order_relaxed);
+      if (flight::armed()) {
+        // Marker duration = the request's whole time in the system.
+        recorder.record("serve.req.deadline_missed",
+                        recorder.to_ns(qr.admitted), recorder.now_ns());
+      }
       qr.client->send_line(format_err(qr.req.id, ErrCode::kDeadlineExceeded));
     } else {
       live.push_back(std::move(qr));
@@ -585,6 +628,10 @@ void Server::process_batch(Shard& shard, std::vector<QueuedRequest>& batch) {
     } catch (const std::exception& e) {
       for (auto& qr : live) {
         totals_.internal_errors.fetch_add(1, std::memory_order_relaxed);
+        if (flight::armed()) {
+          recorder.record("serve.req.internal", recorder.to_ns(qr.admitted),
+                          recorder.now_ns());
+        }
         qr.client->send_line(format_err(qr.req.id, ErrCode::kInternal,
                                         {{"msg", sanitize_field(e.what())}}));
       }
@@ -605,19 +652,37 @@ void Server::process_batch(Shard& shard, std::vector<QueuedRequest>& batch) {
     } catch (const ProtocolError& e) {
       if (e.code() == ErrCode::kDeadlineExceeded) {
         totals_.deadline_missed.fetch_add(1, std::memory_order_relaxed);
+        if (flight::armed()) {
+          recorder.record("serve.req.deadline_missed",
+                          recorder.to_ns(qr.admitted), recorder.now_ns());
+        }
       } else {
         totals_.internal_errors.fetch_add(1, std::memory_order_relaxed);
+        if (flight::armed()) {
+          recorder.record("serve.req.internal", recorder.to_ns(qr.admitted),
+                          recorder.now_ns());
+        }
       }
       qr.client->send_line(format_err(qr.req.id, e.code(),
                                       {{"msg", sanitize_field(e.what())}}));
     } catch (const std::exception& e) {
       totals_.internal_errors.fetch_add(1, std::memory_order_relaxed);
+      if (flight::armed()) {
+        recorder.record("serve.req.internal", recorder.to_ns(qr.admitted),
+                        recorder.now_ns());
+      }
       qr.client->send_line(format_err(qr.req.id, ErrCode::kInternal,
                                       {{"msg", sanitize_field(e.what())}}));
     }
   }
 
   const auto end = Clock::now();
+  if (flight::armed()) {
+    // Dequeue to last response, arg = batch width; serve.write spans
+    // recorded during the responses roll up under this scope.
+    recorder.record("serve.eval_batch", recorder.to_ns(start),
+                    recorder.to_ns(end), live.size());
+  }
   const double per_request =
       seconds_between(start, end) / static_cast<double>(live.size());
   double ewma = shard.service_ewma_s.load(std::memory_order_relaxed);
@@ -632,8 +697,14 @@ void Server::respond(const QueuedRequest& qr, const std::string& line,
                      bool count_served) {
   qr.client->send_line(line);
   if (count_served) {
+    const auto now = Clock::now();
     totals_.served.fetch_add(1, std::memory_order_relaxed);
-    latency_.observe(seconds_between(qr.admitted, Clock::now()));
+    latency_.observe(seconds_between(qr.admitted, now));
+    if (flight::armed()) {
+      auto& recorder = flight::Recorder::instance();
+      recorder.record("serve.req.served", recorder.to_ns(qr.admitted),
+                      recorder.to_ns(now));
+    }
   }
 }
 
@@ -726,7 +797,8 @@ void Server::maybe_flush(std::uint64_t newly_served) {
 void Server::flush_metrics() {
   std::lock_guard<std::mutex> lock(flush_mu_);
   try {
-    obs::save_obs_file(config_.metrics_out, make_bundle(totals_, latency_));
+    obs::save_obs_file(config_.metrics_out,
+                       make_bundle(totals_, latency_, merged_queue_wait()));
     totals_.metrics_flushes.fetch_add(1, std::memory_order_relaxed);
   } catch (const std::exception&) {
     // A failed flush must not take down the serving path; the previous

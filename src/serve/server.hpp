@@ -106,6 +106,11 @@ class Server {
   /// Current depth of one shard's queue (test observability).
   [[nodiscard]] std::size_t queue_size(int shard) const;
 
+  /// Every shard's queue-wait histogram merged into one snapshot — the
+  /// metrics-side cross-check of the flight recorder's serve.queue_wait
+  /// spans.
+  [[nodiscard]] HistogramSnapshot merged_queue_wait() const;
+
  private:
   class ClientSession;
   struct QueuedRequest {
@@ -122,6 +127,10 @@ class Server {
     PreparedCache cache{32};
     /// EWMA of per-request service seconds; feeds the BUSY retry hint.
     std::atomic<double> service_ewma_s{1e-4};
+    /// Admission-to-dequeue wait (ms). Per shard — only this shard's
+    /// worker observes it, so observation never contends across shards;
+    /// snapshots are merged at summary/flush time.
+    ConcurrentHistogram queue_wait_ms{default_queue_wait_bounds_ms()};
   };
 
   void acceptor_loop();

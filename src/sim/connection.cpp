@@ -1,5 +1,7 @@
 #include "sim/connection.hpp"
 
+#include "obs/flight/flight_recorder.hpp"
+
 namespace pftk::sim {
 
 std::unique_ptr<LossModel> make_loss_model(const LossSpec& spec) {
@@ -112,6 +114,7 @@ void Connection::enable_watchdog(const WatchdogConfig& config) {
 }
 
 ConnectionSummary Connection::run_for(Duration duration) {
+  PFTK_SPAN("sim.run_slice");
   const Time start = queue_.now();
   const std::uint64_t sent_before = sender_->stats().transmissions;
   const std::uint64_t delivered_before = receiver_->next_expected();

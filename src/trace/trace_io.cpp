@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/flight/flight_recorder.hpp"
 #include "robust/durable_file.hpp"
 #include "robust/failpoint.hpp"
 #include "trace/trace_reader_fast.hpp"
@@ -229,12 +230,18 @@ void save_trace_file(const std::string& path, std::span<const TraceEvent> events
 }
 
 std::vector<TraceEvent> load_trace_file(const std::string& path) {
+  PFTK_SPAN("trace.ingest");
   // Fast path: mmap + chunk-parallel parse. Armed failpoints need the
   // reference reader's per-line evaluation order, and pipes/devices
   // cannot be mapped — both fall back below.
   if (!robust::any_failpoint_armed()) {
     MmapFile map;
-    if (map.open(path)) {
+    bool mapped;
+    {
+      PFTK_SPAN("trace.mmap_open");
+      mapped = map.open(path);
+    }
+    if (mapped) {
       return read_trace_buffer_strict(map.view());
     }
   }
@@ -247,9 +254,15 @@ std::vector<TraceEvent> load_trace_file(const std::string& path) {
 
 std::vector<TraceEvent> load_trace_file_lenient(const std::string& path,
                                                 TraceReadReport* report) {
+  PFTK_SPAN("trace.ingest");
   if (!robust::any_failpoint_armed()) {
     MmapFile map;
-    if (map.open(path)) {
+    bool mapped;
+    {
+      PFTK_SPAN("trace.mmap_open");
+      mapped = map.open(path);
+    }
+    if (mapped) {
       return read_trace_buffer(map.view(), report);
     }
   }

@@ -14,6 +14,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/flight/flight_recorder.hpp"
 #include "trace/trace_scan.hpp"
 
 namespace pftk::trace {
@@ -420,7 +421,12 @@ std::vector<ChunkOutcome> parse_chunks(std::string_view data,
   const auto chunks = split_line_aligned(data, want);
 
   std::vector<ChunkOutcome> outcomes(chunks.size());
+  // One flight span per chunk, recorded on the thread that parses it
+  // (arg = chunk bytes): with --trace-spans the per-thread lanes make
+  // parallel-scaling stalls — a straggler chunk, a late-started worker —
+  // directly visible in the Perfetto view.
   if (chunks.size() == 1) {
+    PFTK_SPAN("trace.parse_chunk", chunks[0].second - chunks[0].first);
     parse_chunk(data, chunks[0].first, chunks[0].second, stop_at_first_error,
                 outcomes[0]);
     return outcomes;
@@ -429,12 +435,16 @@ std::vector<ChunkOutcome> parse_chunks(std::string_view data,
   workers.reserve(chunks.size() - 1);
   for (std::size_t i = 1; i < chunks.size(); ++i) {
     workers.emplace_back([&, i] {
+      PFTK_SPAN("trace.parse_chunk", chunks[i].second - chunks[i].first);
       parse_chunk(data, chunks[i].first, chunks[i].second, stop_at_first_error,
                   outcomes[i]);
     });
   }
-  parse_chunk(data, chunks[0].first, chunks[0].second, stop_at_first_error,
-              outcomes[0]);
+  {
+    PFTK_SPAN("trace.parse_chunk", chunks[0].second - chunks[0].first);
+    parse_chunk(data, chunks[0].first, chunks[0].second, stop_at_first_error,
+                outcomes[0]);
+  }
   for (auto& w : workers) {
     w.join();
   }
@@ -443,6 +453,7 @@ std::vector<ChunkOutcome> parse_chunks(std::string_view data,
 
 std::vector<TraceEvent> merge_outcomes(std::vector<ChunkOutcome>&& outcomes,
                                        TraceReadReport& rep) {
+  PFTK_SPAN("trace.merge", outcomes.size());
   rep = TraceReadReport{};
   std::size_t total_events = 0;
   std::size_t line_prefix = 0;

@@ -33,6 +33,43 @@ TEST(ConnEventTrace, RingWrapsOverwritingOldestAndCountsDrops) {
   }
 }
 
+TEST(ConnEventTrace, ExactlyCapacityEventsDropNothing) {
+  // The wraparound boundary itself: filling the ring to exactly its
+  // capacity must keep every record and report zero drops.
+  ConnEventTrace trace(4);
+  for (int i = 0; i < 4; ++i) {
+    trace.record(static_cast<double>(i), ConnEventKind::kCwndUpdate,
+                 static_cast<double>(i));
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.dropped(), 0u);
+  EXPECT_EQ(trace.recorded(), 4u);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(events[i].t, static_cast<double>(i));
+  }
+}
+
+TEST(ConnEventTrace, CapacityPlusOneDropsExactlyTheOldest) {
+  // One past the boundary: precisely one drop, and it is record 0 — a
+  // fencepost slip in the modulo arithmetic would evict the wrong slot
+  // or miscount.
+  ConnEventTrace trace(4);
+  for (int i = 0; i < 5; ++i) {
+    trace.record(static_cast<double>(i), ConnEventKind::kCwndUpdate,
+                 static_cast<double>(i));
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.dropped(), 1u);
+  EXPECT_EQ(trace.recorded(), 5u);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(events[i].t, static_cast<double>(i + 1));
+  }
+}
+
 TEST(ConnEventTrace, CountAndClear) {
   ConnEventTrace trace(8);
   trace.record(0.0, ConnEventKind::kSlowStartEnter);

@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Validate a pftk Chrome/Perfetto trace-event export's shape.
+
+Usage: check_spans.py <trace.json> [min_events]
+
+Checks the structural contract chrome://tracing and ui.perfetto.dev
+rely on: a traceEvents list of complete-duration ("ph":"X") events with
+numeric ts/dur and pid/tid, plus the pftk otherData header totals.
+"""
+import json
+import sys
+
+path = sys.argv[1]
+min_events = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+with open(path, encoding="utf-8") as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert isinstance(events, list), "traceEvents must be a list"
+assert len(events) >= min_events, f"expected >= {min_events} events, got {len(events)}"
+for e in events:
+    assert e["ph"] == "X", f"non-complete-duration event: {e}"
+    assert e["cat"] == "pftk" and isinstance(e["name"], str) and e["name"]
+    assert isinstance(e["ts"], (int, float)) and e["ts"] >= 0
+    assert isinstance(e["dur"], (int, float)) and e["dur"] >= 0
+    assert isinstance(e["pid"], int) and isinstance(e["tid"], int)
+other = doc["otherData"]
+assert other["schema"] == "pftk-spans/1", other
+assert other["spans"] == len(events), "header span count != events emitted"
+assert other["threads"] >= len({e["tid"] for e in events})
+print(f"ok: {len(events)} events, {other['threads']} threads, "
+      f"{other['dropped']} dropped ({path})")

@@ -71,6 +71,9 @@
 #include "obs/conn_event_trace.hpp"
 #include "obs/event_loop_stats.hpp"
 #include "obs/export.hpp"
+#include "obs/flight/flight_recorder.hpp"
+#include "obs/flight/prof.hpp"
+#include "obs/flight/span_export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/standard_metrics.hpp"
 #include "obs/summarize.hpp"
@@ -140,10 +143,16 @@ int usage() {
                "      hot-path micro-benchmarks; --json writes BENCH_micro.json (or\n"
                "      FILE); exits 1 if batched model evaluation drifts from scalar\n"
                "      or the mmap trace reader disagrees with the istream reference,\n"
-               "      or (with --gate) if obs/failpoint overhead exceeds 1.10x or the\n"
-               "      mmap-vs-istream trace speedup falls below its floor\n"
+               "      or (with --gate) if obs/failpoint/span overhead exceeds 1.10x\n"
+               "      or the mmap-vs-istream trace speedup falls below its floor\n"
                "  pftk obs summarize <obs-file> [--json [FILE]]\n"
                "      TD/TO loss-indication breakdown of a pftk-obs/1 event file\n"
+               "  pftk prof <spans.jsonl> [--json [FILE]]\n"
+               "      aggregate a pftk-spans/1 flight recording into an inclusive/\n"
+               "      exclusive self-time table (p50/p99 per span) with a\n"
+               "      parent-child rollup; for serve recordings, re-derives and\n"
+               "      checks the request accounting identity from span counts\n"
+               "      (exit 1 on violation)\n"
                "\n"
                "simulate/faultsim/campaign also accept --metrics-out FILE (pftk-obs/1\n"
                "bundle; Prometheus text if FILE ends in .prom) and --trace-events FILE\n"
@@ -151,7 +160,15 @@ int usage() {
                "\n"
                "every command accepts --failpoints \"name:after=N:action=A[:arg=K];...\"\n"
                "(actions: error, short_write, enospc, delay, crash) to inject faults\n"
-               "on persistence paths; disarmed failpoints are byte-invisible\n";
+               "on persistence paths; disarmed failpoints are byte-invisible\n"
+               "\n"
+               "every command accepts --trace-spans FILE [--span-ring N] to arm the\n"
+               "flight recorder: span scopes on the hot paths (serve request path,\n"
+               "campaign items, mc branches, trace-ingest chunks) record into\n"
+               "per-thread rings (capacity N, default 65536, overwrite-oldest) and\n"
+               "drain to FILE on exit — Chrome/Perfetto trace JSON when FILE ends\n"
+               "in .json, pftk-spans/1 JSONL otherwise (the `pftk prof` input).\n"
+               "Disarmed span sites cost one relaxed load and are byte-invisible\n";
   return 2;
 }
 
@@ -1042,6 +1059,11 @@ int cmd_bench(int argc, char** argv) {
             << pftk::exp::fmt(report.failpoint_overhead_tolerance, 2) << "x): "
             << (report.failpoint_overhead_ok() ? "ok" : (gate_obs ? "FAIL" : "high"))
             << "\n"
+            << "disarmed span overhead "
+            << pftk::exp::fmt(report.span_overhead_ratio, 3) << "x (tolerance "
+            << pftk::exp::fmt(report.span_overhead_tolerance, 2) << "x): "
+            << (report.span_overhead_ok() ? "ok" : (gate_obs ? "FAIL" : "high"))
+            << "\n"
             << "trace mmap vs istream speedup "
             << pftk::exp::fmt(report.trace_mmap_speedup, 2) << "x (min "
             << pftk::exp::fmt(report.trace_mmap_min_speedup, 2) << "x): "
@@ -1085,6 +1107,12 @@ int cmd_bench(int argc, char** argv) {
     std::cerr << "error: failpoint overhead gate failed ("
               << pftk::exp::fmt(report.failpoint_overhead_ratio, 3) << "x > "
               << pftk::exp::fmt(report.failpoint_overhead_tolerance, 2) << "x)\n";
+    return 1;
+  }
+  if (gate_obs && !report.span_overhead_ok()) {
+    std::cerr << "error: span overhead gate failed ("
+              << pftk::exp::fmt(report.span_overhead_ratio, 3) << "x > "
+              << pftk::exp::fmt(report.span_overhead_tolerance, 2) << "x)\n";
     return 1;
   }
   return 0;
@@ -1141,6 +1169,55 @@ int cmd_obs(int argc, char** argv) {
   return 0;
 }
 
+int cmd_prof(int argc, char** argv) {
+  if (argc < 3) {
+    return usage();
+  }
+  const std::string path = argv[2];
+  bool want_json = false;
+  std::string json_path;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      want_json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        json_path = argv[++i];
+      }
+    } else {
+      std::cerr << "unknown prof option: " << arg << "\n";
+      return usage();
+    }
+  }
+
+  const auto drained = pftk::obs::flight::load_spans_file(path);
+  const auto report = pftk::obs::flight::profile_spans(drained);
+  if (want_json) {
+    if (json_path.empty()) {
+      pftk::obs::flight::write_prof_json(std::cout, report);
+    } else {
+      std::ofstream os(json_path);
+      if (!os) {
+        std::cerr << "error: cannot open " << json_path << " for writing\n";
+        return 1;
+      }
+      pftk::obs::flight::write_prof_json(os, report);
+      std::cout << "json written to " << json_path << "\n";
+    }
+  } else {
+    std::cout << pftk::obs::flight::render_prof_text(report);
+  }
+  // The span-count accounting identity is a correctness contract, not a
+  // report detail: a serve recording whose markers do not balance means
+  // a request path bumped a counter without its marker (or vice versa).
+  // A recording that overflowed its rings can legitimately disagree, so
+  // drops demote the violation to the warning already printed above.
+  if (report.serve.present && !report.serve.holds() && report.dropped == 0) {
+    std::cerr << "error: serve span counts violate the accounting identity\n";
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_analyze(int argc, char** argv) {
   if (argc < 3) {
     return usage();
@@ -1191,59 +1268,120 @@ int main(int argc, char** argv) {
     }
     argc = out;
   }
+  // Global flight-recorder flags, same pre-dispatch extraction: any
+  // subcommand can record spans with zero per-command plumbing. The
+  // drain+write happens after the command returns (below), so arming
+  // never touches a command's stdout or data files.
+  std::string trace_spans_path;
+  {
+    std::size_t ring = pftk::obs::flight::Recorder::kDefaultRingCapacity;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--trace-spans" && i + 1 < argc) {
+        trace_spans_path = argv[++i];
+      } else if (arg == "--span-ring" && i + 1 < argc) {
+        try {
+          ring = static_cast<std::size_t>(parse_positive_int(argv[++i], "--span-ring"));
+        } catch (const std::exception& e) {
+          std::cerr << "error: " << e.what() << "\n";
+          return 2;
+        }
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    argc = out;
+    if (!trace_spans_path.empty()) {
+      pftk::obs::flight::Recorder::instance().arm(ring);
+    } else if (ring != pftk::obs::flight::Recorder::kDefaultRingCapacity) {
+      std::cerr << "error: --span-ring requires --trace-spans\n";
+      return 2;
+    }
+  }
   if (argc < 2) {
     return usage();
   }
   const std::string cmd = argv[1];
+  // Drains the rings and writes the span file; called on every exit
+  // path below (including errors — a failing command's partial
+  // recording is often exactly what the user wants to see).
+  const auto flush_spans = [&trace_spans_path, &cmd](int rc) -> int {
+    if (trace_spans_path.empty()) {
+      return rc;
+    }
+    auto& recorder = pftk::obs::flight::Recorder::instance();
+    recorder.disarm();
+    try {
+      const auto drained = recorder.drain();
+      pftk::obs::flight::save_spans_file(trace_spans_path, drained,
+                                         "pftk " + cmd);
+      std::cerr << "flight recorder: " << drained.spans.size() << " span(s) from "
+                << drained.threads << " thread(s) written to "
+                << trace_spans_path
+                << (drained.dropped > 0
+                        ? " (" + std::to_string(drained.dropped) +
+                              " overwritten; raise --span-ring)"
+                        : "")
+                << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "error: flight recorder: " << e.what() << "\n";
+      return rc == 0 ? 1 : rc;
+    }
+    return rc;
+  };
   try {
     if (cmd == "model") {
-      return cmd_model(argc, argv);
+      return flush_spans(cmd_model(argc, argv));
     }
     if (cmd == "latency") {
-      return cmd_latency(argc, argv);
+      return flush_spans(cmd_latency(argc, argv));
     }
     if (cmd == "provision") {
-      return cmd_provision(argc, argv);
+      return flush_spans(cmd_provision(argc, argv));
     }
     if (cmd == "list") {
-      return cmd_list();
+      return flush_spans(cmd_list());
     }
     if (cmd == "simulate") {
-      return cmd_simulate(argc, argv);
+      return flush_spans(cmd_simulate(argc, argv));
     }
     if (cmd == "analyze") {
-      return cmd_analyze(argc, argv);
+      return flush_spans(cmd_analyze(argc, argv));
     }
     if (cmd == "faultsim") {
-      return cmd_faultsim(argc, argv);
+      return flush_spans(cmd_faultsim(argc, argv));
     }
     if (cmd == "campaign") {
-      return cmd_campaign(argc, argv);
+      return flush_spans(cmd_campaign(argc, argv));
     }
     if (cmd == "explore") {
-      return cmd_explore(argc, argv);
+      return flush_spans(cmd_explore(argc, argv));
     }
     if (cmd == "chaos") {
-      return cmd_chaos(argc, argv);
+      return flush_spans(cmd_chaos(argc, argv));
     }
     if (cmd == "serve") {
-      return cmd_serve(argc, argv);
+      return flush_spans(cmd_serve(argc, argv));
     }
     if (cmd == "bench") {
-      return cmd_bench(argc, argv);
+      return flush_spans(cmd_bench(argc, argv));
     }
     if (cmd == "obs") {
-      return cmd_obs(argc, argv);
+      return flush_spans(cmd_obs(argc, argv));
+    }
+    if (cmd == "prof") {
+      return flush_spans(cmd_prof(argc, argv));
     }
   } catch (const pftk::model::ParamError& e) {
     // Bad parameter values are usage errors (exit 2), distinct from
     // runtime failures (exit 1) — supervisors retry the latter, not the
     // former.
     std::cerr << "error: " << e.what() << "\n";
-    return 2;
+    return flush_spans(2);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return flush_spans(1);
   }
   return usage();
 }
