@@ -1,6 +1,7 @@
 #include "exp/micro_bench.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <chrono>
 #include <cmath>
@@ -450,6 +451,45 @@ MicroBenchResult bench_serve_request_path(const MicroBenchConfig& config) {
   return r;
 }
 
+/// The identical request loop plus what supervised-pool membership adds
+/// per request: one disarmed `serve.worker.crash` failpoint evaluation
+/// (the worker-loop chaos site) and one relaxed load of the shared
+/// degrade flag (the MAP_SHARED page every worker polls). Their cost is
+/// the supervision_overhead_ratio `--gate` enforces.
+MicroBenchResult bench_serve_request_path_supervised(
+    const MicroBenchConfig& config) {
+  const auto lines = make_request_lines();
+  serve::PreparedCache cache(32);
+  std::atomic<std::uint32_t> degrade_flag{0};
+  std::uint64_t sink = 0;
+  const double secs = best_seconds(config.repeats, [&] {
+    sink = 0;
+    for (std::uint64_t i = 0; i < config.serve_requests; ++i) {
+      const auto hit = robust::failpoint("serve.worker.crash");
+      sink += static_cast<std::uint64_t>(hit.action);
+      const bool degraded =
+          degrade_flag.load(std::memory_order_relaxed) != 0;
+      auto req = serve::parse_request(lines[i % lines.size()]);
+      if (degraded) {
+        req.kind = model::ModelKind::kApproximate;
+      }
+      const auto& prepared = cache.get(req.kind, req.params);
+      const double rate = prepared(req.params.p);
+      const std::string response = serve::format_ok(
+          req.id, {{"rate", serve::format_number(rate)},
+                   {"model", std::string(serve::model_kind_token(req.kind))}});
+      sink += response.size();
+    }
+  });
+  MicroBenchResult r;
+  r.name = "serve.request_path_supervised";
+  r.unit = "ns/request";
+  r.items = config.serve_requests + (sink & 1);
+  r.value = secs * 1e9 / static_cast<double>(config.serve_requests);
+  r.per_second = static_cast<double>(config.serve_requests) / secs;
+  return r;
+}
+
 MicroBenchResult bench_trace_parse(const MicroBenchConfig& config) {
   const std::string text = make_trace_text(config.trace_events);
   std::size_t parsed = 0;
@@ -684,6 +724,10 @@ MicroBenchReport run_micro_bench(const MicroBenchConfig& config) {
 
   report.results.push_back(bench_serve_parse(config));
   report.results.push_back(bench_serve_request_path(config));
+  const double request_path_ns = report.results.back().value;
+  report.results.push_back(bench_serve_request_path_supervised(config));
+  report.supervision_overhead_ratio =
+      report.results.back().value / request_path_ns;
   return report;
 }
 
@@ -722,6 +766,12 @@ void write_bench_json(std::ostream& os, const MicroBenchReport& report) {
      << ",\n"
      << "    \"span_overhead_ok\": " << (report.span_overhead_ok() ? "true" : "false")
      << ",\n"
+     << "    \"supervision_overhead_ratio\": "
+     << report.supervision_overhead_ratio << ",\n"
+     << "    \"supervision_overhead_tolerance\": "
+     << report.supervision_overhead_tolerance << ",\n"
+     << "    \"supervision_overhead_ok\": "
+     << (report.supervision_overhead_ok() ? "true" : "false") << ",\n"
      << "    \"trace_mmap_speedup\": " << report.trace_mmap_speedup << ",\n"
      << "    \"trace_mmap_min_speedup\": " << report.trace_mmap_min_speedup << ",\n"
      << "    \"trace_mmap_ok\": " << (report.trace_mmap_ok() ? "true" : "false")

@@ -111,6 +111,14 @@ struct MicroBenchReport {
   /// istream path).
   double trace_mmap_speedup = 0.0;
   double trace_mmap_min_speedup = 2.0;
+  /// serve.request_path_supervised ns over serve.request_path ns: what a
+  /// worker pays per request for living inside the supervised pool with
+  /// nothing injected — one disarmed `serve.worker.crash` failpoint
+  /// check plus one relaxed load of the shared degrade flag. Gated with
+  /// the other disarmed-overhead ratios: self-healing must be free when
+  /// no one is dying.
+  double supervision_overhead_ratio = 0.0;
+  double supervision_overhead_tolerance = 1.10;
   /// True when the fast path produced bit-identical events and an
   /// identical TraceReadReport to the reference reader over the bench
   /// trace — re-checked on every bench run and enforced unconditionally
@@ -131,6 +139,10 @@ struct MicroBenchReport {
 
   [[nodiscard]] bool span_overhead_ok() const noexcept {
     return span_overhead_ratio <= span_overhead_tolerance;
+  }
+
+  [[nodiscard]] bool supervision_overhead_ok() const noexcept {
+    return supervision_overhead_ratio <= supervision_overhead_tolerance;
   }
 
   [[nodiscard]] const MicroBenchResult* find(const std::string& name) const noexcept;

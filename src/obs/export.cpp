@@ -361,4 +361,18 @@ ObsBundle load_obs_file(const std::string& path, ObsReadReport* report) {
   return read_obs_jsonl(is, report);
 }
 
+void merge_obs_bundles(ObsBundle& bundle, const ObsBundle& other) {
+  if (bundle.source.empty()) {
+    bundle.source = other.source;
+  } else if (!other.source.empty() && other.source != bundle.source) {
+    bundle.source += "+" + other.source;
+  }
+  bundle.metrics.merge(other.metrics);
+  bundle.events.insert(bundle.events.end(), other.events.begin(),
+                       other.events.end());
+  bundle.events_dropped += other.events_dropped;
+  bundle.spans.insert(bundle.spans.end(), other.spans.begin(),
+                      other.spans.end());
+}
+
 }  // namespace pftk::obs

@@ -1,0 +1,65 @@
+#include "robust/exit_codes.hpp"
+
+#include <sys/wait.h>
+
+#include "robust/failpoint.hpp"
+
+namespace pftk::robust {
+
+WorkerExit classify_wait_status(int wait_status) noexcept {
+  WorkerExit out;
+  if (WIFEXITED(wait_status)) {
+    out.signaled = false;
+    out.code_or_signal = WEXITSTATUS(wait_status);
+    switch (out.code_or_signal) {
+      case kExitOk:
+        out.cls = WorkerExitClass::kClean;
+        break;
+      case kExitInterrupted:
+        out.cls = WorkerExitClass::kInterrupted;
+        break;
+      case kCrashExitCode:
+        out.cls = WorkerExitClass::kCrash;
+        break;
+      default:
+        out.cls = WorkerExitClass::kError;
+        break;
+    }
+    return out;
+  }
+  if (WIFSIGNALED(wait_status)) {
+    out.signaled = true;
+    out.code_or_signal = WTERMSIG(wait_status);
+    out.cls = WorkerExitClass::kCrash;
+    return out;
+  }
+  out.signaled = false;
+  out.code_or_signal = wait_status;
+  out.cls = WorkerExitClass::kError;
+  return out;
+}
+
+const char* worker_exit_class_name(WorkerExitClass cls) noexcept {
+  switch (cls) {
+    case WorkerExitClass::kClean:
+      return "clean";
+    case WorkerExitClass::kInterrupted:
+      return "interrupted";
+    case WorkerExitClass::kCrash:
+      return "crash";
+    case WorkerExitClass::kError:
+      return "error";
+  }
+  return "error";
+}
+
+std::string WorkerExit::describe() const {
+  std::string out = signaled ? "signal " : "exit ";
+  out += std::to_string(code_or_signal);
+  out += " (";
+  out += worker_exit_class_name(cls);
+  out += ")";
+  return out;
+}
+
+}  // namespace pftk::robust

@@ -1,0 +1,191 @@
+// Generic fork-based process supervisor.
+//
+// The parent owns shared resources (a pre-bound listen socket, an output
+// path), forks N workers that each run a caller-supplied function, and
+// then enforces three policies until told to stop:
+//
+//   * restart — a worker that crashes (signal, exit 86) or errors is
+//     reforked under capped exponential backoff per worker slot; a clean
+//     or interrupted exit retires the slot. A fleet-wide restart-budget
+//     circuit breaker (more than `restart_budget` restarts inside
+//     `restart_window_s`) makes the supervisor give up: it writes a
+//     durable post-mortem snapshot (atomic_write_file), terminates the
+//     survivors, and returns kExitSupervisorGaveUp (4).
+//   * liveness — each worker holds the write end of a heartbeat pipe and
+//     must write a byte at least every stall timeout; a silent worker is
+//     SIGKILLed and handled like a crash, so wedged processes become
+//     restarts instead of silent brownouts. An optional probe callback
+//     (e.g. a self-PING through the serve socket) is invoked on its own
+//     cadence and counted when it fails.
+//   * degradation — while the breaker is half-open (restarts in the
+//     current window at or past half the budget) the supervisor raises a
+//     degrade flag in a MAP_SHARED page that every forked worker can
+//     poll; workers use it to switch to a cheaper serving mode instead
+//     of dying under the same load that is killing their siblings.
+//
+// Layering: robust/ sits below obs/, so the supervisor never records
+// spans or metrics itself — it reports every transition through an
+// event hook the caller wires to whatever telemetry it owns.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "robust/exit_codes.hpp"
+
+namespace pftk::robust {
+
+/// Handed to the worker function in the child process.
+struct WorkerContext {
+  int index = 0;       ///< worker slot [0, workers)
+  int generation = 0;  ///< 0 = initial fork, +1 per restart of this slot
+  int heartbeat_fd = -1;  ///< write end of this worker's heartbeat pipe
+  /// Degrade flag shared with the parent (MAP_SHARED). Nonzero = serve
+  /// the cheap path. Never null while the supervisor runs.
+  const std::atomic<std::uint32_t>* degraded = nullptr;
+
+  /// Writes one heartbeat byte (non-blocking; a full pipe is fine — the
+  /// parent only cares that *something* arrived since the last check).
+  void heartbeat() const noexcept;
+};
+
+/// Everything the caller runs in the child. The return value becomes the
+/// child's exit code (via _exit — no atexit, no static destructors of
+/// the parent's state).
+using WorkerMain = std::function<int(const WorkerContext&)>;
+
+/// One supervision transition, reported through the event hook and
+/// replayed into the post-mortem snapshot.
+struct SupervisorEvent {
+  enum class Kind {
+    kStart,         ///< worker forked (initial or restart)
+    kExit,          ///< worker reaped; `exit` is valid
+    kStall,         ///< heartbeat silence past the timeout; SIGKILL sent
+    kRestartScheduled,  ///< respawn queued; `backoff_ms` is the delay
+    kDegradeOn,     ///< breaker half-open: degrade flag raised
+    kDegradeOff,    ///< restart pressure aged out: degrade flag cleared
+    kProbeFailure,  ///< liveness probe returned false
+    kGiveUp,        ///< circuit breaker tripped
+  };
+
+  Kind kind = Kind::kStart;
+  double t_s = 0.0;    ///< seconds since the supervisor started
+  int worker = -1;     ///< slot index (-1 for fleet-wide events)
+  int pid = 0;
+  int generation = 0;
+  WorkerExit exit;       ///< kExit only
+  double backoff_ms = 0.0;  ///< kRestartScheduled only
+  std::string detail;
+
+  [[nodiscard]] static const char* kind_name(Kind kind) noexcept;
+  [[nodiscard]] std::string describe() const;
+};
+
+struct SupervisorConfig {
+  int workers = 2;
+
+  /// Heartbeat cadence the workers are documented to follow; the parent
+  /// polls at a fraction of the stall timeout independently of this.
+  double heartbeat_interval_ms = 100.0;
+  /// Worker silent for longer than this is SIGKILLed and restarted.
+  /// 0 disables stall detection.
+  double stall_timeout_ms = 0.0;
+
+  /// Circuit breaker: more than this many restarts within
+  /// `restart_window_s` and the supervisor gives up (exit 4).
+  int restart_budget = 16;
+  double restart_window_s = 60.0;
+  /// Degrade flag raised while in-window restarts >= ceil(fraction *
+  /// budget); cleared when pressure ages out of the window.
+  double half_open_fraction = 0.5;
+
+  /// Per-slot capped exponential backoff between a crash and its
+  /// restart (same shape as exp::campaign::RetryPolicy, mirrored here
+  /// because robust/ sits below exp/).
+  std::chrono::milliseconds backoff_base{25};
+  double backoff_multiplier = 2.0;
+  std::chrono::milliseconds backoff_cap{2000};
+
+  /// Durable give-up snapshot ("pftk-postmortem/1" JSON). Empty = skip.
+  std::string postmortem_path;
+
+  /// A forked child inherits the parent's armed failpoints, so a worker
+  /// that crashed on an injected fault would re-crash forever and trip
+  /// the breaker. By default restarted children (generation > 0) start
+  /// with every failpoint disarmed; breaker tests turn this off.
+  bool disarm_restarted_failpoints = true;
+
+  /// External shutdown flag (e.g. ShutdownGuard::stop_flag()). When it
+  /// flips, the supervisor SIGTERMs every worker, reaps them, and
+  /// returns kExitInterrupted.
+  const std::atomic<bool>* stop = nullptr;
+  /// SIGKILL stragglers this long after the drain SIGTERM.
+  double drain_grace_ms = 10000.0;
+
+  /// Optional liveness probe run in the supervisor loop (keep it fast).
+  std::function<bool()> probe;
+  double probe_interval_ms = 0.0;  ///< 0 disables the probe
+
+  /// Observes every SupervisorEvent (called from the supervising
+  /// thread). Wire spans/metrics/logs here.
+  std::function<void(const SupervisorEvent&)> event_hook;
+
+  /// Backoff before restart number `consecutive` (1-based) of a slot.
+  [[nodiscard]] std::chrono::milliseconds backoff(int consecutive) const;
+
+  /// @throws std::invalid_argument on out-of-range settings.
+  void validate() const;
+};
+
+struct SupervisorStats {
+  std::uint64_t forks = 0;      ///< every fork, initial and restart
+  std::uint64_t restarts = 0;   ///< restarts only
+  std::uint64_t crashes = 0;    ///< exits classified kCrash
+  std::uint64_t error_exits = 0;
+  std::uint64_t clean_exits = 0;  ///< kClean + kInterrupted
+  std::uint64_t stalls = 0;     ///< SIGKILLs for heartbeat silence
+  std::uint64_t probe_failures = 0;
+  std::uint64_t degrade_transitions = 0;
+};
+
+struct SupervisorResult {
+  /// kExitOk — every worker retired cleanly on its own;
+  /// kExitInterrupted — external stop flag drained the fleet;
+  /// kExitSupervisorGaveUp — circuit breaker tripped;
+  /// kExitFailure — a worker ended with an error exit during drain.
+  int exit_code = kExitOk;
+  bool gave_up = false;
+  SupervisorStats stats;
+  std::vector<SupervisorEvent> events;  ///< full timeline
+};
+
+class Supervisor {
+ public:
+  /// @throws std::invalid_argument via config.validate().
+  explicit Supervisor(SupervisorConfig config);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// The shared degrade flag (valid for the supervisor's lifetime; the
+  /// same page the workers see through WorkerContext::degraded).
+  [[nodiscard]] const std::atomic<std::uint32_t>* degrade_flag() const noexcept;
+
+  /// Forks the fleet and supervises until every slot retires, the stop
+  /// flag flips, or the breaker trips. Blocking; call from one thread.
+  [[nodiscard]] SupervisorResult run(const WorkerMain& worker_main);
+
+ private:
+  SupervisorConfig config_;
+  std::atomic<std::uint32_t>* degrade_page_ = nullptr;  // MAP_SHARED
+};
+
+/// Failpoint site evaluated before the post-mortem snapshot write.
+inline constexpr std::string_view kPostmortemFailpoint = "sup.postmortem.write";
+
+}  // namespace pftk::robust

@@ -47,6 +47,9 @@ struct Scripted {
   std::string id;
   bool is_inverse = false;
   double expected_rate = 0.0;  ///< MODEL only, filled by evaluate_batch_p
+  /// Expected eq-33 rate for the same request — what a degraded=1
+  /// answer must match (the server swapped in kApproximate).
+  double expected_approx = 0.0;
   std::size_t param_set = 0;
   double p = 0.0;
 };
@@ -129,8 +132,12 @@ std::vector<Scripted> make_script(const LoadConfig& config, int conn,
     std::vector<double> rates(ps.size());
     model::evaluate_batch_p(sets[set_idx].kind, sets[set_idx].params, ps,
                             rates);
+    std::vector<double> approx(ps.size());
+    model::evaluate_batch_p(model::ModelKind::kApproximate,
+                            sets[set_idx].params, ps, approx);
     for (std::size_t j = 0; j < where.size(); ++j) {
       script[where[j]].expected_rate = rates[j];
+      script[where[j]].expected_approx = approx[j];
     }
   }
   return script;
@@ -161,7 +168,7 @@ ConnResult drive_connection(const LoadConfig& config,
                             const std::vector<Scripted>& script) {
   ConnResult result;
   auto& rep = result.report;
-  const int fd = connect_to(config.socket_path);
+  int fd = connect_to(config.socket_path);
   if (fd < 0) {
     // Nothing was sent; the caller reports reachability separately.
     return result;
@@ -205,12 +212,20 @@ ConnResult drive_connection(const LoadConfig& config,
           std::chrono::duration<double, std::milli>(Clock::now() - sent_at)
               .count();
       result.latencies_ms.push_back(ms);
+      const std::string* degraded_tag = resp.find("degraded");
+      const bool degraded = degraded_tag != nullptr && *degraded_tag == "1";
+      if (degraded) {
+        ++rep.degraded;
+      }
       if (config.verify && !scripted->is_inverse) {
         const std::string* rate = resp.find("rate");
         bool good = rate != nullptr;
         if (good) {
           const double got = std::strtod(rate->c_str(), nullptr);
-          const double want = scripted->expected_rate;
+          // A degraded answer is the eq-33 approximation of the same
+          // request — verified against its own local expectation.
+          const double want =
+              degraded ? scripted->expected_approx : scripted->expected_rate;
           const double tol = 1e-9 * std::max(1.0, std::fabs(want));
           good = std::isfinite(got) && std::fabs(got - want) <= tol;
         }
@@ -233,7 +248,37 @@ ConnResult drive_connection(const LoadConfig& config,
     }
   };
 
-  while (!dead && (next_to_send < script.size() || !in_flight.empty())) {
+  while (next_to_send < script.size() || !in_flight.empty()) {
+    if (dead) {
+      // The connection died (worker crash, injected write fault, wedged
+      // server). Whatever was in flight is gone — count it lost, then
+      // reconnect under a capped per-death attempt budget so the rest
+      // of the fixed-seed script still runs.
+      rep.lost += in_flight.size();
+      in_flight.clear();
+      rx.clear();
+      if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+      }
+      if (next_to_send >= script.size()) {
+        break;  // nothing left to send; the lost tail is accounted
+      }
+      double backoff_ms = std::max(1.0, config.reconnect_backoff_ms);
+      for (int attempt = 0; attempt < config.reconnect_attempts && fd < 0;
+           ++attempt) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+        backoff_ms = std::min(backoff_ms * 2.0, 1000.0);
+        fd = connect_to(config.socket_path);
+      }
+      if (fd < 0) {
+        break;  // reconnect budget exhausted; unsent tail stays unsent
+      }
+      ++rep.reconnects;
+      dead = false;
+      last_progress = Clock::now();
+    }
     // Refill the pipeline window.
     while (next_to_send < script.size() && in_flight.size() < config.pipeline) {
       const Scripted& s = script[next_to_send];
@@ -260,28 +305,29 @@ ConnResult drive_connection(const LoadConfig& config,
       in_flight.emplace(s.id, InFlight{&s, Clock::now()});
       ++next_to_send;
     }
-    if (dead || in_flight.empty()) {
-      if (in_flight.empty() && next_to_send >= script.size()) {
-        break;
-      }
+    if (dead) {
+      continue;  // handle the death (lost accounting + reconnect) above
+    }
+    if (in_flight.empty() && next_to_send >= script.size()) {
+      break;
     }
     pollfd pfd{fd, POLLIN, 0};
     const int rc = ::poll(&pfd, 1, 50);
     if (rc < 0 && errno != EINTR) {
       dead = true;
-      break;
+      continue;
     }
     if (rc > 0) {
       char tmp[8192];
       const ssize_t n = ::read(fd, tmp, sizeof(tmp));
       if (n == 0) {
         dead = true;
-        break;
+        continue;
       }
       if (n < 0) {
         if (errno != EINTR && errno != EAGAIN) {
           dead = true;
-          break;
+          continue;
         }
       } else {
         rx.append(tmp, static_cast<std::size_t>(n));
@@ -295,15 +341,18 @@ ConnResult drive_connection(const LoadConfig& config,
         }
       }
     }
-    // Liveness guard: a wedged server must fail the test, not hang it.
+    // Liveness guard: a wedged server loses this window and forces a
+    // reconnect (bounded — each cycle consumes script) instead of
+    // hanging the run.
     if (!in_flight.empty() &&
         Clock::now() - last_progress > std::chrono::seconds(30)) {
       dead = true;
-      break;
     }
   }
   rep.lost += in_flight.size();
-  ::close(fd);
+  if (fd >= 0) {
+    ::close(fd);
+  }
   return result;
 }
 
@@ -315,7 +364,8 @@ std::string LoadReport::describe() const {
      << " + deadline " << deadline << " + err " << errors << " + lost " << lost
      << (accounting_ok() ? "" : "  [ACCOUNTING MISMATCH]") << "\n"
      << "protocol errors " << protocol_errors << ", verify failures "
-     << verify_failures << "\n"
+     << verify_failures << ", reconnects " << reconnects << ", degraded "
+     << degraded << "\n"
      << "latency p50 " << p50_ms << " ms, p99 " << p99_ms << " ms, max "
      << max_ms << " ms over " << wall_s << " s wall";
   return os.str();
@@ -365,6 +415,8 @@ LoadReport run_load(const LoadConfig& config) {
     total.deadline += r.report.deadline;
     total.errors += r.report.errors;
     total.lost += r.report.lost;
+    total.reconnects += r.report.reconnects;
+    total.degraded += r.report.degraded;
     total.protocol_errors += r.report.protocol_errors;
     total.verify_failures += r.report.verify_failures;
     latencies.insert(latencies.end(), r.latencies_ms.begin(),

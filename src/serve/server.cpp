@@ -1,5 +1,6 @@
 #include "serve/server.hpp"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
@@ -33,6 +34,8 @@ constexpr int kPollMs = 50;
 /// check between chunks, so a huge trace cannot pin a worker past the
 /// request's budget.
 constexpr std::size_t kCalibChunkLines = 4096;
+/// Admission decisions per local shed-rate window (degradation signal).
+constexpr std::uint64_t kDegradeWindow = 256;
 
 void spin_for_us(std::uint64_t us) {
   const auto end = Clock::now() + std::chrono::microseconds(us);
@@ -83,6 +86,10 @@ void ServeConfig::validate() const {
       default_deadline_ms != default_deadline_ms) {
     throw model::ParamError(
         "ServeConfig: default_deadline_ms must be finite and >= 0");
+  }
+  if (!(degrade_shed_watermark >= 0.0 && degrade_shed_watermark <= 1.0)) {
+    throw model::ParamError(
+        "ServeConfig: degrade_shed_watermark must be in [0, 1]");
   }
 }
 
@@ -173,35 +180,48 @@ Server::~Server() {
   }
 }
 
-void Server::start() {
-  if (started_) {
-    throw std::logic_error("Server::start: already started");
-  }
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
+int Server::bind_listener(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
     throw robust::IoError("serve: socket(AF_UNIX): " +
                           std::string(std::strerror(errno)));
   }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, config_.socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
   // A stale socket file (previous crash) would fail the bind; replace it.
-  ::unlink(config_.socket_path.c_str());
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
     const int err = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw robust::IoError("serve: bind(" + config_.socket_path +
-                          "): " + std::strerror(err));
+    ::close(fd);
+    throw robust::IoError("serve: bind(" + path + "): " + std::strerror(err));
   }
-  if (::listen(listen_fd_, 64) != 0) {
+  if (::listen(fd, 64) != 0) {
     const int err = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    ::unlink(config_.socket_path.c_str());
+    ::close(fd);
+    ::unlink(path.c_str());
     throw robust::IoError("serve: listen: " + std::string(std::strerror(err)));
+  }
+  // Non-blocking: with several worker processes accept()ing this fd, a
+  // poll() wakeup can race — the losers must get EAGAIN, not block past
+  // their stop-flag checks.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+  return fd;
+}
+
+void Server::start() {
+  if (started_) {
+    throw std::logic_error("Server::start: already started");
+  }
+  if (config_.listen_fd >= 0) {
+    listen_fd_ = config_.listen_fd;
+    owns_socket_file_ = false;
+  } else {
+    listen_fd_ = bind_listener(config_.socket_path);
+    owns_socket_file_ = true;
   }
 
   shards_.reserve(static_cast<std::size_t>(config_.shards));
@@ -252,7 +272,9 @@ ServeSummary Server::wait() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  ::unlink(config_.socket_path.c_str());
+  if (owns_socket_file_) {
+    ::unlink(config_.socket_path.c_str());
+  }
   joined_ = true;
   return summary();
 }
@@ -482,6 +504,7 @@ void Server::admit(const std::shared_ptr<ClientSession>& session, Request req) {
         // accounting identity must still balance under chaos.
         totals_.shed.fetch_add(1, std::memory_order_relaxed);
         flight::Recorder::instance().record_marker("serve.req.shed");
+        note_admission(/*was_shed=*/true);
         session->send_line(format_err(
             req.id, ErrCode::kBusy,
             {{"retry_ms", std::to_string(retry_hint_ms(shard))}}));
@@ -507,6 +530,7 @@ void Server::admit(const std::shared_ptr<ClientSession>& session, Request req) {
     if (shard.queue.size() >= config_.queue_depth) {
       totals_.shed.fetch_add(1, std::memory_order_relaxed);
       flight::Recorder::instance().record_marker("serve.req.shed");
+      note_admission(/*was_shed=*/true);
       session->send_line(format_err(
           qr.req.id, ErrCode::kBusy,
           {{"retry_ms", std::to_string(retry_hint_ms(shard))}}));
@@ -515,21 +539,59 @@ void Server::admit(const std::shared_ptr<ClientSession>& session, Request req) {
     shard.queue.push_back(std::move(qr));
     totals_.bump_queue_peak(shard.queue.size());
   }
+  note_admission(/*was_shed=*/false);
   shard.cv.notify_one();
 }
 
 std::uint64_t Server::retry_hint_ms(const Shard& shard) const {
-  // Expected time to drain a full queue: depth × EWMA service time.
-  const double est = static_cast<double>(config_.queue_depth) *
-                     shard.service_ewma_s.load(std::memory_order_relaxed) *
-                     1e3;
-  if (est < 1.0) {
-    return 1;
+  // Expected time to drain a full queue: depth × EWMA service time,
+  // clamped to [1, 30000] in busy_retry_hint_ms — a cold shard (EWMA
+  // still 0) quotes 1 ms, never 0.
+  return busy_retry_hint_ms(
+      shard.service_ewma_s.load(std::memory_order_relaxed),
+      config_.queue_depth);
+}
+
+bool Server::effective_degraded() const noexcept {
+  if (config_.degrade_flag != nullptr &&
+      config_.degrade_flag->load(std::memory_order_relaxed) != 0) {
+    return true;
   }
-  if (est > 10'000.0) {
-    return 10'000;
+  return degraded_local_.load(std::memory_order_relaxed);
+}
+
+void Server::note_admission(bool was_shed) noexcept {
+  if (config_.degrade_shed_watermark <= 0.0) {
+    return;
   }
-  return static_cast<std::uint64_t>(est);
+  if (was_shed) {
+    window_shed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const std::uint64_t n =
+      window_admitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n < kDegradeWindow) {
+    return;
+  }
+  // Close the window. Concurrent admissions between these two resets
+  // can leak into either window — the signal is a heuristic fraction,
+  // not part of the accounting identity, so approximate is fine.
+  const std::uint64_t shed_in_window = window_shed_.exchange(0, std::memory_order_relaxed);
+  window_admitted_.store(0, std::memory_order_relaxed);
+  const double frac =
+      static_cast<double>(shed_in_window) / static_cast<double>(kDegradeWindow);
+  const bool was = degraded_local_.load(std::memory_order_relaxed);
+  bool now = was;
+  if (frac >= config_.degrade_shed_watermark) {
+    now = true;
+  } else if (frac <= config_.degrade_shed_watermark / 2.0) {
+    now = false;  // hysteresis: recover only well below the watermark
+  }
+  if (now != was) {
+    degraded_local_.store(now, std::memory_order_relaxed);
+    totals_.degrade_transitions.fetch_add(1, std::memory_order_relaxed);
+    flight::Recorder::instance().record_marker(
+        now ? "serve.degrade.on" : "serve.degrade.off");
+  }
 }
 
 void Server::worker_loop(Shard& shard) {
@@ -562,6 +624,20 @@ void Server::worker_loop(Shard& shard) {
           shard.queue.pop_front();
         }
       }
+    }
+    // The worker-crash chaos site: `action=crash` kills this process
+    // with requests still queued and in flight — exactly what the
+    // supervisor must absorb. Disarmed cost: one relaxed load (gated by
+    // the supervision_overhead_ratio bench).
+    const auto hit = robust::failpoint("serve.worker.crash");
+    if (hit.fired()) {
+      if (hit.action == robust::FailpointAction::kCrash) {
+        robust::crash_now();
+      }
+      if (hit.action == robust::FailpointAction::kDelay) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(hit.arg));
+      }
+      // Other actions have no meaning mid-queue; fall through.
     }
     process_batch(shard, batch);
   }
@@ -609,19 +685,29 @@ void Server::process_batch(Shard& shard, std::vector<QueuedRequest>& batch) {
     for (std::size_t i = 0; i < live.size(); ++i) {
       ps[i] = live[i].req.params.p;
     }
+    // Graceful degradation: under restart pressure (supervisor flag) or
+    // a sustained shed-rate past the watermark, answer with the eq-33
+    // approximate model instead of the requested kind — a cheaper
+    // answer beats shedding everything. Tagged so clients can tell.
+    const bool degraded = effective_degraded();
+    const auto eval_kind =
+        degraded ? model::ModelKind::kApproximate : live.front().req.kind;
     try {
       const auto& prepared =
-          shard.cache.get(live.front().req.kind, live.front().req.params);
+          shard.cache.get(eval_kind, live.front().req.params);
       prepared.evaluate(std::span<const double>(ps), std::span<double>(rates));
       for (std::size_t i = 0; i < live.size(); ++i) {
         if (config_.slow_us > 0) {
           spin_for_us(config_.slow_us);
         }
-        respond(live[i],
-                format_ok(live[i].req.id,
-                          {{"rate", format_number(rates[i])},
-                           {"model",
-                            std::string(model_kind_token(live[i].req.kind))}}),
+        std::vector<std::pair<std::string, std::string>> fields{
+            {"rate", format_number(rates[i])},
+            {"model", std::string(model_kind_token(eval_kind))}};
+        if (degraded) {
+          fields.emplace_back("degraded", "1");
+          totals_.degraded.fetch_add(1, std::memory_order_relaxed);
+        }
+        respond(live[i], format_ok(live[i].req.id, fields),
                 /*count_served=*/true);
         ++newly_served;
       }
@@ -685,9 +771,13 @@ void Server::process_batch(Shard& shard, std::vector<QueuedRequest>& batch) {
   }
   const double per_request =
       seconds_between(start, end) / static_cast<double>(live.size());
-  double ewma = shard.service_ewma_s.load(std::memory_order_relaxed);
-  shard.service_ewma_s.store(0.8 * ewma + 0.2 * per_request,
-                             std::memory_order_relaxed);
+  const double ewma = shard.service_ewma_s.load(std::memory_order_relaxed);
+  // First completed request seeds the EWMA directly; blending with the
+  // 0 cold-start value would under-report service time for ~a dozen
+  // requests and feed the BUSY hint junk.
+  shard.service_ewma_s.store(
+      ewma == 0.0 ? per_request : 0.8 * ewma + 0.2 * per_request,
+      std::memory_order_relaxed);
   if (newly_served > 0) {
     maybe_flush(newly_served);
   }

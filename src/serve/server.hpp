@@ -68,6 +68,21 @@ struct ServeConfig {
   /// (busy-wait). Test/bench hook: makes "sustainable load" a chosen
   /// number so overload behavior is reproducible. 0 in production.
   std::uint64_t slow_us = 0;
+  /// Pre-bound listen socket to adopt instead of binding socket_path
+  /// ourselves (-1 = bind). Supervised workers all adopt the one fd the
+  /// parent bound, so they accept() from a shared backlog and the socket
+  /// file outlives any single worker. The adopting server closes its
+  /// copy of the fd on wait() but never unlinks the path.
+  int listen_fd = -1;
+  /// External degrade signal (e.g. the supervisor's MAP_SHARED flag).
+  /// Nonzero => serve MODEL requests on the approximate eq-33 path,
+  /// tagged `degraded=1`. May be null.
+  const std::atomic<std::uint32_t>* degrade_flag = nullptr;
+  /// Local overload degradation: when the shed fraction over the last
+  /// 256 admission decisions reaches this watermark, MODEL requests
+  /// switch to the eq-33 path until a later window drops back under
+  /// half the watermark (hysteresis). 0 disables.
+  double degrade_shed_watermark = 0.0;
 
   /// @throws model::ParamError on out-of-range values.
   void validate() const;
@@ -85,9 +100,16 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds the socket and launches acceptor + workers.
+  /// Binds the socket (or adopts config.listen_fd) and launches
+  /// acceptor + workers.
   /// @throws robust::IoError when the socket cannot be created/bound.
   void start();
+
+  /// Creates, binds, and listens on a unix-domain stream socket at
+  /// `path` (replacing a stale file), non-blocking so multiple
+  /// processes can safely poll+accept the same fd. Returns the fd.
+  /// @throws robust::IoError on failure.
+  [[nodiscard]] static int bind_listener(const std::string& path);
 
   /// Begins graceful drain: stop accepting and reading, finish every
   /// admitted request. Idempotent, callable from any thread (not from a
@@ -126,7 +148,8 @@ class Server {
     std::thread worker;
     PreparedCache cache{32};
     /// EWMA of per-request service seconds; feeds the BUSY retry hint.
-    std::atomic<double> service_ewma_s{1e-4};
+    /// 0 until the first request completes (the hint clamps up to 1 ms).
+    std::atomic<double> service_ewma_s{0.0};
     /// Admission-to-dequeue wait (ms). Per shard — only this shard's
     /// worker observes it, so observation never contends across shards;
     /// snapshots are merged at summary/flush time.
@@ -148,12 +171,21 @@ class Server {
   void maybe_flush(std::uint64_t newly_served);
   void flush_metrics();
   void sweep_sessions();
+  /// True while either the external degrade flag or the local shed-rate
+  /// watermark says to serve the approximate path.
+  [[nodiscard]] bool effective_degraded() const noexcept;
+  /// Feeds the local shed-rate window (one call per admission decision).
+  void note_admission(bool was_shed) noexcept;
 
   ServeConfig config_;
   ServeTotals totals_;
   ConcurrentHistogram latency_{default_latency_bounds()};
 
   int listen_fd_ = -1;
+  bool owns_socket_file_ = true;  ///< false when adopting config.listen_fd
+  std::atomic<bool> degraded_local_{false};
+  std::atomic<std::uint64_t> window_admitted_{0};
+  std::atomic<std::uint64_t> window_shed_{0};
   std::atomic<bool> stop_{false};      ///< no new connections/reads
   std::atomic<bool> draining_{false};  ///< workers: exit once empty
   bool started_ = false;

@@ -208,5 +208,108 @@ TEST(ObsSummarize, GoldenJsonForFixedSeedFig8ShortTrace) {
   EXPECT_EQ(actual.str(), expected.str());
 }
 
+MetricValue counter(const std::string& name, double value) {
+  MetricValue m;
+  m.name = name;
+  m.kind = MetricKind::kCounter;
+  m.value = value;
+  return m;
+}
+
+TEST(ObsMergeBundles, ShardMergeSemanticsAcrossSnapshotFiles) {
+  // The multi-file `pftk obs summarize a.jsonl b.jsonl` path: worker
+  // snapshots fold together exactly like shards of one process —
+  // counters sum, gauges max, histogram buckets sum, event streams
+  // append, drop counts sum.
+  ObsBundle a;
+  a.source = "serve";
+  a.metrics.metrics.push_back(counter("pftk_serve_served_total", 100.0));
+  MetricValue gauge;
+  gauge.name = "pftk_serve_queue_depth";
+  gauge.kind = MetricKind::kGauge;
+  gauge.value = 3.0;
+  a.metrics.metrics.push_back(gauge);
+  MetricValue hist;
+  hist.name = "pftk_serve_latency_seconds";
+  hist.kind = MetricKind::kHistogram;
+  hist.bounds = {1.0};
+  hist.buckets = {2, 1};
+  hist.count = 3;
+  hist.sum = 2.5;
+  a.metrics.metrics.push_back(hist);
+  a.events.push_back(ConnEvent{1.0, ConnEventKind::kFastRetransmit, 0.0, 0.0});
+  a.events_dropped = 1;
+
+  ObsBundle b;
+  b.source = "serve";
+  b.metrics.metrics.push_back(counter("pftk_serve_served_total", 50.0));
+  b.metrics.metrics.push_back(counter("pftk_serve_shed_total", 7.0));
+  gauge.value = 5.0;
+  b.metrics.metrics.push_back(gauge);
+  hist.buckets = {0, 4};
+  hist.count = 4;
+  hist.sum = 8.0;
+  b.metrics.metrics.push_back(hist);
+  b.events.push_back(ConnEvent{2.0, ConnEventKind::kRtoFire, 1.0, 0.0});
+  b.events_dropped = 2;
+
+  ObsBundle merged;
+  merge_obs_bundles(merged, a);
+  merge_obs_bundles(merged, b);
+
+  EXPECT_EQ(merged.source, "serve");  // identical sources do not repeat
+  const MetricValue* served = merged.metrics.find("pftk_serve_served_total");
+  ASSERT_NE(served, nullptr);
+  EXPECT_DOUBLE_EQ(served->value, 150.0);
+  const MetricValue* shed = merged.metrics.find("pftk_serve_shed_total");
+  ASSERT_NE(shed, nullptr);  // metrics only one worker saw survive
+  EXPECT_DOUBLE_EQ(shed->value, 7.0);
+  const MetricValue* depth = merged.metrics.find("pftk_serve_queue_depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_DOUBLE_EQ(depth->value, 5.0);  // gauges merge by max, not sum
+  const MetricValue* lat = merged.metrics.find("pftk_serve_latency_seconds");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 7u);
+  EXPECT_EQ(lat->buckets, (std::vector<std::uint64_t>{2, 5}));
+  EXPECT_DOUBLE_EQ(lat->sum, 10.5);
+  ASSERT_EQ(merged.events.size(), 2u);
+  EXPECT_EQ(merged.events_dropped, 3u);
+
+  // A differing source labels the merged bundle as such, and the merged
+  // result survives a JSONL round trip intact.
+  ObsBundle sup;
+  sup.source = "supervisor";
+  sup.metrics.metrics.push_back(counter("pftk_sup_restarts_total", 2.0));
+  merge_obs_bundles(merged, sup);
+  EXPECT_EQ(merged.source, "serve+supervisor");
+
+  std::stringstream jsonl;
+  write_obs_jsonl(jsonl, merged);
+  ObsReadReport report;
+  const ObsBundle back = read_obs_jsonl(jsonl, &report);
+  ASSERT_TRUE(report.clean());
+  EXPECT_EQ(back.source, "serve+supervisor");
+  const MetricValue* back_served =
+      back.metrics.find("pftk_serve_served_total");
+  ASSERT_NE(back_served, nullptr);
+  EXPECT_DOUBLE_EQ(back_served->value, 150.0);
+  EXPECT_EQ(back.events.size(), 2u);
+  EXPECT_EQ(back.events_dropped, 3u);
+}
+
+TEST(ObsMergeBundles, MismatchedKindsForSharedNameAreRejected) {
+  ObsBundle a;
+  a.metrics.metrics.push_back(counter("pftk_serve_served_total", 1.0));
+  ObsBundle b;
+  MetricValue g;
+  g.name = "pftk_serve_served_total";
+  g.kind = MetricKind::kGauge;
+  g.value = 1.0;
+  b.metrics.metrics.push_back(g);
+  ObsBundle merged;
+  merge_obs_bundles(merged, a);
+  EXPECT_THROW(merge_obs_bundles(merged, b), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace pftk::obs

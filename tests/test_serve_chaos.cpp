@@ -11,6 +11,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -171,6 +172,58 @@ TEST_F(ServeChaosTest, GracefulDrainMidLoadAnswersEveryAdmittedRequest) {
   // Requests in flight when reading stopped are the client's `lost`.
   EXPECT_GT(report.lost, 0u);
   EXPECT_EQ(report.verify_failures, 0u);
+}
+
+TEST_F(ServeChaosTest, ClientReconnectsAcrossServerRestartWithExactLedger) {
+  // A full server bounce mid-stream: server A drains while the load is
+  // in flight, server B comes up on the same path. The client must ride
+  // through on its capped reconnect budget — every request accounted
+  // (sent == requests exactly, in-flight losses counted `lost`, never a
+  // silent hole) and at least one successful reconnect recorded.
+  // Before the reconnect logic, connections died on the first EOF and
+  // the unsent tail simply vanished (sent < requests).
+  const std::string socket_path = test_socket("bounce");
+
+  ServeConfig first;
+  first.socket_path = socket_path;
+  first.shards = 1;
+  first.slow_us = 200;  // the load cannot finish before the bounce
+  auto server_a = std::make_unique<Server>(first);
+  server_a->start();
+
+  LoadConfig load;
+  load.socket_path = socket_path;
+  load.requests = 3000;
+  load.connections = 2;
+  load.pipeline = 16;
+  LoadReport report;
+  std::thread loader([&] { report = run_load(load); });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server_a->request_stop();
+  const ServeSummary drained = server_a->wait();
+  server_a.reset();
+
+  ServeConfig second;
+  second.socket_path = socket_path;
+  second.shards = 1;
+  Server server_b(second);
+  server_b.start();
+  loader.join();
+  server_b.request_stop();
+  const ServeSummary resumed = server_b.wait();
+
+  EXPECT_TRUE(report.accounting_ok()) << report.describe();
+  EXPECT_EQ(report.sent, 3000u)
+      << "unsent tail abandoned across the bounce: " << report.describe();
+  EXPECT_GT(report.reconnects, 0u);
+  EXPECT_EQ(report.protocol_errors, 0u);
+  EXPECT_EQ(report.verify_failures, 0u);
+  // Work really moved across the bounce: both servers served some of
+  // the stream, and together they answered everything the client got.
+  EXPECT_GT(drained.served, 0u);
+  EXPECT_GT(resumed.served, 0u);
+  EXPECT_EQ(report.ok, drained.served + resumed.served);
 }
 
 TEST_F(ServeChaosTest, ArmedButNeverFiringFailpointsChangeNothing) {

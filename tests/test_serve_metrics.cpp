@@ -108,6 +108,29 @@ TEST(ServeSummary, CarriesMergedQueueWaitQuantiles) {
   EXPECT_NE(summary.describe().find("queue wait"), std::string::npos);
 }
 
+TEST(BusyRetryHint, ColdShardNeverQuotesZero) {
+  // Before the first request completes the service EWMA is still 0.0;
+  // the hint must floor at 1 ms, not tell clients to hammer back in 0.
+  EXPECT_EQ(busy_retry_hint_ms(0.0, 64), 1u);
+  EXPECT_EQ(busy_retry_hint_ms(0.0, 0), 1u);
+}
+
+TEST(BusyRetryHint, ScalesWithQueueDrainEstimate) {
+  // 2 ms EWMA × depth 64 → 128 ms to drain a full queue.
+  EXPECT_EQ(busy_retry_hint_ms(0.002, 64), 128u);
+  // Sub-millisecond estimates round down onto the floor.
+  EXPECT_EQ(busy_retry_hint_ms(1e-6, 100), 1u);
+}
+
+TEST(BusyRetryHint, WedgedShardIsCappedAtThirtySeconds) {
+  EXPECT_EQ(busy_retry_hint_ms(10.0, 4096), 30000u);
+  // Pathological inputs (poisoned EWMA) clamp instead of propagating.
+  EXPECT_EQ(busy_retry_hint_ms(std::numeric_limits<double>::infinity(), 64),
+            30000u);
+  EXPECT_EQ(busy_retry_hint_ms(std::numeric_limits<double>::quiet_NaN(), 64),
+            1u);
+}
+
 TEST(ServeMetrics, BundleExportsQueueWaitHistogram) {
   ServeTotals totals;
   ConcurrentHistogram latency(default_latency_bounds());

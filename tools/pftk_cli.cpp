@@ -82,6 +82,7 @@
 #include "serve/load_client.hpp"
 #include "serve/serve_metrics.hpp"
 #include "serve/server.hpp"
+#include "serve/supervised.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/sim_watchdog.hpp"
 #include "trace/trace_io.hpp"
@@ -130,11 +131,19 @@ int usage() {
                "  pftk serve --socket PATH [--shards N] [--queue-depth N] [--batch-max N]\n"
                "             [--max-line-bytes N] [--max-clients N] [--deadline-ms F]\n"
                "             [--metrics-out FILE] [--metrics-every N] [--slow-us N]\n"
+               "             [--workers N] [--stall-timeout MS] [--restart-budget N]\n"
+               "             [--restart-window S] [--postmortem FILE]\n"
+               "             [--degrade-watermark F] [--ping-interval MS]\n"
                "      throughput-prediction daemon on a unix socket (line protocol:\n"
                "      MODEL/INVERSE/CALIB/PING, see EXPERIMENTS.md). Sheds load with\n"
                "      BUSY at the per-shard queue watermark, enforces per-request\n"
                "      deadlines, and on SIGINT/SIGTERM drains in-flight work, flushes\n"
-               "      metrics durably, and exits 3 (second signal: 130)\n"
+               "      metrics durably, and exits 3 (second signal: 130).\n"
+               "      --workers >= 2 engages the self-healing pool: the parent binds\n"
+               "      the socket once, forks N accept-sharing workers, restarts\n"
+               "      crashed/stalled ones under capped backoff, degrades to the\n"
+               "      approximate model while restart pressure is high, and exits 4\n"
+               "      (with a durable post-mortem) when the restart budget is spent\n"
                "  pftk serve --selftest [--requests N] [--connections N] [--pipeline N]\n"
                "             [--seed N] [--slow-us N] [--queue-depth N] ...\n"
                "      in-process daemon + deterministic replay load; verifies served\n"
@@ -145,8 +154,10 @@ int usage() {
                "      or the mmap trace reader disagrees with the istream reference,\n"
                "      or (with --gate) if obs/failpoint/span overhead exceeds 1.10x\n"
                "      or the mmap-vs-istream trace speedup falls below its floor\n"
-               "  pftk obs summarize <obs-file> [--json [FILE]]\n"
-               "      TD/TO loss-indication breakdown of a pftk-obs/1 event file\n"
+               "  pftk obs summarize <obs-file>... [--json [FILE]]\n"
+               "      TD/TO loss-indication breakdown of pftk-obs/1 file(s); several\n"
+               "      files (e.g. per-worker snapshots) merge with the shard-merge\n"
+               "      semantics before summarizing\n"
                "  pftk prof <spans.jsonl> [--json [FILE]]\n"
                "      aggregate a pftk-spans/1 flight recording into an inclusive/\n"
                "      exclusive self-time table (p50/p99 per span) with a\n"
@@ -928,16 +939,33 @@ int serve_selftest(pftk::serve::ServeConfig config,
 }
 
 int cmd_serve(int argc, char** argv) {
-  pftk::serve::ServeConfig config;
+  pftk::serve::SupervisedServeConfig sup;
+  pftk::serve::ServeConfig& config = sup.serve;
   config.socket_path = pftk::serve::default_socket_path();
   pftk::serve::LoadConfig load;
   load.requests = 5000;
   bool selftest = false;
+  int workers = 1;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
     if (arg == "--socket" && has_value) {
       config.socket_path = argv[++i];
+    } else if (arg == "--workers" && has_value) {
+      workers = parse_positive_int(argv[++i], "--workers");
+    } else if (arg == "--stall-timeout" && has_value) {
+      sup.stall_timeout_ms = parse_nonnegative(argv[++i], "--stall-timeout");
+    } else if (arg == "--restart-budget" && has_value) {
+      sup.restart_budget = parse_positive_int(argv[++i], "--restart-budget");
+    } else if (arg == "--restart-window" && has_value) {
+      sup.restart_window_s = parse_nonnegative(argv[++i], "--restart-window");
+    } else if (arg == "--postmortem" && has_value) {
+      sup.postmortem_path = argv[++i];
+    } else if (arg == "--degrade-watermark" && has_value) {
+      config.degrade_shed_watermark =
+          parse_nonnegative(argv[++i], "--degrade-watermark");
+    } else if (arg == "--ping-interval" && has_value) {
+      sup.self_ping_interval_ms = parse_nonnegative(argv[++i], "--ping-interval");
     } else if (arg == "--shards" && has_value) {
       config.shards = parse_positive_int(argv[++i], "--shards");
     } else if (arg == "--queue-depth" && has_value) {
@@ -991,6 +1019,36 @@ int cmd_serve(int argc, char** argv) {
   // First SIGINT/SIGTERM: stop accepting, drain every admitted request,
   // flush the durable metrics snapshot, exit 3. Second signal: 130.
   pftk::robust::ShutdownGuard shutdown(/*hard_exit_code=*/130);
+
+  if (workers >= 2) {
+    // Self-healing pool: parent binds + supervises, workers serve. A
+    // single worker (--workers 1 or no flag) takes the plain in-process
+    // path below — supervision fully disengaged, output unchanged.
+    sup.workers = workers;
+    sup.stop = pftk::robust::ShutdownGuard::stop_flag();
+    sup.validate();
+    std::cout << "serve: supervising " << workers << " worker(s) on "
+              << config.socket_path << " (restart budget " << sup.restart_budget
+              << " per " << sup.restart_window_s << "s";
+    if (sup.stall_timeout_ms > 0.0) {
+      std::cout << ", stall timeout " << sup.stall_timeout_ms << "ms";
+    }
+    std::cout << ")" << std::endl;
+    const auto report = pftk::serve::run_supervised_serve(sup);
+    std::cout << report.describe() << "\n";
+    if (!report.fleet_accounting_ok) {
+      std::cerr << "error: fleet accounting identity violated\n";
+    }
+    if (report.gave_up) {
+      std::cerr << "error: supervisor gave up (restart budget exhausted)"
+                << (sup.postmortem_path.empty()
+                        ? ""
+                        : "; post-mortem at " + sup.postmortem_path)
+                << "\n";
+    }
+    return report.exit_code;
+  }
+
   pftk::serve::Server server(config);
   server.start();
   std::cout << "serve: listening on " << config.socket_path << " ("
@@ -1064,6 +1122,13 @@ int cmd_bench(int argc, char** argv) {
             << pftk::exp::fmt(report.span_overhead_tolerance, 2) << "x): "
             << (report.span_overhead_ok() ? "ok" : (gate_obs ? "FAIL" : "high"))
             << "\n"
+            << "disarmed supervision overhead "
+            << pftk::exp::fmt(report.supervision_overhead_ratio, 3)
+            << "x (tolerance "
+            << pftk::exp::fmt(report.supervision_overhead_tolerance, 2) << "x): "
+            << (report.supervision_overhead_ok() ? "ok"
+                                                 : (gate_obs ? "FAIL" : "high"))
+            << "\n"
             << "trace mmap vs istream speedup "
             << pftk::exp::fmt(report.trace_mmap_speedup, 2) << "x (min "
             << pftk::exp::fmt(report.trace_mmap_min_speedup, 2) << "x): "
@@ -1115,6 +1180,13 @@ int cmd_bench(int argc, char** argv) {
               << pftk::exp::fmt(report.span_overhead_tolerance, 2) << "x)\n";
     return 1;
   }
+  if (gate_obs && !report.supervision_overhead_ok()) {
+    std::cerr << "error: supervision overhead gate failed ("
+              << pftk::exp::fmt(report.supervision_overhead_ratio, 3) << "x > "
+              << pftk::exp::fmt(report.supervision_overhead_tolerance, 2)
+              << "x)\n";
+    return 1;
+  }
   return 0;
 }
 
@@ -1122,29 +1194,42 @@ int cmd_obs(int argc, char** argv) {
   if (argc < 4 || std::string(argv[2]) != "summarize") {
     return usage();
   }
-  const std::string path = argv[3];
+  std::vector<std::string> paths;
   bool want_json = false;
   std::string json_path;
-  for (int i = 4; i < argc; ++i) {
+  for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       want_json = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') {
         json_path = argv[++i];
       }
-    } else {
+    } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown obs option: " << arg << "\n";
       return usage();
+    } else {
+      paths.push_back(arg);
     }
   }
+  if (paths.empty()) {
+    return usage();
+  }
 
-  pftk::obs::ObsReadReport read_report;
-  const auto bundle = pftk::obs::load_obs_file(path, &read_report);
-  if (!read_report.clean()) {
-    std::cerr << "warning: " << path << ": salvaged " << read_report.records_parsed
-              << " of " << read_report.lines_total << " line(s), "
-              << read_report.lines_dropped << " dropped (first error: "
-              << read_report.first_error << ")\n";
+  // Several files (e.g. the supervisor's per-worker snapshots) fold into
+  // one bundle with the shard-merge semantics before summarizing —
+  // counters sum, gauges max, events concatenate.
+  pftk::obs::ObsBundle bundle;
+  for (const auto& path : paths) {
+    pftk::obs::ObsReadReport read_report;
+    const auto part = pftk::obs::load_obs_file(path, &read_report);
+    if (!read_report.clean()) {
+      std::cerr << "warning: " << path << ": salvaged "
+                << read_report.records_parsed << " of "
+                << read_report.lines_total << " line(s), "
+                << read_report.lines_dropped << " dropped (first error: "
+                << read_report.first_error << ")\n";
+    }
+    pftk::obs::merge_obs_bundles(bundle, part);
   }
 
   const auto breakdown = pftk::obs::summarize_events(bundle.events);
